@@ -1,0 +1,299 @@
+// Package bgl is a Go reproduction of "A Scalable Distributed Parallel
+// Breadth-First Search Algorithm on BlueGene/L" (Yoo et al., SC 2005).
+//
+// It provides level-synchronized distributed BFS over Poisson random
+// graphs with 1D (vertex) and 2D (edge) partitionings, uni- and
+// bi-directional searches, the paper's BlueGene/L-optimized two-phase
+// collectives (including the union-fold), and a simulated torus runtime
+// that stands in for the 32,768-node machine: ranks are goroutines,
+// collectives are hand-rolled from point-to-point messages, and a
+// deterministic cost model reports simulated execution/communication
+// times alongside real wall time.
+//
+// Quick start:
+//
+//	g, _ := bgl.Generate(100000, 10, 42)
+//	cl, _ := bgl.NewCluster(bgl.ClusterConfig{R: 4, C: 4})
+//	dg, _ := cl.Distribute(g)
+//	res, _ := cl.BFS(dg, g.LargestComponentVertex())
+//	fmt.Println(res.Reached(), res.SimTime)
+package bgl
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bfs"
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/torus"
+)
+
+// Vertex is a global vertex id.
+type Vertex = graph.Vertex
+
+// Unreached marks vertices a search did not label.
+const Unreached = graph.Unreached
+
+// Result re-exports the search result type: levels, per-level message
+// statistics, simulated times and the redundancy ratio.
+type Result = bfs.Result
+
+// LevelStats re-exports the per-level statistics record.
+type LevelStats = bfs.LevelStats
+
+// Graph is an undirected Poisson random graph (or any hand-built
+// undirected graph) in CSR form.
+type Graph struct {
+	csr *graph.CSR
+}
+
+// Generate creates the paper's workload: a Poisson random graph with n
+// vertices and expected average degree k, deterministic in seed.
+func Generate(n int, k float64, seed int64) (*Graph, error) {
+	g, err := graph.Generate(graph.Params{N: n, K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{csr: g}, nil
+}
+
+// FromEdges builds a graph from an explicit undirected edge list.
+func FromEdges(n int, edges [][2]Vertex) (*Graph, error) {
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{csr: g}, nil
+}
+
+// Load reads a plain-text edge list ("u v" per line, optional
+// "# n <count>" header) as written by Save or cmd/graphgen -edges.
+func Load(r io.Reader) (*Graph, error) {
+	g, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{csr: g}, nil
+}
+
+// Save writes the graph as a plain-text edge list with a vertex-count
+// header; Load round-trips it.
+func (g *Graph) Save(w io.Writer) error { return graph.WriteEdgeList(w, g.csr) }
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.csr.N }
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int64 { return g.csr.NumEdges() }
+
+// AvgDegree returns the measured average degree.
+func (g *Graph) AvgDegree() float64 { return g.csr.AvgDegree() }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v Vertex) int { return g.csr.Degree(v) }
+
+// Neighbors returns v's adjacency list (aliased, do not modify).
+func (g *Graph) Neighbors(v Vertex) []Vertex { return g.csr.Neighbors(v) }
+
+// SerialBFS runs the single-machine reference BFS.
+func (g *Graph) SerialBFS(src Vertex) []int32 { return graph.BFS(g.csr, src) }
+
+// SerialDistance returns the exact s→t distance (Unreached if none).
+func (g *Graph) SerialDistance(s, t Vertex) int32 { return graph.Distance(g.csr, s, t) }
+
+// LargestComponentVertex returns a vertex in the largest component.
+func (g *Graph) LargestComponentVertex() Vertex { return graph.LargestComponentVertex(g.csr) }
+
+// Relabel returns a copy of the graph with vertex ids permuted
+// uniformly at random (deterministic in seed) and the permutation
+// perm[old] = new. The blocked partitionings assume ids spread load
+// evenly over contiguous blocks; relabeling restores that for inputs
+// whose ids carry locality.
+func (g *Graph) Relabel(seed int64) (*Graph, []Vertex) {
+	rg, perm := graph.Relabel(g.csr, seed)
+	return &Graph{csr: rg}, perm
+}
+
+// visit streams the graph's edges for the partition builders.
+func (g *Graph) visit(fn func(u, v Vertex)) error {
+	for v := 0; v < g.csr.N; v++ {
+		for _, u := range g.csr.Neighbors(Vertex(v)) {
+			if Vertex(v) < u {
+				fn(Vertex(v), u)
+			}
+		}
+	}
+	return nil
+}
+
+// MappingKind selects how logical ranks are placed on the torus.
+type MappingKind int
+
+const (
+	// MapPlanes is the paper's Figure 1 mapping: the logical R x C
+	// array is tiled onto torus planes so processor-column (expand)
+	// traffic crosses adjacent planes. Falls back to row-major when the
+	// array does not tile the torus.
+	MapPlanes MappingKind = iota
+	// MapRowMajor places ranks in plain row-major torus order.
+	MapRowMajor
+)
+
+// ClusterConfig describes the simulated machine.
+type ClusterConfig struct {
+	// R, C are the logical processor mesh dimensions; P = R*C ranks.
+	// C = 1 or R = 1 give the two 1D partitionings of Table 1.
+	R, C int
+	// TorusDims optionally fixes the 3D torus shape (X, Y, Z); zero
+	// means fit automatically around P.
+	TorusDims [3]int
+	// Mapping selects rank placement (default MapPlanes with fallback).
+	Mapping MappingKind
+	// ClusterModel switches the cost model from the BlueGene/L preset
+	// to the Quadrics-cluster preset (the paper's MCR comparison).
+	ClusterModel bool
+}
+
+// Cluster is a simulated machine: a world of R*C goroutine ranks on a
+// torus with a cost model.
+type Cluster struct {
+	cfg   ClusterConfig
+	world *comm.World
+}
+
+// NewCluster builds the simulated machine.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.R <= 0 || cfg.C <= 0 {
+		return nil, fmt.Errorf("bgl: mesh must be positive, got %dx%d", cfg.R, cfg.C)
+	}
+	p := cfg.R * cfg.C
+	var tor torus.Torus
+	var err error
+	if cfg.TorusDims != [3]int{} {
+		tor, err = torus.New(cfg.TorusDims[0], cfg.TorusDims[1], cfg.TorusDims[2])
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tor = torus.FitTorus(p)
+	}
+	var mapping *torus.Mapping
+	switch cfg.Mapping {
+	case MapPlanes:
+		mapping, err = torus.Planes(tor, cfg.R, cfg.C)
+		if err != nil {
+			// The logical array does not tile this torus; fall back.
+			mapping, err = torus.RowMajor(tor, p)
+		}
+	case MapRowMajor:
+		mapping, err = torus.RowMajor(tor, p)
+	default:
+		return nil, fmt.Errorf("bgl: unknown mapping %d", cfg.Mapping)
+	}
+	if err != nil {
+		return nil, err
+	}
+	model := torus.PresetBlueGeneL()
+	if cfg.ClusterModel {
+		model = torus.PresetCluster()
+	}
+	w, err := comm.NewWorld(comm.Config{P: p, Mapping: mapping, Model: model})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg, world: w}, nil
+}
+
+// P returns the rank count.
+func (c *Cluster) P() int { return c.cfg.R * c.cfg.C }
+
+// Mesh returns the logical mesh dimensions.
+func (c *Cluster) Mesh() (r, cc int) { return c.cfg.R, c.cfg.C }
+
+// DistGraph is a graph distributed over a cluster's ranks with the 2D
+// edge partitioning.
+type DistGraph struct {
+	graph  *Graph
+	layout *partition.Layout2D
+	stores []*partition.Store2D
+}
+
+// Distribute partitions g over the cluster's R x C mesh (2D edge
+// partitioning, §2.2). The centralized loader stands in for the
+// original system's parallel file I/O.
+func (c *Cluster) Distribute(g *Graph) (*DistGraph, error) {
+	l, err := partition.NewLayout2D(g.N(), c.cfg.R, c.cfg.C)
+	if err != nil {
+		return nil, err
+	}
+	stores, err := partition.Build2D(l, g.visit)
+	if err != nil {
+		return nil, err
+	}
+	return &DistGraph{graph: g, layout: l, stores: stores}, nil
+}
+
+// Graph returns the underlying graph.
+func (dg *DistGraph) Graph() *Graph { return dg.graph }
+
+// MemoryStats re-exports the per-rank storage summary of §2.4.1.
+type MemoryStats = partition.MemoryStats
+
+// Memory returns per-rank storage statistics, demonstrating the
+// §2.4.1 claim that indexed state stays O(n/P) rather than O(n/C).
+func (dg *DistGraph) Memory() []MemoryStats {
+	out := make([]MemoryStats, len(dg.stores))
+	for i, st := range dg.stores {
+		out[i] = st.Memory()
+	}
+	return out
+}
+
+// BFS runs a full distributed traversal from source.
+func (c *Cluster) BFS(dg *DistGraph, source Vertex, opts ...Option) (*Result, error) {
+	o := bfs.DefaultOptions(source)
+	applyOptions(&o, opts)
+	return bfs.Run2D(c.world, dg.stores, o)
+}
+
+// Search runs a uni-directional s→t search that stops when t is
+// labeled, as in the paper's timing experiments.
+func (c *Cluster) Search(dg *DistGraph, s, t Vertex, opts ...Option) (*Result, error) {
+	o := bfs.DefaultOptions(s)
+	o.Target, o.HasTarget = t, true
+	applyOptions(&o, opts)
+	return bfs.Run2D(c.world, dg.stores, o)
+}
+
+// BiSearch runs the bi-directional s→t search of §2.3.
+func (c *Cluster) BiSearch(dg *DistGraph, s, t Vertex, opts ...Option) (*Result, error) {
+	o := bfs.DefaultOptions(s)
+	o.Target, o.HasTarget = t, true
+	applyOptions(&o, opts)
+	return bfs.RunBidirectional2D(c.world, dg.stores, o)
+}
+
+// Path runs a distributed BFS from s and reconstructs one shortest
+// path s→t from the assembled levels — the paper's §1 semantic-graph
+// use case ("the nature of the relationship ... can be determined by
+// the shortest path"). Returns the path [s, ..., t] and the search
+// Result, or an error if t is unreachable.
+func (c *Cluster) Path(dg *DistGraph, s, t Vertex, opts ...Option) ([]Vertex, *Result, error) {
+	o := bfs.DefaultOptions(s)
+	o.Target, o.HasTarget = t, true
+	applyOptions(&o, opts)
+	res, err := bfs.Run2D(c.world, dg.stores, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !res.Found {
+		return nil, res, fmt.Errorf("bgl: vertex %d not reachable from %d", t, s)
+	}
+	path, err := graph.PathFromLevels(dg.graph.csr, res.Levels, s, t)
+	if err != nil {
+		return nil, res, err
+	}
+	return path, res, nil
+}

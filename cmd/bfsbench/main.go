@@ -1,0 +1,93 @@
+// Command bfsbench regenerates the paper's tables and figures.
+//
+// Each experiment id corresponds to one exhibit of the evaluation
+// section (see DESIGN.md §4):
+//
+//	fig4a fig4b fig4c fig5 table1 fig6a fig6b fig7
+//	ablation-mapping ablation-collective ablation-sentcache
+//
+// Usage:
+//
+//	bfsbench -exp fig4a,table1 -scale 1 -maxp 64 -searches 3
+//	bfsbench -exp all -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale    = flag.Float64("scale", 1, "per-rank problem-size multiplier")
+		maxP     = flag.Int("maxp", 64, "maximum simulated rank count")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		searches = flag.Int("searches", 3, "s->t searches averaged per data point")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-20s %-28s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.Config{Scale: *scale, MaxP: *maxP, Seed: *seed, Searches: *searches}
+	var exps []harness.Experiment
+	if *expFlag == "all" {
+		exps = harness.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := harness.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s: %s, ran in %v)\n\n", e.ID, e.Paper, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, e.ID+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := tbl.WriteCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

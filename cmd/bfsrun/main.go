@@ -1,0 +1,187 @@
+// Command bfsrun executes one distributed BFS or s→t search with every
+// knob exposed: mesh shape, expand/fold collectives, sent-neighbors
+// cache, fixed buffer size, torus mapping and cost model. It validates
+// the distributed result against the serial oracle and prints the
+// per-level statistics the paper reports.
+//
+// Usage:
+//
+//	bfsrun -n 100000 -k 10 -r 4 -c 4
+//	bfsrun -n 100000 -k 10 -r 1 -c 16 -target 99 -bidir
+//	bfsrun -n 50000 -k 50 -r 4 -c 4 -expand allgather -fold direct -sentcache=false
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	bgl "repro"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 100000, "vertices")
+		k        = flag.Float64("k", 10, "expected average degree")
+		seed     = flag.Int64("seed", 42, "graph seed")
+		input    = flag.String("input", "", "load graph from an edge-list file instead of generating")
+		shuffle  = flag.Bool("shuffle", false, "relabel vertices randomly before distributing")
+		r        = flag.Int("r", 4, "mesh rows R")
+		c        = flag.Int("c", 4, "mesh columns C")
+		source   = flag.Int("source", -1, "source vertex (-1 = a largest-component vertex)")
+		target   = flag.Int("target", -1, "target vertex (-1 = full traversal)")
+		bidir    = flag.Bool("bidir", false, "bi-directional search (requires -target)")
+		expand   = flag.String("expand", "targeted", "expand collective: targeted|allgather|twophase")
+		fold     = flag.String("fold", "twophase", "fold collective: twophase|direct|nounion|bruck")
+		cache    = flag.Bool("sentcache", true, "sent-neighbors cache (§2.4.3)")
+		chunk    = flag.Int("chunk", 16384, "fixed message buffer in words (0 = unchunked)")
+		rowMaj   = flag.Bool("rowmajor", false, "row-major torus mapping instead of Figure 1 planes")
+		cluster  = flag.Bool("cluster", false, "Quadrics-cluster cost model instead of BlueGene/L")
+		verify   = flag.Bool("verify", true, "check against the serial oracle")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON (levels omitted) instead of text")
+		withLvls = flag.Bool("levels", false, "include the full level array in -json output")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	expAlg, ok := map[string]bgl.ExpandAlg{
+		"targeted": bgl.ExpandTargeted, "allgather": bgl.ExpandAllGather, "twophase": bgl.ExpandTwoPhase,
+	}[*expand]
+	if !ok {
+		fail(fmt.Errorf("unknown expand algorithm %q", *expand))
+	}
+	foldAlg, ok := map[string]bgl.FoldAlg{
+		"twophase": bgl.FoldTwoPhase, "direct": bgl.FoldDirect, "nounion": bgl.FoldTwoPhaseNoUnion, "bruck": bgl.FoldBruck,
+	}[*fold]
+	if !ok {
+		fail(fmt.Errorf("unknown fold algorithm %q", *fold))
+	}
+
+	var g *bgl.Graph
+	var err error
+	if *input != "" {
+		f, ferr := os.Open(*input)
+		if ferr != nil {
+			fail(ferr)
+		}
+		g, err = bgl.Load(f)
+		f.Close()
+	} else {
+		g, err = bgl.Generate(*n, *k, *seed)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *shuffle {
+		g, _ = g.Relabel(*seed)
+	}
+	mapping := bgl.MapPlanes
+	if *rowMaj {
+		mapping = bgl.MapRowMajor
+	}
+	cl, err := bgl.NewCluster(bgl.ClusterConfig{
+		R: *r, C: *c, Mapping: mapping, ClusterModel: *cluster,
+	})
+	if err != nil {
+		fail(err)
+	}
+	dg, err := cl.Distribute(g)
+	if err != nil {
+		fail(err)
+	}
+
+	src := bgl.Vertex(*source)
+	if *source < 0 {
+		src = g.LargestComponentVertex()
+	}
+	opts := []bgl.Option{
+		bgl.WithExpand(expAlg), bgl.WithFold(foldAlg),
+		bgl.WithSentCache(*cache), bgl.WithChunkWords(*chunk),
+	}
+
+	var res *bgl.Result
+	switch {
+	case *target >= 0 && *bidir:
+		res, err = cl.BiSearch(dg, src, bgl.Vertex(*target), opts...)
+	case *target >= 0:
+		res, err = cl.Search(dg, src, bgl.Vertex(*target), opts...)
+	default:
+		res, err = cl.BFS(dg, src, opts...)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		out := *res
+		if !*withLvls {
+			out.Levels = nil
+			out.PerRank = nil
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			N      int
+			K      float64
+			Seed   int64
+			Expand string
+			Fold   string
+			Cache  bool
+			Chunk  int
+			*bgl.Result
+		}{g.N(), *k, *seed, *expand, *fold, *cache, *chunk, &out}); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	fmt.Printf("graph: n=%d k=%.3g (%d edges) | mesh %dx%d (P=%d) | expand=%s fold=%s cache=%v chunk=%d\n",
+		g.N(), g.AvgDegree(), g.NumEdges(), *r, *c, cl.P(), *expand, *fold, *cache, *chunk)
+	if *target >= 0 {
+		fmt.Printf("search %d -> %d: found=%v distance=%d\n", src, *target, res.Found, res.Distance)
+	} else {
+		fmt.Printf("traversal from %d: reached %d vertices, max level %d\n",
+			src, res.Reached(), res.MaxLevel())
+	}
+	fmt.Printf("simulated: exec %.6fs, comm %.6fs (%.1f%%) | wall %v\n",
+		res.SimTime, res.SimComm, safePct(res.SimComm, res.SimTime), res.Wall)
+	fmt.Printf("volumes: expand %d words, fold %d words, dups eliminated %d (redundancy %.1f%%), hash probes %d\n",
+		res.TotalExpandWords, res.TotalFoldWords, res.TotalDups, res.RedundancyRatio(), res.HashProbes)
+	fmt.Printf("network: %d messages, %.2f avg hops, load imbalance %.3f\n",
+		res.MsgsRecv, res.AvgHopsPerMessage(), res.LoadImbalance())
+	fmt.Println("\nlevel  frontier  expand-words  fold-words  dups  marked")
+	for _, ls := range res.PerLevel {
+		fmt.Printf("%5d  %8d  %12d  %10d  %4d  %6d\n",
+			ls.Level, ls.Frontier, ls.ExpandWords, ls.FoldWords, ls.Dups, ls.Marked)
+	}
+
+	if *verify {
+		serial := g.SerialBFS(src)
+		if *target >= 0 {
+			want := g.SerialDistance(src, bgl.Vertex(*target))
+			okDist := (want == bgl.Unreached && !res.Found) || (res.Found && res.Distance == want)
+			if !okDist {
+				fail(fmt.Errorf("VERIFY FAILED: distance %d (found=%v), serial %d", res.Distance, res.Found, want))
+			}
+		} else {
+			for v, want := range serial {
+				if res.Levels[v] != want {
+					fail(fmt.Errorf("VERIFY FAILED: level[%d] = %d, serial %d", v, res.Levels[v], want))
+				}
+			}
+		}
+		fmt.Println("\nverified against serial oracle: OK")
+	}
+}
+
+func safePct(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * num / den
+}

@@ -1,0 +1,76 @@
+// Command graphgen generates a Poisson random graph and reports its
+// statistics: measured average degree, degree histogram summary,
+// connectivity, eccentricity from a sample vertex, and the analytic
+// expectations from §3.1 (γ values and expected message lengths for
+// chosen partitionings).
+//
+// Usage:
+//
+//	graphgen -n 100000 -k 10 -seed 42 -p 64
+//	graphgen -n 1000 -k 4 -edges        # dump the edge list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/analytic"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 100000, "vertices")
+		k     = flag.Float64("k", 10, "expected average degree")
+		seed  = flag.Int64("seed", 42, "generator seed")
+		p     = flag.Int("p", 64, "processor count for the analytic table")
+		edges = flag.Bool("edges", false, "dump edge list to stdout instead of stats")
+	)
+	flag.Parse()
+
+	params := graph.Params{N: *n, K: *k, Seed: *seed}
+	if *edges {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		if err := params.VisitEdges(func(u, v graph.Vertex) {
+			fmt.Fprintf(w, "%d %d\n", u, v)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	g, err := graph.Generate(params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Poisson random graph: n=%d k=%g seed=%d\n", *n, *k, *seed)
+	fmt.Printf("  edges:            %d (avg degree %.3f, max %d)\n",
+		g.NumEdges(), g.AvgDegree(), g.MaxDegree())
+	src := graph.LargestComponentVertex(g)
+	ecc, reached := graph.Eccentricity(g, src)
+	fmt.Printf("  largest component: %d vertices (%.1f%%), eccentricity %d from vertex %d\n",
+		reached, 100*float64(reached)/float64(g.N), ecc, src)
+	fmt.Printf("  diameter estimate: %.2f (log n / log k)\n", graph.ExpectedDiameter(g.N, *k))
+
+	fmt.Printf("\n§3.1 analytic expectations for P=%d:\n", *p)
+	nf := float64(*n)
+	fmt.Printf("  1D fold  n·γ(n/P)·(P−1)/P:      %.1f words/processor/level\n",
+		analytic.Expected1DFold(nf, *k, *p))
+	sq := int(math.Round(math.Sqrt(float64(*p))))
+	if sq*sq == *p {
+		fmt.Printf("  2D expand (n/P)·γ(n/R)·(R−1):   %.1f  (R=C=%d)\n",
+			analytic.Expected2DExpand(nf, *k, sq, sq), sq)
+		fmt.Printf("  2D fold   (n/P)·γ(n/C)·(C−1):   %.1f\n",
+			analytic.Expected2DFold(nf, *k, sq, sq))
+		if cross, err := analytic.CrossoverK(nf, *p, nf); err == nil {
+			fmt.Printf("  1D/2D crossover degree:          %.2f\n", cross)
+		}
+	}
+	fmt.Printf("  worst case nk/P:                 %.1f\n", analytic.WorstCase1DFold(nf, *k, *p))
+}

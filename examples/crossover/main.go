@@ -1,0 +1,65 @@
+// Crossover demonstrates the §3.1 analysis end to end: the γ-based
+// expected message lengths predict which partitioning moves less data,
+// and the Figure 6b equation pinpoints the average degree where 1D and
+// 2D break even. The example solves the equation for a small machine,
+// then measures both partitionings just below, at, and just above the
+// crossover to show the winner flipping.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bgl "repro"
+)
+
+func main() {
+	const (
+		p = 16     // 4x4 mesh vs 1x16 (conventional 1D)
+		n = 160000 // vertices
+	)
+
+	kCross, err := bgl.CrossoverK(float64(n), p, float64(n-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n=%d, P=%d: analytic 1D/2D crossover at k = %.2f\n", n, p, kCross)
+	fmt.Printf("(the paper computes k=34 for n=4e7, P=400 from the same equation)\n\n")
+
+	fmt.Println("k      1D words     2D words     analytic 1D  analytic 2Dx2  winner")
+	for _, k := range []float64{kCross / 3, kCross, kCross * 3} {
+		vol := func(r, c int) int64 {
+			g, err := bgl.Generate(n, k, 5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cl, err := bgl.NewCluster(bgl.ClusterConfig{R: r, C: c})
+			if err != nil {
+				log.Fatal(err)
+			}
+			dg, err := cl.Distribute(g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Direct collectives so received words count each index
+			// once, as in the analysis.
+			res, err := cl.BFS(dg, g.LargestComponentVertex(),
+				bgl.WithFold(bgl.FoldDirect), bgl.WithExpand(bgl.ExpandTargeted))
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res.TotalExpandWords + res.TotalFoldWords
+		}
+		oneD := vol(1, p)
+		twoD := vol(4, 4)
+		winner := "2D"
+		if oneD < twoD {
+			winner = "1D"
+		}
+		// Per-level analytic expectations (worst case, whole frontier).
+		a1 := bgl.Expected1DFold(float64(n), k, p)
+		a2 := 2 * bgl.Expected2DExpand(float64(n), k, 4, 4)
+		fmt.Printf("%-6.1f %-12d %-12d %-12.0f %-14.0f %s\n", k, oneD, twoD, a1, a2, winner)
+	}
+	fmt.Println("\nbelow the crossover 1D moves fewer words; above it 2D wins (Figure 6).")
+}

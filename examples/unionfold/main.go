@@ -1,0 +1,53 @@
+// Unionfold demonstrates the paper's §3.2.2 optimization in isolation:
+// the fold implemented as a reduce-scatter whose reduction operator is
+// set union. On a high-degree graph many processors discover the same
+// neighbor in the same level; the union-fold deletes those duplicates
+// while the messages are still in flight, cutting both traffic and the
+// memory-access cost of processing received vertices (Figure 7).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bgl "repro"
+)
+
+func main() {
+	// High average degree maximizes redundant discoveries.
+	g, err := bgl.Generate(20000, 100, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := bgl.NewCluster(bgl.ClusterConfig{R: 4, C: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dg, err := cluster.Distribute(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := g.LargestComponentVertex()
+
+	fmt.Printf("graph: n=%d k=%.0f (%d edges), 4x4 mesh\n\n", g.N(), g.AvgDegree(), g.NumEdges())
+	fmt.Println("fold algorithm      exec(s)    fold-words  dups-eliminated  redundancy")
+	for _, cfg := range []struct {
+		name string
+		alg  bgl.FoldAlg
+	}{
+		{"two-phase + union", bgl.FoldTwoPhase},
+		{"two-phase no union", bgl.FoldTwoPhaseNoUnion},
+		{"direct all-to-all", bgl.FoldDirect},
+	} {
+		// Disable the sent-neighbors cache so cross-level duplicates
+		// survive to the fold, as in the paper's Fig. 7 measurement.
+		res, err := cluster.BFS(dg, src, bgl.WithFold(cfg.alg), bgl.WithSentCache(false))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s  %.6f   %10d  %15d  %9.1f%%\n",
+			cfg.name, res.SimTime, res.TotalFoldWords, res.TotalDups, res.RedundancyRatio())
+	}
+	fmt.Println("\nthe union variant moves the fewest words: duplicates are merged in")
+	fmt.Println("flight during the ring phase instead of crossing the wire repeatedly.")
+}

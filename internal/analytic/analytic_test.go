@@ -1,0 +1,132 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaLimits(t *testing.T) {
+	n := 1e6
+	// Small mk: gamma ~ mk/n.
+	m, k := 100.0, 2.0
+	got := Gamma(m, n, k)
+	want := m * k / n
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("small-mk gamma = %g, want ~%g", got, want)
+	}
+	// Large mk: gamma -> 1.
+	if g := Gamma(n, n, 50); g < 0.999999 {
+		t.Errorf("large-mk gamma = %g, want ~1", g)
+	}
+	// Degenerate inputs.
+	if Gamma(0, n, 10) != 0 || Gamma(100, 1, 10) != 0 || Gamma(100, n, 0) != 0 {
+		t.Error("degenerate gamma not zero")
+	}
+}
+
+func TestGammaMonotone(t *testing.T) {
+	f := func(mRaw, kRaw uint16) bool {
+		n := 1e5
+		m1 := float64(mRaw%1000) + 1
+		m2 := m1 + 50
+		k := float64(kRaw%100) + 1
+		g1, g2 := Gamma(m1, n, k), Gamma(m2, n, k)
+		return g1 >= 0 && g2 <= 1 && g2 >= g1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedMessageLengthsScale(t *testing.T) {
+	// §3.1: all three quantities are O(n/P) — doubling P at fixed n
+	// must not increase the per-processor volume beyond ~n/P.
+	n, k := 4e7, 10.0
+	for _, p := range []int{16, 64, 256} {
+		r := int(math.Sqrt(float64(p)))
+		oneD := Expected1DFold(n, k, p)
+		ex := Expected2DExpand(n, k, r, r)
+		fo := Expected2DFold(n, k, r, r)
+		bound := WorstCase1DFold(n, k, p)
+		if oneD > bound*1.0001 {
+			t.Errorf("P=%d: 1D fold %g above worst case %g", p, oneD, bound)
+		}
+		if ex > bound*1.0001 || fo > bound*1.0001 {
+			t.Errorf("P=%d: 2D volumes (%g,%g) above nk/P=%g", p, ex, fo, bound)
+		}
+		if ex != fo {
+			t.Errorf("square mesh: expand %g != fold %g", ex, fo)
+		}
+	}
+}
+
+func TestExpected1DFoldEdgeCases(t *testing.T) {
+	if Expected1DFold(1000, 10, 1) != 0 {
+		t.Error("P=1 should have no communication")
+	}
+	if Expected2DExpand(1000, 10, 1, 4) != 0 {
+		t.Error("R=1 expand should be zero")
+	}
+	if Expected2DFold(1000, 10, 4, 1) != 0 {
+		t.Error("C=1 fold should be zero")
+	}
+}
+
+// TestCrossoverKPaperValue checks the paper's Figure 6b computation:
+// for P=400 and n=40,000,000 the paper reports a crossover degree of
+// 34. Solving the equation exactly gives k ≈ 31.3 (at k=34 the 1D side
+// is already ~5% heavier), so we assert the same ballpark; see
+// EXPERIMENTS.md for the discrepancy note.
+func TestCrossoverKPaperValue(t *testing.T) {
+	k, err := CrossoverK(4e7, 400, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 29 || k > 36 {
+		t.Fatalf("crossover k = %g, paper reports 34", k)
+	}
+}
+
+func TestCrossoverKBalancesVolumes(t *testing.T) {
+	n := 4e5
+	p := 100
+	k, err := CrossoverK(n, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := 10
+	lhs := Expected1DFold(n, k, p)
+	rhs := 2 * n / float64(p) * Gamma(n/float64(sq), n, k) * float64(sq-1)
+	if math.Abs(lhs-rhs)/lhs > 1e-6 {
+		t.Errorf("crossover does not balance: lhs=%g rhs=%g", lhs, rhs)
+	}
+}
+
+func TestCrossoverKErrors(t *testing.T) {
+	if _, err := CrossoverK(1e6, 300, 1000); err == nil {
+		t.Error("non-square P accepted")
+	}
+	if _, err := CrossoverK(1e6, 400, 0.5); err == nil {
+		t.Error("expected no-crossover error for tiny kMax")
+	}
+}
+
+func TestExpectedNonEmptyLists(t *testing.T) {
+	// Large R: approaches nk/P.
+	n, k := 1e6, 10.0
+	r, c := 1000, 10
+	got := ExpectedNonEmptyLists(n, k, r, c)
+	want := n * k / float64(r*c)
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("large-R expected lists %g, want ~%g", got, want)
+	}
+	// R=1: bounded by n/C.
+	if g := ExpectedNonEmptyLists(n, k, 1, 10); g >= n/10 {
+		t.Errorf("R=1 expected lists %g not below n/C", g)
+	}
+	// Degenerate mesh.
+	if ExpectedNonEmptyLists(n, k, 0, 10) != 0 {
+		t.Error("degenerate mesh not zero")
+	}
+}

@@ -1,0 +1,252 @@
+package bfs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/localindex"
+	"repro/internal/partition"
+	"repro/internal/torus"
+)
+
+// engine1D holds one rank's state for Algorithm 1: distributed
+// breadth-first expansion with the conventional 1D vertex partitioning.
+// Every rank owns a vertex block with full edge lists; each level
+// merges the frontier's edge lists into the neighbor set N and delivers
+// N to the owners with a single collective over all P ranks (the fold;
+// 1D has no expand).
+//
+// This is an independent implementation kept alongside the R=1
+// degenerate case of the 2D engine; the two are differentially tested
+// against each other and against the serial oracle.
+type engine1D struct {
+	c     *comm.Comm
+	st    *partition.Store1D
+	opts  Options
+	model torus.CostModel
+	world comm.Group
+}
+
+func newEngine1D(c *comm.Comm, st *partition.Store1D, opts Options) *engine1D {
+	g := comm.Group{Ranks: make([]int, c.Size()), Me: c.Rank()}
+	for i := range g.Ranks {
+		g.Ranks[i] = i
+	}
+	return &engine1D{c: c, st: st, opts: opts, model: c.Model(), world: g}
+}
+
+func (e *engine1D) newSide(src graph.Vertex) *sideState {
+	s := &sideState{L: make([]int32, e.st.OwnedCount())}
+	for i := range s.L {
+		s.L[i] = graph.Unreached
+	}
+	if src >= e.st.Lo && src < e.st.Hi {
+		s.L[e.st.LocalOf(src)] = 0
+		s.F = []uint32{uint32(src)}
+	}
+	if e.opts.SentCache {
+		s.sent = localindex.NewBitset(e.st.TargetCount)
+	}
+	return s
+}
+
+// step runs one complete Algorithm 1 level: merge frontier edge lists
+// into per-owner bins (steps 7–9), fold (steps 8–13), mark (14–16).
+func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
+	rec := rankLevel{frontier: len(s.F)}
+	l := e.st.Layout
+	bins := make([][]uint32, e.c.Size())
+	probes0 := e.st.TargetMap.Probes()
+	scanned := 0
+	for _, gv := range s.F {
+		li := e.st.LocalOf(graph.Vertex(gv))
+		adj := e.st.Neighbors(li)
+		scanned += len(adj)
+		for _, u := range adj {
+			if s.sent != nil {
+				idx, ok := e.st.TargetMap.Get(u)
+				if !ok {
+					panic("bfs: neighbor missing from TargetMap")
+				}
+				if s.sent.TestAndSet(idx) {
+					continue // already sent to its owner once (§2.4.3)
+				}
+			}
+			bins[l.OwnerRank(u)] = append(bins[l.OwnerRank(u)], uint32(u))
+		}
+	}
+	e.c.ChargeItems(scanned, e.model.EdgeCost)
+	e.c.ChargeItems(int(e.st.TargetMap.Probes()-probes0), e.model.HashCost)
+	for q := range bins {
+		var d int
+		bins[q], d = localindex.SortSet(bins[q])
+		e.c.ChargeItems(len(bins[q])+d, e.model.VertexCost)
+	}
+
+	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
+	var nbar []uint32
+	var fst collective.Stats
+	switch e.opts.Fold {
+	case FoldDirect:
+		nbar, fst = collective.ReduceScatterUnion(e.c, e.world, o, bins)
+	case FoldTwoPhase:
+		nbar, fst = collective.TwoPhaseFold(e.c, e.world, o, bins)
+	case FoldTwoPhaseNoUnion:
+		o.NoUnion = true
+		nbar, fst = collective.TwoPhaseFold(e.c, e.world, o, bins)
+	case FoldBruck:
+		nbar, fst = collective.ReduceScatterUnionBruck(e.c, e.world, o, bins)
+	default:
+		panic(fmt.Sprintf("bfs: unknown fold algorithm %v", e.opts.Fold))
+	}
+	rec.foldWords = fst.RecvWords
+	rec.dups = fst.Dups
+
+	e.c.ChargeItems(len(nbar), e.model.VertexCost)
+	foundTarget := false
+	next := make([]uint32, 0, len(nbar))
+	for _, gu := range nbar {
+		li := e.st.LocalOf(graph.Vertex(gu))
+		if s.L[li] == graph.Unreached {
+			s.L[li] = s.level + 1
+			next = append(next, gu)
+			rec.marked++
+			if e.opts.HasTarget && graph.Vertex(gu) == e.opts.Target {
+				foundTarget = true
+			}
+		}
+	}
+	s.F = next
+	s.level++
+	return rec, foundTarget
+}
+
+// validate1D checks a 1D run's inputs.
+func validate1D(w *comm.World, stores []*partition.Store1D, opts Options) (*partition.Layout1D, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("bfs: no stores")
+	}
+	l := stores[0].Layout
+	if l.P != w.P || len(stores) != w.P {
+		return nil, fmt.Errorf("bfs: %d stores on layout P=%d for world P=%d", len(stores), l.P, w.P)
+	}
+	if int(opts.Source) >= l.N {
+		return nil, fmt.Errorf("bfs: source %d out of range for n=%d", opts.Source, l.N)
+	}
+	if opts.HasTarget && int(opts.Target) >= l.N {
+		return nil, fmt.Errorf("bfs: target %d out of range for n=%d", opts.Target, l.N)
+	}
+	return l, nil
+}
+
+// trivialResult handles the source==target case without communication.
+func trivialResult(n int, r, c int, source graph.Vertex) *Result {
+	res := &Result{N: n, R: r, C: c, Found: true}
+	res.Levels = make([]int32, n)
+	for i := range res.Levels {
+		res.Levels[i] = graph.Unreached
+	}
+	res.Levels[source] = 0
+	return res
+}
+
+// Run1D executes Algorithm 1 across the world.
+func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, error) {
+	l, err := validate1D(w, stores, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.HasTarget && opts.Source == opts.Target {
+		return trivialResult(l.N, 1, l.P, opts.Source), nil
+	}
+
+	res := &Result{N: l.N, R: 1, C: l.P}
+	perRank := make([][]rankLevel, w.P)
+	localLevels := make([][]int32, w.P)
+	probes := make([]uint64, w.P)
+	var foundAt int32 = -1
+	start := time.Now()
+	comms, err := w.Run(func(c *comm.Comm) {
+		st := stores[c.Rank()]
+		e := newEngine1D(c, st, opts)
+		probes0 := st.TargetMap.Probes()
+		recs, s, found := driveUni(c, e, opts)
+		perRank[c.Rank()] = recs
+		localLevels[c.Rank()] = s.L
+		probes[c.Rank()] = st.TargetMap.Probes() - probes0
+		if found && c.Rank() == 0 {
+			foundAt = s.level
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	mergeStats(res, perRank, comms)
+	for _, p := range probes {
+		res.HashProbes += p
+	}
+	res.Levels = make([]int32, l.N)
+	for r, st := range stores {
+		copy(res.Levels[int(st.Lo):int(st.Lo)+st.OwnedCount()], localLevels[r])
+	}
+	if opts.HasTarget && foundAt >= 0 {
+		res.Found = true
+		res.Distance = foundAt
+	}
+	return res, nil
+}
+
+// RunBidirectional1D executes the §2.3 bi-directional search on the 1D
+// partitioning (the paper notes either partitioning can host it).
+func RunBidirectional1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, error) {
+	if !opts.HasTarget {
+		return nil, fmt.Errorf("bfs: bi-directional search requires a target")
+	}
+	l, err := validate1D(w, stores, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Source == opts.Target {
+		return trivialResult(l.N, 1, l.P, opts.Source), nil
+	}
+
+	res := &Result{N: l.N, R: 1, C: l.P}
+	perRank := make([][]rankLevel, w.P)
+	localLevels := make([][]int32, w.P)
+	probes := make([]uint64, w.P)
+	var globalBest int64 = -1
+	start := time.Now()
+	comms, err := w.Run(func(c *comm.Comm) {
+		st := stores[c.Rank()]
+		e := newEngine1D(c, st, opts)
+		probes0 := st.TargetMap.Probes()
+		recs, ss, best := driveBidir(c, e, st, opts)
+		perRank[c.Rank()] = recs
+		localLevels[c.Rank()] = ss.L
+		probes[c.Rank()] = st.TargetMap.Probes() - probes0
+		if c.Rank() == 0 && best != bidirInf {
+			globalBest = int64(best)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	mergeStats(res, perRank, comms)
+	for _, p := range probes {
+		res.HashProbes += p
+	}
+	res.Levels = make([]int32, l.N)
+	for r, st := range stores {
+		copy(res.Levels[int(st.Lo):int(st.Lo)+st.OwnedCount()], localLevels[r])
+	}
+	if globalBest >= 0 {
+		res.Found = true
+		res.Distance = int32(globalBest)
+	}
+	return res, nil
+}

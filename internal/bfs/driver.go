@@ -1,0 +1,145 @@
+package bfs
+
+import (
+	"math"
+
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/graph"
+)
+
+// reducer performs the per-level global reductions (frontier count,
+// target-found flag, best meeting distance) either on the modeled
+// combine-tree network or over point-to-point torus messages
+// (Options.P2PTermination).
+type reducer struct {
+	c     *comm.Comm
+	world comm.Group
+	p2p   bool
+	tag   int
+}
+
+func newReducer(c *comm.Comm, opts Options) *reducer {
+	r := &reducer{c: c, p2p: opts.P2PTermination}
+	if r.p2p {
+		r.world = comm.Group{Ranks: make([]int, c.Size()), Me: c.Rank()}
+		for i := range r.world.Ranks {
+			r.world.Ranks[i] = i
+		}
+		r.tag = 1 << 28
+	}
+	return r
+}
+
+func (r *reducer) sum(v uint64) uint64 {
+	if !r.p2p {
+		return r.c.AllReduceSum(v)
+	}
+	r.tag += 1 << 21
+	return collective.AllReduceP2P(r.c, r.world, collective.Opts{Tag: r.tag}, v, collective.OpSum)
+}
+
+func (r *reducer) or(b bool) bool {
+	if !r.p2p {
+		return r.c.AllReduceOr(b)
+	}
+	var v uint64
+	if b {
+		v = 1
+	}
+	r.tag += 1 << 21
+	return collective.AllReduceP2P(r.c, r.world, collective.Opts{Tag: r.tag}, v, collective.OpOr) != 0
+}
+
+func (r *reducer) min(v uint64) uint64 {
+	if !r.p2p {
+		return r.c.AllReduceMin(v)
+	}
+	r.tag += 1 << 21
+	return collective.AllReduceP2P(r.c, r.world, collective.Opts{Tag: r.tag}, v, collective.OpMin)
+}
+
+// stepper is a partitioning engine: it creates per-side search state
+// and advances one complete BFS level (expand where applicable,
+// neighbor scan, fold, mark). Both the 1D (Algorithm 1) and 2D
+// (Algorithm 2) engines implement it, so the uni- and bi-directional
+// drivers below are shared.
+type stepper interface {
+	newSide(src graph.Vertex) *sideState
+	step(s *sideState, tagBase int) (rankLevel, bool)
+}
+
+// driveUni runs a uni-directional level-synchronized search to
+// completion (empty global frontier), target discovery, or the
+// MaxLevels bound. It returns the per-level records, the search state,
+// and whether the target was found (globally agreed).
+func driveUni(c *comm.Comm, e stepper, opts Options) ([]rankLevel, *sideState, bool) {
+	s := e.newSide(opts.Source)
+	red := newReducer(c, opts)
+	var recs []rankLevel
+	for {
+		gf := red.sum(uint64(len(s.F)))
+		if gf == 0 {
+			return recs, s, false
+		}
+		if opts.MaxLevels > 0 && int(s.level) >= opts.MaxLevels {
+			return recs, s, false
+		}
+		rec, foundLocal := e.step(s, int(s.level)*64)
+		recs = append(recs, rec)
+		if opts.HasTarget && red.or(foundLocal) {
+			return recs, s, true
+		}
+	}
+}
+
+// bidirInf is the "no path found yet" sentinel for the bi-directional
+// driver's best-distance reduction.
+const bidirInf = uint64(math.MaxUint32)
+
+// driveBidir runs the §2.3 bi-directional search: two sides expand
+// alternately (always the side with the smaller global frontier), meets
+// are detected when a side labels a vertex the other side already
+// labeled, and the search stops once the best meeting distance is
+// provably optimal (any undiscovered path must exceed the sum of the
+// completed levels) or either side exhausts. It returns the records,
+// the forward side's state, and the best distance (bidirInf if none).
+func driveBidir(c *comm.Comm, e stepper, st interface {
+	LocalOf(v graph.Vertex) uint32
+}, opts Options) ([]rankLevel, *sideState, uint64) {
+	ss := e.newSide(opts.Source)
+	ts := e.newSide(opts.Target)
+	red := newReducer(c, opts)
+	var recs []rankLevel
+	best := bidirInf
+	tagSeq := 0
+	for {
+		gfs := red.sum(uint64(len(ss.F)))
+		gft := red.sum(uint64(len(ts.F)))
+		exhausted := gfs == 0 || gft == 0
+		proven := best != bidirInf && best <= uint64(ss.level)+uint64(ts.level)
+		if exhausted || proven {
+			return recs, ss, best
+		}
+		if opts.MaxLevels > 0 && int(ss.level+ts.level) >= opts.MaxLevels {
+			return recs, ss, best
+		}
+		side, other := ss, ts
+		if gft < gfs {
+			side, other = ts, ss
+		}
+		rec, _ := e.step(side, tagSeq*64)
+		tagSeq++
+		for _, gu := range side.F {
+			li := st.LocalOf(graph.Vertex(gu))
+			if other.L[li] != graph.Unreached {
+				cand := uint64(side.L[li]) + uint64(other.L[li])
+				if cand < best {
+					best = cand
+				}
+			}
+		}
+		best = red.min(best)
+		recs = append(recs, rec)
+	}
+}

@@ -1,0 +1,267 @@
+package bfs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/localindex"
+	"repro/internal/partition"
+	"repro/internal/torus"
+)
+
+// engine2D holds one rank's state for Algorithm 2. The same level
+// machinery serves the uni-directional search and both sides of the
+// bi-directional search.
+type engine2D struct {
+	c     *comm.Comm
+	st    *partition.Store2D
+	opts  Options
+	model torus.CostModel
+	colG  comm.Group // expand group: my processor-column, R members
+	rowG  comm.Group // fold group: my processor-row, C members
+}
+
+func newEngine2D(c *comm.Comm, st *partition.Store2D, opts Options) *engine2D {
+	l := st.Layout
+	mesh := comm.Mesh{R: l.R, C: l.C}
+	return &engine2D{
+		c:     c,
+		st:    st,
+		opts:  opts,
+		model: c.Model(),
+		colG:  mesh.ColGroup(c.Rank()),
+		rowG:  mesh.RowGroup(c.Rank()),
+	}
+}
+
+// sideState is the per-side search state (the bi-directional search
+// runs two of these).
+type sideState struct {
+	L     []int32 // levels of owned vertices, Unreached if unlabeled
+	F     []uint32
+	sent  *localindex.Bitset
+	level int32
+}
+
+func (e *engine2D) newSide(src graph.Vertex) *sideState {
+	s := &sideState{L: make([]int32, e.st.OwnedCount())}
+	for i := range s.L {
+		s.L[i] = graph.Unreached
+	}
+	if src >= e.st.Lo && src < e.st.Hi {
+		s.L[e.st.LocalOf(src)] = 0
+		s.F = []uint32{uint32(src)}
+	}
+	if e.opts.SentCache {
+		s.sent = localindex.NewBitset(e.st.RowCount)
+	}
+	return s
+}
+
+// expand performs the processor-column expand of Algorithm 2 steps
+// 7–11, returning the frontier portion F̄ this rank must scan.
+func (e *engine2D) expand(s *sideState, tag int) ([]uint32, collective.Stats) {
+	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords}
+	switch e.opts.Expand {
+	case ExpandTargeted:
+		r := e.colG.Size()
+		send := make([][]uint32, r)
+		// Filter my frontier per destination row by the row-need masks
+		// (only rows holding a non-empty partial list receive v).
+		for _, gv := range s.F {
+			li := e.st.LocalOf(graph.Vertex(gv))
+			for i := 0; i < r; i++ {
+				if e.st.NeedsRow(li, i) {
+					send[i] = append(send[i], gv)
+				}
+			}
+		}
+		// Bitmask scan cost: |F| x ceil(R/64) words.
+		e.c.ChargeItems(len(s.F)*((r+63)/64), e.model.EdgeCost)
+		parts, st := collective.AllToAll(e.c, e.colG, o, send)
+		return flatten(parts), st
+	case ExpandAllGather:
+		parts, st := collective.AllGather(e.c, e.colG, o, s.F)
+		return flatten(parts), st
+	case ExpandTwoPhase:
+		parts, st := collective.TwoPhaseExpand(e.c, e.colG, o, s.F)
+		return flatten(parts), st
+	default:
+		panic(fmt.Sprintf("bfs: unknown expand algorithm %v", e.opts.Expand))
+	}
+}
+
+func flatten(parts [][]uint32) []uint32 {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]uint32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// neighbors scans the partial edge lists of F̄ (Algorithm 2 step 12)
+// and bins the discovered neighbors by owner mesh column for the fold.
+func (e *engine2D) neighbors(s *sideState, fbar []uint32) [][]uint32 {
+	l := e.st.Layout
+	bins := make([][]uint32, l.C)
+	colProbes0 := e.st.ColMap.Probes()
+	rowProbes0 := e.st.RowMap.Probes()
+	scanned := 0
+	for _, gv := range fbar {
+		list := e.st.PartialList(graph.Vertex(gv))
+		scanned += len(list)
+		for _, u := range list {
+			if s.sent != nil {
+				idx, ok := e.st.RowMap.Get(u)
+				if !ok {
+					panic("bfs: row vertex missing from RowMap")
+				}
+				if s.sent.TestAndSet(idx) {
+					continue // already sent to its owner once (§2.4.3)
+				}
+			}
+			bins[l.ColBlockOf(u)] = append(bins[l.ColBlockOf(u)], uint32(u))
+		}
+	}
+	e.c.ChargeItems(scanned, e.model.EdgeCost)
+	probes := (e.st.ColMap.Probes() - colProbes0) + (e.st.RowMap.Probes() - rowProbes0)
+	e.c.ChargeItems(int(probes), e.model.HashCost)
+	// Local merge of partial edge lists into per-destination sets
+	// ("merged to form N").
+	for j := range bins {
+		var d int
+		bins[j], d = localindex.SortSet(bins[j])
+		e.c.ChargeItems(len(bins[j])+d, e.model.VertexCost)
+	}
+	return bins
+}
+
+// fold delivers the neighbor sets to their owners (Algorithm 2 steps
+// 13–18) using the configured collective, returning the sorted set N̄
+// of owned vertices to mark.
+func (e *engine2D) fold(bins [][]uint32, tag int) ([]uint32, collective.Stats) {
+	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords}
+	switch e.opts.Fold {
+	case FoldDirect:
+		return collective.ReduceScatterUnion(e.c, e.rowG, o, bins)
+	case FoldTwoPhase:
+		return collective.TwoPhaseFold(e.c, e.rowG, o, bins)
+	case FoldTwoPhaseNoUnion:
+		o.NoUnion = true
+		return collective.TwoPhaseFold(e.c, e.rowG, o, bins)
+	case FoldBruck:
+		return collective.ReduceScatterUnionBruck(e.c, e.rowG, o, bins)
+	default:
+		panic(fmt.Sprintf("bfs: unknown fold algorithm %v", e.opts.Fold))
+	}
+}
+
+// step runs one complete BFS level for side s: expand, neighbor scan,
+// fold, mark. It returns the rank-local statistics and whether this
+// rank labeled the target this level. The global frontier emptiness
+// check belongs to the caller (it differs between uni- and
+// bi-directional drivers).
+func (e *engine2D) step(s *sideState, tagBase int) (rankLevel, bool) {
+	rec := rankLevel{frontier: len(s.F)}
+	fbar, est := e.expand(s, tagBase)
+	rec.expandWords = est.RecvWords
+	// Received frontier vertices are processed through the hash-indexed
+	// partial lists; charge their handling.
+	e.c.ChargeItems(len(fbar), e.model.VertexCost)
+
+	bins := e.neighbors(s, fbar)
+	nbar, fst := e.fold(bins, tagBase+1<<24)
+	rec.foldWords = fst.RecvWords
+	rec.dups = fst.Dups
+
+	foundTarget := false
+	e.c.ChargeItems(len(nbar), e.model.VertexCost)
+	next := make([]uint32, 0, len(nbar))
+	for _, gu := range nbar {
+		li := e.st.LocalOf(graph.Vertex(gu))
+		if s.L[li] == graph.Unreached {
+			s.L[li] = s.level + 1
+			next = append(next, gu)
+			rec.marked++
+			if e.opts.HasTarget && graph.Vertex(gu) == e.opts.Target {
+				foundTarget = true
+			}
+		}
+	}
+	s.F = next
+	s.level++
+	return rec, foundTarget
+}
+
+// Run2D executes Algorithm 2 (or, with the mesh degenerate to R=1 or
+// C=1, the 1D partitionings of Table 1) across the world. stores must
+// come from partition.Build2D with P = w.P ranks.
+func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("bfs: no stores")
+	}
+	l := stores[0].Layout
+	if l.P() != w.P || len(stores) != w.P {
+		return nil, fmt.Errorf("bfs: %d stores on layout P=%d for world P=%d", len(stores), l.P(), w.P)
+	}
+	if int(opts.Source) >= l.N {
+		return nil, fmt.Errorf("bfs: source %d out of range for n=%d", opts.Source, l.N)
+	}
+	if opts.HasTarget && int(opts.Target) >= l.N {
+		return nil, fmt.Errorf("bfs: target %d out of range for n=%d", opts.Target, l.N)
+	}
+
+	res := &Result{N: l.N, R: l.R, C: l.C}
+	if opts.HasTarget && opts.Source == opts.Target {
+		return trivialResult(l.N, l.R, l.C, opts.Source), nil
+	}
+
+	perRank := make([][]rankLevel, w.P)
+	localLevels := make([][]int32, w.P)
+	probes := make([]uint64, w.P)
+	var foundAt int32 = -1
+	start := time.Now()
+	comms, err := w.Run(func(c *comm.Comm) {
+		st := stores[c.Rank()]
+		e := newEngine2D(c, st, opts)
+		probes0 := st.ColMap.Probes() + st.RowMap.Probes()
+		recs, s, found := driveUni(c, e, opts)
+		perRank[c.Rank()] = recs
+		localLevels[c.Rank()] = s.L
+		probes[c.Rank()] = st.ColMap.Probes() + st.RowMap.Probes() - probes0
+		if found && c.Rank() == 0 {
+			foundAt = s.level // target labeled at the last completed level
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	mergeStats(res, perRank, comms)
+	for _, p := range probes {
+		res.HashProbes += p
+	}
+	res.Levels = assembleLevels(l, stores, localLevels)
+	if opts.HasTarget && foundAt >= 0 {
+		res.Found = true
+		res.Distance = foundAt
+	}
+	return res, nil
+}
+
+// assembleLevels stitches per-rank level arrays into a global one.
+func assembleLevels(l *partition.Layout2D, stores []*partition.Store2D, local [][]int32) []int32 {
+	out := make([]int32, l.N)
+	for r, st := range stores {
+		lo := int(st.Lo)
+		copy(out[lo:lo+st.OwnedCount()], local[r])
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Package bfs implements the paper's contribution: level-synchronized
+// distributed breadth-first search with 1D (Algorithm 1) and 2D
+// (Algorithm 2) partitionings, the bi-directional variant of §2.3, the
+// sent-neighbors cache of §2.4.3, fixed-length message buffers of §3.1,
+// and selectable expand/fold collective algorithms including the
+// BlueGene/L-optimized two-phase operations of §3.2.
+package bfs
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ExpandAlg selects the expand (processor-column) collective.
+type ExpandAlg int
+
+const (
+	// ExpandTargeted sends a frontier vertex only to the mesh rows that
+	// hold a non-empty partial edge list for it, via a personalized
+	// all-to-all — the sparse-frontier optimization of §2.2 whose
+	// message length §3.1 bounds as (n/P)·γ(n/R)·(R−1).
+	ExpandTargeted ExpandAlg = iota
+	// ExpandAllGather broadcasts the whole frontier to the processor
+	// column with a ring all-gather — the traditional dense expand the
+	// paper calls non-scalable.
+	ExpandAllGather
+	// ExpandTwoPhase broadcasts the frontier with the two-phase grouped
+	// ring of §3.2.2 (Figure 3).
+	ExpandTwoPhase
+)
+
+func (a ExpandAlg) String() string {
+	switch a {
+	case ExpandTargeted:
+		return "targeted"
+	case ExpandAllGather:
+		return "allgather"
+	case ExpandTwoPhase:
+		return "twophase"
+	default:
+		return fmt.Sprintf("ExpandAlg(%d)", int(a))
+	}
+}
+
+// FoldAlg selects the fold (processor-row) collective.
+type FoldAlg int
+
+const (
+	// FoldTwoPhase is the paper's union-fold (Figure 2): a grouped-ring
+	// reduce-scatter with in-flight set-union duplicate elimination.
+	FoldTwoPhase FoldAlg = iota
+	// FoldDirect is a direct personalized all-to-all followed by local
+	// union — the traditional fold.
+	FoldDirect
+	// FoldTwoPhaseNoUnion runs the two-phase schedule without in-flight
+	// union; duplicates cross the wire. Baseline for Fig. 7.
+	FoldTwoPhaseNoUnion
+	// FoldBruck exchanges with Bruck's log-step algorithm then unions
+	// locally — the short-message/latency-bound alternative (cf. the
+	// paper's torus all-to-all reference [17]).
+	FoldBruck
+)
+
+func (a FoldAlg) String() string {
+	switch a {
+	case FoldTwoPhase:
+		return "twophase-union"
+	case FoldDirect:
+		return "direct"
+	case FoldTwoPhaseNoUnion:
+		return "twophase-nounion"
+	case FoldBruck:
+		return "bruck"
+	default:
+		return fmt.Sprintf("FoldAlg(%d)", int(a))
+	}
+}
+
+// Options configures a distributed search.
+type Options struct {
+	Source graph.Vertex
+	// Target, when HasTarget, stops the search as soon as the target is
+	// labeled, as in the paper's s→t search-time experiments. Without a
+	// target the search is a full traversal.
+	Target    graph.Vertex
+	HasTarget bool
+
+	Expand ExpandAlg
+	Fold   FoldAlg
+	// SentCache enables the sent-neighbors optimization (§2.4.3): a
+	// neighbor vertex is never sent to its owner twice.
+	SentCache bool
+	// ChunkWords > 0 caps every physical message at this many words
+	// (§3.1 fixed-length buffers); 0 sends logical messages whole.
+	ChunkWords int
+	// MaxLevels bounds the search depth; 0 means unbounded.
+	MaxLevels int
+	// P2PTermination runs the per-level termination/found/meet
+	// reductions over point-to-point torus messages (recursive
+	// doubling) instead of the modeled combine-tree network. BlueGene/L
+	// had a dedicated tree network for these (§4.1), so the tree model
+	// is the default; this option makes the simulation torus-only.
+	P2PTermination bool
+}
+
+// DefaultOptions returns the configuration the paper runs on
+// BlueGene/L: targeted expand, union-fold, sent-neighbors cache on, and
+// fixed 16Ki-word message buffers.
+func DefaultOptions(source graph.Vertex) Options {
+	return Options{
+		Source:     source,
+		Expand:     ExpandTargeted,
+		Fold:       FoldTwoPhase,
+		SentCache:  true,
+		ChunkWords: 16384,
+	}
+}

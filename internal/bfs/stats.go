@@ -1,0 +1,203 @@
+package bfs
+
+import (
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+)
+
+// LevelStats aggregates one BFS level's activity across all ranks.
+type LevelStats struct {
+	Level       int32
+	Frontier    int64 // global frontier size entering the level
+	ExpandWords int64 // words received during expand, summed over ranks
+	FoldWords   int64 // words received during fold, summed over ranks
+	Dups        int64 // duplicate vertices eliminated by union folds
+	Marked      int64 // vertices newly labeled this level
+}
+
+// Result reports a finished distributed search.
+type Result struct {
+	N        int // graph vertices
+	R, C     int // mesh (R=1 for the 1D engine)
+	Levels   []int32
+	PerLevel []LevelStats
+
+	// Simulated times (seconds) from the torus cost model: max over
+	// ranks of the per-rank clocks / communication ledgers.
+	SimTime float64
+	SimComm float64
+	// Wall is the real elapsed time of the simulation itself (not a
+	// paper-comparable quantity on a shared-memory host).
+	Wall time.Duration
+
+	Found    bool  // target labeled (always false without a target)
+	Distance int32 // source→target distance when Found
+
+	TotalExpandWords int64
+	TotalFoldWords   int64
+	TotalDups        int64
+	HashProbes       uint64 // global->local probes during the search
+
+	// Link-level traffic totals from the torus mapping: messages
+	// received, their hop counts, and bytes x hops (the load the
+	// search imposed on torus links — the Figure 1 task mapping is
+	// judged by this).
+	MsgsRecv uint64
+	HopsRecv uint64
+	HopBytes uint64
+	// MaxLinkBytes is the heaviest-loaded directed torus link's byte
+	// count (congestion hot spot); LinksUsed counts distinct links.
+	MaxLinkBytes uint64
+	LinksUsed    int
+
+	// PerRank[rank] holds that rank's own per-level statistics (the
+	// global PerLevel is their sum). §2 requires the partitioning to
+	// balance vertices and edges across ranks; LoadImbalance quantifies
+	// how well that held during the search.
+	PerRank [][]LevelStats
+}
+
+// AvgHopsPerMessage returns mean torus hops per received message.
+func (r *Result) AvgHopsPerMessage() float64 {
+	if r.MsgsRecv == 0 {
+		return 0
+	}
+	return float64(r.HopsRecv) / float64(r.MsgsRecv)
+}
+
+// RedundancyRatio returns the paper's Fig. 7 metric: duplicate vertices
+// eliminated by the union-fold divided by total vertices received in
+// folds, as a percentage.
+func (r *Result) RedundancyRatio() float64 {
+	if r.TotalFoldWords+r.TotalDups == 0 {
+		return 0
+	}
+	// Dups never reach RecvWords under in-flight union; the "received"
+	// denominator of the paper counts what a processor would have had
+	// to process, i.e. delivered words; we report eliminated/(eliminated+delivered).
+	return 100 * float64(r.TotalDups) / float64(r.TotalDups+r.TotalFoldWords)
+}
+
+// AvgExpandWordsPerLevel returns the per-rank, per-level average expand
+// message length (Table 1's "Avg. Message Length per Level", expand).
+func (r *Result) AvgExpandWordsPerLevel(p int) float64 {
+	if len(r.PerLevel) == 0 {
+		return 0
+	}
+	return float64(r.TotalExpandWords) / float64(p) / float64(len(r.PerLevel))
+}
+
+// AvgFoldWordsPerLevel returns the fold counterpart of
+// AvgExpandWordsPerLevel.
+func (r *Result) AvgFoldWordsPerLevel(p int) float64 {
+	if len(r.PerLevel) == 0 {
+		return 0
+	}
+	return float64(r.TotalFoldWords) / float64(p) / float64(len(r.PerLevel))
+}
+
+// LoadImbalance returns max/mean of the per-rank totals of newly
+// labeled vertices over the whole search — 1.0 is perfect balance. For
+// blocked partitionings of Poisson random graphs this stays close to 1
+// (the balance assumption of §2); skewed inputs need graph.Relabel.
+func (r *Result) LoadImbalance() float64 {
+	if len(r.PerRank) == 0 {
+		return 0
+	}
+	totals := make([]float64, len(r.PerRank))
+	var sum, max float64
+	for i, recs := range r.PerRank {
+		for _, ls := range recs {
+			totals[i] += float64(ls.Marked)
+		}
+		sum += totals[i]
+		if totals[i] > max {
+			max = totals[i]
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(r.PerRank)))
+}
+
+// MaxLevel returns the deepest level labeled.
+func (r *Result) MaxLevel() int32 {
+	max := int32(0)
+	for _, l := range r.Levels {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Reached returns the number of labeled vertices.
+func (r *Result) Reached() int {
+	n := 0
+	for _, l := range r.Levels {
+		if l != graph.Unreached {
+			n++
+		}
+	}
+	return n
+}
+
+// rankLevel is one rank's contribution to a level's statistics.
+type rankLevel struct {
+	frontier    int
+	expandWords int
+	foldWords   int
+	dups        int
+	marked      int
+}
+
+// mergeStats combines per-rank per-level records into global LevelStats
+// and totals on a Result.
+func mergeStats(res *Result, perRank [][]rankLevel, comms []*comm.Comm) {
+	levels := 0
+	for _, rl := range perRank {
+		if len(rl) > levels {
+			levels = len(rl)
+		}
+	}
+	res.PerLevel = make([]LevelStats, levels)
+	for l := 0; l < levels; l++ {
+		res.PerLevel[l].Level = int32(l)
+	}
+	res.PerRank = make([][]LevelStats, len(perRank))
+	for rank, rl := range perRank {
+		res.PerRank[rank] = make([]LevelStats, len(rl))
+		for l, s := range rl {
+			res.PerRank[rank][l] = LevelStats{
+				Level:       int32(l),
+				Frontier:    int64(s.frontier),
+				ExpandWords: int64(s.expandWords),
+				FoldWords:   int64(s.foldWords),
+				Dups:        int64(s.dups),
+				Marked:      int64(s.marked),
+			}
+			ls := &res.PerLevel[l]
+			ls.Frontier += int64(s.frontier)
+			ls.ExpandWords += int64(s.expandWords)
+			ls.FoldWords += int64(s.foldWords)
+			ls.Dups += int64(s.dups)
+			ls.Marked += int64(s.marked)
+		}
+	}
+	for _, ls := range res.PerLevel {
+		res.TotalExpandWords += ls.ExpandWords
+		res.TotalFoldWords += ls.FoldWords
+		res.TotalDups += ls.Dups
+	}
+	res.SimTime = comm.MaxClock(comms)
+	res.SimComm = comm.MaxCommTime(comms)
+	for _, c := range comms {
+		res.MsgsRecv += c.MsgsRecv()
+		res.HopsRecv += c.HopsRecv()
+		res.HopBytes += c.HopBytes()
+	}
+	res.MaxLinkBytes, _, res.LinksUsed = comm.LinkLoads(comms)
+}

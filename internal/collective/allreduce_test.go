@@ -1,0 +1,118 @@
+package collective
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+)
+
+func runAllReduce(t *testing.T, vals []uint64, op AllReduceOp) []uint64 {
+	t.Helper()
+	p := len(vals)
+	w, err := comm.NewWorld(comm.Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, p)
+	var mu sync.Mutex
+	_, err = w.Run(func(c *comm.Comm) {
+		ranks := make([]int, p)
+		for i := range ranks {
+			ranks[i] = i
+		}
+		g := comm.Group{Ranks: ranks, Me: c.Rank()}
+		r := AllReduceP2P(c, g, Opts{Tag: 1}, vals[c.Rank()], op)
+		mu.Lock()
+		out[c.Rank()] = r
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAllReduceP2PSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16} {
+		vals := make([]uint64, p)
+		var want uint64
+		for i := range vals {
+			vals[i] = uint64(i*i + 1)
+			want += vals[i]
+		}
+		for rank, got := range runAllReduce(t, vals, OpSum) {
+			if got != want {
+				t.Fatalf("p=%d rank=%d: sum %d, want %d", p, rank, got, want)
+			}
+		}
+	}
+}
+
+func TestAllReduceP2POps(t *testing.T) {
+	vals := []uint64{9, 3, 12, 5, 7}
+	for rank, got := range runAllReduce(t, vals, OpMax) {
+		if got != 12 {
+			t.Fatalf("rank %d: max %d", rank, got)
+		}
+	}
+	for rank, got := range runAllReduce(t, vals, OpMin) {
+		if got != 3 {
+			t.Fatalf("rank %d: min %d", rank, got)
+		}
+	}
+	for rank, got := range runAllReduce(t, []uint64{0, 2, 0}, OpOr) {
+		if got != 2 {
+			t.Fatalf("rank %d: or %d", rank, got)
+		}
+	}
+}
+
+func TestAllReduceP2PLargeValues(t *testing.T) {
+	// 64-bit round trip through the two-word encoding.
+	big := uint64(0xDEADBEEF12345678)
+	vals := []uint64{big, 1, 2}
+	for rank, got := range runAllReduce(t, vals, OpMax) {
+		if got != big {
+			t.Fatalf("rank %d: got %x", rank, got)
+		}
+	}
+}
+
+func TestAllReduceP2PQuickMatchesSerial(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 9 {
+			return true
+		}
+		vals := make([]uint64, len(raw))
+		var want uint64
+		for i, v := range raw {
+			vals[i] = uint64(v)
+			want += uint64(v)
+		}
+		p := len(vals)
+		w, err := comm.NewWorld(comm.Config{P: p})
+		if err != nil {
+			return false
+		}
+		ok := true
+		var mu sync.Mutex
+		_, err = w.Run(func(c *comm.Comm) {
+			ranks := make([]int, p)
+			for i := range ranks {
+				ranks[i] = i
+			}
+			g := comm.Group{Ranks: ranks, Me: c.Rank()}
+			if AllReduceP2P(c, g, Opts{Tag: 1}, vals[c.Rank()], OpSum) != want {
+				mu.Lock()
+				ok = false
+				mu.Unlock()
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

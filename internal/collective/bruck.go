@@ -1,0 +1,87 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/localindex"
+)
+
+// AllToAllBruck performs the same personalized exchange as AllToAll
+// using Bruck's algorithm: ceil(log2 G) rounds instead of G-1 pairwise
+// steps, at the price of each payload traveling up to log2 G hops.
+// On the torus this trades bandwidth for latency and is the classic
+// choice for the short-message regime (cf. the paper's reference to
+// Suh & Shin's personalized all-to-all on tori).
+//
+// send[i] goes to group member i; out[i] is the payload from member i.
+func AllToAllBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uint32, Stats) {
+	size := g.Size()
+	if len(send) != size {
+		panic(fmt.Sprintf("collective: AllToAllBruck needs %d send buffers, got %d", size, len(send)))
+	}
+	var st Stats
+	out := make([][]uint32, size)
+	out[g.Me] = send[g.Me]
+	if size == 1 {
+		return out, st
+	}
+
+	// Phase 1 (local rotation): block j carries the payload destined to
+	// relative rank j, i.e. absolute member (me + j) mod size.
+	blocks := make([][]uint32, size)
+	for j := 0; j < size; j++ {
+		blocks[j] = send[(g.Me+j)%size]
+	}
+
+	// Phase 2 (log rounds): for each bit, ship every block whose
+	// relative index has that bit set to the member 2^bit ahead; the
+	// payload hops closer to its destination each round it is shipped.
+	round := 0
+	for step := 1; step < size; step <<= 1 {
+		var idxs []int
+		for j := 1; j < size; j++ {
+			if j&step != 0 {
+				idxs = append(idxs, j)
+			}
+		}
+		bundle := make([][]uint32, len(idxs))
+		for bi, j := range idxs {
+			bundle[bi] = blocks[j]
+		}
+		to := g.World((g.Me + step) % size)
+		from := g.World((g.Me - step + size) % size)
+		c.SendChunked(to, o.Tag+round, encodeBundle(bundle), o.Chunk)
+		buf := c.RecvChunked(from, o.Tag+round, o.Chunk)
+		st.RecvWords += len(buf)
+		incoming := decodeBundle(buf, len(idxs))
+		for bi, j := range idxs {
+			blocks[j] = incoming[bi]
+		}
+		round++
+	}
+
+	// Phase 3 (inverse placement): block j now holds the payload that
+	// originated at member (me - j) mod size and is destined to me.
+	for j := 1; j < size; j++ {
+		src := (g.Me - j + size) % size
+		out[src] = blocks[j]
+	}
+	return out, st
+}
+
+// ReduceScatterUnionBruck folds with Bruck's exchange followed by a
+// local union — fewer, longer messages than the direct reduce-scatter.
+func ReduceScatterUnionBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32, Stats) {
+	parts, st := AllToAllBruck(c, g, o, send)
+	acc := append([]uint32(nil), parts[g.Me]...)
+	for i, p := range parts {
+		if i == g.Me {
+			continue
+		}
+		var d int
+		acc, d = localindex.UnionInto(acc, p)
+		st.Dups += d
+	}
+	return acc, st
+}

@@ -1,0 +1,177 @@
+package collective
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func TestAllToAllBruckMatchesDirect(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16} {
+		for _, chunk := range []int{0, 3} {
+			all := randSets(p, 6, int64(p*13+chunk))
+			results := runGroup(t, p, func(c *comm.Comm, g comm.Group) any {
+				out, _ := AllToAllBruck(c, g, Opts{Tag: 1, Chunk: chunk}, all[c.Rank()])
+				return out
+			})
+			for dst, res := range results {
+				out := res.([][]uint32)
+				for src := 0; src < p; src++ {
+					want := all[src][dst]
+					if len(out[src]) != len(want) {
+						t.Fatalf("p=%d chunk=%d: dst %d from src %d: %v want %v",
+							p, chunk, dst, src, out[src], want)
+					}
+					for i := range want {
+						if out[src][i] != want[i] {
+							t.Fatalf("p=%d chunk=%d: dst %d from src %d: %v want %v",
+								p, chunk, dst, src, out[src], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScatterUnionBruckMatchesReference(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6, 9} {
+		all := randSets(p, 8, int64(p*17))
+		results := runGroup(t, p, func(c *comm.Comm, g comm.Group) any {
+			out, _ := ReduceScatterUnionBruck(c, g, Opts{Tag: 1}, all[c.Rank()])
+			return out
+		})
+		for dst, res := range results {
+			got := res.([]uint32)
+			want := refUnionTo(all, dst)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("p=%d dst=%d: got %v want %v", p, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestBruckFewerMessages verifies the latency advantage: Bruck sends
+// O(log G) messages per rank versus G-1 for the direct exchange.
+func TestBruckFewerMessages(t *testing.T) {
+	p := 16
+	all := randSets(p, 4, 5)
+	count := func(bruck bool) uint64 {
+		w, err := comm.NewWorld(comm.Config{P: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total uint64
+		var mu sync.Mutex
+		_, err = w.Run(func(c *comm.Comm) {
+			ranks := make([]int, p)
+			for i := range ranks {
+				ranks[i] = i
+			}
+			g := comm.Group{Ranks: ranks, Me: c.Rank()}
+			if bruck {
+				AllToAllBruck(c, g, Opts{Tag: 1}, all[c.Rank()])
+			} else {
+				AllToAll(c, g, Opts{Tag: 1}, all[c.Rank()])
+			}
+			mu.Lock()
+			total += c.MsgsSent()
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	direct := count(false)
+	bruck := count(true)
+	if bruck >= direct {
+		t.Fatalf("Bruck messages %d not below direct %d", bruck, direct)
+	}
+	// log2(16) = 4 rounds, one message per round per rank.
+	if want := uint64(p * 4); bruck != want {
+		t.Fatalf("Bruck sent %d messages, want %d", bruck, want)
+	}
+}
+
+func TestBruckEmptyAndSingleton(t *testing.T) {
+	p := 4
+	results := runGroup(t, p, func(c *comm.Comm, g comm.Group) any {
+		send := make([][]uint32, p)
+		send[(c.Rank()+1)%p] = []uint32{uint32(c.Rank())}
+		out, _ := AllToAllBruck(c, g, Opts{Tag: 1}, send)
+		return out
+	})
+	for dst, res := range results {
+		out := res.([][]uint32)
+		src := (dst - 1 + p) % p
+		for i := 0; i < p; i++ {
+			if i == src {
+				if len(out[i]) != 1 || out[i][0] != uint32(src) {
+					t.Fatalf("dst %d: out[%d] = %v", dst, i, out[i])
+				}
+			} else if len(out[i]) != 0 {
+				t.Fatalf("dst %d: unexpected payload from %d: %v", dst, i, out[i])
+			}
+		}
+	}
+}
+
+func BenchmarkFoldAlgorithms(b *testing.B) {
+	p := 16
+	all := randSets(p, 64, 3)
+	for _, alg := range []struct {
+		name string
+		run  func(c *comm.Comm, g comm.Group, send [][]uint32)
+	}{
+		{"direct", func(c *comm.Comm, g comm.Group, send [][]uint32) {
+			ReduceScatterUnion(c, g, Opts{Tag: 1}, send)
+		}},
+		{"twophase", func(c *comm.Comm, g comm.Group, send [][]uint32) {
+			TwoPhaseFold(c, g, Opts{Tag: 1}, send)
+		}},
+		{"bruck", func(c *comm.Comm, g comm.Group, send [][]uint32) {
+			ReduceScatterUnionBruck(c, g, Opts{Tag: 1}, send)
+		}},
+	} {
+		b.Run(alg.name, func(b *testing.B) {
+			w, err := comm.NewWorld(comm.Config{P: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				_, err := w.Run(func(c *comm.Comm) {
+					ranks := make([]int, p)
+					for r := range ranks {
+						ranks[r] = r
+					}
+					g := comm.Group{Ranks: ranks, Me: c.Rank()}
+					alg.run(c, g, all[c.Rank()])
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestBruckValidatesInput(t *testing.T) {
+	w, err := comm.NewWorld(comm.Config{P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.Run(func(c *comm.Comm) {
+		g := comm.Group{Ranks: []int{0, 1}, Me: c.Rank()}
+		AllToAllBruck(c, g, Opts{Tag: 1}, make([][]uint32, 1)) // wrong size
+	})
+	if err == nil {
+		t.Fatal("expected panic error for wrong buffer count")
+	}
+	if !strings.Contains(err.Error(), "needs 2 send buffers") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package collective implements every collective operation the paper
+// uses or compares against, built exclusively from point-to-point
+// comm.Send/Recv — exactly as §3.2 does on the BlueGene/L torus:
+//
+//   - AllGather (ring): the traditional dense-matrix expand.
+//   - AllToAll (pairwise direct): personalized exchange, the
+//     traditional fold and the "targeted expand" of §2.2.
+//   - ReduceScatterUnion (direct): fold as a reduce-scatter whose
+//     reduction operator is set union.
+//   - TwoPhaseFold (Figure 2): the paper's optimized union-fold —
+//     phase 1 is a grouped ring reduce-scatter along grid rows with
+//     in-flight duplicate elimination, phase 2 is point-to-point
+//     distribution down grid columns.
+//   - TwoPhaseExpand (Figure 3): the paper's optimized expand —
+//     phase 1 exchanges within grid columns, phase 2 circulates along
+//     grid-row rings.
+//   - Broadcast (ring): used for one-to-all announcements; the real
+//     machine had a tree network for this.
+//
+// All set-typed payloads are ascending, duplicate-free []uint32. Every
+// operation returns Stats with the words this rank received and the
+// duplicates eliminated by union reductions, feeding the paper's
+// message-length and redundancy-ratio measurements (Table 1, Fig. 7).
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/localindex"
+)
+
+// Opts carries per-operation knobs.
+type Opts struct {
+	// Tag namespaces this operation's messages. Successive collectives
+	// on the same group must use distinct tags only for debuggability;
+	// FIFO ordering already keeps them apart.
+	Tag int
+	// Chunk > 0 splits every physical message into chunks of at most
+	// Chunk words (the fixed-length buffers of §3.1).
+	Chunk int
+	// NoUnion disables the in-flight set-union reduction of
+	// TwoPhaseFold: messages accumulate duplicates in transit and are
+	// deduplicated only on final receipt. The result is identical; the
+	// traffic is not. This is the baseline against which the paper's
+	// union-fold saves up to 80% of received vertices (Fig. 7).
+	NoUnion bool
+}
+
+// Stats reports what one rank observed during a collective.
+type Stats struct {
+	RecvWords int // payload words received (vertices, in BFS terms)
+	Dups      int // duplicate vertices eliminated by union reductions
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.RecvWords += other.RecvWords
+	s.Dups += other.Dups
+}
+
+// AllGather gathers each group member's data; out[i] is member i's
+// contribution. Implemented as a ring: G-1 steps, each member forwards
+// the piece it received in the previous step. This is the traditional
+// expand for dense problems — message volume grows with the group, the
+// reason §2.2 prefers targeted exchange for sparse frontiers.
+func AllGather(c *comm.Comm, g comm.Group, o Opts, data []uint32) ([][]uint32, Stats) {
+	size := g.Size()
+	out := make([][]uint32, size)
+	out[g.Me] = data
+	var st Stats
+	if size == 1 {
+		return out, st
+	}
+	next := g.World(g.Next(g.Me))
+	prev := g.World(g.Prev(g.Me))
+	piece := data
+	for step := 0; step < size-1; step++ {
+		c.SendChunked(next, o.Tag+step, piece, o.Chunk)
+		piece = c.RecvChunked(prev, o.Tag+step, o.Chunk)
+		srcIdx := g.Me - step - 1
+		for srcIdx < 0 {
+			srcIdx += size
+		}
+		out[srcIdx] = piece
+		st.RecvWords += len(piece)
+	}
+	return out, st
+}
+
+// AllToAll performs a personalized exchange: send[i] goes to member i
+// (send[g.Me] stays local). out[i] is the payload from member i. The
+// schedule is the rotation pairing: at step s every member sends to
+// (me+s) and receives from (me-s), so each pair's traffic is one
+// message per direction per step.
+func AllToAll(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uint32, Stats) {
+	size := g.Size()
+	if len(send) != size {
+		panic(fmt.Sprintf("collective: AllToAll needs %d send buffers, got %d", size, len(send)))
+	}
+	out := make([][]uint32, size)
+	out[g.Me] = send[g.Me]
+	var st Stats
+	for step := 1; step < size; step++ {
+		to := (g.Me + step) % size
+		from := (g.Me - step + size) % size
+		c.SendChunked(g.World(to), o.Tag+step, send[to], o.Chunk)
+		out[from] = c.RecvChunked(g.World(from), o.Tag+step, o.Chunk)
+		st.RecvWords += len(out[from])
+	}
+	return out, st
+}
+
+// ReduceScatterUnion performs fold as a direct reduce-scatter with set
+// union: send[i] (sorted set) is destined for member i; the result is
+// the union of everything destined to this rank. Duplicate elimination
+// happens after receipt (no in-flight reduction), so Dups counts local
+// merge savings only; contrast with TwoPhaseFold.
+func ReduceScatterUnion(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32, Stats) {
+	parts, st := AllToAll(c, g, o, send)
+	acc := append([]uint32(nil), parts[g.Me]...)
+	for i, p := range parts {
+		if i == g.Me {
+			continue
+		}
+		var d int
+		acc, d = localindex.UnionInto(acc, p)
+		st.Dups += d
+	}
+	return acc, st
+}
+
+// Broadcast sends root's data to every group member along the ring.
+// Returns the data (root gets its own slice back).
+func Broadcast(c *comm.Comm, g comm.Group, o Opts, root int, data []uint32) ([]uint32, Stats) {
+	size := g.Size()
+	var st Stats
+	if size == 1 {
+		return data, st
+	}
+	// Position relative to root along the ring.
+	rel := (g.Me - root + size) % size
+	if rel != 0 {
+		data = c.RecvChunked(g.World(g.Prev(g.Me)), o.Tag, o.Chunk)
+		st.RecvWords += len(data)
+	}
+	if rel != size-1 {
+		c.SendChunked(g.World(g.Next(g.Me)), o.Tag, data, o.Chunk)
+	}
+	return data, st
+}

@@ -1,0 +1,232 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/localindex"
+)
+
+// FactorGrid factors a group of size g into rows x cols with
+// rows*cols = g and cols the largest divisor of g not exceeding
+// sqrt(g). The two-phase collectives of §3.2.2 run phase 1 along grid
+// rows (cols members) and phase 2 along grid columns (rows members),
+// giving O(rows + cols) steps instead of O(g).
+func FactorGrid(g int) (rows, cols int) {
+	if g <= 0 {
+		panic(fmt.Sprintf("collective: invalid group size %d", g))
+	}
+	cols = 1
+	for d := 1; d*d <= g; d++ {
+		if g%d == 0 {
+			cols = d
+		}
+	}
+	return g / cols, cols
+}
+
+// bundle wire format: k sets are encoded as k (length, payload...)
+// sections. The two-phase collectives move bundles of per-destination
+// (fold) or per-source (expand) sets.
+
+func encodeBundle(sets [][]uint32) []uint32 {
+	total := 0
+	for _, s := range sets {
+		total += 1 + len(s)
+	}
+	buf := make([]uint32, 0, total)
+	for _, s := range sets {
+		buf = append(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+func decodeBundle(buf []uint32, k int) [][]uint32 {
+	sets := make([][]uint32, k)
+	pos := 0
+	for i := 0; i < k; i++ {
+		if pos >= len(buf) {
+			panic("collective: truncated bundle")
+		}
+		n := int(buf[pos])
+		pos++
+		sets[i] = buf[pos : pos+n : pos+n]
+		pos += n
+	}
+	if pos != len(buf) {
+		panic("collective: trailing bytes in bundle")
+	}
+	return sets
+}
+
+// TwoPhaseFold is the paper's optimized union-fold (Figure 2): a
+// reduce-scatter whose reduction operator is set union, run on an
+// a x b grid factoring of the group.
+//
+// Phase 1 is a ring reduce-scatter along each grid row: the bundle
+// destined to grid column j circulates and accumulates the set-union of
+// every row member's contribution, eliminating duplicates in flight —
+// this is where the redundancy-ratio savings of Fig. 7 come from.
+// Phase 2 distributes the accumulated per-destination sets directly
+// down each grid column.
+//
+// send[i] is the sorted set destined for group member i; the result is
+// the union of all sets destined to this rank.
+func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32, Stats) {
+	size := g.Size()
+	if len(send) != size {
+		panic(fmt.Sprintf("collective: TwoPhaseFold needs %d send buffers, got %d", size, len(send)))
+	}
+	var st Stats
+	if size == 1 {
+		return append([]uint32(nil), send[0]...), st
+	}
+	a, b := FactorGrid(size)
+	row, col := g.Me/b, g.Me%b
+
+	// chunks[(j+1)%b] holds the bundle destined to grid column j:
+	// a sets, one per grid row. The +1 shift makes the textbook ring
+	// schedule finish with this rank owning its own column's bundle.
+	chunks := make([][][]uint32, b)
+	for j := 0; j < b; j++ {
+		sets := make([][]uint32, a)
+		for i := 0; i < a; i++ {
+			sets[i] = send[i*b+j]
+		}
+		chunks[(j+1)%b] = sets
+	}
+
+	// Phase 1: ring reduce-scatter along my grid row.
+	if b > 1 {
+		next := g.World(row*b + (col+1)%b)
+		prev := g.World(row*b + (col-1+b)%b)
+		for s := 0; s < b-1; s++ {
+			sendIdx := (col - s + b) % b
+			recvIdx := (col - s - 1 + b) % b
+			c.SendChunked(next, o.Tag+s, encodeBundle(chunks[sendIdx]), o.Chunk)
+			buf := c.RecvChunked(prev, o.Tag+s, o.Chunk)
+			st.RecvWords += len(buf)
+			incoming := decodeBundle(buf, a)
+			for i := 0; i < a; i++ {
+				if o.NoUnion {
+					chunks[recvIdx][i] = mergeKeepDups(chunks[recvIdx][i], incoming[i])
+					continue
+				}
+				var d int
+				chunks[recvIdx][i], d = localindex.UnionSorted(chunks[recvIdx][i], incoming[i])
+				st.Dups += d
+			}
+		}
+	}
+	// This rank now owns the fully reduced bundle for its grid column.
+	mine := chunks[(col+1)%b]
+
+	// Phase 2: point-to-point distribution down my grid column.
+	acc := append([]uint32(nil), mine[row]...)
+	tag2 := o.Tag + 1<<20
+	for i := 0; i < a; i++ {
+		if i == row {
+			continue
+		}
+		c.SendChunked(g.World(i*b+col), tag2+row, mine[i], o.Chunk)
+	}
+	for i := 0; i < a; i++ {
+		if i == row {
+			continue
+		}
+		part := c.RecvChunked(g.World(i*b+col), tag2+i, o.Chunk)
+		st.RecvWords += len(part)
+		if o.NoUnion {
+			// part may be a multiset; dedup on receipt. These
+			// duplicates crossed the wire — the waste the union-fold
+			// avoids.
+			part, _ = localindex.SortSet(append([]uint32(nil), part...))
+		}
+		var d int
+		acc, d = localindex.UnionInto(acc, part)
+		st.Dups += d
+	}
+	if o.NoUnion {
+		acc, _ = localindex.SortSet(acc)
+	}
+	return acc, st
+}
+
+// mergeKeepDups merges two ascending slices preserving duplicates, the
+// no-union baseline's in-transit "reduction".
+func mergeKeepDups(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// TwoPhaseExpand is the paper's optimized expand (Figure 3): every
+// group member's data reaches every other member in two phases on the
+// a x b grid. Phase 1: members of each grid column exchange their data
+// directly. Phase 2: each member circulates its phase-1 collection
+// (one bundle of a sets) along its grid-row ring, so after b-1 steps
+// everyone holds all a*b contributions.
+//
+// out[i] is member i's contribution (out[g.Me] aliases data).
+func TwoPhaseExpand(c *comm.Comm, g comm.Group, o Opts, data []uint32) ([][]uint32, Stats) {
+	size := g.Size()
+	var st Stats
+	out := make([][]uint32, size)
+	out[g.Me] = data
+	if size == 1 {
+		return out, st
+	}
+	a, b := FactorGrid(size)
+	row, col := g.Me/b, g.Me%b
+
+	// Phase 1: exchange within my grid column (stride-b members).
+	colSets := make([][]uint32, a)
+	colSets[row] = data
+	for i := 0; i < a; i++ {
+		if i == row {
+			continue
+		}
+		c.SendChunked(g.World(i*b+col), o.Tag+row, data, o.Chunk)
+	}
+	for i := 0; i < a; i++ {
+		if i == row {
+			continue
+		}
+		colSets[i] = c.RecvChunked(g.World(i*b+col), o.Tag+i, o.Chunk)
+		st.RecvWords += len(colSets[i])
+		out[i*b+col] = colSets[i]
+	}
+
+	// Phase 2: circulate bundles along my grid-row ring. The bundle I
+	// forward at step s originated at grid column (col-s); receivers
+	// attribute sets to the originating column.
+	if b > 1 {
+		next := g.World(row*b + (col+1)%b)
+		prev := g.World(row*b + (col-1+b)%b)
+		tag2 := o.Tag + 1<<20
+		bundle := colSets
+		for s := 0; s < b-1; s++ {
+			c.SendChunked(next, tag2+s, encodeBundle(bundle), o.Chunk)
+			buf := c.RecvChunked(prev, tag2+s, o.Chunk)
+			st.RecvWords += len(buf)
+			bundle = decodeBundle(buf, a)
+			srcCol := (col - s - 1 + b) % b
+			for i := 0; i < a; i++ {
+				out[i*b+srcCol] = bundle[i]
+			}
+		}
+	}
+	return out, st
+}

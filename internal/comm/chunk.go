@@ -1,0 +1,51 @@
+package comm
+
+// SendChunked transmits data to dst in fixed-length chunks of at most
+// maxWords uint32 words each, preceded by a one-word chunk-count
+// header. This implements the fixed-length message-buffer discipline of
+// §3.1: the paper derives that expected message lengths are O(n/P) and
+// then caps physical buffers at a fixed size independent of P and k,
+// splitting longer logical messages.
+//
+// maxWords <= 0 disables chunking and sends in one piece with no
+// header; the receiver must use the same maxWords.
+func (c *Comm) SendChunked(dst, tag int, data []uint32, maxWords int) {
+	if maxWords <= 0 {
+		c.Send(dst, tag, data)
+		return
+	}
+	nchunks := (len(data) + maxWords - 1) / maxWords
+	c.Send(dst, tag, []uint32{uint32(nchunks)})
+	for i := 0; i < nchunks; i++ {
+		lo := i * maxWords
+		hi := lo + maxWords
+		if hi > len(data) {
+			hi = len(data)
+		}
+		c.Send(dst, tag, data[lo:hi])
+	}
+}
+
+// RecvChunked receives a logical message sent with SendChunked using
+// the same maxWords, reassembling the chunks into one slice.
+func (c *Comm) RecvChunked(src, tag int, maxWords int) []uint32 {
+	if maxWords <= 0 {
+		return c.Recv(src, tag)
+	}
+	header := c.Recv(src, tag)
+	if len(header) != 1 {
+		panic("comm: RecvChunked got malformed chunk header")
+	}
+	nchunks := int(header[0])
+	if nchunks == 0 {
+		return nil
+	}
+	if nchunks == 1 {
+		return c.Recv(src, tag)
+	}
+	out := make([]uint32, 0, nchunks*maxWords)
+	for i := 0; i < nchunks; i++ {
+		out = append(out, c.Recv(src, tag)...)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/torus"
+)
+
+// messageHeaderBytes models the per-message envelope (tag, length,
+// source) so that zero-length payloads are still charged a wire cost.
+const messageHeaderBytes = 16
+
+// Comm is one rank's handle into the World. All methods must be called
+// only from the goroutine running that rank's SPMD body.
+type Comm struct {
+	world *World
+	rank  int
+
+	clock    float64 // simulated time on this rank
+	commTime float64 // time attributed to communication
+	compTime float64 // time attributed to computation
+
+	bytesSent uint64
+	msgsSent  uint64
+	bytesRecv uint64
+	msgsRecv  uint64
+	hopsRecv  uint64 // sum of torus hop counts over received messages
+	hopBytes  uint64 // sum of bytes x hops (link-traffic load)
+
+	linkLoad map[linkKey]uint64 // bytes per directed torus link
+}
+
+// Rank returns this rank's id in [0, P).
+func (c *Comm) Rank() int { return c.rank }
+
+// Model returns the world's cost model, for explicit compute charges.
+func (c *Comm) Model() torus.CostModel { return c.world.model }
+
+// Size returns the world size P.
+func (c *Comm) Size() int { return c.world.P }
+
+// Clock returns the current simulated time on this rank.
+func (c *Comm) Clock() float64 { return c.clock }
+
+// CommTime returns accumulated simulated communication time.
+func (c *Comm) CommTime() float64 { return c.commTime }
+
+// CompTime returns accumulated simulated computation time.
+func (c *Comm) CompTime() float64 { return c.compTime }
+
+// BytesSent returns total payload+header bytes sent by this rank.
+func (c *Comm) BytesSent() uint64 { return c.bytesSent }
+
+// MsgsSent returns the number of messages sent by this rank.
+func (c *Comm) MsgsSent() uint64 { return c.msgsSent }
+
+// BytesRecv returns total payload+header bytes received by this rank.
+func (c *Comm) BytesRecv() uint64 { return c.bytesRecv }
+
+// MsgsRecv returns the number of messages received by this rank.
+func (c *Comm) MsgsRecv() uint64 { return c.msgsRecv }
+
+// HopsRecv returns the sum of torus hop counts over received messages.
+func (c *Comm) HopsRecv() uint64 { return c.hopsRecv }
+
+// HopBytes returns the sum of bytes x hops over received messages —
+// the total link traffic this rank's receives imposed on the torus.
+// Task-mapping quality (Figure 1) shows up here even when the cost
+// model's per-hop latency is too small to move end-to-end times.
+func (c *Comm) HopBytes() uint64 { return c.hopBytes }
+
+// Compute advances the simulated clock by d seconds of computation.
+func (c *Comm) Compute(d float64) {
+	c.clock += d
+	c.compTime += d
+}
+
+// ChargeItems advances the clock by n items at unit cost each; a
+// convenience for the per-edge/per-hash/per-vertex charges.
+func (c *Comm) ChargeItems(n int, unit float64) {
+	if n > 0 {
+		c.Compute(float64(n) * unit)
+	}
+}
+
+// Send transmits data to rank dst with the given tag. The payload slice
+// is handed over by reference and must not be mutated by the sender
+// afterwards (ranks share one address space; the simulated network does
+// not copy).
+func (c *Comm) Send(dst, tag int, data []uint32) {
+	if dst == c.rank {
+		panic(fmt.Sprintf("comm: rank %d sending to itself (tag %d)", c.rank, tag))
+	}
+	bytes := messageHeaderBytes + 4*len(data)
+	c.clock += c.world.model.SendOverhead
+	c.commTime += c.world.model.SendOverhead
+	c.bytesSent += uint64(bytes)
+	c.msgsSent++
+	c.world.mail[dst][c.rank].push(message{tag: tag, data: data, departure: c.clock})
+}
+
+// Recv receives the next message from rank src, which must carry the
+// given tag (the SPMD protocols are deterministic; a tag mismatch means
+// a protocol bug and panics). It returns the payload and advances the
+// simulated clock past the message's arrival.
+func (c *Comm) Recv(src, tag int) []uint32 {
+	if src == c.rank {
+		panic(fmt.Sprintf("comm: rank %d receiving from itself (tag %d)", c.rank, tag))
+	}
+	msg, ok := c.world.mail[c.rank][src].pop()
+	if !ok {
+		panic("comm: receive aborted because a peer rank panicked")
+	}
+	if msg.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", c.rank, tag, src, msg.tag))
+	}
+	bytes := messageHeaderBytes + 4*len(msg.data)
+	hops := c.world.mapping.Hops(src, c.rank)
+	c.hopsRecv += uint64(hops)
+	c.hopBytes += uint64(hops) * uint64(bytes)
+	c.recordRoute(src, bytes)
+	transit := c.world.model.Transit(hops, bytes)
+	arrival := msg.departure + transit
+	if arrival > c.clock {
+		c.commTime += arrival - c.clock
+		c.clock = arrival
+	}
+	c.clock += c.world.model.RecvOverhead
+	c.commTime += c.world.model.RecvOverhead
+	c.bytesRecv += uint64(bytes)
+	c.msgsRecv++
+	return msg.data
+}
+
+// SendRecv performs a simultaneous exchange with a partner rank: both
+// sides post their send, then receive. With buffered mailboxes this is
+// deadlock-free for any pairwise schedule.
+func (c *Comm) SendRecv(partner, tag int, data []uint32) []uint32 {
+	c.Send(partner, tag, data)
+	return c.Recv(partner, tag)
+}
+
+// Barrier blocks until all ranks reach it and synchronizes all
+// simulated clocks to the maximum plus a log2(P)-stage tree latency.
+func (c *Comm) Barrier() {
+	_, clk := c.world.barrier.enter(c.rank, c.clock, 0, opMax, c.world.model, c.world.P)
+	c.commTime += clk - c.clock
+	c.clock = clk
+}

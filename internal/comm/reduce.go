@@ -1,0 +1,160 @@
+package comm
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/torus"
+)
+
+// Reduction op codes for the clock-synchronizing allreduce. The real
+// machine ran these on the dedicated tree network; we model them as a
+// log2(P)-stage tree with TreeLatency per stage, synchronizing clocks.
+type reduceOp int
+
+const (
+	opSum reduceOp = iota
+	opMax
+	opMin
+	opOr
+	opAnd
+)
+
+// clockBarrier implements barrier + integer allreduce with simulated
+// clock synchronization. It is generation-stepped: because the SPMD
+// programs are deterministic, every rank performs the same sequence of
+// collective calls, so one shared structure suffices.
+type clockBarrier struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	count       int
+	gen         uint64
+	maxClock    float64
+	accSet      bool
+	acc         uint64
+	result      uint64
+	resultClock float64
+	poisoned    bool
+}
+
+func newClockBarrier() *clockBarrier {
+	b := &clockBarrier{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// poison wakes all waiters; used when a rank panics so the world can
+// fail with an error instead of deadlocking.
+func (b *clockBarrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// unpoison resets the barrier after a failed Run so the world can be
+// reused.
+func (b *clockBarrier) unpoison() {
+	b.mu.Lock()
+	b.poisoned = false
+	b.count = 0
+	b.accSet = false
+	b.mu.Unlock()
+}
+
+// enter contributes (clock, val) to the current generation's reduction
+// and returns the combined value and the synchronized clock.
+func (b *clockBarrier) enter(rank int, clock float64, val uint64, op reduceOp, model torus.CostModel, p int) (uint64, float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("comm: collective aborted because a peer rank panicked")
+	}
+	if !b.accSet {
+		b.acc = val
+		b.maxClock = clock
+		b.accSet = true
+	} else {
+		b.acc = combine(b.acc, val, op)
+		if clock > b.maxClock {
+			b.maxClock = clock
+		}
+	}
+	b.count++
+	if b.count == p {
+		stages := bits.Len(uint(p - 1)) // ceil(log2 p)
+		b.result = b.acc
+		b.resultClock = b.maxClock + 2*float64(stages)*model.TreeLatency
+		b.count = 0
+		b.accSet = false
+		b.gen++
+		b.cond.Broadcast()
+		return b.result, b.resultClock
+	}
+	gen := b.gen
+	for b.gen == gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic("comm: collective aborted because a peer rank panicked")
+	}
+	return b.result, b.resultClock
+}
+
+func combine(a, v uint64, op reduceOp) uint64 {
+	switch op {
+	case opSum:
+		return a + v
+	case opMax:
+		if v > a {
+			return v
+		}
+		return a
+	case opMin:
+		if v < a {
+			return v
+		}
+		return a
+	case opOr:
+		return a | v
+	case opAnd:
+		return a & v
+	default:
+		panic("comm: unknown reduce op")
+	}
+}
+
+func (c *Comm) allreduce(val uint64, op reduceOp) uint64 {
+	res, clk := c.world.barrier.enter(c.rank, c.clock, val, op, c.world.model, c.world.P)
+	c.commTime += clk - c.clock
+	c.clock = clk
+	return res
+}
+
+// AllReduceSum returns the sum of val over all ranks.
+func (c *Comm) AllReduceSum(val uint64) uint64 { return c.allreduce(val, opSum) }
+
+// AllReduceMax returns the maximum of val over all ranks.
+func (c *Comm) AllReduceMax(val uint64) uint64 { return c.allreduce(val, opMax) }
+
+// AllReduceMin returns the minimum of val over all ranks.
+func (c *Comm) AllReduceMin(val uint64) uint64 { return c.allreduce(val, opMin) }
+
+// AllReduceOr returns the logical OR of val over all ranks.
+func (c *Comm) AllReduceOr(val bool) bool {
+	var v uint64
+	if val {
+		v = 1
+	}
+	return c.allreduce(v, opOr) != 0
+}
+
+// AllReduceAnd returns the logical AND of val over all ranks.
+func (c *Comm) AllReduceAnd(val bool) bool {
+	var v uint64
+	if val {
+		v = 1
+	}
+	return c.allreduce(v, opAnd) != 0
+}

@@ -1,0 +1,104 @@
+package graph
+
+// Unreached marks a vertex not reached by a search.
+const Unreached int32 = -1
+
+// BFS runs a serial breadth-first search from src and returns the level
+// (graph distance) of every vertex, with Unreached for vertices in
+// other components. This is the reference oracle for all distributed
+// runs.
+func BFS(g *CSR, src Vertex) []int32 {
+	levels := make([]int32, g.N)
+	for i := range levels {
+		levels[i] = Unreached
+	}
+	levels[src] = 0
+	frontier := []Vertex{src}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		var next []Vertex
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if levels[u] == Unreached {
+					levels[u] = depth
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return levels
+}
+
+// Distance returns the serial s->t graph distance, or Unreached.
+func Distance(g *CSR, s, t Vertex) int32 {
+	if s == t {
+		return 0
+	}
+	levels := make([]int32, g.N)
+	for i := range levels {
+		levels[i] = Unreached
+	}
+	levels[s] = 0
+	frontier := []Vertex{s}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		var next []Vertex
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if levels[u] == Unreached {
+					if u == t {
+						return depth
+					}
+					levels[u] = depth
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return Unreached
+}
+
+// Eccentricity returns the maximum finite level in a BFS from src and
+// the number of reached vertices.
+func Eccentricity(g *CSR, src Vertex) (maxLevel int32, reached int) {
+	for _, l := range BFS(g, src) {
+		if l != Unreached {
+			reached++
+			if l > maxLevel {
+				maxLevel = l
+			}
+		}
+	}
+	return maxLevel, reached
+}
+
+// LargestComponentVertex returns a vertex in the largest connected
+// component, found by repeated BFS over unvisited seeds. Experiments
+// use it to pick sources that produce meaningful traversals.
+func LargestComponentVertex(g *CSR) Vertex {
+	visited := make([]bool, g.N)
+	best, bestSize := Vertex(0), 0
+	for v := 0; v < g.N; v++ {
+		if visited[v] {
+			continue
+		}
+		size := 0
+		queue := []Vertex{Vertex(v)}
+		visited[v] = true
+		for len(queue) > 0 {
+			x := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			for _, u := range g.Neighbors(x) {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		if size > bestSize {
+			best, bestSize = Vertex(v), size
+		}
+	}
+	return best
+}

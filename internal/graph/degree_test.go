@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// poissonPMF returns P[X = d] for X ~ Poisson(k), computed in log
+// space to stay stable for large d.
+func poissonPMF(k float64, d int) float64 {
+	logp := -k + float64(d)*math.Log(k)
+	for i := 2; i <= d; i++ {
+		logp -= math.Log(float64(i))
+	}
+	return math.Exp(logp)
+}
+
+// TestDegreeDistributionIsPoisson runs a chi-square goodness-of-fit
+// test of the generator's degree histogram against the Poisson(k)
+// distribution the paper assumes (G(n,p) degrees are Binomial(n-1, p)
+// ≈ Poisson(k)). This validates that the skip-sampling generator
+// actually produces the paper's workload, not merely the right edge
+// count.
+func TestDegreeDistributionIsPoisson(t *testing.T) {
+	const (
+		n = 50000
+		k = 10.0
+	)
+	g, err := Generate(Params{N: n, K: k, Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := g.DegreeHistogram()
+
+	// Bin degrees so each bin's expected count is >= 20; pool the
+	// tails.
+	type bin struct {
+		observed float64
+		expected float64
+	}
+	var bins []bin
+	cur := bin{}
+	for d := 0; d < len(hist) || cur.expected > 0; d++ {
+		obs := 0.0
+		if d < len(hist) {
+			obs = float64(hist[d])
+		}
+		exp := float64(n) * poissonPMF(k, d)
+		cur.observed += obs
+		cur.expected += exp
+		if cur.expected >= 20 {
+			bins = append(bins, cur)
+			cur = bin{}
+		}
+		if d >= len(hist) && exp < 1e-3 {
+			break
+		}
+	}
+	if cur.expected > 0 {
+		// Pool the remaining tail into the last bin.
+		bins[len(bins)-1].observed += cur.observed
+		bins[len(bins)-1].expected += cur.expected
+	}
+	if len(bins) < 10 {
+		t.Fatalf("only %d bins; histogram too coarse for the test", len(bins))
+	}
+
+	chi2 := 0.0
+	for _, b := range bins {
+		diff := b.observed - b.expected
+		chi2 += diff * diff / b.expected
+	}
+	// Degrees of freedom ≈ bins-1. For the ~20-30 bins this test
+	// produces, the 99.9% chi-square quantile is well under 3 per
+	// degree of freedom.
+	dof := float64(len(bins) - 1)
+	if chi2 > 3*dof {
+		t.Errorf("chi-square %.1f over %d bins (%.2f/dof): degree distribution deviates from Poisson(%g)",
+			chi2, len(bins), chi2/dof, k)
+	}
+}
+
+// TestDegreeMeanVariance: Poisson degrees have variance ≈ mean.
+func TestDegreeMeanVariance(t *testing.T) {
+	g, err := Generate(Params{N: 30000, K: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumsq float64
+	for v := 0; v < g.N; v++ {
+		d := float64(g.Degree(Vertex(v)))
+		sum += d
+		sumsq += d * d
+	}
+	mean := sum / float64(g.N)
+	variance := sumsq/float64(g.N) - mean*mean
+	if ratio := variance / mean; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("variance/mean = %.3f, want ~1 for Poisson degrees", ratio)
+	}
+}

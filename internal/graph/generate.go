@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Params describes a Poisson random graph G(n, p) with p chosen so the
+// expected average degree is K: p = K/(n-1).
+type Params struct {
+	N    int     // vertices
+	K    float64 // expected average degree
+	Seed int64   // PRNG seed; same (N, K, Seed) -> same graph
+}
+
+func (p Params) validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("graph: N must be positive, got %d", p.N)
+	}
+	if p.K < 0 {
+		return fmt.Errorf("graph: K must be non-negative, got %g", p.K)
+	}
+	if p.K > float64(p.N-1) {
+		return fmt.Errorf("graph: K=%g exceeds N-1=%d", p.K, p.N-1)
+	}
+	return nil
+}
+
+// EdgeProb returns the per-pair edge probability.
+func (p Params) EdgeProb() float64 {
+	if p.N <= 1 {
+		return 0
+	}
+	return p.K / float64(p.N-1)
+}
+
+// VisitEdges streams every undirected edge {u,v}, u < v, of the graph
+// exactly once, in deterministic order for a given seed. Skip-sampling
+// over the n(n-1)/2 vertex pairs gives O(m) expected time: the gap to
+// the next present edge is geometric with parameter p.
+//
+// Streaming (rather than materializing) lets the partition loaders make
+// two passes — count, then fill — without ever holding a global edge
+// list.
+func (p Params) VisitEdges(visit func(u, v Vertex)) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	prob := p.EdgeProb()
+	if prob <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := int64(p.N)
+	total := n * (n - 1) / 2 // pairs in row-major (u, then v>u) order
+	if prob >= 1 {
+		for u := int64(0); u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				visit(Vertex(u), Vertex(v))
+			}
+		}
+		return nil
+	}
+	logq := math.Log1p(-prob)
+	idx := int64(-1)
+	for {
+		// Geometric skip: number of absent pairs before the next edge.
+		r := rng.Float64()
+		skip := int64(math.Floor(math.Log1p(-r) / logq))
+		idx += 1 + skip
+		if idx >= total {
+			return nil
+		}
+		u, v := pairFromIndex(idx, n)
+		visit(u, v)
+	}
+}
+
+// pairFromIndex maps a linear index in [0, n(n-1)/2) to the pair (u,v),
+// u < v, in row-major order: all pairs with u=0 first, then u=1, ...
+func pairFromIndex(idx, n int64) (Vertex, Vertex) {
+	// Row u starts at offset S(u) = u*n - u*(u+1)/2. Solve for the
+	// largest u with S(u) <= idx via the quadratic formula, then fix up
+	// floating-point error locally.
+	fu := float64(n) - 0.5 - math.Sqrt((float64(n)-0.5)*(float64(n)-0.5)-2*float64(idx))
+	u := int64(fu)
+	if u < 0 {
+		u = 0
+	}
+	rowStart := func(u int64) int64 { return u*n - u*(u+1)/2 }
+	for u > 0 && rowStart(u) > idx {
+		u--
+	}
+	for u+1 < n && rowStart(u+1) <= idx {
+		u++
+	}
+	v := u + 1 + (idx - rowStart(u))
+	return Vertex(u), Vertex(v)
+}
+
+// Generate materializes the Poisson random graph as a CSR.
+func Generate(p Params) (*CSR, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	g := &CSR{N: p.N, Off: make([]int64, p.N+1), Seed: p.Seed, K: p.K}
+	// Pass 1: degree counts.
+	if err := p.VisitEdges(func(u, v Vertex) {
+		g.Off[u+1]++
+		g.Off[v+1]++
+	}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < p.N; i++ {
+		g.Off[i+1] += g.Off[i]
+	}
+	g.Adj = make([]Vertex, g.Off[p.N])
+	fill := make([]int64, p.N)
+	// Pass 2: fill adjacency (same seed -> same edges).
+	if err := p.VisitEdges(func(u, v Vertex) {
+		g.Adj[g.Off[u]+fill[u]] = v
+		fill[u]++
+		g.Adj[g.Off[v]+fill[v]] = u
+		fill[v]++
+	}); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a plain-text edge list: one
+// "u v" pair per line, each undirected edge once (u < v), preceded by
+// a header line "# n <vertices>". The format round-trips through
+// ReadEdgeList and matches cmd/graphgen's -edges output (which has no
+// header; ReadEdgeList then infers n).
+func WriteEdgeList(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# n %d\n", g.N); err != nil {
+		return err
+	}
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(Vertex(v)) {
+			if Vertex(v) < u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a plain-text edge list: one "u v" pair per line,
+// blank lines ignored, lines starting with '#' treated as comments
+// except an optional "# n <count>" header fixing the vertex count.
+// Without a header, n is max id + 1. Self-loops are rejected; duplicate
+// edges are merged.
+func ReadEdgeList(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges [][2]Vertex
+	n := 0
+	seen := map[[2]Vertex]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 3 && fields[1] == "n" {
+				v, err := strconv.Atoi(fields[2])
+				if err != nil || v <= 0 {
+					return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[2])
+				}
+				n = v
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected 'u v', got %q", lineNo, line)
+		}
+		u64, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v64, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		u, v := Vertex(u64), Vertex(v64)
+		if u == v {
+			return nil, fmt.Errorf("graph: line %d: self-loop at %d", lineNo, u)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]Vertex{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, key)
+		if int(v)+1 > n {
+			n = int(v) + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("graph: empty edge list and no vertex-count header")
+	}
+	return FromEdges(n, edges)
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := Generate(Params{N: 500, K: 5, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			back.N, back.NumEdges(), g.N, g.NumEdges())
+	}
+	for v := 0; v < g.N; v++ {
+		want := map[Vertex]bool{}
+		for _, u := range g.Neighbors(Vertex(v)) {
+			want[u] = true
+		}
+		for _, u := range back.Neighbors(Vertex(v)) {
+			if !want[u] {
+				t.Fatalf("vertex %d: spurious neighbor %d after round trip", v, u)
+			}
+		}
+		if len(back.Neighbors(Vertex(v))) != len(want) {
+			t.Fatalf("vertex %d: neighbor count changed", v)
+		}
+	}
+}
+
+func TestReadEdgeListFormats(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n\n# comment\n2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.NumEdges() != 3 {
+		t.Fatalf("triangle parse: n=%d m=%d", g.N, g.NumEdges())
+	}
+	// Header fixes n beyond max id; duplicates merge; reversed order.
+	g, err = ReadEdgeList(strings.NewReader("# n 10\n5 2\n2 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 10 || g.NumEdges() != 1 {
+		t.Fatalf("header parse: n=%d m=%d", g.N, g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty, no header
+		"1 1\n",         // self loop
+		"1\n",           // malformed
+		"a b\n",         // non-numeric
+		"# n zero\n1 2", // bad header
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}

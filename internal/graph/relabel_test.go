@@ -1,0 +1,87 @@
+package graph
+
+import "testing"
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g, err := Generate(Params{N: 2000, K: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, perm := Relabel(g, 99)
+	if rg.N != g.N || len(rg.Adj) != len(g.Adj) {
+		t.Fatalf("size changed: %d/%d vs %d/%d", rg.N, len(rg.Adj), g.N, len(g.Adj))
+	}
+	// Degrees transport through the permutation.
+	for v := 0; v < g.N; v++ {
+		if g.Degree(Vertex(v)) != rg.Degree(perm[v]) {
+			t.Fatalf("degree of %d changed under relabeling", v)
+		}
+	}
+	// Adjacency transports: perm(N(v)) == N(perm(v)) as sets.
+	for v := 0; v < g.N; v += 37 {
+		want := map[Vertex]bool{}
+		for _, u := range g.Neighbors(Vertex(v)) {
+			want[perm[u]] = true
+		}
+		for _, u := range rg.Neighbors(perm[v]) {
+			if !want[u] {
+				t.Fatalf("vertex %d: spurious neighbor %d after relabel", v, u)
+			}
+			delete(want, u)
+		}
+		if len(want) != 0 {
+			t.Fatalf("vertex %d: missing neighbors after relabel", v)
+		}
+	}
+}
+
+func TestRelabelBFSEquivariant(t *testing.T) {
+	g, err := Generate(Params{N: 1500, K: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, perm := Relabel(g, 7)
+	src := LargestComponentVertex(g)
+	orig := BFS(g, src)
+	rel := BFS(rg, perm[src])
+	for v := 0; v < g.N; v++ {
+		if orig[v] != rel[perm[v]] {
+			t.Fatalf("level of %d changed: %d vs %d", v, orig[v], rel[perm[v]])
+		}
+	}
+}
+
+func TestRelabelDeterministic(t *testing.T) {
+	g, err := Generate(Params{N: 500, K: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p1 := Relabel(g, 3)
+	_, p2 := Relabel(g, 3)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("relabel not deterministic")
+		}
+	}
+	_, p3 := Relabel(g, 4)
+	same := true
+	for i := range p1 {
+		if p1[i] != p3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical permutations")
+	}
+}
+
+func TestInversePerm(t *testing.T) {
+	perm := []Vertex{2, 0, 3, 1}
+	inv := InversePerm(perm)
+	for old, nw := range perm {
+		if inv[nw] != Vertex(old) {
+			t.Fatalf("inverse wrong at %d", old)
+		}
+	}
+}

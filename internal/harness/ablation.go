@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
+
+// ablationWorkload builds the common graph for the design ablations:
+// a mid-size square mesh with the k=10 workload.
+func ablationWorkload(cfg Config, rowMajor bool) (*workload, error) {
+	p := minInt(64, cfg.MaxP)
+	for p&(p-1) != 0 {
+		p--
+	}
+	r, c := squareMesh(p)
+	n := cfg.scaleCount(100000/fig4aScaleDivisor) * p
+	return buildWorkload(n, fitK(n, 10), cfg.Seed, r, c, rowMajor)
+}
+
+// RunAblationMapping compares the Figure 1 plane mapping against plain
+// row-major placement of ranks on the torus. The logical communication
+// is identical; only hop counts — and therefore simulated
+// communication time — change.
+func RunAblationMapping(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Ablation — task mapping onto the torus (§3.2.1)",
+		Columns: []string{"mapping", "exec(s)", "comm(s)", "avg hops/msg", "link MB (bytes x hops)", "max link MB"},
+	}
+	for _, m := range []struct {
+		name     string
+		rowMajor bool
+	}{{"figure-1 planes", false}, {"row-major", true}} {
+		w, err := ablationWorkload(cfg, m.rowMajor)
+		if err != nil {
+			return nil, err
+		}
+		src := graph.LargestComponentVertex(w.g)
+		res, err := bfs.Run2D(w.cl.world, w.stores, bfs.DefaultOptions(src))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m.name, res.SimTime, res.SimComm,
+			res.AvgHopsPerMessage(), float64(res.HopBytes)/1e6,
+			float64(res.MaxLinkBytes)/1e6)
+	}
+	t.Note("expected: plane mapping lowers hop counts and the link traffic (bytes x hops) the")
+	t.Note("search imposes; end-to-end time moves little because the model has no link contention")
+	return t, nil
+}
+
+// RunAblationCollectives compares the fold implementations: direct
+// all-to-all reduce-scatter, the two-phase union-fold, and the
+// two-phase schedule without in-flight union.
+func RunAblationCollectives(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Ablation — fold collective algorithm (§3.2.2)",
+		Columns: []string{"fold", "exec(s)", "comm(s)", "fold vol", "dups eliminated"},
+	}
+	w, err := ablationWorkload(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	src := graph.LargestComponentVertex(w.g)
+	for _, alg := range []bfs.FoldAlg{bfs.FoldDirect, bfs.FoldTwoPhase, bfs.FoldTwoPhaseNoUnion, bfs.FoldBruck} {
+		opts := bfs.DefaultOptions(src)
+		opts.Fold = alg
+		res, err := bfs.Run2D(w.cl.world, w.stores, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(alg.String(), res.SimTime, res.SimComm, res.TotalFoldWords, res.TotalDups)
+	}
+	t.Note("expected: union fold moves fewer words than the no-union ring; direct all-to-all")
+	t.Note("has fewest messages at this scale but needs per-destination buffers ∝ k (§3.2)")
+	return t, nil
+}
+
+// RunAblationTermination compares the two homes for the per-level
+// termination/found reductions: the modeled dedicated combine-tree
+// network BlueGene/L provides (§4.1) versus recursive-doubling over
+// ordinary torus point-to-point messages. The data collectives are
+// identical in both runs; only the O(log P) control reductions move.
+func RunAblationTermination(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Ablation — termination reductions: tree network vs torus point-to-point",
+		Columns: []string{"reductions", "exec(s)", "comm(s)", "messages"},
+	}
+	w, err := ablationWorkload(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	src := graph.LargestComponentVertex(w.g)
+	for _, p2p := range []bool{false, true} {
+		opts := bfs.DefaultOptions(src)
+		opts.P2PTermination = p2p
+		res, err := bfs.Run2D(w.cl.world, w.stores, opts)
+		if err != nil {
+			return nil, err
+		}
+		label := "tree network"
+		if p2p {
+			label = "torus p2p"
+		}
+		t.AddRow(label, res.SimTime, res.SimComm, res.MsgsRecv)
+	}
+	t.Note("expected: torus-only termination adds ~2 log2(P) messages per rank per level and")
+	t.Note("grows comm time — the reason BlueGene/L's dedicated tree network matters (§4.1)")
+	return t, nil
+}
+
+// RunAblationSentCache compares the sent-neighbors cache (§2.4.3) on
+// and off: with the cache a neighbor is sent to its owner at most once
+// over the whole search.
+func RunAblationSentCache(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Ablation — sent-neighbors cache (§2.4.3)",
+		Columns: []string{"cache", "exec(s)", "fold vol", "dups eliminated"},
+	}
+	w, err := ablationWorkload(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	src := graph.LargestComponentVertex(w.g)
+	for _, on := range []bool{true, false} {
+		opts := bfs.DefaultOptions(src)
+		opts.SentCache = on
+		res, err := bfs.Run2D(w.cl.world, w.stores, opts)
+		if err != nil {
+			return nil, err
+		}
+		label := "off"
+		if on {
+			label = "on"
+		}
+		t.AddRow(label, res.SimTime, res.TotalFoldWords, res.TotalDups)
+	}
+	t.Note("expected: cache removes re-sends of already-delivered neighbors, shrinking fold volume")
+	return t, nil
+}

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment tests fast: small per-rank sizes and few
+// ranks.
+func tinyConfig() Config {
+	return Config{Scale: 0.1, MaxP: 16, Seed: 1, Searches: 1}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(tinyConfig())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: no rows", e.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("%s: row width %d != %d columns", e.ID, len(row), len(tbl.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tbl.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), tbl.Columns[0]) {
+				t.Fatalf("%s: render missing header", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig4a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := &Table{Title: "t", Columns: []string{"a", "bb"}}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", "y")
+	tbl.Note("hello %d", 7)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== t ==", "a", "bb", "2.5", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,bb\n1,2.5\n") {
+		t.Errorf("csv output wrong:\n%s", buf.String())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 1 || c.MaxP != 256 || c.Seed != 1 || c.Searches != 3 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if (Config{Scale: 0.001}).scaleCount(1000) != 64 {
+		t.Error("scaleCount floor not applied")
+	}
+}
+
+func TestSquareMeshAndWeakPoints(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 4: {2, 2}, 16: {4, 4}, 12: {3, 4}, 7: {1, 7}}
+	for p, want := range cases {
+		r, c := squareMesh(p)
+		if r != want[0] || c != want[1] {
+			t.Errorf("squareMesh(%d) = %dx%d, want %dx%d", p, r, c, want[0], want[1])
+		}
+	}
+	pts := weakPoints(256)
+	if len(pts) != 5 || pts[0] != 1 || pts[4] != 256 {
+		t.Errorf("weakPoints(256) = %v", pts)
+	}
+}
+
+// TestFig4aShape checks the headline claims at tiny scale: comm time is
+// far below exec time, and exec time grows with P (the log P trend).
+func TestFig4aShape(t *testing.T) {
+	tbl, err := RunFig4a(Config{Scale: 0.2, MaxP: 16, Seed: 1, Searches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k10Exec []float64
+	for _, row := range tbl.Rows {
+		if strings.Contains(row[0], "k=10") {
+			var e, c float64
+			if _, err := fmtSscan(row[5], &e); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fmtSscan(row[6], &c); err != nil {
+				t.Fatal(err)
+			}
+			if c >= e {
+				t.Errorf("P=%s: comm %g not below exec %g", row[1], c, e)
+			}
+			k10Exec = append(k10Exec, e)
+		}
+	}
+	if len(k10Exec) < 3 {
+		t.Fatalf("too few k=10 points: %d", len(k10Exec))
+	}
+	if k10Exec[len(k10Exec)-1] <= k10Exec[0] {
+		t.Errorf("weak-scaling exec time did not grow: %v", k10Exec)
+	}
+}
+
+// TestFig7Redundancy checks the k=100 series eliminates more
+// duplicates than k=10 (the Fig. 7 ordering).
+func TestFig7Redundancy(t *testing.T) {
+	tbl, err := RunFig7(Config{Scale: 0.3, MaxP: 16, Seed: 1, Searches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byK := map[string]float64{}
+	for _, row := range tbl.Rows {
+		var r float64
+		if _, err := fmtSscan(row[3], &r); err != nil {
+			t.Fatal(err)
+		}
+		byK[row[0]] = r
+	}
+	var k10, k100 float64
+	for label, r := range byK {
+		if strings.Contains(label, "k=100") {
+			k100 = r
+		} else if strings.Contains(label, "k=10,") || strings.HasSuffix(label, "k=10") {
+			k10 = r
+		}
+	}
+	if k100 <= k10 {
+		t.Errorf("redundancy ordering wrong: k=100 %g <= k=10 %g", k100, k10)
+	}
+}
+
+// TestTable1TopologiesDistinct guards against the meshes degenerating
+// (a square P would otherwise produce the same mesh twice).
+func TestTable1TopologiesDistinct(t *testing.T) {
+	tbl, err := RunTable1(Config{Scale: 0.05, MaxP: 16, Seed: 1, Searches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, row := range tbl.Rows[:4] { // first graph's four topologies
+		if seen[row[1]] {
+			t.Fatalf("duplicate topology %q in Table 1", row[1])
+		}
+		seen[row[1]] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("expected 4 distinct topologies, got %d", len(seen))
+	}
+}
+
+// TestTerminationAblationShape: torus p2p termination must add
+// messages relative to the tree network.
+func TestTerminationAblationShape(t *testing.T) {
+	tbl, err := RunAblationTermination(Config{Scale: 0.1, MaxP: 16, Seed: 1, Searches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(tbl.Rows))
+	}
+	var tree, p2p float64
+	if _, err := fmtSscan(tbl.Rows[0][3], &tree); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tbl.Rows[1][3], &p2p); err != nil {
+		t.Fatal(err)
+	}
+	if p2p <= tree {
+		t.Errorf("p2p termination messages %g not above tree %g", p2p, tree)
+	}
+}

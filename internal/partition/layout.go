@@ -1,0 +1,148 @@
+// Package partition implements the 1D (vertex) and 2D (edge)
+// partitionings of §2.1–2.2 and the per-rank storage of §2.4: blocked
+// vertex ownership, partial edge lists indexed only when non-empty, the
+// three global→local mappings, and the per-owned-vertex row-need masks
+// that let the targeted expand send a frontier vertex only to ranks
+// actually holding part of its edge list.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Layout2D is the R x C two-dimensional partitioning of §2.2. Vertices
+// are split into P = R*C contiguous blocks of size ceil(n/P); block b
+// is owned by mesh rank (b mod R, b div R), i.e. world rank
+// (b mod R)*C + (b div R). The adjacency matrix is split into R*C block
+// rows and C block columns; processor (i,j) stores, for every vertex v
+// in block column j, the partial edge list {u : (u,v) in E, block(u)
+// mod R == i}.
+//
+// The conventional 1D partitioning of §2.1 is exactly R = 1 (each rank
+// stores full edge lists of its owned vertices and communication is a
+// single all-to-all, the fold); R x 1 is the row-wise 1D partition the
+// paper also measures in Table 1.
+type Layout2D struct {
+	N    int // vertices
+	R, C int // mesh dimensions
+	bs   int // block size = ceil(N/P)
+}
+
+// NewLayout2D validates and builds a layout.
+func NewLayout2D(n, r, c int) (*Layout2D, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("partition: n must be positive, got %d", n)
+	}
+	if r <= 0 || c <= 0 {
+		return nil, fmt.Errorf("partition: mesh must be positive, got %dx%d", r, c)
+	}
+	p := r * c
+	bs := (n + p - 1) / p
+	return &Layout2D{N: n, R: r, C: c, bs: bs}, nil
+}
+
+// P returns the number of ranks R*C.
+func (l *Layout2D) P() int { return l.R * l.C }
+
+// BlockSize returns the vertex block size ceil(N/P).
+func (l *Layout2D) BlockSize() int { return l.bs }
+
+// BlockOf returns the block index of vertex v.
+func (l *Layout2D) BlockOf(v graph.Vertex) int { return int(v) / l.bs }
+
+// OwnerRank returns the world rank owning vertex v.
+func (l *Layout2D) OwnerRank(v graph.Vertex) int {
+	b := l.BlockOf(v)
+	return (b % l.R * l.C) + b/l.R
+}
+
+// MeshOf returns the mesh coordinates (i, j) of a world rank.
+func (l *Layout2D) MeshOf(rank int) (i, j int) { return rank / l.C, rank % l.C }
+
+// RankAt returns the world rank at mesh position (i, j).
+func (l *Layout2D) RankAt(i, j int) int { return i*l.C + j }
+
+// BlockOfRank returns the vertex block owned by a world rank.
+func (l *Layout2D) BlockOfRank(rank int) int {
+	i, j := l.MeshOf(rank)
+	return j*l.R + i
+}
+
+// OwnedRange returns [lo, hi) global vertex range owned by rank.
+func (l *Layout2D) OwnedRange(rank int) (lo, hi graph.Vertex) {
+	b := l.BlockOfRank(rank)
+	start := b * l.bs
+	end := start + l.bs
+	if start > l.N {
+		start = l.N
+	}
+	if end > l.N {
+		end = l.N
+	}
+	return graph.Vertex(start), graph.Vertex(end)
+}
+
+// OwnedCount returns the number of vertices owned by rank.
+func (l *Layout2D) OwnedCount(rank int) int {
+	lo, hi := l.OwnedRange(rank)
+	return int(hi - lo)
+}
+
+// ColBlockOf returns the processor-column index j whose ranks (i', j)
+// store the edge lists (matrix column) of vertex v.
+func (l *Layout2D) ColBlockOf(v graph.Vertex) int { return l.BlockOf(v) / l.R }
+
+// RowIndexOf returns the mesh row i' of the ranks storing matrix rows
+// of vertex u (entries "u appears in an edge list").
+func (l *Layout2D) RowIndexOf(u graph.Vertex) int { return l.BlockOf(u) % l.R }
+
+// StoringRank returns the world rank storing matrix entry
+// (row u, column v): mesh position (RowIndexOf(u), ColBlockOf(v)).
+func (l *Layout2D) StoringRank(u, v graph.Vertex) int {
+	return l.RankAt(l.RowIndexOf(u), l.ColBlockOf(v))
+}
+
+// Layout1D is the conventional 1D vertex partitioning of §2.1: rank q
+// owns the q-th contiguous block of vertices and their full edge lists.
+type Layout1D struct {
+	N, P int
+	bs   int
+}
+
+// NewLayout1D validates and builds a layout.
+func NewLayout1D(n, p int) (*Layout1D, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("partition: n must be positive, got %d", n)
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: p must be positive, got %d", p)
+	}
+	return &Layout1D{N: n, P: p, bs: (n + p - 1) / p}, nil
+}
+
+// BlockSize returns ceil(N/P).
+func (l *Layout1D) BlockSize() int { return l.bs }
+
+// OwnerRank returns the rank owning vertex v.
+func (l *Layout1D) OwnerRank(v graph.Vertex) int { return int(v) / l.bs }
+
+// OwnedRange returns the [lo, hi) vertex range owned by rank.
+func (l *Layout1D) OwnedRange(rank int) (lo, hi graph.Vertex) {
+	start := rank * l.bs
+	end := start + l.bs
+	if start > l.N {
+		start = l.N
+	}
+	if end > l.N {
+		end = l.N
+	}
+	return graph.Vertex(start), graph.Vertex(end)
+}
+
+// OwnedCount returns the number of vertices owned by rank.
+func (l *Layout1D) OwnedCount(rank int) int {
+	lo, hi := l.OwnedRange(rank)
+	return int(hi - lo)
+}

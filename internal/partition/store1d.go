@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"repro/internal/graph"
+	"repro/internal/localindex"
+)
+
+// Store1D is one rank's storage under the 1D partitioning: a local CSR
+// over its owned vertices with global target ids, plus the compact
+// mapping over all vertices appearing in local edge lists (for the
+// sent-neighbors cache, §2.4.3).
+type Store1D struct {
+	Layout *Layout1D
+	Rank   int
+	Lo, Hi graph.Vertex // owned range
+
+	Off []int64        // len OwnedCount+1
+	Adj []graph.Vertex // global neighbor ids
+
+	// TargetMap maps every distinct vertex appearing in a local edge
+	// list to a compact index in [0, TargetCount); nil until built.
+	TargetMap   *localindex.Map
+	TargetCount int
+}
+
+// OwnedCount returns the number of owned vertices.
+func (s *Store1D) OwnedCount() int { return int(s.Hi - s.Lo) }
+
+// LocalOf converts a global owned vertex to its local index.
+func (s *Store1D) LocalOf(v graph.Vertex) uint32 { return uint32(v - s.Lo) }
+
+// GlobalOf converts a local index to the global vertex id.
+func (s *Store1D) GlobalOf(i uint32) graph.Vertex { return s.Lo + graph.Vertex(i) }
+
+// Neighbors returns the edge list of the owned vertex with local index
+// i, as global ids.
+func (s *Store1D) Neighbors(i uint32) []graph.Vertex { return s.Adj[s.Off[i]:s.Off[i+1]] }
+
+// Build1D constructs the per-rank 1D stores by streaming the edge
+// source twice (count, then fill). The edge source is any function that
+// visits every undirected edge exactly once, such as
+// graph.Params.VisitEdges or a closure over a materialized CSR.
+//
+// This centralized loader stands in for the parallel file I/O of the
+// original system; graph distribution is not part of any measured
+// experiment.
+func Build1D(l *Layout1D, visitEdges func(func(u, v graph.Vertex)) error) ([]*Store1D, error) {
+	stores := make([]*Store1D, l.P)
+	for r := 0; r < l.P; r++ {
+		lo, hi := l.OwnedRange(r)
+		st := &Store1D{Layout: l, Rank: r, Lo: lo, Hi: hi}
+		st.Off = make([]int64, st.OwnedCount()+1)
+		stores[r] = st
+	}
+	count := func(v graph.Vertex) {
+		st := stores[l.OwnerRank(v)]
+		st.Off[st.LocalOf(v)+1]++
+	}
+	if err := visitEdges(func(u, v graph.Vertex) {
+		count(u)
+		count(v)
+	}); err != nil {
+		return nil, err
+	}
+	for _, st := range stores {
+		for i := 1; i < len(st.Off); i++ {
+			st.Off[i] += st.Off[i-1]
+		}
+		st.Adj = make([]graph.Vertex, st.Off[len(st.Off)-1])
+		st.TargetMap = localindex.NewMap(len(st.Adj))
+	}
+	fills := make([][]int64, l.P)
+	for r, st := range stores {
+		fills[r] = make([]int64, st.OwnedCount())
+	}
+	place := func(v, target graph.Vertex) {
+		r := l.OwnerRank(v)
+		st := stores[r]
+		li := st.LocalOf(v)
+		st.Adj[st.Off[li]+fills[r][li]] = target
+		fills[r][li]++
+	}
+	if err := visitEdges(func(u, v graph.Vertex) {
+		place(u, v)
+		place(v, u)
+	}); err != nil {
+		return nil, err
+	}
+	for _, st := range stores {
+		next := uint32(0)
+		gen := func() uint32 { next++; return next - 1 }
+		for _, t := range st.Adj {
+			st.TargetMap.GetOrPut(t, gen)
+		}
+		st.TargetCount = int(next)
+	}
+	return stores, nil
+}

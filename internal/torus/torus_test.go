@@ -1,0 +1,247 @@
+package torus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 4); err == nil {
+		t.Fatal("expected error for zero dimension")
+	}
+	if _, err := New(4, -1, 4); err == nil {
+		t.Fatal("expected error for negative dimension")
+	}
+	tor, err := New(4, 2, 3)
+	if err != nil {
+		t.Fatalf("New(4,2,3): %v", err)
+	}
+	if got := tor.Nodes(); got != 24 {
+		t.Fatalf("Nodes = %d, want 24", got)
+	}
+}
+
+func TestWrapDist(t *testing.T) {
+	cases := []struct{ a, b, d, want int }{
+		{0, 0, 8, 0},
+		{0, 1, 8, 1},
+		{0, 7, 8, 1}, // wraparound
+		{0, 4, 8, 4},
+		{2, 6, 8, 4},
+		{1, 6, 8, 3},
+		{0, 0, 1, 0},
+	}
+	for _, c := range cases {
+		if got := wrapDist(c.a, c.b, c.d); got != c.want {
+			t.Errorf("wrapDist(%d,%d,%d) = %d, want %d", c.a, c.b, c.d, got, c.want)
+		}
+	}
+}
+
+func TestHopsSymmetricAndTriangle(t *testing.T) {
+	tor := MustNew(5, 4, 3)
+	rng := rand.New(rand.NewSource(1))
+	randCoord := func() Coord {
+		return Coord{rng.Intn(tor.DX), rng.Intn(tor.DY), rng.Intn(tor.DZ)}
+	}
+	for i := 0; i < 500; i++ {
+		a, b, c := randCoord(), randCoord(), randCoord()
+		if tor.Hops(a, b) != tor.Hops(b, a) {
+			t.Fatalf("Hops not symmetric for %v,%v", a, b)
+		}
+		if tor.Hops(a, a) != 0 {
+			t.Fatalf("Hops(a,a) != 0 for %v", a)
+		}
+		if tor.Hops(a, c) > tor.Hops(a, b)+tor.Hops(b, c) {
+			t.Fatalf("triangle inequality violated for %v,%v,%v", a, b, c)
+		}
+	}
+}
+
+func TestRouteMatchesHops(t *testing.T) {
+	tor := MustNew(6, 3, 2)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		a := Coord{rng.Intn(tor.DX), rng.Intn(tor.DY), rng.Intn(tor.DZ)}
+		b := Coord{rng.Intn(tor.DX), rng.Intn(tor.DY), rng.Intn(tor.DZ)}
+		path := tor.Route(a, b)
+		if path[0] != a || path[len(path)-1] != b {
+			t.Fatalf("route endpoints wrong: %v", path)
+		}
+		if got, want := len(path)-1, tor.Hops(a, b); got != want {
+			t.Fatalf("route length %d != hops %d for %v->%v", got, want, a, b)
+		}
+		for s := 1; s < len(path); s++ {
+			if tor.Hops(path[s-1], path[s]) != 1 {
+				t.Fatalf("route step %v->%v is not one hop", path[s-1], path[s])
+			}
+		}
+	}
+}
+
+func TestRowMajorMapping(t *testing.T) {
+	tor := MustNew(4, 4, 2)
+	m, err := RowMajor(tor, 32)
+	if err != nil {
+		t.Fatalf("RowMajor: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.Coords[0] != (Coord{0, 0, 0}) {
+		t.Errorf("rank 0 at %v, want origin", m.Coords[0])
+	}
+	if m.Coords[5] != (Coord{1, 1, 0}) {
+		t.Errorf("rank 5 at %v, want {1,1,0}", m.Coords[5])
+	}
+	if _, err := RowMajor(tor, 33); err == nil {
+		t.Error("expected error when ranks exceed torus size")
+	}
+}
+
+func TestPlanesMappingFigure1(t *testing.T) {
+	// The Figure 1 example: Lx x Ly logical array onto a wc x wr x 4
+	// torus. Use Lx=4 (R), Ly=6 (C) with 3x2 tiles -> 4 planes.
+	tor := MustNew(3, 2, 4)
+	m, err := Planes(tor, 4, 6)
+	if err != nil {
+		t.Fatalf("Planes: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Ranks in the same logical column but adjacent tile rows must land
+	// on adjacent planes (that is the point of the Figure 1 mapping).
+	ly := 6
+	for j := 0; j < ly; j++ {
+		a := m.Coords[1*ly+j] // logical row 1, last row of tile row 0
+		b := m.Coords[2*ly+j] // logical row 2, first row of tile row 1
+		if dz := wrapDist(a.Z, b.Z, tor.DZ); dz != 1 {
+			t.Errorf("column %d: tile-adjacent rows on planes %d,%d (dz=%d), want adjacent",
+				j, a.Z, b.Z, dz)
+		}
+	}
+	// Ranks inside one tile stay on one plane.
+	if m.Coords[0].Z != m.Coords[1].Z || m.Coords[0].Z != m.Coords[ly].Z {
+		t.Error("ranks of one tile not coplanar")
+	}
+}
+
+func TestPlanesMappingErrors(t *testing.T) {
+	tor := MustNew(3, 2, 4)
+	if _, err := Planes(tor, 5, 6); err == nil {
+		t.Error("expected tiling error for 5x6 on 3x2 tiles")
+	}
+	if _, err := Planes(tor, 4, 3); err == nil {
+		t.Error("expected tiling error for 4x3 on width-3 tiles")
+	}
+	if _, err := Planes(MustNew(3, 2, 5), 4, 6); err == nil {
+		t.Error("expected plane-count mismatch error")
+	}
+	if _, err := Planes(tor, 0, 6); err == nil {
+		t.Error("expected error for non-positive logical array")
+	}
+}
+
+func TestPlanesExpandCheaperThanRowMajor(t *testing.T) {
+	// The Figure 1 mapping exists to make column (expand) communication
+	// local: total hop count over all column pairs should not exceed the
+	// row-major placement's.
+	lx, ly := 8, 8
+	tor := MustNew(4, 4, 4)
+	planes, err := Planes(tor, lx, ly)
+	if err != nil {
+		t.Fatalf("Planes: %v", err)
+	}
+	rowMajor, err := RowMajor(tor, lx*ly)
+	if err != nil {
+		t.Fatalf("RowMajor: %v", err)
+	}
+	colHops := func(m *Mapping) int {
+		total := 0
+		for j := 0; j < ly; j++ {
+			for i1 := 0; i1 < lx; i1++ {
+				for i2 := 0; i2 < lx; i2++ {
+					if i1 != i2 {
+						total += m.Hops(i1*ly+j, i2*ly+j)
+					}
+				}
+			}
+		}
+		return total
+	}
+	if ph, rh := colHops(planes), colHops(rowMajor); ph > rh {
+		t.Errorf("planes mapping column hops %d > row-major %d", ph, rh)
+	}
+}
+
+func TestFitTorus(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16, 64, 100, 256, 400, 1000} {
+		tor := FitTorus(p)
+		if tor.Nodes() < p {
+			t.Errorf("FitTorus(%d) = %v holds only %d nodes", p, tor, tor.Nodes())
+		}
+		if tor.Nodes() > 2*p && p > 2 {
+			t.Errorf("FitTorus(%d) = %v wastes too much (%d nodes)", p, tor, tor.Nodes())
+		}
+	}
+	if FitTorus(0).Nodes() != 1 {
+		t.Error("FitTorus(0) should degenerate to a single node")
+	}
+}
+
+func TestBisection(t *testing.T) {
+	if got := MustNew(8, 4, 4).Bisection(); got != 32 {
+		t.Errorf("Bisection 8x4x4 = %d, want 32", got)
+	}
+	if got := MustNew(2, 1, 1).Bisection(); got != 2 {
+		t.Errorf("Bisection 2x1x1 = %d, want 2", got)
+	}
+}
+
+func TestCostModelTransit(t *testing.T) {
+	m := PresetBlueGeneL()
+	zero := m.Transit(0, 0)
+	if zero != 0 {
+		t.Errorf("Transit(0,0) = %g, want 0", zero)
+	}
+	// Monotone in both arguments.
+	if m.Transit(2, 100) <= m.Transit(1, 100) {
+		t.Error("Transit not monotone in hops")
+	}
+	if m.Transit(1, 200) <= m.Transit(1, 100) {
+		t.Error("Transit not monotone in bytes")
+	}
+	c := PresetCluster()
+	if c.Transit(5, 0) != 0 {
+		t.Error("cluster preset should be hop-insensitive")
+	}
+}
+
+func TestHopsQuick(t *testing.T) {
+	tor := MustNew(7, 5, 3)
+	f := func(ax, ay, az, bx, by, bz uint8) bool {
+		a := Coord{int(ax) % tor.DX, int(ay) % tor.DY, int(az) % tor.DZ}
+		b := Coord{int(bx) % tor.DX, int(by) % tor.DY, int(bz) % tor.DZ}
+		h := tor.Hops(a, b)
+		maxH := tor.DX/2 + tor.DY/2 + tor.DZ/2
+		return h >= 0 && h <= maxH && h == tor.Hops(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreAndForwardTransit(t *testing.T) {
+	m := PresetBlueGeneL()
+	cut := m.Transit(4, 10000)
+	m.StoreAndForward = true
+	saf := m.Transit(4, 10000)
+	if saf <= cut {
+		t.Errorf("store-and-forward %g not above cut-through %g for multi-hop", saf, cut)
+	}
+	if m.Transit(1, 10000) != PresetBlueGeneL().Transit(1, 10000) {
+		t.Error("single-hop transit must match cut-through")
+	}
+}

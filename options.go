@@ -1,0 +1,72 @@
+package bgl
+
+import (
+	"repro/internal/analytic"
+	"repro/internal/bfs"
+)
+
+// Option adjusts search behavior.
+type Option func(*bfs.Options)
+
+func applyOptions(o *bfs.Options, opts []Option) {
+	for _, fn := range opts {
+		fn(o)
+	}
+}
+
+// ExpandAlg and FoldAlg re-export the collective algorithm selectors.
+type (
+	ExpandAlg = bfs.ExpandAlg
+	FoldAlg   = bfs.FoldAlg
+)
+
+// Expand algorithm choices (§2.2, §3.2.2).
+const (
+	ExpandTargeted  = bfs.ExpandTargeted
+	ExpandAllGather = bfs.ExpandAllGather
+	ExpandTwoPhase  = bfs.ExpandTwoPhase
+)
+
+// Fold algorithm choices (§3.2.2).
+const (
+	FoldTwoPhase        = bfs.FoldTwoPhase
+	FoldDirect          = bfs.FoldDirect
+	FoldTwoPhaseNoUnion = bfs.FoldTwoPhaseNoUnion
+	FoldBruck           = bfs.FoldBruck
+)
+
+// WithExpand selects the expand collective.
+func WithExpand(a ExpandAlg) Option { return func(o *bfs.Options) { o.Expand = a } }
+
+// WithFold selects the fold collective.
+func WithFold(a FoldAlg) Option { return func(o *bfs.Options) { o.Fold = a } }
+
+// WithSentCache toggles the sent-neighbors optimization (§2.4.3).
+func WithSentCache(on bool) Option { return func(o *bfs.Options) { o.SentCache = on } }
+
+// WithChunkWords caps physical messages at n words (§3.1 fixed
+// buffers); 0 disables chunking.
+func WithChunkWords(n int) Option { return func(o *bfs.Options) { o.ChunkWords = n } }
+
+// WithMaxLevels bounds the search depth.
+func WithMaxLevels(n int) Option { return func(o *bfs.Options) { o.MaxLevels = n } }
+
+// Analytic re-exports (§3.1, Figure 6b).
+
+// Gamma is the column-occupancy probability γ(m) of §3.1.
+func Gamma(m, n, k float64) float64 { return analytic.Gamma(m, n, k) }
+
+// Expected1DFold is the expected 1D per-processor fold length.
+func Expected1DFold(n, k float64, p int) float64 { return analytic.Expected1DFold(n, k, p) }
+
+// Expected2DExpand is the expected 2D per-processor expand length.
+func Expected2DExpand(n, k float64, r, c int) float64 { return analytic.Expected2DExpand(n, k, r, c) }
+
+// Expected2DFold is the expected 2D per-processor fold length.
+func Expected2DFold(n, k float64, r, c int) float64 { return analytic.Expected2DFold(n, k, r, c) }
+
+// CrossoverK solves for the degree at which 1D and 2D volumes match
+// (Figure 6b).
+func CrossoverK(n float64, p int, kMax float64) (float64, error) {
+	return analytic.CrossoverK(n, p, kMax)
+}
