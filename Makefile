@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci fmt-check vet tier1 build test bench
+
+ci: fmt-check vet tier1
+
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 verification: everything builds, every test passes.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...

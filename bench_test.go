@@ -91,6 +91,10 @@ func BenchmarkAblationSentCache(b *testing.B) { runExperiment(b, "ablation-sentc
 // termination ablation.
 func BenchmarkAblationTermination(b *testing.B) { runExperiment(b, "ablation-termination") }
 
+// BenchmarkAblationDirection regenerates the top-down vs
+// direction-optimizing level-by-level ablation.
+func BenchmarkAblationDirection(b *testing.B) { runExperiment(b, "ablation-direction") }
+
 // BenchmarkMemScale regenerates the §2.4.1 memory-scalability exhibit.
 func BenchmarkMemScale(b *testing.B) { runExperiment(b, "memscale") }
 
@@ -150,6 +154,41 @@ func BenchmarkTraversal2D(b *testing.B) {
 		b.ReportMetric(last.SimComm, "simcomm-s")
 	}
 }
+
+// benchDirection measures a full traversal of the paper's k=10
+// workload at n=100k on a 4x4 mesh under one direction policy,
+// reporting real throughput plus the edges-inspected and simulated-time
+// deltas that direction-optimizing traversal shrinks.
+func benchDirection(b *testing.B, dir bfs.Direction) {
+	fx := buildBenchFixture(b, 100000, 10, 4, 4)
+	opts := bfs.DefaultOptions(fx.src)
+	opts.Direction = dir
+	b.ResetTimer()
+	var last *bfs.Result
+	for i := 0; i < b.N; i++ {
+		res, err := bfs.Run2D(fx.world, fx.stores, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if last != nil {
+		b.ReportMetric(float64(fx.g.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+		b.ReportMetric(float64(last.TotalEdgesScanned), "edges-scanned")
+		b.ReportMetric(float64(last.TotalExpandWords+last.TotalFoldWords), "words")
+		b.ReportMetric(last.SimTime, "simexec-s")
+		b.ReportMetric(last.SimComm, "simcomm-s")
+	}
+}
+
+// BenchmarkDirectionTopDown is the always-top-down baseline (the
+// paper's algorithm) for the direction comparison.
+func BenchmarkDirectionTopDown(b *testing.B) { benchDirection(b, bfs.TopDown) }
+
+// BenchmarkDirectionOptimizing runs the same traversal with per-level
+// direction switching.
+func BenchmarkDirectionOptimizing(b *testing.B) { benchDirection(b, bfs.DirectionOptimizing) }
 
 // BenchmarkTraversal1D measures the dedicated Algorithm 1 engine.
 func BenchmarkTraversal1D(b *testing.B) {

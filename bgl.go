@@ -10,6 +10,13 @@
 // deterministic cost model reports simulated execution/communication
 // times alongside real wall time.
 //
+// Beyond the paper, searches can run with a direction policy
+// (WithDirection): top-down, bottom-up, or direction-optimizing
+// traversal that switches to a bitmap-exchanged bottom-up parent
+// search on the large middle levels, plus an adaptive sparse/dense
+// frontier representation and a bitmap wire encoding
+// (WithFrontierWire) for dense frontiers.
+//
 // Quick start:
 //
 //	g, _ := bgl.Generate(100000, 10, 42)

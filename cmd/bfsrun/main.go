@@ -34,6 +34,9 @@ func main() {
 		bidir    = flag.Bool("bidir", false, "bi-directional search (requires -target)")
 		expand   = flag.String("expand", "targeted", "expand collective: targeted|allgather|twophase")
 		fold     = flag.String("fold", "twophase", "fold collective: twophase|direct|nounion|bruck")
+		dir      = flag.String("direction", "topdown", "traversal direction: topdown|bottomup|dirop")
+		doAlpha  = flag.Float64("doalpha", 0, "direction-optimizing switch factor (0 = default)")
+		wire     = flag.String("wire", "sparse", "frontier wire encoding: sparse|dense|auto")
 		cache    = flag.Bool("sentcache", true, "sent-neighbors cache (§2.4.3)")
 		chunk    = flag.Int("chunk", 16384, "fixed message buffer in words (0 = unchunked)")
 		rowMaj   = flag.Bool("rowmajor", false, "row-major torus mapping instead of Figure 1 planes")
@@ -60,6 +63,18 @@ func main() {
 	}[*fold]
 	if !ok {
 		fail(fmt.Errorf("unknown fold algorithm %q", *fold))
+	}
+	dirPolicy, ok := map[string]bgl.Direction{
+		"topdown": bgl.TopDown, "bottomup": bgl.BottomUp, "dirop": bgl.DirectionOptimizing,
+	}[*dir]
+	if !ok {
+		fail(fmt.Errorf("unknown direction policy %q", *dir))
+	}
+	wireMode, ok := map[string]bgl.WireMode{
+		"sparse": bgl.WireSparse, "dense": bgl.WireDense, "auto": bgl.WireAuto,
+	}[*wire]
+	if !ok {
+		fail(fmt.Errorf("unknown wire encoding %q", *wire))
 	}
 
 	var g *bgl.Graph
@@ -101,6 +116,8 @@ func main() {
 	}
 	opts := []bgl.Option{
 		bgl.WithExpand(expAlg), bgl.WithFold(foldAlg),
+		bgl.WithDirection(dirPolicy), bgl.WithDOAlpha(*doAlpha),
+		bgl.WithFrontierWire(wireMode),
 		bgl.WithSentCache(*cache), bgl.WithChunkWords(*chunk),
 	}
 
@@ -126,22 +143,24 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
-			N      int
-			K      float64
-			Seed   int64
-			Expand string
-			Fold   string
-			Cache  bool
-			Chunk  int
+			N         int
+			K         float64
+			Seed      int64
+			Expand    string
+			Fold      string
+			Direction string
+			Wire      string
+			Cache     bool
+			Chunk     int
 			*bgl.Result
-		}{g.N(), *k, *seed, *expand, *fold, *cache, *chunk, &out}); err != nil {
+		}{g.N(), *k, *seed, *expand, *fold, dirPolicy.String(), wireMode.String(), *cache, *chunk, &out}); err != nil {
 			fail(err)
 		}
 		return
 	}
 
-	fmt.Printf("graph: n=%d k=%.3g (%d edges) | mesh %dx%d (P=%d) | expand=%s fold=%s cache=%v chunk=%d\n",
-		g.N(), g.AvgDegree(), g.NumEdges(), *r, *c, cl.P(), *expand, *fold, *cache, *chunk)
+	fmt.Printf("graph: n=%d k=%.3g (%d edges) | mesh %dx%d (P=%d) | expand=%s fold=%s dir=%s wire=%s cache=%v chunk=%d\n",
+		g.N(), g.AvgDegree(), g.NumEdges(), *r, *c, cl.P(), *expand, *fold, dirPolicy, wireMode, *cache, *chunk)
 	if *target >= 0 {
 		fmt.Printf("search %d -> %d: found=%v distance=%d\n", src, *target, res.Found, res.Distance)
 	} else {
@@ -154,10 +173,10 @@ func main() {
 		res.TotalExpandWords, res.TotalFoldWords, res.TotalDups, res.RedundancyRatio(), res.HashProbes)
 	fmt.Printf("network: %d messages, %.2f avg hops, load imbalance %.3f\n",
 		res.MsgsRecv, res.AvgHopsPerMessage(), res.LoadImbalance())
-	fmt.Println("\nlevel  frontier  expand-words  fold-words  dups  marked")
+	fmt.Println("\nlevel  dir       frontier  expand-words  fold-words  dups  marked  edges-scanned")
 	for _, ls := range res.PerLevel {
-		fmt.Printf("%5d  %8d  %12d  %10d  %4d  %6d\n",
-			ls.Level, ls.Frontier, ls.ExpandWords, ls.FoldWords, ls.Dups, ls.Marked)
+		fmt.Printf("%5d  %-8s  %8d  %12d  %10d  %4d  %6d  %13d\n",
+			ls.Level, ls.Direction, ls.Frontier, ls.ExpandWords, ls.FoldWords, ls.Dups, ls.Marked, ls.EdgesScanned)
 	}
 
 	if *verify {

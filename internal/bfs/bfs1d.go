@@ -39,13 +39,16 @@ func newEngine1D(c *comm.Comm, st *partition.Store1D, opts Options) *engine1D {
 }
 
 func (e *engine1D) newSide(src graph.Vertex) *sideState {
-	s := &sideState{L: make([]int32, e.st.OwnedCount())}
+	s := &sideState{
+		L: make([]int32, e.st.OwnedCount()),
+		F: e.opts.newFrontier(e.st.Lo, e.st.OwnedCount()),
+	}
 	for i := range s.L {
 		s.L[i] = graph.Unreached
 	}
 	if src >= e.st.Lo && src < e.st.Hi {
 		s.L[e.st.LocalOf(src)] = 0
-		s.F = []uint32{uint32(src)}
+		s.F.Add(uint32(src))
 	}
 	if e.opts.SentCache {
 		s.sent = localindex.NewBitset(e.st.TargetCount)
@@ -53,15 +56,18 @@ func (e *engine1D) newSide(src graph.Vertex) *sideState {
 	return s
 }
 
+// universe returns the global vertex count.
+func (e *engine1D) universe() int { return e.st.Layout.N }
+
 // step runs one complete Algorithm 1 level: merge frontier edge lists
 // into per-owner bins (steps 7–9), fold (steps 8–13), mark (14–16).
 func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
-	rec := rankLevel{frontier: len(s.F)}
+	rec := rankLevel{frontier: s.F.Len()}
 	l := e.st.Layout
 	bins := make([][]uint32, e.c.Size())
 	probes0 := e.st.TargetMap.Probes()
 	scanned := 0
-	for _, gv := range s.F {
+	s.F.Iterate(func(gv uint32) {
 		li := e.st.LocalOf(graph.Vertex(gv))
 		adj := e.st.Neighbors(li)
 		scanned += len(adj)
@@ -77,7 +83,8 @@ func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
 			}
 			bins[l.OwnerRank(u)] = append(bins[l.OwnerRank(u)], uint32(u))
 		}
-	}
+	})
+	rec.edges = scanned
 	e.c.ChargeItems(scanned, e.model.EdgeCost)
 	e.c.ChargeItems(int(e.st.TargetMap.Probes()-probes0), e.model.HashCost)
 	for q := range bins {
@@ -87,6 +94,7 @@ func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
 	}
 
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
+	o.Codec = foldCodec(e.opts.Wire, e.world, e.st.Layout.OwnedRange)
 	var nbar []uint32
 	var fst collective.Stats
 	switch e.opts.Fold {
@@ -107,12 +115,12 @@ func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
 
 	e.c.ChargeItems(len(nbar), e.model.VertexCost)
 	foundTarget := false
-	next := make([]uint32, 0, len(nbar))
+	next := e.opts.newFrontier(e.st.Lo, e.st.OwnedCount())
 	for _, gu := range nbar {
 		li := e.st.LocalOf(graph.Vertex(gu))
 		if s.L[li] == graph.Unreached {
 			s.L[li] = s.level + 1
-			next = append(next, gu)
+			next.Add(gu)
 			rec.marked++
 			if e.opts.HasTarget && graph.Vertex(gu) == e.opts.Target {
 				foundTarget = true

@@ -1,0 +1,152 @@
+package bfs
+
+import (
+	"repro/internal/collective"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// Bottom-up level expansion (the direction-optimizing complement to the
+// paper's top-down Algorithms 1 and 2): instead of the frontier pushing
+// its neighbors to their owners, every still-unlabeled vertex searches
+// its own edge list for a parent already in the frontier and stops at
+// the first hit. Communication is dense bitmaps with per-level volume
+// fixed by the partitioning (independent of frontier size), so on the
+// huge middle levels of a low-diameter Poisson graph both the edges
+// inspected and the words moved collapse relative to top-down.
+
+// stepBottomUp runs one bottom-up level under the 1D partitioning:
+// every rank learns the global frontier as a bitmap (one all-gather of
+// owned-range bitmaps — 1D stores full edge lists, so no fold is
+// needed), then scans its unlabeled owned vertices for frontier
+// parents.
+func (e *engine1D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
+	rec := rankLevel{frontier: s.F.Len()}
+	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
+	pieces, st := collective.AllGather(e.c, e.world, o, frontier.Bits(s.F))
+	rec.expandWords = st.RecvWords
+	e.c.ChargeItems(st.RecvWords, e.model.VertexCost)
+
+	bs := uint32(e.st.Layout.BlockSize())
+	inFrontier := func(u graph.Vertex) bool {
+		r := uint32(u) / bs
+		return frontier.TestBit(pieces[r], uint32(u)-r*bs)
+	}
+
+	next := e.opts.newFrontier(e.st.Lo, e.st.OwnedCount())
+	edges := 0
+	foundTarget := false
+	for li := range s.L {
+		if s.L[li] != graph.Unreached {
+			continue
+		}
+		for _, u := range e.st.Neighbors(uint32(li)) {
+			edges++
+			if inFrontier(u) {
+				s.L[li] = s.level + 1
+				gv := e.st.GlobalOf(uint32(li))
+				next.Add(uint32(gv))
+				rec.marked++
+				if e.opts.HasTarget && gv == e.opts.Target {
+					foundTarget = true
+				}
+				break
+			}
+		}
+	}
+	rec.edges = edges
+	e.c.ChargeItems(edges, e.model.EdgeCost)
+	s.F = next
+	s.level++
+	return rec, foundTarget
+}
+
+// stepBottomUp runs one bottom-up level under the 2D partitioning:
+//
+//  1. Processor-row all-gather of owned-frontier bitmaps — the owners
+//     of every vertex appearing in my partial edge lists are exactly my
+//     processor row, so afterwards I can test any row vertex for
+//     frontier membership.
+//  2. Processor-column all-gather of unlabeled-owned bitmaps — my
+//     processor column collectively owns every vertex whose partial
+//     lists this column stores.
+//  3. Local scan: for each still-unlabeled vertex with a non-empty
+//     partial list here, stop at the first frontier parent and claim it
+//     for its owner.
+//  4. Processor-column OR-reduce-scatter of the claim bitmaps back to
+//     the owners, which mark and build the next frontier.
+func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
+	l := e.st.Layout
+	bs := uint32(l.BlockSize())
+	rec := rankLevel{frontier: s.F.Len()}
+
+	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
+	fPieces, fst := collective.AllGather(e.c, e.rowG, o, frontier.Bits(s.F))
+
+	un := frontier.NewBits(e.st.OwnedCount())
+	for li, lv := range s.L {
+		if lv == graph.Unreached {
+			frontier.SetBit(un, uint32(li))
+		}
+	}
+	o2 := collective.Opts{Tag: tagBase + 1<<22, Chunk: e.opts.ChunkWords}
+	uPieces, ust := collective.AllGather(e.c, e.colG, o2, un)
+	rec.expandWords = fst.RecvWords + ust.RecvWords
+	e.c.ChargeItems(fst.RecvWords+ust.RecvWords, e.model.VertexCost)
+
+	// My row vertices u satisfy BlockOf(u) mod R == my mesh row, so
+	// their owner sits at row-group index BlockOf(u)/R.
+	inFrontier := func(u graph.Vertex) bool {
+		b := uint32(u) / bs
+		return frontier.TestBit(fPieces[int(b)/l.R], uint32(u)-b*bs)
+	}
+
+	claims := make([][]uint32, l.R)
+	for i := 0; i < l.R; i++ {
+		claims[i] = frontier.NewBits(l.OwnedCount(e.colG.Ranks[i]))
+	}
+	edges := 0
+	for ci, v := range e.st.ColIds {
+		// Column vertices v are owned within my processor column, at
+		// column-group index BlockOf(v) mod R.
+		b := uint32(v) / bs
+		m := int(b) % l.R
+		off := uint32(v) - b*bs
+		if !frontier.TestBit(uPieces[m], off) {
+			continue
+		}
+		for _, u := range e.st.Rows[e.st.Off[ci]:e.st.Off[ci+1]] {
+			edges++
+			if inFrontier(u) {
+				frontier.SetBit(claims[m], off)
+				break
+			}
+		}
+	}
+	rec.edges = edges
+	e.c.ChargeItems(len(e.st.ColIds), e.model.VertexCost)
+	e.c.ChargeItems(edges, e.model.EdgeCost)
+
+	o3 := collective.Opts{Tag: tagBase + 2<<22, Chunk: e.opts.ChunkWords}
+	mine, cst := collective.ReduceScatterOr(e.c, e.colG, o3, claims)
+	rec.foldWords = cst.RecvWords
+	e.c.ChargeItems(cst.RecvWords, e.model.VertexCost)
+
+	next := e.opts.newFrontier(e.st.Lo, e.st.OwnedCount())
+	foundTarget := false
+	frontier.IterateBits(mine, func(li uint32) {
+		if s.L[li] != graph.Unreached {
+			return // claims are built from a pre-level snapshot
+		}
+		s.L[li] = s.level + 1
+		gv := e.st.GlobalOf(li)
+		next.Add(uint32(gv))
+		rec.marked++
+		if e.opts.HasTarget && gv == e.opts.Target {
+			foundTarget = true
+		}
+	})
+	s.F = next
+	s.level++
+	return rec, foundTarget
+}

@@ -1,0 +1,346 @@
+package bfs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+var allDirections = []Direction{TopDown, BottomUp, DirectionOptimizing}
+
+func build1D(t *testing.T, g *graph.CSR, p int) ([]*partition.Store1D, *comm.World) {
+	t.Helper()
+	l1, err := partition.NewLayout1D(g.N, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := partition.Build1D(l1, visitCSR(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := comm.NewWorld(comm.Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st1, w
+}
+
+// TestDirectionPoliciesMatchSerial2D: every direction policy must
+// label exactly the serial reference levels on the 2D partitioning,
+// across mesh shapes.
+func TestDirectionPoliciesMatchSerial2D(t *testing.T) {
+	g := testGraph(t, 600, 5, 1)
+	for _, mesh := range [][2]int{{1, 1}, {2, 2}, {1, 4}, {4, 1}, {2, 3}} {
+		fx := build2D(t, g, mesh[0], mesh[1])
+		for _, dir := range allDirections {
+			opts := DefaultOptions(fx.src)
+			opts.Direction = dir
+			res, err := Run2D(fx.world, fx.st2, opts)
+			if err != nil {
+				t.Fatalf("mesh %v dir %v: %v", mesh, dir, err)
+			}
+			levelsEqual(t, res.Levels, fx.serial, fmt.Sprintf("mesh %v dir %v", mesh, dir))
+		}
+	}
+}
+
+// TestDirectionPoliciesMatchSerial1D: the same equivalence on the
+// dedicated Algorithm 1 engine.
+func TestDirectionPoliciesMatchSerial1D(t *testing.T) {
+	g := testGraph(t, 500, 4, 3)
+	src := graph.LargestComponentVertex(g)
+	serial := graph.BFS(g, src)
+	for _, p := range []int{1, 3, 4} {
+		st1, w := build1D(t, g, p)
+		for _, dir := range allDirections {
+			opts := DefaultOptions(src)
+			opts.Direction = dir
+			res, err := Run1D(w, st1, opts)
+			if err != nil {
+				t.Fatalf("p=%d dir %v: %v", p, dir, err)
+			}
+			levelsEqual(t, res.Levels, serial, fmt.Sprintf("1D p=%d dir %v", p, dir))
+		}
+	}
+}
+
+// TestDirectionPoliciesHandBuiltGraphs exercises degenerate structures
+// (path, star, disconnected components) where the direction switch
+// boundary cases live, on both partitionings.
+func TestDirectionPoliciesHandBuiltGraphs(t *testing.T) {
+	path := [][2]graph.Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}}
+	star := [][2]graph.Vertex{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}}
+	split := [][2]graph.Vertex{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 3}}
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]graph.Vertex
+		src   graph.Vertex
+	}{
+		{"path", 10, path, 0},
+		{"path-mid", 10, path, 5},
+		{"star", 8, star, 3},
+		{"disconnected", 7, split, 1},
+		{"isolated-source", 7, split, 6},
+	}
+	for _, c := range cases {
+		g, err := graph.FromEdges(c.n, c.edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := graph.BFS(g, c.src)
+		fx2 := build2D(t, g, 2, 2)
+		st1, w1 := build1D(t, g, 3)
+		for _, dir := range allDirections {
+			opts := DefaultOptions(c.src)
+			opts.Direction = dir
+			res2, err := Run2D(fx2.world, fx2.st2, opts)
+			if err != nil {
+				t.Fatalf("%s 2D dir %v: %v", c.name, dir, err)
+			}
+			levelsEqual(t, res2.Levels, serial, fmt.Sprintf("%s 2D dir %v", c.name, dir))
+			res1, err := Run1D(w1, st1, opts)
+			if err != nil {
+				t.Fatalf("%s 1D dir %v: %v", c.name, dir, err)
+			}
+			levelsEqual(t, res1.Levels, serial, fmt.Sprintf("%s 1D dir %v", c.name, dir))
+		}
+	}
+}
+
+// TestBottomUpInspectsFewerEdges is the headline property: on a
+// low-diameter Poisson graph the direction-optimizing run switches to
+// bottom-up on the big middle levels and inspects strictly fewer edges
+// there than the top-down run did on the same levels.
+func TestBottomUpInspectsFewerEdges(t *testing.T) {
+	g := testGraph(t, 20000, 10, 7)
+	fx := build2D(t, g, 2, 2)
+	td := DefaultOptions(fx.src)
+	do := DefaultOptions(fx.src)
+	do.Direction = DirectionOptimizing
+	resTD, err := Run2D(fx.world, fx.st2, td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDO, err := Run2D(fx.world, fx.st2, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levelsEqual(t, resDO.Levels, resTD.Levels, "dirop vs topdown")
+	for _, ls := range resTD.PerLevel {
+		if ls.Direction != TopDown {
+			t.Fatalf("top-down run reported level %d as %v", ls.Level, ls.Direction)
+		}
+	}
+	var buLevels int
+	var tdEdges, doEdges int64
+	for l, ls := range resDO.PerLevel {
+		if ls.Direction != BottomUp {
+			continue
+		}
+		buLevels++
+		doEdges += ls.EdgesScanned
+		if l < len(resTD.PerLevel) {
+			tdEdges += resTD.PerLevel[l].EdgesScanned
+		}
+	}
+	if buLevels == 0 {
+		t.Fatal("direction-optimizing run never switched to bottom-up on a k=10 Poisson graph")
+	}
+	if doEdges >= tdEdges {
+		t.Fatalf("bottom-up levels inspected %d edges, top-down %d on the same levels", doEdges, tdEdges)
+	}
+	if resDO.TotalEdgesScanned >= resTD.TotalEdgesScanned {
+		t.Fatalf("total edges: dirop %d not below topdown %d",
+			resDO.TotalEdgesScanned, resTD.TotalEdgesScanned)
+	}
+}
+
+// TestDirectionPoliciesWithTargets: s→t searches and the bi-directional
+// driver must return exact distances under every policy.
+func TestDirectionPoliciesWithTargets(t *testing.T) {
+	g := testGraph(t, 500, 5, 21)
+	fx := build2D(t, g, 2, 3)
+	rng := rand.New(rand.NewSource(22))
+	for _, dir := range allDirections {
+		for trial := 0; trial < 5; trial++ {
+			s := graph.Vertex(rng.Intn(g.N))
+			dst := graph.Vertex(rng.Intn(g.N))
+			want := graph.Distance(g, s, dst)
+			opts := DefaultOptions(s)
+			opts.Target, opts.HasTarget = dst, true
+			opts.Direction = dir
+			for name, run := range map[string]func() (*Result, error){
+				"uni": func() (*Result, error) { return Run2D(fx.world, fx.st2, opts) },
+				"bi":  func() (*Result, error) { return RunBidirectional2D(fx.world, fx.st2, opts) },
+			} {
+				res, err := run()
+				if err != nil {
+					t.Fatalf("%s dir %v: %v", name, dir, err)
+				}
+				if want == graph.Unreached {
+					if res.Found {
+						t.Fatalf("%s dir %v: found unreachable target", name, dir)
+					}
+					continue
+				}
+				if !res.Found || res.Distance != want {
+					t.Fatalf("%s dir %v: distance(%d,%d)=%d found=%v, want %d",
+						name, dir, s, dst, res.Distance, res.Found, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWireAutoMatchesSparse: the bitmap wire encoding must not change
+// any labeling and must never move more words than the plain lists.
+func TestWireAutoMatchesSparse(t *testing.T) {
+	g := testGraph(t, 5000, 10, 23)
+	fx := build2D(t, g, 2, 2)
+	for _, ex := range []ExpandAlg{ExpandTargeted, ExpandAllGather, ExpandTwoPhase} {
+		for _, fo := range []FoldAlg{FoldTwoPhase, FoldDirect, FoldBruck} {
+			base := DefaultOptions(fx.src)
+			base.Expand, base.Fold = ex, fo
+			auto := base
+			auto.Wire = frontier.WireAuto
+			resSparse, err := Run2D(fx.world, fx.st2, base)
+			if err != nil {
+				t.Fatalf("%v/%v sparse: %v", ex, fo, err)
+			}
+			resAuto, err := Run2D(fx.world, fx.st2, auto)
+			if err != nil {
+				t.Fatalf("%v/%v auto: %v", ex, fo, err)
+			}
+			levelsEqual(t, resAuto.Levels, fx.serial, fmt.Sprintf("%v/%v wire=auto", ex, fo))
+			sparseWords := resSparse.TotalExpandWords + resSparse.TotalFoldWords
+			autoWords := resAuto.TotalExpandWords + resAuto.TotalFoldWords
+			if autoWords > sparseWords {
+				t.Errorf("%v/%v: wire=auto moved %d words, sparse %d", ex, fo, autoWords, sparseWords)
+			}
+		}
+	}
+	// WireDense is also exact (if rarely cheaper on small levels).
+	dense := DefaultOptions(fx.src)
+	dense.Wire = frontier.WireDense
+	res, err := Run2D(fx.world, fx.st2, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levelsEqual(t, res.Levels, fx.serial, "wire=dense")
+}
+
+// TestWireAuto1D: the fold codec on the Algorithm 1 engine.
+func TestWireAuto1D(t *testing.T) {
+	g := testGraph(t, 3000, 10, 24)
+	src := graph.LargestComponentVertex(g)
+	serial := graph.BFS(g, src)
+	st1, w := build1D(t, g, 4)
+	for _, fo := range []FoldAlg{FoldTwoPhase, FoldDirect, FoldBruck} {
+		opts := DefaultOptions(src)
+		opts.Fold = fo
+		opts.Wire = frontier.WireAuto
+		res, err := Run1D(w, st1, opts)
+		if err != nil {
+			t.Fatalf("1D %v wire=auto: %v", fo, err)
+		}
+		levelsEqual(t, res.Levels, serial, fmt.Sprintf("1D %v wire=auto", fo))
+	}
+}
+
+// TestFrontierOccupancyExtremes: pinning the adaptive frontier sparse
+// or flipping it dense immediately must not change results.
+func TestFrontierOccupancyExtremes(t *testing.T) {
+	g := testGraph(t, 800, 6, 25)
+	fx := build2D(t, g, 2, 2)
+	for _, occ := range []float64{1e-9, 0.5, 1} {
+		for _, dir := range allDirections {
+			opts := DefaultOptions(fx.src)
+			opts.FrontierOccupancy = occ
+			opts.Direction = dir
+			res, err := Run2D(fx.world, fx.st2, opts)
+			if err != nil {
+				t.Fatalf("occ=%g dir=%v: %v", occ, dir, err)
+			}
+			levelsEqual(t, res.Levels, fx.serial, fmt.Sprintf("occ=%g dir=%v", occ, dir))
+		}
+	}
+}
+
+// TestBidirectional1DWithDirections: the shared bi-directional driver
+// on the 1D engine under every policy.
+func TestBidirectional1DWithDirections(t *testing.T) {
+	g := testGraph(t, 600, 5, 26)
+	src := graph.LargestComponentVertex(g)
+	serial := graph.BFS(g, src)
+	var far graph.Vertex
+	for v, l := range serial {
+		if l != graph.Unreached && l > serial[far] {
+			far = graph.Vertex(v)
+		}
+	}
+	st1, w := build1D(t, g, 4)
+	for _, dir := range allDirections {
+		opts := DefaultOptions(src)
+		opts.Target, opts.HasTarget = far, true
+		opts.Direction = dir
+		res, err := RunBidirectional1D(w, st1, opts)
+		if err != nil {
+			t.Fatalf("dir %v: %v", dir, err)
+		}
+		if !res.Found || res.Distance != serial[far] {
+			t.Fatalf("dir %v: distance %d found=%v, want %d", dir, res.Distance, res.Found, serial[far])
+		}
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	cases := map[string]string{
+		TopDown.String():             "topdown",
+		BottomUp.String():            "bottomup",
+		DirectionOptimizing.String(): "dirop",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if !strings.Contains(Direction(99).String(), "99") {
+		t.Error("unknown direction should include the value")
+	}
+	g := testGraph(t, 100, 3, 27)
+	fx := build2D(t, g, 1, 2)
+	opts := DefaultOptions(fx.src)
+	opts.Direction = Direction(99)
+	if _, err := Run2D(fx.world, fx.st2, opts); err == nil {
+		t.Error("unknown direction policy did not error")
+	}
+}
+
+// TestDOAlphaExtremes: a huge alpha forces bottom-up from level 1, a
+// tiny one keeps every level top-down; both must stay exact.
+func TestDOAlphaExtremes(t *testing.T) {
+	g := testGraph(t, 800, 6, 28)
+	fx := build2D(t, g, 2, 2)
+	for _, alpha := range []float64{1e9, 1e-9} {
+		opts := DefaultOptions(fx.src)
+		opts.Direction = DirectionOptimizing
+		opts.DOAlpha = alpha
+		res, err := Run2D(fx.world, fx.st2, opts)
+		if err != nil {
+			t.Fatalf("alpha=%g: %v", alpha, err)
+		}
+		levelsEqual(t, res.Levels, fx.serial, fmt.Sprintf("alpha=%g", alpha))
+		for _, ls := range res.PerLevel {
+			if alpha < 1 && ls.Direction != TopDown {
+				t.Fatalf("alpha=%g: level %d ran %v", alpha, ls.Level, ls.Direction)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/collective"
@@ -60,13 +61,49 @@ func (r *reducer) min(v uint64) uint64 {
 }
 
 // stepper is a partitioning engine: it creates per-side search state
-// and advances one complete BFS level (expand where applicable,
-// neighbor scan, fold, mark). Both the 1D (Algorithm 1) and 2D
+// and advances one complete BFS level in either direction (expand where
+// applicable, neighbor scan, fold, mark for top-down; bitmap exchange
+// and parent search for bottom-up). Both the 1D (Algorithm 1) and 2D
 // (Algorithm 2) engines implement it, so the uni- and bi-directional
 // drivers below are shared.
 type stepper interface {
 	newSide(src graph.Vertex) *sideState
 	step(s *sideState, tagBase int) (rankLevel, bool)
+	stepBottomUp(s *sideState, tagBase int) (rankLevel, bool)
+	universe() int // global vertex count
+}
+
+// chooseDirection picks a level's expansion direction. Its inputs are
+// globally reduced quantities, so every rank makes the same choice
+// without extra communication.
+func chooseDirection(opts Options, gf, unlabeled uint64) Direction {
+	switch opts.Direction {
+	case TopDown:
+		return TopDown
+	case BottomUp:
+		return BottomUp
+	case DirectionOptimizing:
+		if float64(gf)*opts.doAlpha() >= float64(unlabeled) {
+			return BottomUp
+		}
+		return TopDown
+	default:
+		panic(fmt.Sprintf("bfs: unknown direction policy %v", opts.Direction))
+	}
+}
+
+// stepDir advances one level in the chosen direction and stamps the
+// record with it.
+func stepDir(e stepper, s *sideState, dir Direction, tagBase int) (rankLevel, bool) {
+	var rec rankLevel
+	var found bool
+	if dir == BottomUp {
+		rec, found = e.stepBottomUp(s, tagBase)
+	} else {
+		rec, found = e.step(s, tagBase)
+	}
+	rec.dir = dir
+	return rec, found
 }
 
 // driveUni runs a uni-directional level-synchronized search to
@@ -76,16 +113,22 @@ type stepper interface {
 func driveUni(c *comm.Comm, e stepper, opts Options) ([]rankLevel, *sideState, bool) {
 	s := e.newSide(opts.Source)
 	red := newReducer(c, opts)
+	// Every vertex joins the frontier exactly once, at the level it is
+	// labeled, so subtracting each level's global frontier size tracks
+	// the unlabeled count with no extra reductions.
+	unlabeled := uint64(e.universe())
 	var recs []rankLevel
 	for {
-		gf := red.sum(uint64(len(s.F)))
+		gf := red.sum(uint64(s.F.Len()))
 		if gf == 0 {
 			return recs, s, false
 		}
+		unlabeled -= gf
 		if opts.MaxLevels > 0 && int(s.level) >= opts.MaxLevels {
 			return recs, s, false
 		}
-		rec, foundLocal := e.step(s, int(s.level)*64)
+		dir := chooseDirection(opts, gf, unlabeled)
+		rec, foundLocal := stepDir(e, s, dir, int(s.level)*64)
 		recs = append(recs, rec)
 		if opts.HasTarget && red.or(foundLocal) {
 			return recs, s, true
@@ -113,9 +156,22 @@ func driveBidir(c *comm.Comm, e stepper, st interface {
 	var recs []rankLevel
 	best := bidirInf
 	tagSeq := 0
+	// Per-side unlabeled counters for the direction policy: a side's
+	// current frontier is counted once, the first time its global size
+	// is reduced after the side steps.
+	unS, unT := uint64(e.universe()), uint64(e.universe())
+	newS, newT := true, true
 	for {
-		gfs := red.sum(uint64(len(ss.F)))
-		gft := red.sum(uint64(len(ts.F)))
+		gfs := red.sum(uint64(ss.F.Len()))
+		gft := red.sum(uint64(ts.F.Len()))
+		if newS {
+			unS -= gfs
+			newS = false
+		}
+		if newT {
+			unT -= gft
+			newT = false
+		}
 		exhausted := gfs == 0 || gft == 0
 		proven := best != bidirInf && best <= uint64(ss.level)+uint64(ts.level)
 		if exhausted || proven {
@@ -124,13 +180,19 @@ func driveBidir(c *comm.Comm, e stepper, st interface {
 		if opts.MaxLevels > 0 && int(ss.level+ts.level) >= opts.MaxLevels {
 			return recs, ss, best
 		}
-		side, other := ss, ts
+		side, other, gf, un := ss, ts, gfs, unS
 		if gft < gfs {
-			side, other = ts, ss
+			side, other, gf, un = ts, ss, gft, unT
 		}
-		rec, _ := e.step(side, tagSeq*64)
+		dir := chooseDirection(opts, gf, un)
+		rec, _ := stepDir(e, side, dir, tagSeq*64)
+		if side == ss {
+			newS = true
+		} else {
+			newT = true
+		}
 		tagSeq++
-		for _, gu := range side.F {
+		side.F.Iterate(func(gu uint32) {
 			li := st.LocalOf(graph.Vertex(gu))
 			if other.L[li] != graph.Unreached {
 				cand := uint64(side.L[li]) + uint64(other.L[li])
@@ -138,7 +200,7 @@ func driveBidir(c *comm.Comm, e stepper, st interface {
 					best = cand
 				}
 			}
-		}
+		})
 		best = red.min(best)
 		recs = append(recs, rec)
 	}

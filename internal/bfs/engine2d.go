@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/comm"
+	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/localindex"
 	"repro/internal/partition"
@@ -40,25 +41,62 @@ func newEngine2D(c *comm.Comm, st *partition.Store2D, opts Options) *engine2D {
 // sideState is the per-side search state (the bi-directional search
 // runs two of these).
 type sideState struct {
-	L     []int32 // levels of owned vertices, Unreached if unlabeled
-	F     []uint32
+	L     []int32           // levels of owned vertices, Unreached if unlabeled
+	F     frontier.Frontier // owned vertices labeled in the current level
 	sent  *localindex.Bitset
 	level int32
 }
 
 func (e *engine2D) newSide(src graph.Vertex) *sideState {
-	s := &sideState{L: make([]int32, e.st.OwnedCount())}
+	s := &sideState{
+		L: make([]int32, e.st.OwnedCount()),
+		F: e.opts.newFrontier(e.st.Lo, e.st.OwnedCount()),
+	}
 	for i := range s.L {
 		s.L[i] = graph.Unreached
 	}
 	if src >= e.st.Lo && src < e.st.Hi {
 		s.L[e.st.LocalOf(src)] = 0
-		s.F = []uint32{uint32(src)}
+		s.F.Add(uint32(src))
 	}
 	if e.opts.SentCache {
 		s.sent = localindex.NewBitset(e.st.RowCount)
 	}
 	return s
+}
+
+// universe returns the global vertex count.
+func (e *engine2D) universe() int { return e.st.Layout.N }
+
+// expandWire encodes an expand payload (a subset of this rank's owned
+// frontier) for the wire under the configured encoding; WireSparse is
+// the identity, keeping the legacy vertex-list format free of overhead.
+func (e *engine2D) expandWire(ids []uint32) []uint32 {
+	if e.opts.Wire == frontier.WireSparse {
+		return ids
+	}
+	return frontier.EncodeSet(ids, uint32(e.st.Lo), e.st.OwnedCount(), e.opts.Wire)
+}
+
+// wireFrontier encodes the whole frontier as an expand payload, using
+// the word-level repack when the representation is already dense.
+func (e *engine2D) wireFrontier(f frontier.Frontier) []uint32 {
+	if e.opts.Wire == frontier.WireSparse {
+		return f.Vertices()
+	}
+	return frontier.EncodeFrontier(f, e.opts.Wire)
+}
+
+// expandUnwire decodes the pieces of an expand exchange in place
+// (frontier.Decode is a no-op on payloads that stayed raw, so pieces
+// that never crossed the wire are safe to pass through).
+func (e *engine2D) expandUnwire(parts [][]uint32) {
+	if e.opts.Wire == frontier.WireSparse {
+		return
+	}
+	for i := range parts {
+		parts[i] = frontier.Decode(parts[i])
+	}
 }
 
 // expand performs the processor-column expand of Algorithm 2 steps
@@ -71,23 +109,31 @@ func (e *engine2D) expand(s *sideState, tag int) ([]uint32, collective.Stats) {
 		send := make([][]uint32, r)
 		// Filter my frontier per destination row by the row-need masks
 		// (only rows holding a non-empty partial list receive v).
-		for _, gv := range s.F {
+		s.F.Iterate(func(gv uint32) {
 			li := e.st.LocalOf(graph.Vertex(gv))
 			for i := 0; i < r; i++ {
 				if e.st.NeedsRow(li, i) {
 					send[i] = append(send[i], gv)
 				}
 			}
-		}
+		})
 		// Bitmask scan cost: |F| x ceil(R/64) words.
-		e.c.ChargeItems(len(s.F)*((r+63)/64), e.model.EdgeCost)
+		e.c.ChargeItems(s.F.Len()*((r+63)/64), e.model.EdgeCost)
+		for i := range send {
+			if i != e.colG.Me {
+				send[i] = e.expandWire(send[i])
+			}
+		}
 		parts, st := collective.AllToAll(e.c, e.colG, o, send)
+		e.expandUnwire(parts)
 		return flatten(parts), st
 	case ExpandAllGather:
-		parts, st := collective.AllGather(e.c, e.colG, o, s.F)
+		parts, st := collective.AllGather(e.c, e.colG, o, e.wireFrontier(s.F))
+		e.expandUnwire(parts)
 		return flatten(parts), st
 	case ExpandTwoPhase:
-		parts, st := collective.TwoPhaseExpand(e.c, e.colG, o, s.F)
+		parts, st := collective.TwoPhaseExpand(e.c, e.colG, o, e.wireFrontier(s.F))
+		e.expandUnwire(parts)
 		return flatten(parts), st
 	default:
 		panic(fmt.Sprintf("bfs: unknown expand algorithm %v", e.opts.Expand))
@@ -107,8 +153,9 @@ func flatten(parts [][]uint32) []uint32 {
 }
 
 // neighbors scans the partial edge lists of F̄ (Algorithm 2 step 12)
-// and bins the discovered neighbors by owner mesh column for the fold.
-func (e *engine2D) neighbors(s *sideState, fbar []uint32) [][]uint32 {
+// and bins the discovered neighbors by owner mesh column for the fold,
+// also returning the number of edge entries inspected.
+func (e *engine2D) neighbors(s *sideState, fbar []uint32) ([][]uint32, int) {
 	l := e.st.Layout
 	bins := make([][]uint32, l.C)
 	colProbes0 := e.st.ColMap.Probes()
@@ -140,7 +187,23 @@ func (e *engine2D) neighbors(s *sideState, fbar []uint32) [][]uint32 {
 		bins[j], d = localindex.SortSet(bins[j])
 		e.c.ChargeItems(len(bins[j])+d, e.model.VertexCost)
 	}
-	return bins
+	return bins, scanned
+}
+
+// foldCodec builds the wire codec for fold payloads: a set destined to
+// row-group member m is a subset of that member's owned range, so it
+// can travel as a bitmap over that range when denser is cheaper.
+func foldCodec(wire frontier.WireMode, g comm.Group, ownedRange func(worldRank int) (graph.Vertex, graph.Vertex)) *collective.Codec {
+	if wire == frontier.WireSparse {
+		return nil
+	}
+	return &collective.Codec{
+		Enc: func(m int, set []uint32) []uint32 {
+			lo, hi := ownedRange(g.World(m))
+			return frontier.EncodeSet(set, uint32(lo), int(hi-lo), wire)
+		},
+		Dec: frontier.Decode,
+	}
 }
 
 // fold delivers the neighbor sets to their owners (Algorithm 2 steps
@@ -148,6 +211,7 @@ func (e *engine2D) neighbors(s *sideState, fbar []uint32) [][]uint32 {
 // of owned vertices to mark.
 func (e *engine2D) fold(bins [][]uint32, tag int) ([]uint32, collective.Stats) {
 	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords}
+	o.Codec = foldCodec(e.opts.Wire, e.rowG, e.st.Layout.OwnedRange)
 	switch e.opts.Fold {
 	case FoldDirect:
 		return collective.ReduceScatterUnion(e.c, e.rowG, o, bins)
@@ -169,26 +233,27 @@ func (e *engine2D) fold(bins [][]uint32, tag int) ([]uint32, collective.Stats) {
 // check belongs to the caller (it differs between uni- and
 // bi-directional drivers).
 func (e *engine2D) step(s *sideState, tagBase int) (rankLevel, bool) {
-	rec := rankLevel{frontier: len(s.F)}
+	rec := rankLevel{frontier: s.F.Len()}
 	fbar, est := e.expand(s, tagBase)
 	rec.expandWords = est.RecvWords
 	// Received frontier vertices are processed through the hash-indexed
 	// partial lists; charge their handling.
 	e.c.ChargeItems(len(fbar), e.model.VertexCost)
 
-	bins := e.neighbors(s, fbar)
+	bins, edges := e.neighbors(s, fbar)
+	rec.edges = edges
 	nbar, fst := e.fold(bins, tagBase+1<<24)
 	rec.foldWords = fst.RecvWords
 	rec.dups = fst.Dups
 
 	foundTarget := false
 	e.c.ChargeItems(len(nbar), e.model.VertexCost)
-	next := make([]uint32, 0, len(nbar))
+	next := e.opts.newFrontier(e.st.Lo, e.st.OwnedCount())
 	for _, gu := range nbar {
 		li := e.st.LocalOf(graph.Vertex(gu))
 		if s.L[li] == graph.Unreached {
 			s.L[li] = s.level + 1
-			next = append(next, gu)
+			next.Add(gu)
 			rec.marked++
 			if e.opts.HasTarget && graph.Vertex(gu) == e.opts.Target {
 				foundTarget = true

@@ -4,12 +4,64 @@
 // sent-neighbors cache of §2.4.3, fixed-length message buffers of §3.1,
 // and selectable expand/fold collective algorithms including the
 // BlueGene/L-optimized two-phase operations of §3.2.
+//
+// Beyond the paper, both engines support direction-optimizing
+// traversal: each level can run top-down (the paper's expansion),
+// bottom-up (unlabeled vertices search their own edge lists for a
+// frontier parent, exchanged as bitmaps), or switch per level on a
+// frontier/unlabeled-ratio heuristic. Frontiers use the pluggable
+// sparse/dense/adaptive representations of internal/frontier, whose
+// wire codec lets the collectives transmit bitmaps instead of vertex
+// lists when denser is cheaper.
 package bfs
 
 import (
 	"fmt"
 
+	"repro/internal/frontier"
 	"repro/internal/graph"
+)
+
+// Direction selects how levels are expanded.
+type Direction int
+
+const (
+	// TopDown is the paper's level expansion: scan the frontier's edge
+	// lists and deliver the discovered neighbors to their owners. Cost
+	// is proportional to the edges out of the frontier.
+	TopDown Direction = iota
+	// BottomUp inverts the level: every unlabeled vertex scans its own
+	// edge list for a frontier parent and stops at the first hit. Cost
+	// is proportional to the edges out of the *unlabeled* set, with
+	// early exit — far cheaper on the huge middle levels of the
+	// low-diameter Poisson graphs the paper studies.
+	BottomUp
+	// DirectionOptimizing switches per level between the two (the
+	// standard Beamer-style hybrid): bottom-up once the frontier is
+	// large relative to the unlabeled remainder, top-down otherwise.
+	DirectionOptimizing
+)
+
+func (d Direction) String() string {
+	switch d {
+	case TopDown:
+		return "topdown"
+	case BottomUp:
+		return "bottomup"
+	case DirectionOptimizing:
+		return "dirop"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+const (
+	// DefaultDOAlpha is the direction-optimizing switch factor: a level
+	// runs bottom-up when alpha x |frontier| >= |unlabeled|.
+	DefaultDOAlpha = 4.0
+	// DefaultFrontierOccupancy is the adaptive frontier's sparse→dense
+	// switch threshold (see frontier.DefaultOccupancy).
+	DefaultFrontierOccupancy = frontier.DefaultOccupancy
 )
 
 // ExpandAlg selects the expand (processor-column) collective.
@@ -88,6 +140,23 @@ type Options struct {
 
 	Expand ExpandAlg
 	Fold   FoldAlg
+	// Direction selects top-down (the paper's algorithm, the default),
+	// bottom-up, or per-level direction-optimizing traversal.
+	Direction Direction
+	// DOAlpha tunes the direction-optimizing switch: a level runs
+	// bottom-up when DOAlpha x |frontier| >= |unlabeled|; <= 0 selects
+	// DefaultDOAlpha.
+	DOAlpha float64
+	// FrontierOccupancy is the adaptive frontier's sparse→dense switch
+	// threshold as a fraction of the owned range; <= 0 selects
+	// DefaultFrontierOccupancy, >= 1 pins the frontier sparse.
+	FrontierOccupancy float64
+	// Wire selects the frontier wire encoding for the expand payloads
+	// and union-fold sets: WireSparse (the legacy vertex lists),
+	// WireDense (always bitmaps), or WireAuto (whichever is fewer words
+	// per payload). Top-down only; the bottom-up steps always exchange
+	// bitmaps.
+	Wire frontier.WireMode
 	// SentCache enables the sent-neighbors optimization (§2.4.3): a
 	// neighbor vertex is never sent to its owner twice.
 	SentCache bool
@@ -115,4 +184,22 @@ func DefaultOptions(source graph.Vertex) Options {
 		SentCache:  true,
 		ChunkWords: 16384,
 	}
+}
+
+// newFrontier builds a level frontier over the owned range [lo, lo+n)
+// with the configured adaptive occupancy threshold.
+func (o Options) newFrontier(lo graph.Vertex, n int) frontier.Frontier {
+	occ := o.FrontierOccupancy
+	if occ <= 0 {
+		occ = DefaultFrontierOccupancy
+	}
+	return frontier.NewAdaptive(uint32(lo), n, occ)
+}
+
+// doAlpha returns the effective direction-optimizing switch factor.
+func (o Options) doAlpha() float64 {
+	if o.DOAlpha <= 0 {
+		return DefaultDOAlpha
+	}
+	return o.DOAlpha
 }

@@ -9,12 +9,14 @@ import (
 
 // LevelStats aggregates one BFS level's activity across all ranks.
 type LevelStats struct {
-	Level       int32
-	Frontier    int64 // global frontier size entering the level
-	ExpandWords int64 // words received during expand, summed over ranks
-	FoldWords   int64 // words received during fold, summed over ranks
-	Dups        int64 // duplicate vertices eliminated by union folds
-	Marked      int64 // vertices newly labeled this level
+	Level        int32
+	Direction    Direction // how the level was expanded (globally uniform)
+	Frontier     int64     // global frontier size entering the level
+	ExpandWords  int64     // words received during expand, summed over ranks
+	FoldWords    int64     // words received during fold, summed over ranks
+	Dups         int64     // duplicate vertices eliminated by union folds
+	Marked       int64     // vertices newly labeled this level
+	EdgesScanned int64     // edge-list entries inspected, summed over ranks
 }
 
 // Result reports a finished distributed search.
@@ -38,7 +40,11 @@ type Result struct {
 	TotalExpandWords int64
 	TotalFoldWords   int64
 	TotalDups        int64
-	HashProbes       uint64 // global->local probes during the search
+	// TotalEdgesScanned counts edge-list entries inspected across all
+	// ranks and levels — the quantity direction-optimizing traversal
+	// shrinks (bottom-up levels stop at the first frontier parent).
+	TotalEdgesScanned int64
+	HashProbes        uint64 // global->local probes during the search
 
 	// Link-level traffic totals from the torus mapping: messages
 	// received, their hop counts, and bytes x hops (the load the
@@ -147,11 +153,13 @@ func (r *Result) Reached() int {
 
 // rankLevel is one rank's contribution to a level's statistics.
 type rankLevel struct {
+	dir         Direction
 	frontier    int
 	expandWords int
 	foldWords   int
 	dups        int
 	marked      int
+	edges       int
 }
 
 // mergeStats combines per-rank per-level records into global LevelStats
@@ -172,25 +180,30 @@ func mergeStats(res *Result, perRank [][]rankLevel, comms []*comm.Comm) {
 		res.PerRank[rank] = make([]LevelStats, len(rl))
 		for l, s := range rl {
 			res.PerRank[rank][l] = LevelStats{
-				Level:       int32(l),
-				Frontier:    int64(s.frontier),
-				ExpandWords: int64(s.expandWords),
-				FoldWords:   int64(s.foldWords),
-				Dups:        int64(s.dups),
-				Marked:      int64(s.marked),
+				Level:        int32(l),
+				Direction:    s.dir,
+				Frontier:     int64(s.frontier),
+				ExpandWords:  int64(s.expandWords),
+				FoldWords:    int64(s.foldWords),
+				Dups:         int64(s.dups),
+				Marked:       int64(s.marked),
+				EdgesScanned: int64(s.edges),
 			}
 			ls := &res.PerLevel[l]
+			ls.Direction = s.dir // uniform across ranks by construction
 			ls.Frontier += int64(s.frontier)
 			ls.ExpandWords += int64(s.expandWords)
 			ls.FoldWords += int64(s.foldWords)
 			ls.Dups += int64(s.dups)
 			ls.Marked += int64(s.marked)
+			ls.EdgesScanned += int64(s.edges)
 		}
 	}
 	for _, ls := range res.PerLevel {
 		res.TotalExpandWords += ls.ExpandWords
 		res.TotalFoldWords += ls.FoldWords
 		res.TotalDups += ls.Dups
+		res.TotalEdgesScanned += ls.EdgesScanned
 	}
 	res.SimTime = comm.MaxClock(comms)
 	res.SimComm = comm.MaxCommTime(comms)

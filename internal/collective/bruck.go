@@ -73,7 +73,8 @@ func AllToAllBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uin
 // ReduceScatterUnionBruck folds with Bruck's exchange followed by a
 // local union — fewer, longer messages than the direct reduce-scatter.
 func ReduceScatterUnionBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32, Stats) {
-	parts, st := AllToAllBruck(c, g, o, send)
+	parts, st := AllToAllBruck(c, g, o, encodeSends(g, o.Codec, send))
+	decodeParts(g, o.Codec, parts)
 	acc := append([]uint32(nil), parts[g.Me]...)
 	for i, p := range parts {
 		if i == g.Me {

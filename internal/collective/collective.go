@@ -45,6 +45,54 @@ type Opts struct {
 	// traffic is not. This is the baseline against which the paper's
 	// union-fold saves up to 80% of received vertices (Fig. 7).
 	NoUnion bool
+	// Codec, when non-nil, re-encodes set payloads at wire boundaries
+	// (typically frontier.EncodeSet picking vertex lists or bitmaps,
+	// whichever is fewer words). Honored by the union folds —
+	// ReduceScatterUnion, TwoPhaseFold (ignored under NoUnion, whose
+	// merged multisets have no set encoding), and
+	// ReduceScatterUnionBruck; the pass-through exchanges (AllGather,
+	// AllToAll, TwoPhaseExpand) move opaque payloads, so their callers
+	// encode and decode at the edges instead.
+	Codec *Codec
+}
+
+// Codec is a pluggable payload encoding applied where sets cross the
+// wire. Enc encodes an ascending duplicate-free set destined for group
+// member m; Dec inverts it (the format must be self-describing).
+// Received-word statistics count encoded words, so a denser encoding
+// shows up directly in the message-volume measurements.
+type Codec struct {
+	Enc func(m int, set []uint32) []uint32
+	Dec func(buf []uint32) []uint32
+}
+
+// encodeSends re-encodes every payload that will cross the wire
+// (send[g.Me] stays local and plain).
+func encodeSends(g comm.Group, cdc *Codec, send [][]uint32) [][]uint32 {
+	if cdc == nil {
+		return send
+	}
+	out := make([][]uint32, len(send))
+	for i, s := range send {
+		if i == g.Me {
+			out[i] = s
+			continue
+		}
+		out[i] = cdc.Enc(i, s)
+	}
+	return out
+}
+
+// decodeParts inverts encodeSends on the receive side, in place.
+func decodeParts(g comm.Group, cdc *Codec, parts [][]uint32) {
+	if cdc == nil {
+		return
+	}
+	for i := range parts {
+		if i != g.Me {
+			parts[i] = cdc.Dec(parts[i])
+		}
+	}
 }
 
 // Stats reports what one rank observed during a collective.
@@ -117,7 +165,8 @@ func AllToAll(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uint32, 
 // happens after receipt (no in-flight reduction), so Dups counts local
 // merge savings only; contrast with TwoPhaseFold.
 func ReduceScatterUnion(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32, Stats) {
-	parts, st := AllToAll(c, g, o, send)
+	parts, st := AllToAll(c, g, o, encodeSends(g, o.Codec, send))
+	decodeParts(g, o.Codec, parts)
 	acc := append([]uint32(nil), parts[g.Me]...)
 	for i, p := range parts {
 		if i == g.Me {

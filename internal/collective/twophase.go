@@ -97,17 +97,22 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 		chunks[(j+1)%b] = sets
 	}
 
-	// Phase 1: ring reduce-scatter along my grid row.
+	// Phase 1: ring reduce-scatter along my grid row. With a codec,
+	// each set is re-encoded for the wire on every hop and decoded back
+	// before the in-flight union (bitmap payloads when denser is
+	// cheaper); NoUnion skips the codec because its in-transit payloads
+	// are merged multisets with no set encoding.
 	if b > 1 {
 		next := g.World(row*b + (col+1)%b)
 		prev := g.World(row*b + (col-1+b)%b)
 		for s := 0; s < b-1; s++ {
 			sendIdx := (col - s + b) % b
 			recvIdx := (col - s - 1 + b) % b
-			c.SendChunked(next, o.Tag+s, encodeBundle(chunks[sendIdx]), o.Chunk)
+			c.SendChunked(next, o.Tag+s, encodeBundle(foldWireSets(o, a, b, sendIdx, chunks[sendIdx])), o.Chunk)
 			buf := c.RecvChunked(prev, o.Tag+s, o.Chunk)
 			st.RecvWords += len(buf)
 			incoming := decodeBundle(buf, a)
+			foldUnwireSets(o, incoming)
 			for i := 0; i < a; i++ {
 				if o.NoUnion {
 					chunks[recvIdx][i] = mergeKeepDups(chunks[recvIdx][i], incoming[i])
@@ -125,11 +130,16 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 	// Phase 2: point-to-point distribution down my grid column.
 	acc := append([]uint32(nil), mine[row]...)
 	tag2 := o.Tag + 1<<20
+	useCodec := o.Codec != nil && !o.NoUnion
 	for i := 0; i < a; i++ {
 		if i == row {
 			continue
 		}
-		c.SendChunked(g.World(i*b+col), tag2+row, mine[i], o.Chunk)
+		part := mine[i]
+		if useCodec {
+			part = o.Codec.Enc(i*b+col, part)
+		}
+		c.SendChunked(g.World(i*b+col), tag2+row, part, o.Chunk)
 	}
 	for i := 0; i < a; i++ {
 		if i == row {
@@ -137,6 +147,9 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 		}
 		part := c.RecvChunked(g.World(i*b+col), tag2+i, o.Chunk)
 		st.RecvWords += len(part)
+		if useCodec {
+			part = o.Codec.Dec(part)
+		}
 		if o.NoUnion {
 			// part may be a multiset; dedup on receipt. These
 			// duplicates crossed the wire — the waste the union-fold
@@ -151,6 +164,31 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 		acc, _ = localindex.SortSet(acc)
 	}
 	return acc, st
+}
+
+// foldWireSets re-encodes each set of the phase-1 bundle stored at
+// index idx (destined to grid column (idx-1+b) mod b; set i belongs to
+// group member i*b+col) through the codec, if any.
+func foldWireSets(o Opts, a, b, idx int, sets [][]uint32) [][]uint32 {
+	if o.Codec == nil || o.NoUnion {
+		return sets
+	}
+	col := (idx - 1 + b) % b
+	out := make([][]uint32, a)
+	for i, s := range sets {
+		out[i] = o.Codec.Enc(i*b+col, s)
+	}
+	return out
+}
+
+// foldUnwireSets decodes an incoming phase-1 bundle in place.
+func foldUnwireSets(o Opts, sets [][]uint32) {
+	if o.Codec == nil || o.NoUnion {
+		return
+	}
+	for i := range sets {
+		sets[i] = o.Codec.Dec(sets[i])
+	}
 }
 
 // mergeKeepDups merges two ascending slices preserving duplicates, the

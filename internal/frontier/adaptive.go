@@ -1,0 +1,59 @@
+package frontier
+
+// DefaultOccupancy is the sparse→dense switch threshold of the adaptive
+// frontier: once more than this fraction of the universe is in the set,
+// the bitmap form is both smaller (32 ids per word) and faster to
+// union, so the representation flips.
+const DefaultOccupancy = 1.0 / 32
+
+// Adaptive is a frontier that starts sparse and switches to the dense
+// bitmap once occupancy crosses a threshold. The switch is one-way: a
+// level frontier only grows, and the engines allocate a fresh frontier
+// per level, so dense→sparse transitions happen naturally at the next
+// level.
+type Adaptive struct {
+	rep   Frontier
+	limit int // switch to dense when Len() exceeds this
+}
+
+// NewAdaptive returns an empty adaptive frontier over [lo, lo+n) that
+// switches to the dense representation when occupancy exceeds the given
+// fraction (<= 0 selects DefaultOccupancy; >= 1 never switches).
+func NewAdaptive(lo uint32, n int, occupancy float64) *Adaptive {
+	if occupancy <= 0 {
+		occupancy = DefaultOccupancy
+	}
+	limit := int(occupancy * float64(n))
+	if limit < 1 {
+		limit = 1
+	}
+	return &Adaptive{rep: NewSparse(lo, n), limit: limit}
+}
+
+// Add inserts v, switching representation at the occupancy threshold.
+// The raw backing length bounds the distinct count from above, so the
+// (normalizing) Len is only consulted once that bound is crossed.
+func (a *Adaptive) Add(v uint32) {
+	a.rep.Add(v)
+	if s, ok := a.rep.(*Sparse); ok && len(s.ids) > a.limit && s.Len() > a.limit {
+		a.rep = ToDense(s)
+	}
+}
+
+// Has reports membership.
+func (a *Adaptive) Has(v uint32) bool { return a.rep.Has(v) }
+
+// Len returns the number of members.
+func (a *Adaptive) Len() int { return a.rep.Len() }
+
+// Universe returns the id range.
+func (a *Adaptive) Universe() (uint32, int) { return a.rep.Universe() }
+
+// Iterate visits members in ascending order.
+func (a *Adaptive) Iterate(fn func(v uint32)) { a.rep.Iterate(fn) }
+
+// Vertices returns the ascending member slice.
+func (a *Adaptive) Vertices() []uint32 { return a.rep.Vertices() }
+
+// Kind reports the current underlying representation.
+func (a *Adaptive) Kind() Kind { return a.rep.Kind() }

@@ -1,0 +1,77 @@
+package frontier
+
+import "math/bits"
+
+// Wire bitmaps are []uint32 with 32 bits per word: bit i of word j
+// represents local index 32j+i. They are the payload form the bitmap
+// collectives (frontier/unvisited gathers, OR-reduced claims) move over
+// the simulated torus, and what the dense wire encoding embeds.
+
+// BitWords returns the number of 32-bit words covering n bits.
+func BitWords(n int) int { return (n + 31) / 32 }
+
+// NewBits returns a zeroed wire bitmap covering [0, n).
+func NewBits(n int) []uint32 { return make([]uint32, BitWords(n)) }
+
+// SetBit sets bit i.
+func SetBit(w []uint32, i uint32) { w[i>>5] |= 1 << (i & 31) }
+
+// TestBit reports bit i.
+func TestBit(w []uint32, i uint32) bool { return w[i>>5]&(1<<(i&31)) != 0 }
+
+// OrBits ORs src into dst; src must not be longer than dst.
+func OrBits(dst, src []uint32) {
+	for i, w := range src {
+		dst[i] |= w
+	}
+}
+
+// CountBits returns the number of set bits.
+func CountBits(w []uint32) int {
+	c := 0
+	for _, x := range w {
+		c += bits.OnesCount32(x)
+	}
+	return c
+}
+
+// IterateBits calls fn with each set bit index in ascending order.
+func IterateBits(w []uint32, fn func(i uint32)) {
+	for wi, x := range w {
+		base := uint32(wi) * 32
+		for x != 0 {
+			fn(base + uint32(bits.TrailingZeros32(x)))
+			x &= x - 1
+		}
+	}
+}
+
+// IDsToBits packs ids from the universe [lo, lo+n) into a wire bitmap
+// indexed by id-lo.
+func IDsToBits(ids []uint32, lo uint32, n int) []uint32 {
+	w := NewBits(n)
+	for _, v := range ids {
+		SetBit(w, v-lo)
+	}
+	return w
+}
+
+// BitsToIDs unpacks a wire bitmap into ascending ids offset by lo.
+func BitsToIDs(w []uint32, lo uint32) []uint32 {
+	out := make([]uint32, 0, CountBits(w))
+	IterateBits(w, func(i uint32) { out = append(out, lo+i) })
+	return out
+}
+
+// Bits renders any frontier as a wire bitmap over its universe,
+// using the word-level fast path when the representation is already
+// dense.
+func Bits(f Frontier) []uint32 {
+	if d, ok := Unwrap(f).(*Dense); ok {
+		return d.WireBits()
+	}
+	lo, n := f.Universe()
+	w := NewBits(n)
+	f.Iterate(func(v uint32) { SetBit(w, v-lo) })
+	return w
+}

@@ -1,0 +1,95 @@
+package frontier
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/localindex"
+)
+
+// Sparse is the vertex-queue frontier: a slice of ids kept ascending
+// and duplicate-free (lazily — appends in ascending order, the common
+// case in the level-synchronized engines, cost nothing; out-of-order
+// inserts are normalized on the next read).
+type Sparse struct {
+	lo    uint32
+	n     int
+	ids   []uint32
+	dirty bool // ids may be unsorted or contain duplicates
+}
+
+// NewSparse returns an empty sparse frontier over [lo, lo+n).
+func NewSparse(lo uint32, n int) *Sparse {
+	return &Sparse{lo: lo, n: n}
+}
+
+// NewSparseFrom returns a sparse frontier over [lo, lo+n) seeded with
+// ids (any order, duplicates allowed).
+func NewSparseFrom(lo uint32, n int, ids []uint32) *Sparse {
+	s := NewSparse(lo, n)
+	for _, v := range ids {
+		s.Add(v)
+	}
+	return s
+}
+
+func (s *Sparse) check(v uint32) {
+	if v < s.lo || uint64(v) >= uint64(s.lo)+uint64(s.n) {
+		panic(fmt.Sprintf("frontier: vertex %d outside universe [%d, %d)", v, s.lo, uint64(s.lo)+uint64(s.n)))
+	}
+}
+
+// Add inserts v.
+func (s *Sparse) Add(v uint32) {
+	s.check(v)
+	if k := len(s.ids); k > 0 && s.ids[k-1] >= v {
+		if s.ids[k-1] == v {
+			return
+		}
+		s.dirty = true
+	}
+	s.ids = append(s.ids, v)
+}
+
+func (s *Sparse) normalize() {
+	if !s.dirty {
+		return
+	}
+	s.ids, _ = localindex.SortSet(s.ids)
+	s.dirty = false
+}
+
+// Has reports membership by binary search.
+func (s *Sparse) Has(v uint32) bool {
+	s.check(v)
+	s.normalize()
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= v })
+	return i < len(s.ids) && s.ids[i] == v
+}
+
+// Len returns the number of distinct members.
+func (s *Sparse) Len() int {
+	s.normalize()
+	return len(s.ids)
+}
+
+// Universe returns the id range.
+func (s *Sparse) Universe() (uint32, int) { return s.lo, s.n }
+
+// Iterate visits members in ascending order.
+func (s *Sparse) Iterate(fn func(v uint32)) {
+	s.normalize()
+	for _, v := range s.ids {
+		fn(v)
+	}
+}
+
+// Vertices returns the ascending member slice (aliases internal
+// storage).
+func (s *Sparse) Vertices() []uint32 {
+	s.normalize()
+	return s.ids
+}
+
+// Kind returns KindSparse.
+func (s *Sparse) Kind() Kind { return KindSparse }

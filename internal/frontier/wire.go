@@ -1,0 +1,97 @@
+package frontier
+
+import "fmt"
+
+// WireMode selects how set payloads are encoded for transmission.
+type WireMode int
+
+const (
+	// WireSparse always sends plain vertex-id lists (the legacy wire
+	// format; callers typically skip encoding entirely).
+	WireSparse WireMode = iota
+	// WireDense always sends bitmap payloads.
+	WireDense
+	// WireAuto sends whichever form is fewer words per payload: the
+	// raw id list costs nothing over the legacy format, so auto never
+	// moves more words than plain lists and switches to bitmaps once a
+	// payload covers more than ~1/32 of its universe.
+	WireAuto
+)
+
+func (m WireMode) String() string {
+	switch m {
+	case WireSparse:
+		return "sparse"
+	case WireDense:
+		return "dense"
+	case WireAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("WireMode(%d)", int(m))
+	}
+}
+
+// Wire format: a sparse payload is the raw ascending id list itself —
+// zero overhead over the legacy format. A dense payload is
+// [sentinel, lo, n, words...] with ceil(n/32) wire-bitmap words over
+// the universe [lo, lo+n). The sentinel (the maximum uint32) can never
+// lead a raw list because vertex ids are strictly below it (the
+// partitioners index vertices with uint32 local offsets), which keeps
+// the format self-describing.
+const wireSentinel = ^uint32(0)
+
+// denseCheaper reports whether the dense encoding of a count-member
+// set over an n-vertex universe is fewer wire words than the raw list.
+func denseCheaper(n, count int) bool { return 3+BitWords(n) < count }
+
+func denseHeader(lo uint32, n int) []uint32 {
+	buf := make([]uint32, 0, 3+BitWords(n))
+	return append(buf, wireSentinel, lo, uint32(n))
+}
+
+// EncodeSet encodes an ascending duplicate-free id set drawn from the
+// universe [lo, lo+n). WireAuto picks the smaller encoding, preferring
+// the raw list on ties (the raw arm aliases ids; callers must not
+// mutate the slice while the payload is in flight).
+func EncodeSet(ids []uint32, lo uint32, n int, mode WireMode) []uint32 {
+	dense := mode == WireDense
+	if mode == WireAuto {
+		dense = denseCheaper(n, len(ids))
+	}
+	if !dense {
+		if len(ids) > 0 && ids[0] == wireSentinel {
+			panic("frontier: vertex id collides with the dense wire sentinel")
+		}
+		return ids
+	}
+	return append(denseHeader(lo, n), IDsToBits(ids, lo, n)...)
+}
+
+// EncodeFrontier encodes a frontier's member set exactly like
+// EncodeSet, but repacks an already-dense representation word-for-word
+// instead of materializing an id list and rebuilding the bitmap.
+func EncodeFrontier(f Frontier, mode WireMode) []uint32 {
+	lo, n := f.Universe()
+	d, ok := Unwrap(f).(*Dense)
+	if !ok || (mode != WireDense && !(mode == WireAuto && denseCheaper(n, d.Len()))) {
+		return EncodeSet(f.Vertices(), lo, n, mode)
+	}
+	return append(denseHeader(lo, n), d.WireBits()...)
+}
+
+// Decode unpacks a payload produced by EncodeSet back into an
+// ascending id slice. Raw lists pass through untouched (and aliased),
+// so decoding an unencoded payload is a safe no-op.
+func Decode(buf []uint32) []uint32 {
+	if len(buf) == 0 || buf[0] != wireSentinel {
+		return buf
+	}
+	if len(buf) < 3 {
+		panic("frontier: truncated dense wire payload")
+	}
+	lo, n := buf[1], int(buf[2])
+	if len(buf) != 3+BitWords(n) {
+		panic("frontier: malformed dense wire payload")
+	}
+	return BitsToIDs(buf[3:], lo)
+}

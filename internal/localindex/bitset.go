@@ -35,6 +35,11 @@ func (b *Bitset) TestAndSet(i uint32) bool {
 	return old
 }
 
+// Words exposes the backing word array (64 bits per word, bit i of
+// word j is index 64j+i) for word-at-a-time scans and unions; callers
+// own any invariants they break by writing to it.
+func (b *Bitset) Words() []uint64 { return b.words }
+
 // Count returns the number of set bits.
 func (b *Bitset) Count() int {
 	c := 0

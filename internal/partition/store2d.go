@@ -21,6 +21,7 @@ type Store2D struct {
 
 	// Partial edge lists in CSR over compacted non-empty columns.
 	ColMap *localindex.Map // global v -> compact column index
+	ColIds []graph.Vertex  // compact column index -> global v (ColMap inverse)
 	Off    []int64
 	Rows   []graph.Vertex // global u ids
 
@@ -124,6 +125,7 @@ func Build2D(l *Layout2D, visitEdges func(func(u, v graph.Vertex)) error) ([]*St
 		st := stores[rk]
 		ci := st.ColMap.GetOrPut(v, func() uint32 {
 			counts[rk] = append(counts[rk], 0)
+			st.ColIds = append(st.ColIds, v)
 			return uint32(len(counts[rk]) - 1)
 		})
 		counts[rk][ci]++

@@ -3,6 +3,7 @@ package bgl
 import (
 	"repro/internal/analytic"
 	"repro/internal/bfs"
+	"repro/internal/frontier"
 )
 
 // Option adjusts search behavior.
@@ -34,6 +35,45 @@ const (
 	FoldTwoPhaseNoUnion = bfs.FoldTwoPhaseNoUnion
 	FoldBruck           = bfs.FoldBruck
 )
+
+// Direction re-exports the per-level traversal direction policy.
+type Direction = bfs.Direction
+
+// Direction policy choices: the paper's top-down expansion, the
+// bottom-up parent search, or the per-level adaptive hybrid.
+const (
+	TopDown             = bfs.TopDown
+	BottomUp            = bfs.BottomUp
+	DirectionOptimizing = bfs.DirectionOptimizing
+)
+
+// WireMode re-exports the frontier wire-encoding selector.
+type WireMode = frontier.WireMode
+
+// Frontier wire encodings: plain vertex lists, bitmaps, or whichever
+// is fewer words per payload.
+const (
+	WireSparse = frontier.WireSparse
+	WireDense  = frontier.WireDense
+	WireAuto   = frontier.WireAuto
+)
+
+// WithDirection selects the traversal direction policy.
+func WithDirection(d Direction) Option { return func(o *bfs.Options) { o.Direction = d } }
+
+// WithDOAlpha tunes the direction-optimizing switch: a level runs
+// bottom-up when alpha x |frontier| >= |unlabeled|.
+func WithDOAlpha(alpha float64) Option { return func(o *bfs.Options) { o.DOAlpha = alpha } }
+
+// WithFrontierWire selects the wire encoding for top-down expand and
+// union-fold payloads.
+func WithFrontierWire(m WireMode) Option { return func(o *bfs.Options) { o.Wire = m } }
+
+// WithFrontierOccupancy sets the adaptive frontier's sparse→dense
+// switch threshold as an occupancy fraction of the owned range.
+func WithFrontierOccupancy(f float64) Option {
+	return func(o *bfs.Options) { o.FrontierOccupancy = f }
+}
 
 // WithExpand selects the expand collective.
 func WithExpand(a ExpandAlg) Option { return func(o *bfs.Options) { o.Expand = a } }
