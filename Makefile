@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet tier1 build test bench
+.PHONY: ci fmt-check vet tier1 race build test bench bench-smoke bench-json
 
-ci: fmt-check vet tier1
+ci: fmt-check vet tier1 race bench-smoke
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \
@@ -17,6 +17,11 @@ vet:
 tier1:
 	$(GO) build ./... && $(GO) test ./...
 
+# Race-detector pass: the SPMD ranks are goroutines sharing one address
+# space; any unsynchronized touch of a payload in flight shows up here.
+race:
+	$(GO) test -race ./...
+
 build:
 	$(GO) build ./...
 
@@ -25,3 +30,11 @@ test:
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+# One-iteration benchmark smoke: every exhibit still runs to completion.
+bench-smoke: bench
+
+# Machine-readable perf baseline for the headline workload (see
+# README.md "Perf trajectory" for the format).
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bfs"
 	"repro/internal/comm"
+	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/partition"
@@ -94,6 +95,10 @@ func BenchmarkAblationTermination(b *testing.B) { runExperiment(b, "ablation-ter
 // BenchmarkAblationDirection regenerates the top-down vs
 // direction-optimizing level-by-level ablation.
 func BenchmarkAblationDirection(b *testing.B) { runExperiment(b, "ablation-direction") }
+
+// BenchmarkAblationWire regenerates the wire-encoding ablation
+// (sparse/dense/auto/hybrid across frontier occupancies).
+func BenchmarkAblationWire(b *testing.B) { runExperiment(b, "ablation-wire") }
 
 // BenchmarkMemScale regenerates the §2.4.1 memory-scalability exhibit.
 func BenchmarkMemScale(b *testing.B) { runExperiment(b, "memscale") }
@@ -189,6 +194,39 @@ func BenchmarkDirectionTopDown(b *testing.B) { benchDirection(b, bfs.TopDown) }
 // BenchmarkDirectionOptimizing runs the same traversal with per-level
 // direction switching.
 func BenchmarkDirectionOptimizing(b *testing.B) { benchDirection(b, bfs.DirectionOptimizing) }
+
+// benchWire measures the k=10 full traversal under one frontier wire
+// encoding, reporting the moved-word totals the codec shrinks.
+func benchWire(b *testing.B, wire frontier.WireMode) {
+	fx := buildBenchFixture(b, 100000, 10, 4, 4)
+	opts := bfs.DefaultOptions(fx.src)
+	opts.Wire = wire
+	b.ResetTimer()
+	var last *bfs.Result
+	for i := 0; i < b.N; i++ {
+		res, err := bfs.Run2D(fx.world, fx.stores, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if last != nil {
+		b.ReportMetric(float64(fx.g.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+		b.ReportMetric(float64(last.TotalExpandWords+last.TotalFoldWords), "words")
+		b.ReportMetric(last.SimTime, "simexec-s")
+		b.ReportMetric(last.SimComm, "simcomm-s")
+	}
+}
+
+// BenchmarkWireSparse is the legacy vertex-list wire baseline.
+func BenchmarkWireSparse(b *testing.B) { benchWire(b, frontier.WireSparse) }
+
+// BenchmarkWireAuto picks min(list, bitmap) per payload (PR 1).
+func BenchmarkWireAuto(b *testing.B) { benchWire(b, frontier.WireAuto) }
+
+// BenchmarkWireHybrid runs the chunked container codec.
+func BenchmarkWireHybrid(b *testing.B) { benchWire(b, frontier.WireHybrid) }
 
 // BenchmarkTraversal1D measures the dedicated Algorithm 1 engine.
 func BenchmarkTraversal1D(b *testing.B) {

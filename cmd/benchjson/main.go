@@ -1,0 +1,174 @@
+// Command benchjson runs the repository's headline benchmark
+// configurations — the n=100k, k=10 Poisson traversal on a 4x4 mesh
+// under every direction policy and wire encoding — and writes a
+// machine-readable JSON baseline (BENCH_PR2.json by default) so later
+// PRs can diff simulated execution time, exchange words, and edges
+// scanned against a recorded trajectory. See README.md ("Perf
+// trajectory") for the format.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bfs"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/harness"
+)
+
+// Level is one BFS level of a run.
+type Level struct {
+	Level        int     `json:"level"`
+	Direction    string  `json:"direction"`
+	Frontier     int64   `json:"frontier"`
+	OccupancyPct float64 `json:"occupancy_pct"`
+	ExpandWords  int64   `json:"expand_words"`
+	FoldWords    int64   `json:"fold_words"`
+	EdgesScanned int64   `json:"edges_scanned"`
+}
+
+// Run is one benchmark configuration's result.
+type Run struct {
+	Name         string  `json:"name"`
+	Direction    string  `json:"direction"`
+	Wire         string  `json:"wire"`
+	SimExecS     float64 `json:"simexec_s"`
+	SimCommS     float64 `json:"simcomm_s"`
+	ExpandWords  int64   `json:"expand_words"`
+	FoldWords    int64   `json:"fold_words"`
+	TotalWords   int64   `json:"total_words"`
+	EdgesScanned int64   `json:"edges_scanned"`
+	Levels       []Level `json:"levels"`
+}
+
+// Baseline is the file-level document.
+type Baseline struct {
+	N    int     `json:"n"`
+	K    float64 `json:"k"`
+	Seed int64   `json:"seed"`
+	Mesh string  `json:"mesh"`
+	Runs []Run   `json:"runs"`
+	// MidOccupancy summarizes the acceptance metric: exchange words on
+	// the mid-occupancy levels — global frontier occupancy in
+	// [0.1%, 10%), the middle regime between the list-optimal sparse
+	// extreme and the bitmap-optimal dense levels — under wire=auto vs
+	// wire=hybrid, top-down.
+	MidOccupancy struct {
+		AutoWords       int64   `json:"auto_words"`
+		HybridWords     int64   `json:"hybrid_words"`
+		AutoOverHybrid  float64 `json:"auto_over_hybrid"`
+		OccupancyLowPct float64 `json:"occupancy_low_pct"`
+		OccupancyHiPct  float64 `json:"occupancy_high_pct"`
+	} `json:"mid_occupancy"`
+}
+
+const (
+	midOccLowPct = 0.1
+	midOccHiPct  = 10
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "BENCH_PR2.json", "output file")
+		n    = flag.Int("n", 100000, "vertices")
+		k    = flag.Float64("k", 10, "expected average degree")
+		seed = flag.Int64("seed", 9, "graph seed")
+		r    = flag.Int("r", 4, "mesh rows")
+		c    = flag.Int("c", 4, "mesh columns")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w, err := harness.BuildWorkload(*n, *k, *seed, *r, *c)
+	if err != nil {
+		fail(err)
+	}
+	src := graph.LargestComponentVertex(w.Graph)
+
+	doc := Baseline{N: *n, K: *k, Seed: *seed, Mesh: fmt.Sprintf("%dx%d", *r, *c)}
+	type cfg struct {
+		name string
+		dir  bfs.Direction
+		wire frontier.WireMode
+	}
+	cfgs := []cfg{
+		{"topdown-sparse", bfs.TopDown, frontier.WireSparse},
+		{"topdown-dense", bfs.TopDown, frontier.WireDense},
+		{"topdown-auto", bfs.TopDown, frontier.WireAuto},
+		{"topdown-hybrid", bfs.TopDown, frontier.WireHybrid},
+		{"dirop-sparse", bfs.DirectionOptimizing, frontier.WireSparse},
+		{"dirop-auto", bfs.DirectionOptimizing, frontier.WireAuto},
+		{"dirop-hybrid", bfs.DirectionOptimizing, frontier.WireHybrid},
+	}
+	byName := map[string]*bfs.Result{}
+	for _, cf := range cfgs {
+		opts := bfs.DefaultOptions(src)
+		opts.Direction = cf.dir
+		opts.Wire = cf.wire
+		res, err := bfs.Run2D(w.World, w.Stores, opts)
+		if err != nil {
+			fail(err)
+		}
+		byName[cf.name] = res
+		run := Run{
+			Name:         cf.name,
+			Direction:    cf.dir.String(),
+			Wire:         cf.wire.String(),
+			SimExecS:     res.SimTime,
+			SimCommS:     res.SimComm,
+			ExpandWords:  res.TotalExpandWords,
+			FoldWords:    res.TotalFoldWords,
+			TotalWords:   res.TotalExpandWords + res.TotalFoldWords,
+			EdgesScanned: res.TotalEdgesScanned,
+		}
+		for _, ls := range res.PerLevel {
+			run.Levels = append(run.Levels, Level{
+				Level:        int(ls.Level),
+				Direction:    ls.Direction.String(),
+				Frontier:     ls.Frontier,
+				OccupancyPct: 100 * float64(ls.Frontier) / float64(*n),
+				ExpandWords:  ls.ExpandWords,
+				FoldWords:    ls.FoldWords,
+				EdgesScanned: ls.EdgesScanned,
+			})
+		}
+		doc.Runs = append(doc.Runs, run)
+	}
+
+	// Acceptance metric: hybrid vs auto on the mid-occupancy levels.
+	auto, hybrid := byName["topdown-auto"], byName["topdown-hybrid"]
+	m := &doc.MidOccupancy
+	m.OccupancyLowPct, m.OccupancyHiPct = midOccLowPct, midOccHiPct
+	for l, ls := range auto.PerLevel {
+		occ := 100 * float64(ls.Frontier) / float64(*n)
+		if occ < midOccLowPct || occ >= midOccHiPct || l >= len(hybrid.PerLevel) {
+			continue
+		}
+		m.AutoWords += ls.ExpandWords + ls.FoldWords
+		m.HybridWords += hybrid.PerLevel[l].ExpandWords + hybrid.PerLevel[l].FoldWords
+	}
+	if m.HybridWords > 0 {
+		m.AutoOverHybrid = float64(m.AutoWords) / float64(m.HybridWords)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s: mid-occupancy auto/hybrid = %.2fx (%d vs %d words)\n",
+		*out, m.AutoOverHybrid, m.AutoWords, m.HybridWords)
+}

@@ -36,7 +36,7 @@ func main() {
 		fold     = flag.String("fold", "twophase", "fold collective: twophase|direct|nounion|bruck")
 		dir      = flag.String("direction", "topdown", "traversal direction: topdown|bottomup|dirop")
 		doAlpha  = flag.Float64("doalpha", 0, "direction-optimizing switch factor (0 = default)")
-		wire     = flag.String("wire", "sparse", "frontier wire encoding: sparse|dense|auto")
+		wire     = flag.String("wire", "sparse", "frontier wire encoding: sparse|dense|auto|hybrid")
 		cache    = flag.Bool("sentcache", true, "sent-neighbors cache (§2.4.3)")
 		chunk    = flag.Int("chunk", 16384, "fixed message buffer in words (0 = unchunked)")
 		rowMaj   = flag.Bool("rowmajor", false, "row-major torus mapping instead of Figure 1 planes")
@@ -71,7 +71,7 @@ func main() {
 		fail(fmt.Errorf("unknown direction policy %q", *dir))
 	}
 	wireMode, ok := map[string]bgl.WireMode{
-		"sparse": bgl.WireSparse, "dense": bgl.WireDense, "auto": bgl.WireAuto,
+		"sparse": bgl.WireSparse, "dense": bgl.WireDense, "auto": bgl.WireAuto, "hybrid": bgl.WireHybrid,
 	}[*wire]
 	if !ok {
 		fail(fmt.Errorf("unknown wire encoding %q", *wire))
@@ -173,10 +173,28 @@ func main() {
 		res.TotalExpandWords, res.TotalFoldWords, res.TotalDups, res.RedundancyRatio(), res.HashProbes)
 	fmt.Printf("network: %d messages, %.2f avg hops, load imbalance %.3f\n",
 		res.MsgsRecv, res.AvgHopsPerMessage(), res.LoadImbalance())
-	fmt.Println("\nlevel  dir       frontier  expand-words  fold-words  dups  marked  edges-scanned")
+	showContainers := res.Containers.Payloads() > 0
+	if showContainers {
+		c := res.Containers
+		fmt.Printf("containers: payloads raw=%d dense=%d hybrid=%d | chunks empty=%d list=%d bitmap=%d runs=%d\n",
+			c.RawPayloads, c.DensePayloads, c.HybridPayloads,
+			c.EmptyChunks, c.ListChunks, c.BitmapChunks, c.RunChunks)
+	}
+	header := "\nlevel  dir       frontier  expand-words  fold-words  dups  marked  edges-scanned"
+	if showContainers {
+		header += "  containers raw/dense/hyb (chunks e/l/b/r)"
+	}
+	fmt.Println(header)
 	for _, ls := range res.PerLevel {
-		fmt.Printf("%5d  %-8s  %8d  %12d  %10d  %4d  %6d  %13d\n",
+		fmt.Printf("%5d  %-8s  %8d  %12d  %10d  %4d  %6d  %13d",
 			ls.Level, ls.Direction, ls.Frontier, ls.ExpandWords, ls.FoldWords, ls.Dups, ls.Marked, ls.EdgesScanned)
+		if showContainers {
+			c := ls.Containers
+			fmt.Printf("  %d/%d/%d (%d/%d/%d/%d)",
+				c.RawPayloads, c.DensePayloads, c.HybridPayloads,
+				c.EmptyChunks, c.ListChunks, c.BitmapChunks, c.RunChunks)
+		}
+		fmt.Println()
 	}
 
 	if *verify {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/comm"
+	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/localindex"
 	"repro/internal/partition"
@@ -28,6 +29,14 @@ type engine1D struct {
 	opts  Options
 	model torus.CostModel
 	world comm.Group
+
+	// hist tallies the wire codec's container choices; per-level deltas
+	// land in rankLevel.containers.
+	hist frontier.ContainerHist
+	// degTotal caches the owned degree sum for the direction heuristic
+	// (1D stores hold full edge lists, so degrees are local).
+	degTotal    uint64
+	degComputed bool
 }
 
 func newEngine1D(c *comm.Comm, st *partition.Store1D, opts Options) *engine1D {
@@ -59,9 +68,31 @@ func (e *engine1D) newSide(src graph.Vertex) *sideState {
 // universe returns the global vertex count.
 func (e *engine1D) universe() int { return e.st.Layout.N }
 
+// totalOutDegree returns this rank's owned vertices' degree sum.
+func (e *engine1D) totalOutDegree() uint64 {
+	if !e.degComputed {
+		for li := 0; li < e.st.OwnedCount(); li++ {
+			e.degTotal += uint64(len(e.st.Neighbors(uint32(li))))
+		}
+		e.degComputed = true
+	}
+	return e.degTotal
+}
+
+// frontierOutDegree returns the degree sum over s's frontier — the
+// edges a top-down expansion of it would scan, globally once reduced.
+func (e *engine1D) frontierOutDegree(s *sideState) uint64 {
+	var sum uint64
+	s.F.Iterate(func(gv uint32) {
+		sum += uint64(len(e.st.Neighbors(e.st.LocalOf(graph.Vertex(gv)))))
+	})
+	return sum
+}
+
 // step runs one complete Algorithm 1 level: merge frontier edge lists
 // into per-owner bins (steps 7–9), fold (steps 8–13), mark (14–16).
 func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
+	h0 := e.hist
 	rec := rankLevel{frontier: s.F.Len()}
 	l := e.st.Layout
 	bins := make([][]uint32, e.c.Size())
@@ -94,7 +125,7 @@ func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
 	}
 
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
-	o.Codec = foldCodec(e.opts.Wire, e.world, e.st.Layout.OwnedRange)
+	o.Codec = foldCodec(e.opts.Wire, e.world, e.st.Layout.OwnedRange, &e.hist)
 	var nbar []uint32
 	var fst collective.Stats
 	switch e.opts.Fold {
@@ -129,6 +160,7 @@ func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
 	}
 	s.F = next
 	s.level++
+	rec.containers = e.hist.Sub(h0)
 	return rec, foundTarget
 }
 

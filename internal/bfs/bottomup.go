@@ -11,9 +11,28 @@ import (
 // its neighbors to their owners, every still-unlabeled vertex searches
 // its own edge list for a parent already in the frontier and stops at
 // the first hit. Communication is dense bitmaps with per-level volume
-// fixed by the partitioning (independent of frontier size), so on the
-// huge middle levels of a low-diameter Poisson graph both the edges
-// inspected and the words moved collapse relative to top-down.
+// fixed by the partitioning (independent of frontier size) — unless
+// Options.Wire is WireHybrid, in which case every bitmap payload is
+// re-encoded through the chunked container codec and sparse or
+// clustered bitmaps collapse to a fraction of their raw width.
+
+// wireBits encodes a bitmap payload over an n-bit universe for the
+// wire under the configured encoding (the identity except under
+// WireHybrid).
+func wireBits(opts Options, h *frontier.ContainerHist, words []uint32, n int) []uint32 {
+	return frontier.EncodeBits(words, n, opts.Wire, h)
+}
+
+// unwireBitPieces restores gathered bitmap pieces in place; piece i
+// covers universe size widths(i).
+func unwireBitPieces(opts Options, pieces [][]uint32, widths func(i int) int) {
+	if opts.Wire != frontier.WireHybrid {
+		return
+	}
+	for i := range pieces {
+		pieces[i] = frontier.DecodeBits(pieces[i], widths(i))
+	}
+}
 
 // stepBottomUp runs one bottom-up level under the 1D partitioning:
 // every rank learns the global frontier as a bitmap (one all-gather of
@@ -21,9 +40,12 @@ import (
 // needed), then scans its unlabeled owned vertices for frontier
 // parents.
 func (e *engine1D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
+	h0 := e.hist
 	rec := rankLevel{frontier: s.F.Len()}
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
-	pieces, st := collective.AllGather(e.c, e.world, o, frontier.Bits(s.F))
+	payload := wireBits(e.opts, &e.hist, frontier.Bits(s.F), e.st.OwnedCount())
+	pieces, st := collective.AllGather(e.c, e.world, o, payload)
+	unwireBitPieces(e.opts, pieces, e.st.Layout.OwnedCount)
 	rec.expandWords = st.RecvWords
 	e.c.ChargeItems(st.RecvWords, e.model.VertexCost)
 
@@ -58,6 +80,7 @@ func (e *engine1D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	e.c.ChargeItems(edges, e.model.EdgeCost)
 	s.F = next
 	s.level++
+	rec.containers = e.hist.Sub(h0)
 	return rec, foundTarget
 }
 
@@ -75,13 +98,20 @@ func (e *engine1D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 //     for its owner.
 //  4. Processor-column OR-reduce-scatter of the claim bitmaps back to
 //     the owners, which mark and build the next frontier.
+//
+// Under WireHybrid all three bitmap exchanges carry container-encoded
+// payloads (the gathers at the caller edges, the claims through
+// collective.Opts.Codec).
 func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	l := e.st.Layout
 	bs := uint32(l.BlockSize())
+	h0 := e.hist
 	rec := rankLevel{frontier: s.F.Len()}
 
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
-	fPieces, fst := collective.AllGather(e.c, e.rowG, o, frontier.Bits(s.F))
+	fSend := wireBits(e.opts, &e.hist, frontier.Bits(s.F), e.st.OwnedCount())
+	fPieces, fst := collective.AllGather(e.c, e.rowG, o, fSend)
+	unwireBitPieces(e.opts, fPieces, func(i int) int { return l.OwnedCount(e.rowG.Ranks[i]) })
 
 	un := frontier.NewBits(e.st.OwnedCount())
 	for li, lv := range s.L {
@@ -90,7 +120,8 @@ func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 		}
 	}
 	o2 := collective.Opts{Tag: tagBase + 1<<22, Chunk: e.opts.ChunkWords}
-	uPieces, ust := collective.AllGather(e.c, e.colG, o2, un)
+	uPieces, ust := collective.AllGather(e.c, e.colG, o2, wireBits(e.opts, &e.hist, un, e.st.OwnedCount()))
+	unwireBitPieces(e.opts, uPieces, func(i int) int { return l.OwnedCount(e.colG.Ranks[i]) })
 	rec.expandWords = fst.RecvWords + ust.RecvWords
 	e.c.ChargeItems(fst.RecvWords+ust.RecvWords, e.model.VertexCost)
 
@@ -128,6 +159,16 @@ func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	e.c.ChargeItems(edges, e.model.EdgeCost)
 
 	o3 := collective.Opts{Tag: tagBase + 2<<22, Chunk: e.opts.ChunkWords}
+	if e.opts.Wire == frontier.WireHybrid {
+		o3.Codec = &collective.Codec{
+			Enc: func(m int, w []uint32) []uint32 {
+				return frontier.EncodeBits(w, l.OwnedCount(e.colG.Ranks[m]), e.opts.Wire, &e.hist)
+			},
+			Dec: func(m int, buf []uint32) []uint32 {
+				return frontier.DecodeBits(buf, l.OwnedCount(e.colG.Ranks[m]))
+			},
+		}
+	}
 	mine, cst := collective.ReduceScatterOr(e.c, e.colG, o3, claims)
 	rec.foldWords = cst.RecvWords
 	e.c.ChargeItems(cst.RecvWords, e.model.VertexCost)
@@ -148,5 +189,6 @@ func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	})
 	s.F = next
 	s.level++
+	rec.containers = e.hist.Sub(h0)
 	return rec, foundTarget
 }

@@ -199,8 +199,9 @@ func TestDirectionPoliciesWithTargets(t *testing.T) {
 	}
 }
 
-// TestWireAutoMatchesSparse: the bitmap wire encoding must not change
-// any labeling and must never move more words than the plain lists.
+// TestWireAutoMatchesSparse: the bitmap and hybrid wire encodings must
+// not change any labeling; auto must never move more words than the
+// plain lists, and hybrid never more than auto.
 func TestWireAutoMatchesSparse(t *testing.T) {
 	g := testGraph(t, 5000, 10, 23)
 	fx := build2D(t, g, 2, 2)
@@ -210,6 +211,8 @@ func TestWireAutoMatchesSparse(t *testing.T) {
 			base.Expand, base.Fold = ex, fo
 			auto := base
 			auto.Wire = frontier.WireAuto
+			hybrid := base
+			hybrid.Wire = frontier.WireHybrid
 			resSparse, err := Run2D(fx.world, fx.st2, base)
 			if err != nil {
 				t.Fatalf("%v/%v sparse: %v", ex, fo, err)
@@ -218,11 +221,23 @@ func TestWireAutoMatchesSparse(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v/%v auto: %v", ex, fo, err)
 			}
+			resHyb, err := Run2D(fx.world, fx.st2, hybrid)
+			if err != nil {
+				t.Fatalf("%v/%v hybrid: %v", ex, fo, err)
+			}
 			levelsEqual(t, resAuto.Levels, fx.serial, fmt.Sprintf("%v/%v wire=auto", ex, fo))
+			levelsEqual(t, resHyb.Levels, fx.serial, fmt.Sprintf("%v/%v wire=hybrid", ex, fo))
 			sparseWords := resSparse.TotalExpandWords + resSparse.TotalFoldWords
 			autoWords := resAuto.TotalExpandWords + resAuto.TotalFoldWords
+			hybWords := resHyb.TotalExpandWords + resHyb.TotalFoldWords
 			if autoWords > sparseWords {
 				t.Errorf("%v/%v: wire=auto moved %d words, sparse %d", ex, fo, autoWords, sparseWords)
+			}
+			if hybWords > autoWords {
+				t.Errorf("%v/%v: wire=hybrid moved %d words, auto %d", ex, fo, hybWords, autoWords)
+			}
+			if resHyb.Containers.Payloads() == 0 {
+				t.Errorf("%v/%v: wire=hybrid recorded no container choices", ex, fo)
 			}
 		}
 	}
@@ -234,6 +249,118 @@ func TestWireAutoMatchesSparse(t *testing.T) {
 		t.Fatal(err)
 	}
 	levelsEqual(t, res.Levels, fx.serial, "wire=dense")
+}
+
+// TestWireHybridAllDirections: hybrid payloads flow through every
+// direction policy — including the bottom-up bitmap gathers and
+// OR-claims — on both partitionings without changing a single label,
+// and never move more words than wire=auto.
+func TestWireHybridAllDirections(t *testing.T) {
+	g := testGraph(t, 6000, 10, 29)
+	fx := build2D(t, g, 2, 2)
+	src := graph.LargestComponentVertex(g)
+	serial := graph.BFS(g, src)
+	st1, w1 := build1D(t, g, 4)
+	for _, dir := range allDirections {
+		auto := DefaultOptions(src)
+		auto.Direction = dir
+		auto.Wire = frontier.WireAuto
+		hyb := auto
+		hyb.Wire = frontier.WireHybrid
+		for name, run := range map[string]func(o Options) (*Result, error){
+			"2D": func(o Options) (*Result, error) { return Run2D(fx.world, fx.st2, o) },
+			"1D": func(o Options) (*Result, error) { return Run1D(w1, st1, o) },
+		} {
+			resAuto, err := run(auto)
+			if err != nil {
+				t.Fatalf("%s dir %v auto: %v", name, dir, err)
+			}
+			resHyb, err := run(hyb)
+			if err != nil {
+				t.Fatalf("%s dir %v hybrid: %v", name, dir, err)
+			}
+			levelsEqual(t, resHyb.Levels, serial, fmt.Sprintf("%s dir %v wire=hybrid", name, dir))
+			autoWords := resAuto.TotalExpandWords + resAuto.TotalFoldWords
+			hybWords := resHyb.TotalExpandWords + resHyb.TotalFoldWords
+			if hybWords > autoWords {
+				t.Errorf("%s dir %v: wire=hybrid moved %d words, auto %d", name, dir, hybWords, autoWords)
+			}
+		}
+	}
+}
+
+// dumbbellGraph builds the degree-skewed bi-directional regression
+// workload: two hub vertices A and B, each adjacent to its own half of
+// the vertices, joined by a two-vertex bridge path. The s→t search
+// must cross hub → bridge → hub, so a hub lands in each side's
+// frontier while almost every vertex is still unlabeled — the regime
+// where the edges-out-of-frontier estimate fires and vertex counting
+// never does (two frontier vertices out of thousands).
+func dumbbellGraph(t *testing.T, half int) (*graph.CSR, graph.Vertex, graph.Vertex) {
+	t.Helper()
+	hubA, hubB := graph.Vertex(0), graph.Vertex(1)
+	n := 2 + 2*half + 2
+	p1, p2 := graph.Vertex(n-2), graph.Vertex(n-1)
+	var edges [][2]graph.Vertex
+	for i := 0; i < half; i++ {
+		edges = append(edges,
+			[2]graph.Vertex{hubA, graph.Vertex(2 + i)},
+			[2]graph.Vertex{hubB, graph.Vertex(2 + half + i)})
+	}
+	edges = append(edges, [2]graph.Vertex{hubA, p1}, [2]graph.Vertex{p1, p2}, [2]graph.Vertex{p2, hubB})
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, graph.Vertex(2), graph.Vertex(2 + half) // s in A's half, t in B's
+}
+
+// TestBidirectionalDirOptBeatsTopDown is the Beamer-heuristic
+// regression: with the edges-out-of-frontier switch, the bi-directional
+// driver's bottom-up steps actually fire once a hub enters a frontier
+// (the old vertex-count heuristic kept every step top-down — bidir
+// frontiers stay tiny as vertex sets), and the direction-optimizing
+// run beats pure top-down in both simulated execution time and words
+// moved while returning the same exact distance.
+func TestBidirectionalDirOptBeatsTopDown(t *testing.T) {
+	g, s, dst := dumbbellGraph(t, 2000)
+	want := graph.Distance(g, s, dst)
+	fx := build2D(t, g, 2, 2)
+	td := DefaultOptions(s)
+	td.Target, td.HasTarget = dst, true
+	do := td
+	do.Direction = DirectionOptimizing
+	resTD, err := RunBidirectional2D(fx.world, fx.st2, td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDO, err := RunBidirectional2D(fx.world, fx.st2, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Result{"topdown": resTD, "dirop": resDO} {
+		if !res.Found || res.Distance != want {
+			t.Fatalf("%s: distance=%d found=%v, want %d", name, res.Distance, res.Found, want)
+		}
+	}
+	buLevels := 0
+	for _, ls := range resDO.PerLevel {
+		if ls.Direction == BottomUp {
+			buLevels++
+		}
+	}
+	if buLevels == 0 {
+		t.Fatal("bi-directional dirop never switched to bottom-up under the edge-based heuristic")
+	}
+	tdWords := resTD.TotalExpandWords + resTD.TotalFoldWords
+	doWords := resDO.TotalExpandWords + resDO.TotalFoldWords
+	if doWords >= tdWords {
+		t.Fatalf("bi-directional dirop moved %d words, top-down %d — expected a win", doWords, tdWords)
+	}
+	if resDO.SimTime >= resTD.SimTime {
+		t.Fatalf("bi-directional dirop simexec %.6fs, top-down %.6fs — expected a win",
+			resDO.SimTime, resTD.SimTime)
+	}
 }
 
 // TestWireAuto1D: the fold codec on the Algorithm 1 engine.

@@ -71,19 +71,34 @@ type stepper interface {
 	step(s *sideState, tagBase int) (rankLevel, bool)
 	stepBottomUp(s *sideState, tagBase int) (rankLevel, bool)
 	universe() int // global vertex count
+	// totalOutDegree and frontierOutDegree feed the Beamer-style
+	// direction heuristic: this rank's degree sum over its owned
+	// vertices, and over a side's current frontier. Only consulted
+	// under DirectionOptimizing.
+	totalOutDegree() uint64
+	frontierOutDegree(s *sideState) uint64
 }
 
-// chooseDirection picks a level's expansion direction. Its inputs are
-// globally reduced quantities, so every rank makes the same choice
-// without extra communication.
-func chooseDirection(opts Options, gf, unlabeled uint64) Direction {
+// chooseDirection picks a level's expansion direction from Beamer's
+// true alpha heuristic: a level runs bottom-up when the edges a
+// top-down expansion would scan (the frontier's out-degree, mf) exceed
+// 1/alpha of the edges the bottom-up parent search would probe in the
+// worst case (the unlabeled set's out-degree, mu). Both inputs are
+// globally reduced, so every rank makes the same choice without extra
+// communication. Compared to the vertex-count ratio this fires on
+// degree-skewed frontiers and on the moderately sized frontiers of the
+// bi-directional driver, where counting vertices never did.
+func chooseDirection(opts Options, mf, mu uint64) Direction {
 	switch opts.Direction {
 	case TopDown:
 		return TopDown
 	case BottomUp:
 		return BottomUp
 	case DirectionOptimizing:
-		if float64(gf)*opts.doAlpha() >= float64(unlabeled) {
+		// mu == 0 means the unlabeled remainder has no edges at all
+		// (only isolated vertices are left): nothing can be labeled
+		// either way, so stay with the paper's top-down expansion.
+		if mu > 0 && float64(mf)*opts.doAlpha() >= float64(mu) {
 			return BottomUp
 		}
 		return TopDown
@@ -113,21 +128,30 @@ func stepDir(e stepper, s *sideState, dir Direction, tagBase int) (rankLevel, bo
 func driveUni(c *comm.Comm, e stepper, opts Options) ([]rankLevel, *sideState, bool) {
 	s := e.newSide(opts.Source)
 	red := newReducer(c, opts)
+	dirop := opts.Direction == DirectionOptimizing
 	// Every vertex joins the frontier exactly once, at the level it is
-	// labeled, so subtracting each level's global frontier size tracks
-	// the unlabeled count with no extra reductions.
-	unlabeled := uint64(e.universe())
+	// labeled, so subtracting each level frontier's out-degree tracks
+	// the unlabeled set's out-degree with one extra reduction per
+	// level. Fixed policies skip the degree machinery entirely.
+	var unlabeledDeg uint64
+	if dirop {
+		unlabeledDeg = red.sum(e.totalOutDegree())
+	}
 	var recs []rankLevel
 	for {
 		gf := red.sum(uint64(s.F.Len()))
 		if gf == 0 {
 			return recs, s, false
 		}
-		unlabeled -= gf
+		var frontierDeg uint64
+		if dirop {
+			frontierDeg = red.sum(e.frontierOutDegree(s))
+			unlabeledDeg -= frontierDeg
+		}
 		if opts.MaxLevels > 0 && int(s.level) >= opts.MaxLevels {
 			return recs, s, false
 		}
-		dir := chooseDirection(opts, gf, unlabeled)
+		dir := chooseDirection(opts, frontierDeg, unlabeledDeg)
 		rec, foundLocal := stepDir(e, s, dir, int(s.level)*64)
 		recs = append(recs, rec)
 		if opts.HasTarget && red.or(foundLocal) {
@@ -153,25 +177,33 @@ func driveBidir(c *comm.Comm, e stepper, st interface {
 	ss := e.newSide(opts.Source)
 	ts := e.newSide(opts.Target)
 	red := newReducer(c, opts)
+	dirop := opts.Direction == DirectionOptimizing
 	var recs []rankLevel
 	best := bidirInf
 	tagSeq := 0
-	// Per-side unlabeled counters for the direction policy: a side's
-	// current frontier is counted once, the first time its global size
-	// is reduced after the side steps.
-	unS, unT := uint64(e.universe()), uint64(e.universe())
+	// Per-side out-degree tracking for the direction policy: a side's
+	// current frontier degree is reduced once, the first time the side
+	// is examined after it steps, and leaves that side's unlabeled
+	// degree at the same moment. Each side labels its own vertices, so
+	// the sides track independent unlabeled sets.
+	var unS, unT, degS, degT uint64
+	if dirop {
+		total := red.sum(e.totalOutDegree())
+		unS, unT = total, total
+	}
 	newS, newT := true, true
 	for {
 		gfs := red.sum(uint64(ss.F.Len()))
 		gft := red.sum(uint64(ts.F.Len()))
-		if newS {
-			unS -= gfs
-			newS = false
+		if dirop && newS {
+			degS = red.sum(e.frontierOutDegree(ss))
+			unS -= degS
 		}
-		if newT {
-			unT -= gft
-			newT = false
+		if dirop && newT {
+			degT = red.sum(e.frontierOutDegree(ts))
+			unT -= degT
 		}
+		newS, newT = false, false
 		exhausted := gfs == 0 || gft == 0
 		proven := best != bidirInf && best <= uint64(ss.level)+uint64(ts.level)
 		if exhausted || proven {
@@ -180,11 +212,15 @@ func driveBidir(c *comm.Comm, e stepper, st interface {
 		if opts.MaxLevels > 0 && int(ss.level+ts.level) >= opts.MaxLevels {
 			return recs, ss, best
 		}
-		side, other, gf, un := ss, ts, gfs, unS
+		side, mf, mu := ss, degS, unS
 		if gft < gfs {
-			side, other, gf, un = ts, ss, gft, unT
+			side, mf, mu = ts, degT, unT
 		}
-		dir := chooseDirection(opts, gf, un)
+		other := ts
+		if side == ts {
+			other = ss
+		}
+		dir := chooseDirection(opts, mf, mu)
 		rec, _ := stepDir(e, side, dir, tagSeq*64)
 		if side == ss {
 			newS = true

@@ -23,6 +23,15 @@ type engine2D struct {
 	model torus.CostModel
 	colG  comm.Group // expand group: my processor-column, R members
 	rowG  comm.Group // fold group: my processor-row, C members
+
+	// hist tallies the wire codec's container choices; per-level deltas
+	// land in rankLevel.containers.
+	hist frontier.ContainerHist
+	// deg caches the global out-degree of every owned vertex, built on
+	// first use by a processor-column exchange (2D partial edge lists
+	// mean no single rank holds a vertex's full degree). Only the
+	// direction-optimizing policy consults it.
+	deg []uint32
 }
 
 func newEngine2D(c *comm.Comm, st *partition.Store2D, opts Options) *engine2D {
@@ -75,7 +84,7 @@ func (e *engine2D) expandWire(ids []uint32) []uint32 {
 	if e.opts.Wire == frontier.WireSparse {
 		return ids
 	}
-	return frontier.EncodeSet(ids, uint32(e.st.Lo), e.st.OwnedCount(), e.opts.Wire)
+	return frontier.EncodeSetStats(ids, uint32(e.st.Lo), e.st.OwnedCount(), e.opts.Wire, &e.hist)
 }
 
 // wireFrontier encodes the whole frontier as an expand payload, using
@@ -84,7 +93,7 @@ func (e *engine2D) wireFrontier(f frontier.Frontier) []uint32 {
 	if e.opts.Wire == frontier.WireSparse {
 		return f.Vertices()
 	}
-	return frontier.EncodeFrontier(f, e.opts.Wire)
+	return frontier.EncodeFrontierStats(f, e.opts.Wire, &e.hist)
 }
 
 // expandUnwire decodes the pieces of an expand exchange in place
@@ -192,17 +201,18 @@ func (e *engine2D) neighbors(s *sideState, fbar []uint32) ([][]uint32, int) {
 
 // foldCodec builds the wire codec for fold payloads: a set destined to
 // row-group member m is a subset of that member's owned range, so it
-// can travel as a bitmap over that range when denser is cheaper.
-func foldCodec(wire frontier.WireMode, g comm.Group, ownedRange func(worldRank int) (graph.Vertex, graph.Vertex)) *collective.Codec {
+// can travel as a bitmap — or hybrid chunk containers — over that
+// range when denser is cheaper.
+func foldCodec(wire frontier.WireMode, g comm.Group, ownedRange func(worldRank int) (graph.Vertex, graph.Vertex), h *frontier.ContainerHist) *collective.Codec {
 	if wire == frontier.WireSparse {
 		return nil
 	}
 	return &collective.Codec{
 		Enc: func(m int, set []uint32) []uint32 {
 			lo, hi := ownedRange(g.World(m))
-			return frontier.EncodeSet(set, uint32(lo), int(hi-lo), wire)
+			return frontier.EncodeSetStats(set, uint32(lo), int(hi-lo), wire, h)
 		},
-		Dec: frontier.Decode,
+		Dec: func(m int, buf []uint32) []uint32 { return frontier.Decode(buf) },
 	}
 }
 
@@ -211,7 +221,7 @@ func foldCodec(wire frontier.WireMode, g comm.Group, ownedRange func(worldRank i
 // of owned vertices to mark.
 func (e *engine2D) fold(bins [][]uint32, tag int) ([]uint32, collective.Stats) {
 	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords}
-	o.Codec = foldCodec(e.opts.Wire, e.rowG, e.st.Layout.OwnedRange)
+	o.Codec = foldCodec(e.opts.Wire, e.rowG, e.st.Layout.OwnedRange, &e.hist)
 	switch e.opts.Fold {
 	case FoldDirect:
 		return collective.ReduceScatterUnion(e.c, e.rowG, o, bins)
@@ -227,12 +237,72 @@ func (e *engine2D) fold(bins [][]uint32, tag int) ([]uint32, collective.Stats) {
 	}
 }
 
+// degreeExchangeTag namespaces the one-time owned-degree exchange of
+// the direction-optimizing heuristic, away from the per-level tag
+// spaces (level*64 + offsets) and the P2P reducer (1<<28).
+const degreeExchangeTag = 1 << 27
+
+// ownedOutDegrees returns the global out-degree of every owned vertex.
+// A vertex's partial edge lists are spread over its processor column,
+// so the first call runs one column all-to-all: each rank sends every
+// column-mate the partial degrees of that mate's owned vertices, and
+// the owner sums the R contributions.
+func (e *engine2D) ownedOutDegrees() []uint32 {
+	if e.deg != nil {
+		return e.deg
+	}
+	l := e.st.Layout
+	bs := l.BlockSize()
+	r := e.colG.Size()
+	send := make([][]uint32, r)
+	for i := 0; i < r; i++ {
+		send[i] = make([]uint32, l.OwnedCount(e.colG.Ranks[i]))
+	}
+	for ci, v := range e.st.ColIds {
+		b := int(v) / bs
+		send[b%l.R][int(v)-b*bs] += uint32(e.st.Off[ci+1] - e.st.Off[ci])
+	}
+	e.c.ChargeItems(len(e.st.ColIds), e.model.VertexCost)
+	o := collective.Opts{Tag: degreeExchangeTag, Chunk: e.opts.ChunkWords}
+	parts, st := collective.AllToAll(e.c, e.colG, o, send)
+	deg := make([]uint32, e.st.OwnedCount())
+	for _, p := range parts {
+		for j, d := range p {
+			deg[j] += d
+		}
+	}
+	e.c.ChargeItems(st.RecvWords, e.model.VertexCost)
+	e.deg = deg
+	return deg
+}
+
+// totalOutDegree returns this rank's owned vertices' degree sum.
+func (e *engine2D) totalOutDegree() uint64 {
+	var sum uint64
+	for _, d := range e.ownedOutDegrees() {
+		sum += uint64(d)
+	}
+	return sum
+}
+
+// frontierOutDegree returns the degree sum over s's frontier — the
+// edges a top-down expansion of it would scan, globally once reduced.
+func (e *engine2D) frontierOutDegree(s *sideState) uint64 {
+	deg := e.ownedOutDegrees()
+	var sum uint64
+	s.F.Iterate(func(gv uint32) {
+		sum += uint64(deg[e.st.LocalOf(graph.Vertex(gv))])
+	})
+	return sum
+}
+
 // step runs one complete BFS level for side s: expand, neighbor scan,
 // fold, mark. It returns the rank-local statistics and whether this
 // rank labeled the target this level. The global frontier emptiness
 // check belongs to the caller (it differs between uni- and
 // bi-directional drivers).
 func (e *engine2D) step(s *sideState, tagBase int) (rankLevel, bool) {
+	h0 := e.hist
 	rec := rankLevel{frontier: s.F.Len()}
 	fbar, est := e.expand(s, tagBase)
 	rec.expandWords = est.RecvWords
@@ -262,6 +332,7 @@ func (e *engine2D) step(s *sideState, tagBase int) (rankLevel, bool) {
 	}
 	s.F = next
 	s.level++
+	rec.containers = e.hist.Sub(h0)
 	return rec, foundTarget
 }
 

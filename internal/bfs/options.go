@@ -56,9 +56,18 @@ func (d Direction) String() string {
 }
 
 const (
-	// DefaultDOAlpha is the direction-optimizing switch factor: a level
-	// runs bottom-up when alpha x |frontier| >= |unlabeled|.
-	DefaultDOAlpha = 4.0
+	// DefaultDOAlpha is the direction-optimizing switch factor of
+	// Beamer's true alpha heuristic: a level runs bottom-up when
+	// alpha x (edges out of the frontier) >= (edges out of the
+	// unlabeled set). On uniform-degree Poisson graphs the degree sums
+	// cancel and this switches exactly where the old vertex-count rule
+	// did, preserving the measured middle-level wins; on degree-skewed
+	// frontiers (a hub vertex, the bi-directional driver's hub-side
+	// steps) the out-degree estimate fires levels the vertex count
+	// never would. Beamer's alpha=14 overshoots here because the
+	// simulator charges hash probes and received words far above edge
+	// scans, making one-level-early switches expensive.
+	DefaultDOAlpha = 6.0
 	// DefaultFrontierOccupancy is the adaptive frontier's sparse→dense
 	// switch threshold (see frontier.DefaultOccupancy).
 	DefaultFrontierOccupancy = frontier.DefaultOccupancy
@@ -144,8 +153,8 @@ type Options struct {
 	// bottom-up, or per-level direction-optimizing traversal.
 	Direction Direction
 	// DOAlpha tunes the direction-optimizing switch: a level runs
-	// bottom-up when DOAlpha x |frontier| >= |unlabeled|; <= 0 selects
-	// DefaultDOAlpha.
+	// bottom-up when DOAlpha x (frontier out-degree) >= (unlabeled
+	// out-degree); <= 0 selects DefaultDOAlpha.
 	DOAlpha float64
 	// FrontierOccupancy is the adaptive frontier's sparse→dense switch
 	// threshold as a fraction of the owned range; <= 0 selects
@@ -153,9 +162,12 @@ type Options struct {
 	FrontierOccupancy float64
 	// Wire selects the frontier wire encoding for the expand payloads
 	// and union-fold sets: WireSparse (the legacy vertex lists),
-	// WireDense (always bitmaps), or WireAuto (whichever is fewer words
-	// per payload). Top-down only; the bottom-up steps always exchange
-	// bitmaps.
+	// WireDense (always bitmaps), WireAuto (whichever of the two is
+	// fewer words per payload), or WireHybrid (chunked delta-varint /
+	// bitmap / run-length containers, never more words than WireAuto).
+	// The bottom-up steps exchange bitmaps under every mode except
+	// WireHybrid, which re-encodes those bitmaps through the same
+	// container codec.
 	Wire frontier.WireMode
 	// SentCache enables the sent-neighbors optimization (§2.4.3): a
 	// neighbor vertex is never sent to its owner twice.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/frontier"
 	"repro/internal/graph"
 )
 
@@ -17,6 +18,9 @@ type LevelStats struct {
 	Dups         int64     // duplicate vertices eliminated by union folds
 	Marked       int64     // vertices newly labeled this level
 	EdgesScanned int64     // edge-list entries inspected, summed over ranks
+	// Containers histograms the wire codec's payload and chunk-container
+	// choices this level (all-zero unless a codec-bearing Wire mode ran).
+	Containers frontier.ContainerHist
 }
 
 // Result reports a finished distributed search.
@@ -40,6 +44,10 @@ type Result struct {
 	TotalExpandWords int64
 	TotalFoldWords   int64
 	TotalDups        int64
+	// Containers sums the per-level wire-codec histograms: how many
+	// payloads shipped raw, as whole-universe bitmaps, or as hybrid
+	// chunk streams, and which container each encoded chunk chose.
+	Containers frontier.ContainerHist
 	// TotalEdgesScanned counts edge-list entries inspected across all
 	// ranks and levels — the quantity direction-optimizing traversal
 	// shrinks (bottom-up levels stop at the first frontier parent).
@@ -160,6 +168,7 @@ type rankLevel struct {
 	dups        int
 	marked      int
 	edges       int
+	containers  frontier.ContainerHist
 }
 
 // mergeStats combines per-rank per-level records into global LevelStats
@@ -188,6 +197,7 @@ func mergeStats(res *Result, perRank [][]rankLevel, comms []*comm.Comm) {
 				Dups:         int64(s.dups),
 				Marked:       int64(s.marked),
 				EdgesScanned: int64(s.edges),
+				Containers:   s.containers,
 			}
 			ls := &res.PerLevel[l]
 			ls.Direction = s.dir // uniform across ranks by construction
@@ -197,6 +207,7 @@ func mergeStats(res *Result, perRank [][]rankLevel, comms []*comm.Comm) {
 			ls.Dups += int64(s.dups)
 			ls.Marked += int64(s.marked)
 			ls.EdgesScanned += int64(s.edges)
+			ls.Containers.Add(s.containers)
 		}
 	}
 	for _, ls := range res.PerLevel {
@@ -204,6 +215,7 @@ func mergeStats(res *Result, perRank [][]rankLevel, comms []*comm.Comm) {
 		res.TotalFoldWords += ls.FoldWords
 		res.TotalDups += ls.Dups
 		res.TotalEdgesScanned += ls.EdgesScanned
+		res.Containers.Add(ls.Containers)
 	}
 	res.SimTime = comm.MaxClock(comms)
 	res.SimComm = comm.MaxCommTime(comms)

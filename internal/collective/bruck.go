@@ -14,6 +14,13 @@ import (
 // choice for the short-message regime (cf. the paper's reference to
 // Suh & Shin's personalized all-to-all on tori).
 //
+// With o.Codec set, the codec lives inside the exchange: each bundled
+// block is container-encoded once — at the first hop that ships it,
+// against its final destination's universe — then rides every further
+// hop in encoded form and is decoded only at the destination. Bundles
+// therefore never ship raw sets, and every multi-hop retransmission
+// moves the compressed words.
+//
 // send[i] goes to group member i; out[i] is the payload from member i.
 func AllToAllBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uint32, Stats) {
 	size := g.Size()
@@ -33,10 +40,14 @@ func AllToAllBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uin
 	for j := 0; j < size; j++ {
 		blocks[j] = send[(g.Me+j)%size]
 	}
+	encoded := make([]bool, size)
 
 	// Phase 2 (log rounds): for each bit, ship every block whose
 	// relative index has that bit set to the member 2^bit ahead; the
 	// payload hops closer to its destination each round it is shipped.
+	// A block's first shipping round is its lowest set bit, before the
+	// block has moved, so its destination is still (me + j) mod size —
+	// the moment it is container-encoded.
 	round := 0
 	for step := 1; step < size; step <<= 1 {
 		var idxs []int
@@ -47,6 +58,10 @@ func AllToAllBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uin
 		}
 		bundle := make([][]uint32, len(idxs))
 		for bi, j := range idxs {
+			if o.Codec != nil && !encoded[j] {
+				blocks[j] = o.Codec.Enc((g.Me+j)%size, blocks[j])
+				encoded[j] = true
+			}
 			bundle[bi] = blocks[j]
 		}
 		to := g.World((g.Me + step) % size)
@@ -57,6 +72,7 @@ func AllToAllBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uin
 		incoming := decodeBundle(buf, len(idxs))
 		for bi, j := range idxs {
 			blocks[j] = incoming[bi]
+			encoded[j] = true // arrived encoded (if a codec is in play)
 		}
 		round++
 	}
@@ -65,16 +81,21 @@ func AllToAllBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uin
 	// originated at member (me - j) mod size and is destined to me.
 	for j := 1; j < size; j++ {
 		src := (g.Me - j + size) % size
-		out[src] = blocks[j]
+		block := blocks[j]
+		if o.Codec != nil {
+			block = o.Codec.Dec(g.Me, block)
+		}
+		out[src] = block
 	}
 	return out, st
 }
 
 // ReduceScatterUnionBruck folds with Bruck's exchange followed by a
 // local union — fewer, longer messages than the direct reduce-scatter.
+// The codec (if any) is applied inside AllToAllBruck, where bundled
+// blocks compress once and stay compressed across hops.
 func ReduceScatterUnionBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32, Stats) {
-	parts, st := AllToAllBruck(c, g, o, encodeSends(g, o.Codec, send))
-	decodeParts(g, o.Codec, parts)
+	parts, st := AllToAllBruck(c, g, o, send)
 	acc := append([]uint32(nil), parts[g.Me]...)
 	for i, p := range parts {
 		if i == g.Me {

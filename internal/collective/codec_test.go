@@ -78,7 +78,7 @@ func ownerCodec(span int, mode frontier.WireMode) *Codec {
 		Enc: func(m int, set []uint32) []uint32 {
 			return frontier.EncodeSet(set, uint32(m*span), span, mode)
 		},
-		Dec: frontier.Decode,
+		Dec: func(m int, buf []uint32) []uint32 { return frontier.Decode(buf) },
 	}
 }
 
@@ -110,29 +110,115 @@ func TestUnionFoldsWithCodecMatchPlain(t *testing.T) {
 		"bruck":    ReduceScatterUnionBruck,
 	}
 	for name, fold := range folds {
-		for _, p := range []int{1, 2, 4, 6} {
-			all := denseOwnerSets(p, span, int64(p))
-			type res struct {
-				plain, coded []uint32
-				plainW, codW int
+		for _, mode := range []frontier.WireMode{frontier.WireAuto, frontier.WireHybrid} {
+			for _, p := range []int{1, 2, 4, 6} {
+				all := denseOwnerSets(p, span, int64(p))
+				type res struct {
+					plain, coded []uint32
+					plainW, codW int
+				}
+				results := runGroup(t, p, func(c *comm.Comm, g comm.Group) any {
+					plain, pst := fold(c, g, Opts{Tag: 1}, all[g.Me])
+					coded, cst := fold(c, g, Opts{Tag: 1 << 16, Codec: ownerCodec(span, mode)}, all[g.Me])
+					return res{plain, coded, pst.RecvWords, cst.RecvWords}
+				})
+				for d := 0; d < p; d++ {
+					r := results[d].(res)
+					if !reflect.DeepEqual(r.plain, r.coded) {
+						t.Fatalf("%s/%v p=%d rank %d: codec changed the fold result", name, mode, p, d)
+					}
+					if want := refUnionTo(all, d); !reflect.DeepEqual(r.coded, want) {
+						t.Fatalf("%s/%v p=%d rank %d: fold result wrong", name, mode, p, d)
+					}
+					if p > 1 && r.codW > r.plainW {
+						t.Errorf("%s/%v p=%d rank %d: dense payloads cost more words with codec (%d > %d)",
+							name, mode, p, d, r.codW, r.plainW)
+					}
+				}
 			}
-			results := runGroup(t, p, func(c *comm.Comm, g comm.Group) any {
-				plain, pst := fold(c, g, Opts{Tag: 1}, all[g.Me])
-				coded, cst := fold(c, g, Opts{Tag: 1 << 16, Codec: ownerCodec(span, frontier.WireAuto)}, all[g.Me])
-				return res{plain, coded, pst.RecvWords, cst.RecvWords}
-			})
+		}
+	}
+}
+
+// TestBruckCodecInsideBundles: AllToAllBruck with a codec must deliver
+// the same payloads as the plain exchange while moving fewer bundle
+// words (blocks are container-encoded at their first hop and stay
+// encoded across later hops).
+func TestBruckCodecInsideBundles(t *testing.T) {
+	const span = 128
+	for _, p := range []int{2, 4, 5, 8} {
+		all := denseOwnerSets(p, span, int64(10+p))
+		type res struct {
+			plain, coded [][]uint32
+			plainW, codW int
+		}
+		results := runGroup(t, p, func(c *comm.Comm, g comm.Group) any {
+			plain, pst := AllToAllBruck(c, g, Opts{Tag: 1}, all[g.Me])
+			coded, cst := AllToAllBruck(c, g, Opts{Tag: 1 << 16, Codec: ownerCodec(span, frontier.WireHybrid)}, all[g.Me])
+			return res{plain, coded, pst.RecvWords, cst.RecvWords}
+		})
+		for d := 0; d < p; d++ {
+			r := results[d].(res)
+			for src := 0; src < p; src++ {
+				if !reflect.DeepEqual(r.plain[src], r.coded[src]) {
+					t.Fatalf("p=%d rank %d: codec changed the payload from %d", p, d, src)
+				}
+			}
+			if r.codW >= r.plainW {
+				t.Errorf("p=%d rank %d: bundled dense payloads did not compress (%d >= %d words)",
+					p, d, r.codW, r.plainW)
+			}
+		}
+	}
+}
+
+// bitsCodec encodes ReduceScatterOr claim bitmaps with the hybrid
+// container codec; every destination's universe is span bits.
+func bitsCodec(span int) *Codec {
+	return &Codec{
+		Enc: func(m int, w []uint32) []uint32 {
+			return frontier.EncodeBits(w, span, frontier.WireHybrid, nil)
+		},
+		Dec: func(m int, buf []uint32) []uint32 {
+			return frontier.DecodeBits(buf, span)
+		},
+	}
+}
+
+// TestReduceScatterOrWithCodec: the OR reduce-scatter must produce
+// identical bitmaps under the hybrid bits codec, and sparse claim
+// bitmaps must compress.
+func TestReduceScatterOrWithCodec(t *testing.T) {
+	const span = 4096 // bits per destination bitmap
+	for _, p := range []int{2, 4, 5} {
+		rng := rand.New(rand.NewSource(int64(p)))
+		send := make([][][]uint32, p)
+		for r := 0; r < p; r++ {
+			send[r] = make([][]uint32, p)
 			for d := 0; d < p; d++ {
-				r := results[d].(res)
-				if !reflect.DeepEqual(r.plain, r.coded) {
-					t.Fatalf("%s p=%d rank %d: codec changed the fold result", name, p, d)
+				w := frontier.NewBits(span)
+				for i := 0; i < 40; i++ { // ~1% occupancy: the claim regime
+					frontier.SetBit(w, uint32(rng.Intn(span)))
 				}
-				if want := refUnionTo(all, d); !reflect.DeepEqual(r.coded, want) {
-					t.Fatalf("%s p=%d rank %d: fold result wrong", name, p, d)
-				}
-				if p > 1 && r.codW > r.plainW {
-					t.Errorf("%s p=%d rank %d: dense payloads cost more words with codec (%d > %d)",
-						name, p, d, r.codW, r.plainW)
-				}
+				send[r][d] = w
+			}
+		}
+		type res struct {
+			plain, coded []uint32
+			plainW, codW int
+		}
+		results := runGroup(t, p, func(c *comm.Comm, g comm.Group) any {
+			plain, pst := ReduceScatterOr(c, g, Opts{Tag: 1}, send[g.Me])
+			coded, cst := ReduceScatterOr(c, g, Opts{Tag: 1 << 16, Codec: bitsCodec(span)}, send[g.Me])
+			return res{plain, coded, pst.RecvWords, cst.RecvWords}
+		})
+		for d := 0; d < p; d++ {
+			r := results[d].(res)
+			if !reflect.DeepEqual(r.plain, r.coded) {
+				t.Fatalf("p=%d rank %d: bits codec changed the OR result", p, d)
+			}
+			if r.codW >= r.plainW {
+				t.Errorf("p=%d rank %d: sparse claims did not compress (%d >= %d words)", p, d, r.codW, r.plainW)
 			}
 		}
 	}

@@ -45,25 +45,31 @@ type Opts struct {
 	// traffic is not. This is the baseline against which the paper's
 	// union-fold saves up to 80% of received vertices (Fig. 7).
 	NoUnion bool
-	// Codec, when non-nil, re-encodes set payloads at wire boundaries
-	// (typically frontier.EncodeSet picking vertex lists or bitmaps,
-	// whichever is fewer words). Honored by the union folds —
-	// ReduceScatterUnion, TwoPhaseFold (ignored under NoUnion, whose
-	// merged multisets have no set encoding), and
-	// ReduceScatterUnionBruck; the pass-through exchanges (AllGather,
-	// AllToAll, TwoPhaseExpand) move opaque payloads, so their callers
-	// encode and decode at the edges instead.
+	// Codec, when non-nil, re-encodes payloads at wire boundaries
+	// (typically frontier.EncodeSet picking vertex lists, bitmaps, or
+	// hybrid chunk containers, whichever is fewer words). Honored by
+	// the union folds — ReduceScatterUnion, TwoPhaseFold (ignored under
+	// NoUnion, whose merged multisets have no set encoding), and the
+	// Bruck exchange (AllToAllBruck container-encodes bundled blocks at
+	// their first hop and decodes them only at the final destination) —
+	// and by ReduceScatterOr, whose payloads are wire bitmaps rather
+	// than sets. The pass-through exchanges (AllGather, AllToAll,
+	// TwoPhaseExpand) move opaque payloads, so their callers encode and
+	// decode at the edges instead.
 	Codec *Codec
 }
 
-// Codec is a pluggable payload encoding applied where sets cross the
-// wire. Enc encodes an ascending duplicate-free set destined for group
-// member m; Dec inverts it (the format must be self-describing).
+// Codec is a pluggable payload encoding applied where payloads cross
+// the wire. Enc encodes the payload destined for group member m — an
+// ascending duplicate-free set in the union folds, a wire bitmap in
+// the OR reductions — and Dec inverts it; both take the destination
+// member m because a payload's universe (and therefore its decoded
+// width, for bitmap payloads) is the destination's owned range.
 // Received-word statistics count encoded words, so a denser encoding
 // shows up directly in the message-volume measurements.
 type Codec struct {
-	Enc func(m int, set []uint32) []uint32
-	Dec func(buf []uint32) []uint32
+	Enc func(m int, payload []uint32) []uint32
+	Dec func(m int, buf []uint32) []uint32
 }
 
 // encodeSends re-encodes every payload that will cross the wire
@@ -83,14 +89,15 @@ func encodeSends(g comm.Group, cdc *Codec, send [][]uint32) [][]uint32 {
 	return out
 }
 
-// decodeParts inverts encodeSends on the receive side, in place.
+// decodeParts inverts encodeSends on the receive side, in place. Every
+// decoded part is destined to this rank, so g.Me names its universe.
 func decodeParts(g comm.Group, cdc *Codec, parts [][]uint32) {
 	if cdc == nil {
 		return
 	}
 	for i := range parts {
 		if i != g.Me {
-			parts[i] = cdc.Dec(parts[i])
+			parts[i] = cdc.Dec(g.Me, parts[i])
 		}
 	}
 }

@@ -11,9 +11,13 @@ import "repro/internal/comm"
 // This is the delivery step of the bottom-up BFS direction: each rank's
 // parent-found claims over a block of vertices are OR-combined at the
 // block's owner, the bitmap analogue of the union fold (a duplicate
-// claim costs one bit, not one word, so no Dups are recorded).
+// claim costs one bit, not one word, so no Dups are recorded). With
+// o.Codec set, each claim bitmap is re-encoded for the wire (hybrid
+// chunk containers when sparser than the raw words) and decoded back
+// before the OR; RecvWords counts the encoded words.
 func ReduceScatterOr(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32, Stats) {
-	parts, st := AllToAll(c, g, o, send)
+	parts, st := AllToAll(c, g, o, encodeSends(g, o.Codec, send))
+	decodeParts(g, o.Codec, parts)
 	var acc []uint32
 	for _, p := range parts {
 		if len(p) > len(acc) {

@@ -112,7 +112,7 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 			buf := c.RecvChunked(prev, o.Tag+s, o.Chunk)
 			st.RecvWords += len(buf)
 			incoming := decodeBundle(buf, a)
-			foldUnwireSets(o, incoming)
+			foldUnwireSets(o, b, recvIdx, incoming)
 			for i := 0; i < a; i++ {
 				if o.NoUnion {
 					chunks[recvIdx][i] = mergeKeepDups(chunks[recvIdx][i], incoming[i])
@@ -148,7 +148,7 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 		part := c.RecvChunked(g.World(i*b+col), tag2+i, o.Chunk)
 		st.RecvWords += len(part)
 		if useCodec {
-			part = o.Codec.Dec(part)
+			part = o.Codec.Dec(g.Me, part)
 		}
 		if o.NoUnion {
 			// part may be a multiset; dedup on receipt. These
@@ -181,13 +181,16 @@ func foldWireSets(o Opts, a, b, idx int, sets [][]uint32) [][]uint32 {
 	return out
 }
 
-// foldUnwireSets decodes an incoming phase-1 bundle in place.
-func foldUnwireSets(o Opts, sets [][]uint32) {
+// foldUnwireSets decodes an incoming phase-1 bundle (stored at index
+// idx; set i is destined to group member i*b+col with col as in
+// foldWireSets) in place.
+func foldUnwireSets(o Opts, b, idx int, sets [][]uint32) {
 	if o.Codec == nil || o.NoUnion {
 		return
 	}
+	col := (idx - 1 + b) % b
 	for i := range sets {
-		sets[i] = o.Codec.Dec(sets[i])
+		sets[i] = o.Codec.Dec(i*b+col, sets[i])
 	}
 }
 

@@ -157,7 +157,7 @@ func TestWireRoundTrip(t *testing.T) {
 		{5, 1, []uint32{5}},
 	}
 	for i, c := range cases {
-		for _, mode := range []WireMode{WireSparse, WireDense, WireAuto} {
+		for _, mode := range allWireModes {
 			buf := EncodeSet(c.ids, c.lo, c.n, mode)
 			got := Decode(buf)
 			want := c.ids
@@ -275,7 +275,7 @@ func TestKindStrings(t *testing.T) {
 	if KindSparse.String() != "sparse" || KindDense.String() != "dense" {
 		t.Fatal("Kind strings changed")
 	}
-	for mode, want := range map[WireMode]string{WireSparse: "sparse", WireDense: "dense", WireAuto: "auto"} {
+	for mode, want := range map[WireMode]string{WireSparse: "sparse", WireDense: "dense", WireAuto: "auto", WireHybrid: "hybrid"} {
 		if mode.String() != want {
 			t.Fatalf("WireMode %d string %q want %q", int(mode), mode.String(), want)
 		}

@@ -1,0 +1,421 @@
+package frontier
+
+// Hybrid chunked container codec: the universe [lo, lo+n) is split into
+// fixed-width chunks of ChunkSpan ids and every chunk is encoded
+// independently as the cheapest of three containers — a delta-varint id
+// list, a plain bitmap, or run-length extents — mirroring the
+// roaring-bitmap design but packed into uint32 wire words so the
+// word-based torus cost model and comm accounting stay exact.
+//
+// Chunk stream layout (one entry per chunk, in chunk order, empty
+// chunks included):
+//
+//	header word: container type in the top 2 bits, payload word count
+//	in the low 30 bits, followed by that many payload words.
+//
+// Byte-granular containers (list, runs) are LEB128 varint streams
+// packed little-endian into words, zero-padded to a word boundary:
+//
+//	list:  count, off[0], off[1]-off[0]-1, off[2]-off[1]-1, ...
+//	runs:  nruns, then per run: gap from the previous run's end, len-1
+//
+// All offsets are chunk-relative (< ChunkSpan, so every varint fits in
+// two bytes). A set payload wraps the chunk stream in a
+// [hybridSentinel, lo, n] header, self-describing next to the raw-list
+// and dense-bitmap forms; a bitmap payload (EncodeBits) ships the bare
+// chunk stream and is distinguished from a raw bitmap by length alone.
+
+// ChunkSpan is the fixed hybrid chunk width in ids (2^12): small enough
+// that chunk-relative offsets varint-encode in at most two bytes, large
+// enough that per-chunk header overhead is negligible.
+const ChunkSpan = 1 << 12
+
+// hybridSentinel leads a hybrid set payload. Like wireSentinel it can
+// never lead a raw id list (vertex ids live strictly below both
+// sentinels).
+const hybridSentinel = ^uint32(0) - 1
+
+// Container type codes stored in chunk headers.
+const (
+	chunkEmpty  = 0 // no members, header only
+	chunkList   = 1 // delta-varint id list
+	chunkBitmap = 2 // plain bitmap over the chunk span
+	chunkRuns   = 3 // run-length extents
+)
+
+const chunkWordsMask = 1<<30 - 1
+
+// ContainerHist counts the hybrid codec's choices: how many whole
+// payloads fell back to the raw list or dense bitmap versus carrying a
+// chunk stream, and which container each encoded chunk used. The BFS
+// engines aggregate one histogram per level.
+type ContainerHist struct {
+	RawPayloads    int64 // payloads shipped as raw id lists
+	DensePayloads  int64 // payloads shipped as whole-universe bitmaps
+	HybridPayloads int64 // payloads shipped as chunk streams
+	EmptyChunks    int64
+	ListChunks     int64
+	BitmapChunks   int64
+	RunChunks      int64
+}
+
+// Add accumulates other into h.
+func (h *ContainerHist) Add(other ContainerHist) {
+	h.RawPayloads += other.RawPayloads
+	h.DensePayloads += other.DensePayloads
+	h.HybridPayloads += other.HybridPayloads
+	h.EmptyChunks += other.EmptyChunks
+	h.ListChunks += other.ListChunks
+	h.BitmapChunks += other.BitmapChunks
+	h.RunChunks += other.RunChunks
+}
+
+// Sub returns h - other, the delta between two snapshots.
+func (h ContainerHist) Sub(other ContainerHist) ContainerHist {
+	return ContainerHist{
+		RawPayloads:    h.RawPayloads - other.RawPayloads,
+		DensePayloads:  h.DensePayloads - other.DensePayloads,
+		HybridPayloads: h.HybridPayloads - other.HybridPayloads,
+		EmptyChunks:    h.EmptyChunks - other.EmptyChunks,
+		ListChunks:     h.ListChunks - other.ListChunks,
+		BitmapChunks:   h.BitmapChunks - other.BitmapChunks,
+		RunChunks:      h.RunChunks - other.RunChunks,
+	}
+}
+
+// Payloads returns the number of payloads the histogram covers.
+func (h ContainerHist) Payloads() int64 {
+	return h.RawPayloads + h.DensePayloads + h.HybridPayloads
+}
+
+// --- varint helpers -------------------------------------------------
+
+func uvarintLen(v uint32) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func appendUvarint(b []byte, v uint32) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// readUvarint decodes one varint at pos, returning the value and the
+// position after it; it panics on truncation (malformed payloads are
+// protocol bugs, matching the dense codec).
+func readUvarint(b []byte, pos int) (uint32, int) {
+	var v uint32
+	var shift uint
+	for {
+		if pos >= len(b) {
+			panic("frontier: truncated varint in hybrid chunk")
+		}
+		c := b[pos]
+		pos++
+		v |= uint32(c&0x7f) << shift
+		if c < 0x80 {
+			return v, pos
+		}
+		shift += 7
+		if shift > 28 {
+			panic("frontier: varint overflow in hybrid chunk")
+		}
+	}
+}
+
+// packBytes appends b to buf little-endian, zero-padded to whole words.
+func packBytes(buf []uint32, b []byte) []uint32 {
+	for i := 0; i < len(b); i += 4 {
+		var w uint32
+		for j := 0; j < 4 && i+j < len(b); j++ {
+			w |= uint32(b[i+j]) << (8 * j)
+		}
+		buf = append(buf, w)
+	}
+	return buf
+}
+
+// unpackBytes flattens words back into their byte stream (including
+// any zero padding; varint streams carry their own counts).
+func unpackBytes(words []uint32) []byte {
+	b := make([]byte, 0, 4*len(words))
+	for _, w := range words {
+		b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return b
+}
+
+func bytesToWords(n int) int { return (n + 3) / 4 }
+
+// --- chunk encoding -------------------------------------------------
+
+// chunkCosts returns the payload word counts of the three containers
+// for a chunk holding offs (ascending, chunk-relative) over span ids.
+func chunkCosts(offs []uint32, span int) (list, bitmap, runs int) {
+	listBytes := uvarintLen(uint32(len(offs)))
+	runsBytes := 0
+	nruns := 0
+	prevEnd := uint32(0) // one past the previous run's last member
+	runStart := uint32(0)
+	for i, off := range offs {
+		if i == 0 {
+			listBytes += uvarintLen(off)
+			runStart = off
+			nruns++
+			continue
+		}
+		listBytes += uvarintLen(off - offs[i-1] - 1)
+		if off != offs[i-1]+1 {
+			runsBytes += uvarintLen(runStart-prevEnd) + uvarintLen(offs[i-1]-runStart)
+			prevEnd = offs[i-1] + 1
+			runStart = off
+			nruns++
+		}
+	}
+	if len(offs) > 0 {
+		runsBytes += uvarintLen(runStart-prevEnd) + uvarintLen(offs[len(offs)-1]-runStart)
+	}
+	runsBytes += uvarintLen(uint32(nruns))
+	return bytesToWords(listBytes), BitWords(span), bytesToWords(runsBytes)
+}
+
+// encodeChunk appends one chunk's header + payload for offs (ascending,
+// chunk-relative, duplicate-free) over span ids, choosing the cheapest
+// container, and records the choice in h.
+func encodeChunk(buf []uint32, offs []uint32, span int, h *ContainerHist) []uint32 {
+	if len(offs) == 0 {
+		h.EmptyChunks++
+		return append(buf, chunkEmpty<<30)
+	}
+	list, bitmap, runs := chunkCosts(offs, span)
+	switch {
+	case list <= bitmap && list <= runs:
+		h.ListChunks++
+		b := appendUvarint(nil, uint32(len(offs)))
+		for i, off := range offs {
+			if i == 0 {
+				b = appendUvarint(b, off)
+			} else {
+				b = appendUvarint(b, off-offs[i-1]-1)
+			}
+		}
+		buf = append(buf, chunkList<<30|uint32(bytesToWords(len(b))))
+		return packBytes(buf, b)
+	case runs <= bitmap:
+		h.RunChunks++
+		var b []byte
+		nruns := 0
+		var spans [][2]uint32 // [start, last]
+		for i, off := range offs {
+			if i == 0 || off != offs[i-1]+1 {
+				spans = append(spans, [2]uint32{off, off})
+				nruns++
+			} else {
+				spans[nruns-1][1] = off
+			}
+		}
+		b = appendUvarint(b, uint32(nruns))
+		prevEnd := uint32(0)
+		for _, r := range spans {
+			b = appendUvarint(b, r[0]-prevEnd)
+			b = appendUvarint(b, r[1]-r[0])
+			prevEnd = r[1] + 1
+		}
+		buf = append(buf, chunkRuns<<30|uint32(bytesToWords(len(b))))
+		return packBytes(buf, b)
+	default:
+		h.BitmapChunks++
+		w := NewBits(span)
+		for _, off := range offs {
+			SetBit(w, off)
+		}
+		buf = append(buf, chunkBitmap<<30|uint32(len(w)))
+		return append(buf, w...)
+	}
+}
+
+// numChunks returns the chunk count covering an n-id universe.
+func numChunks(n int) int { return (n + ChunkSpan - 1) / ChunkSpan }
+
+// appendSetChunks appends the chunk stream for an ascending id set over
+// [lo, lo+n).
+func appendSetChunks(buf []uint32, ids []uint32, lo uint32, n int, h *ContainerHist) []uint32 {
+	offs := make([]uint32, 0, ChunkSpan)
+	i := 0
+	for c := 0; c < numChunks(n); c++ {
+		base := lo + uint32(c*ChunkSpan)
+		span := n - c*ChunkSpan
+		if span > ChunkSpan {
+			span = ChunkSpan
+		}
+		offs = offs[:0]
+		for i < len(ids) && ids[i]-lo < uint32(c*ChunkSpan)+uint32(span) {
+			offs = append(offs, ids[i]-base)
+			i++
+		}
+		buf = encodeChunk(buf, offs, span, h)
+	}
+	if i != len(ids) {
+		// An id below lo underflows past every chunk bound; one above
+		// lo+n is never consumed. Either way the loop would silently
+		// truncate the set — fail as loudly as the bitmap modes do.
+		panic("frontier: id outside the universe in hybrid set payload")
+	}
+	return buf
+}
+
+// appendBitsChunks appends the chunk stream for a wire bitmap over
+// [0, n). Chunk boundaries align with bitmap words (ChunkSpan/32 words
+// per chunk), so each chunk's members come from a word subrange.
+func appendBitsChunks(buf []uint32, words []uint32, n int, h *ContainerHist) []uint32 {
+	const wordsPerChunk = ChunkSpan / 32
+	offs := make([]uint32, 0, ChunkSpan)
+	for c := 0; c < numChunks(n); c++ {
+		span := n - c*ChunkSpan
+		if span > ChunkSpan {
+			span = ChunkSpan
+		}
+		wlo := c * wordsPerChunk
+		whi := wlo + BitWords(span)
+		offs = offs[:0]
+		IterateBits(words[wlo:whi], func(off uint32) { offs = append(offs, off) })
+		buf = encodeChunk(buf, offs, span, h)
+	}
+	return buf
+}
+
+// decodeChunks walks a chunk stream over an n-id universe, calling emit
+// with every member's universe-relative offset in ascending order.
+func decodeChunks(stream []uint32, n int, emit func(off uint32)) {
+	pos := 0
+	for c := 0; c < numChunks(n); c++ {
+		base := uint32(c * ChunkSpan)
+		span := n - c*ChunkSpan
+		if span > ChunkSpan {
+			span = ChunkSpan
+		}
+		if pos >= len(stream) {
+			panic("frontier: truncated hybrid chunk stream")
+		}
+		header := stream[pos]
+		pos++
+		nw := int(header & chunkWordsMask)
+		if pos+nw > len(stream) {
+			panic("frontier: truncated hybrid chunk payload")
+		}
+		payload := stream[pos : pos+nw]
+		pos += nw
+		switch header >> 30 {
+		case chunkEmpty:
+		case chunkList:
+			b := unpackBytes(payload)
+			count, bp := readUvarint(b, 0)
+			if int(count) > span {
+				panic("frontier: hybrid list chunk overflows its span")
+			}
+			var off uint32
+			for i := uint32(0); i < count; i++ {
+				var d uint32
+				d, bp = readUvarint(b, bp)
+				if i == 0 {
+					off = d
+				} else {
+					off += d + 1
+				}
+				if int(off) >= span {
+					panic("frontier: hybrid list chunk offset overflows its span")
+				}
+				emit(base + off)
+			}
+		case chunkBitmap:
+			if nw != BitWords(span) {
+				panic("frontier: hybrid bitmap chunk has wrong width")
+			}
+			IterateBits(payload, func(off uint32) { emit(base + off) })
+		case chunkRuns:
+			b := unpackBytes(payload)
+			nruns, bp := readUvarint(b, 0)
+			pos := uint32(0)
+			for r := uint32(0); r < nruns; r++ {
+				var gap, runLen uint32
+				gap, bp = readUvarint(b, bp)
+				runLen, bp = readUvarint(b, bp)
+				pos += gap
+				if int(pos)+int(runLen) >= span {
+					panic("frontier: hybrid runs chunk overflows its span")
+				}
+				for i := uint32(0); i <= runLen; i++ {
+					emit(base + pos)
+					pos++
+				}
+			}
+		}
+	}
+	if pos != len(stream) {
+		panic("frontier: trailing words in hybrid chunk stream")
+	}
+}
+
+// encodeHybridSet builds the full self-describing hybrid set payload
+// [hybridSentinel, lo, n, chunks...].
+func encodeHybridSet(ids []uint32, lo uint32, n int, h *ContainerHist) []uint32 {
+	buf := make([]uint32, 0, 3+numChunks(n))
+	buf = append(buf, hybridSentinel, lo, uint32(n))
+	return appendSetChunks(buf, ids, lo, n, h)
+}
+
+// decodeHybridSet inverts encodeHybridSet.
+func decodeHybridSet(buf []uint32) []uint32 {
+	if len(buf) < 3 {
+		panic("frontier: truncated hybrid wire payload")
+	}
+	lo, n := buf[1], int(buf[2])
+	out := make([]uint32, 0, n/8)
+	decodeChunks(buf[3:], n, func(off uint32) { out = append(out, lo+off) })
+	return out
+}
+
+// EncodeBits encodes a wire bitmap over [0, n) for transmission.
+// WireHybrid replaces the raw bitmap with the chunked container stream
+// whenever that is strictly fewer words (so a hybrid bits payload is
+// never longer than the raw bitmap); every other mode — and any bitmap
+// the containers cannot beat — ships the words unchanged. The two forms
+// are told apart by length: a raw payload has exactly BitWords(n)
+// words, and a chunk stream is only ever chosen when shorter.
+func EncodeBits(words []uint32, n int, mode WireMode, h *ContainerHist) []uint32 {
+	if mode != WireHybrid || n == 0 {
+		return words
+	}
+	var hist ContainerHist
+	stream := appendBitsChunks(make([]uint32, 0, numChunks(n)), words, n, &hist)
+	if len(stream) >= len(words) {
+		if h != nil {
+			h.DensePayloads++
+		}
+		return words
+	}
+	if h != nil {
+		hist.HybridPayloads++
+		h.Add(hist)
+	}
+	return stream
+}
+
+// DecodeBits inverts EncodeBits, returning the full-width wire bitmap
+// over [0, n). Raw bitmaps (exactly BitWords(n) words) pass through
+// aliased.
+func DecodeBits(buf []uint32, n int) []uint32 {
+	if len(buf) == BitWords(n) {
+		return buf
+	}
+	w := NewBits(n)
+	decodeChunks(buf, n, func(off uint32) { SetBit(w, off) })
+	return w
+}

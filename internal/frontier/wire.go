@@ -16,6 +16,13 @@ const (
 	// moves more words than plain lists and switches to bitmaps once a
 	// payload covers more than ~1/32 of its universe.
 	WireAuto
+	// WireHybrid adds the chunked container codec (see hybrid.go): the
+	// payload's universe is split into ChunkSpan-id chunks, each encoded
+	// as the cheapest of a delta-varint list, a bitmap, or run-length
+	// extents. A payload only ships the chunk stream when it beats both
+	// the raw list and the whole-universe bitmap, so hybrid never moves
+	// more words than WireAuto.
+	WireHybrid
 )
 
 func (m WireMode) String() string {
@@ -26,6 +33,8 @@ func (m WireMode) String() string {
 		return "dense"
 	case WireAuto:
 		return "auto"
+	case WireHybrid:
+		return "hybrid"
 	default:
 		return fmt.Sprintf("WireMode(%d)", int(m))
 	}
@@ -34,10 +43,11 @@ func (m WireMode) String() string {
 // Wire format: a sparse payload is the raw ascending id list itself —
 // zero overhead over the legacy format. A dense payload is
 // [sentinel, lo, n, words...] with ceil(n/32) wire-bitmap words over
-// the universe [lo, lo+n). The sentinel (the maximum uint32) can never
-// lead a raw list because vertex ids are strictly below it (the
-// partitioners index vertices with uint32 local offsets), which keeps
-// the format self-describing.
+// the universe [lo, lo+n). A hybrid payload is [hybridSentinel, lo, n,
+// chunks...] (see hybrid.go). The sentinels (the two largest uint32
+// values) can never lead a raw list because vertex ids are strictly
+// below them (the partitioners index vertices with uint32 local
+// offsets), which keeps the format self-describing.
 const wireSentinel = ^uint32(0)
 
 // denseCheaper reports whether the dense encoding of a count-member
@@ -49,49 +59,171 @@ func denseHeader(lo uint32, n int) []uint32 {
 	return append(buf, wireSentinel, lo, uint32(n))
 }
 
+// rawList returns the raw-list arm of the wire format. The buffer is
+// always a copy: encoded payloads are owned by the transport until
+// receipt (they may sit in mailboxes or travel multiple Bruck hops),
+// and an aliased frontier slice the caller later mutates would corrupt
+// them in flight.
+func rawList(ids []uint32) []uint32 {
+	if len(ids) > 0 && ids[0] >= hybridSentinel {
+		panic("frontier: vertex id collides with a wire sentinel")
+	}
+	return append([]uint32(nil), ids...)
+}
+
 // EncodeSet encodes an ascending duplicate-free id set drawn from the
-// universe [lo, lo+n). WireAuto picks the smaller encoding, preferring
-// the raw list on ties (the raw arm aliases ids; callers must not
-// mutate the slice while the payload is in flight).
+// universe [lo, lo+n). WireAuto picks the smaller of the raw list and
+// the dense bitmap, WireHybrid the smallest of those two and the
+// chunked container stream; ties prefer the raw list. The returned
+// buffer never aliases ids — callers may mutate the set as soon as the
+// call returns.
 func EncodeSet(ids []uint32, lo uint32, n int, mode WireMode) []uint32 {
+	return EncodeSetStats(ids, lo, n, mode, nil)
+}
+
+// EncodeSetStats is EncodeSet with container-choice accounting: when h
+// is non-nil the chosen payload form (and, for hybrid payloads, every
+// chunk's container) is tallied into it.
+func EncodeSetStats(ids []uint32, lo uint32, n int, mode WireMode, h *ContainerHist) []uint32 {
+	if mode == WireHybrid {
+		return encodeSetHybrid(ids, lo, n, h)
+	}
 	dense := mode == WireDense
 	if mode == WireAuto {
 		dense = denseCheaper(n, len(ids))
 	}
 	if !dense {
-		if len(ids) > 0 && ids[0] == wireSentinel {
-			panic("frontier: vertex id collides with the dense wire sentinel")
+		if h != nil {
+			h.RawPayloads++
 		}
-		return ids
+		return rawList(ids)
+	}
+	if h != nil {
+		h.DensePayloads++
 	}
 	return append(denseHeader(lo, n), IDsToBits(ids, lo, n)...)
 }
 
+// rawBeatsHybrid reports whether a count-member raw list is certain to
+// win before any chunk stream is built: a hybrid payload is at least
+// 3 + numChunks(n) words (header plus one word per chunk), so a list
+// no longer than that — and no longer than the dense form — takes the
+// raw arm on every tie. Skipping the stream keeps sparse levels O(1)
+// per payload like WireAuto.
+func rawBeatsHybrid(n, count int) bool {
+	return count <= 3+numChunks(n) && !denseCheaper(n, count)
+}
+
+// encodeSetHybrid picks the cheapest of {raw list, dense bitmap,
+// hybrid chunk stream} for one payload, preferring raw and then hybrid
+// on ties.
+func encodeSetHybrid(ids []uint32, lo uint32, n int, h *ContainerHist) []uint32 {
+	if rawBeatsHybrid(n, len(ids)) {
+		if h != nil {
+			h.RawPayloads++
+		}
+		return rawList(ids)
+	}
+	var chunks ContainerHist
+	hyb := encodeHybridSet(ids, lo, n, &chunks)
+	return pickHybridForm(hyb, chunks, len(ids), lo, n, h,
+		func() []uint32 { return rawList(ids) },
+		func() []uint32 { return IDsToBits(ids, lo, n) })
+}
+
+// encodeDenseFrontierHybrid is encodeSetHybrid for a frontier that is
+// already a bitmap: the chunk stream is built straight from the wire
+// words, and an id list only materializes if the raw arm wins.
+func encodeDenseFrontierHybrid(d *Dense, h *ContainerHist) []uint32 {
+	lo, n := d.Universe()
+	if rawBeatsHybrid(n, d.Len()) {
+		if h != nil {
+			h.RawPayloads++
+		}
+		return rawList(d.Vertices())
+	}
+	w := d.WireBits()
+	var chunks ContainerHist
+	buf := make([]uint32, 0, 3+numChunks(n))
+	hyb := appendBitsChunks(append(buf, hybridSentinel, lo, uint32(n)), w, n, &chunks)
+	return pickHybridForm(hyb, chunks, d.Len(), lo, n, h,
+		func() []uint32 { return rawList(d.Vertices()) },
+		func() []uint32 { return w })
+}
+
+// pickHybridForm chooses among the three payload forms given the
+// prebuilt chunk stream; raw and bits lazily produce the id list and
+// wire bitmap for the fallback arms.
+func pickHybridForm(hyb []uint32, chunks ContainerHist, rawLen int, lo uint32, n int, h *ContainerHist, raw, bits func() []uint32) []uint32 {
+	dense := 3 + BitWords(n)
+	switch {
+	case rawLen <= len(hyb) && rawLen <= dense:
+		if h != nil {
+			h.RawPayloads++
+		}
+		return raw()
+	case len(hyb) <= dense:
+		if h != nil {
+			chunks.HybridPayloads++
+			h.Add(chunks)
+		}
+		return hyb
+	default:
+		if h != nil {
+			h.DensePayloads++
+		}
+		return append(denseHeader(lo, n), bits()...)
+	}
+}
+
 // EncodeFrontier encodes a frontier's member set exactly like
-// EncodeSet, but repacks an already-dense representation word-for-word
-// instead of materializing an id list and rebuilding the bitmap.
+// EncodeSet, but works word-for-word from an already-dense
+// representation instead of materializing an id list and rebuilding
+// the bitmap.
 func EncodeFrontier(f Frontier, mode WireMode) []uint32 {
+	return EncodeFrontierStats(f, mode, nil)
+}
+
+// EncodeFrontierStats is EncodeFrontier with container accounting.
+func EncodeFrontierStats(f Frontier, mode WireMode, h *ContainerHist) []uint32 {
 	lo, n := f.Universe()
 	d, ok := Unwrap(f).(*Dense)
-	if !ok || (mode != WireDense && !(mode == WireAuto && denseCheaper(n, d.Len()))) {
-		return EncodeSet(f.Vertices(), lo, n, mode)
+	if !ok {
+		return EncodeSetStats(f.Vertices(), lo, n, mode, h)
 	}
-	return append(denseHeader(lo, n), d.WireBits()...)
+	switch {
+	case mode == WireHybrid:
+		return encodeDenseFrontierHybrid(d, h)
+	case mode == WireDense || (mode == WireAuto && denseCheaper(n, d.Len())):
+		if h != nil {
+			h.DensePayloads++
+		}
+		return append(denseHeader(lo, n), d.WireBits()...)
+	default:
+		return EncodeSetStats(f.Vertices(), lo, n, mode, h)
+	}
 }
 
 // Decode unpacks a payload produced by EncodeSet back into an
 // ascending id slice. Raw lists pass through untouched (and aliased),
 // so decoding an unencoded payload is a safe no-op.
 func Decode(buf []uint32) []uint32 {
-	if len(buf) == 0 || buf[0] != wireSentinel {
+	if len(buf) == 0 {
 		return buf
 	}
-	if len(buf) < 3 {
-		panic("frontier: truncated dense wire payload")
+	switch buf[0] {
+	case hybridSentinel:
+		return decodeHybridSet(buf)
+	case wireSentinel:
+		if len(buf) < 3 {
+			panic("frontier: truncated dense wire payload")
+		}
+		lo, n := buf[1], int(buf[2])
+		if len(buf) != 3+BitWords(n) {
+			panic("frontier: malformed dense wire payload")
+		}
+		return BitsToIDs(buf[3:], lo)
+	default:
+		return buf
 	}
-	lo, n := buf[1], int(buf[2])
-	if len(buf) != 3+BitWords(n) {
-		panic("frontier: malformed dense wire payload")
-	}
-	return BitsToIDs(buf[3:], lo)
 }

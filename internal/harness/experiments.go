@@ -75,6 +75,7 @@ func All() []Experiment {
 		{"ablation-sentcache", "Sent-neighbors cache on/off", "design ablation (§2.4.3)", RunAblationSentCache},
 		{"ablation-termination", "Tree-network vs torus point-to-point termination", "design ablation (§4.1)", RunAblationTermination},
 		{"ablation-direction", "Top-down vs direction-optimizing traversal, level by level", "design ablation (beyond the paper)", RunAblationDirection},
+		{"ablation-wire", "Frontier wire encodings (sparse/dense/auto/hybrid) across occupancies", "design ablation (beyond the paper)", RunAblationWire},
 	}
 }
 
@@ -124,6 +125,26 @@ type workload struct {
 	layout *partition.Layout2D
 	stores []*partition.Store2D
 	cl     *cluster
+}
+
+// Workload is the exported face of a built workload, for external
+// drivers (cmd/benchjson) that measure the same machine the exhibits
+// run on.
+type Workload struct {
+	Graph  *graph.CSR
+	Stores []*partition.Store2D
+	World  *comm.World
+}
+
+// BuildWorkload generates the standard Poisson workload and
+// distributes it over an r x c mesh on the Figure 1 plane-mapped
+// BlueGene/L torus — the exact construction every exhibit uses.
+func BuildWorkload(n int, k float64, seed int64, r, c int) (*Workload, error) {
+	w, err := buildWorkload(n, k, seed, r, c, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Graph: w.g, Stores: w.stores, World: w.cl.world}, nil
 }
 
 func buildWorkload(n int, k float64, seed int64, r, c int, rowMajor bool) (*workload, error) {

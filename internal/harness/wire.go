@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/bfs"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// wireModes lists the frontier wire encodings in ablation order.
+var wireModes = []frontier.WireMode{
+	frontier.WireSparse, frontier.WireDense, frontier.WireAuto, frontier.WireHybrid,
+}
+
+// RunAblationWire compares the frontier wire encodings level by level
+// on the k=10 Poisson workload over both partitionings (the square 2D
+// mesh and the degenerate 1-row 1D mesh). Each level row reports the
+// global frontier occupancy entering the level and the words every
+// encoding moved, with the hybrid codec's gain over auto: the raw-list
+// and whole-bitmap forms are each optimal only at the occupancy
+// extremes, and the chunked containers win the wide mid-occupancy band
+// in between — the regime the contiguous-block partitioning's
+// clustered payloads live in.
+func RunAblationWire(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: "Ablation — frontier wire encoding (sparse/dense/auto/hybrid), both partitionings",
+		Columns: []string{"mesh", "level", "frontier occ %",
+			"words sparse", "words dense", "words auto", "words hybrid", "auto/hybrid"},
+	}
+	p := minInt(64, cfg.MaxP)
+	for p&(p-1) != 0 {
+		p--
+	}
+	r, c := squareMesh(p)
+	n := cfg.scaleCount(100000/fig4aScaleDivisor) * p
+	k := fitK(n, 10)
+	for _, mesh := range [][2]int{{r, c}, {1, p}} {
+		w, err := buildWorkload(n, k, cfg.Seed, mesh[0], mesh[1], false)
+		if err != nil {
+			return nil, err
+		}
+		src := graph.LargestComponentVertex(w.g)
+		results := make([]*bfs.Result, len(wireModes))
+		for i, mode := range wireModes {
+			opts := bfs.DefaultOptions(src)
+			opts.Wire = mode
+			res, err := bfs.Run2D(w.cl.world, w.stores, opts)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		label := meshLabel(mesh[0], mesh[1])
+		levels := len(results[0].PerLevel)
+		totals := make([]int64, len(wireModes))
+		for l := 0; l < levels; l++ {
+			words := make([]int64, len(wireModes))
+			for i, res := range results {
+				if l < len(res.PerLevel) {
+					words[i] = res.PerLevel[l].ExpandWords + res.PerLevel[l].FoldWords
+				}
+				totals[i] += words[i]
+			}
+			occ := 100 * float64(results[0].PerLevel[l].Frontier) / float64(n)
+			t.AddRow(label, l, occ, words[0], words[1], words[2], words[3], ratio(words[2], words[3]))
+		}
+		t.AddRow(label, "total", "", totals[0], totals[1], totals[2], totals[3], ratio(totals[2], totals[3]))
+	}
+	t.Note("n=%d k=%g: auto picks min(sparse, dense) per payload; hybrid re-chunks each payload", n, k)
+	t.Note("into delta-varint/bitmap/run containers and must never exceed auto — the auto/hybrid")
+	t.Note("column is its compression factor, largest on the mid-occupancy middle levels")
+	return t, nil
+}
+
+func ratio(a, b int64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+}

@@ -50,13 +50,20 @@ const (
 // WireMode re-exports the frontier wire-encoding selector.
 type WireMode = frontier.WireMode
 
-// Frontier wire encodings: plain vertex lists, bitmaps, or whichever
-// is fewer words per payload.
+// Frontier wire encodings: plain vertex lists, bitmaps, whichever of
+// the two is fewer words per payload, or the chunked hybrid container
+// codec (delta-varint lists / bitmaps / run-length extents per 4096-id
+// chunk, never more words than WireAuto).
 const (
 	WireSparse = frontier.WireSparse
 	WireDense  = frontier.WireDense
 	WireAuto   = frontier.WireAuto
+	WireHybrid = frontier.WireHybrid
 )
+
+// ContainerHist re-exports the hybrid codec's container histogram (see
+// Result.Containers and LevelStats.Containers).
+type ContainerHist = frontier.ContainerHist
 
 // WithDirection selects the traversal direction policy.
 func WithDirection(d Direction) Option { return func(o *bfs.Options) { o.Direction = d } }
