@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet tier1 race build test bench bench-smoke bench-json
+.PHONY: ci fmt-check vet tier1 race build test bench bench-smoke bench-json fuzz
+
+# Seconds per fuzz target in `make fuzz`.
+FUZZTIME ?= 20s
 
 ci: fmt-check vet tier1 race bench-smoke
 
@@ -38,3 +41,12 @@ bench-smoke: bench
 # README.md "Perf trajectory" for the format).
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_PR2.json
+
+# Coverage-guided fuzzing: the hybrid wire codec round-trips, weighted
+# edge-list IO, and distributed Δ-stepping vs the serial Dijkstra
+# oracle. FUZZTIME sets the budget per target.
+fuzz:
+	$(GO) test ./internal/frontier -run=^$$ -fuzz=FuzzHybridSetRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/frontier -run=^$$ -fuzz=FuzzHybridBitsRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/graph -run=^$$ -fuzz=FuzzWeightedEdgeListRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sssp -run=^$$ -fuzz=FuzzDeltaSteppingVsDijkstra -fuzztime=$(FUZZTIME)

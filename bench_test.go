@@ -23,6 +23,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/partition"
+	"repro/internal/sssp"
 )
 
 // benchConfig keeps every exhibit under a few seconds per iteration on
@@ -102,6 +103,10 @@ func BenchmarkAblationWire(b *testing.B) { runExperiment(b, "ablation-wire") }
 
 // BenchmarkMemScale regenerates the §2.4.1 memory-scalability exhibit.
 func BenchmarkMemScale(b *testing.B) { runExperiment(b, "memscale") }
+
+// BenchmarkAblationDelta regenerates the Δ-stepping bucket-width
+// sweep on the weighted Poisson workload.
+func BenchmarkAblationDelta(b *testing.B) { runExperiment(b, "ablation-delta") }
 
 // --- Core-engine micro-benchmarks -----------------------------------
 // These measure the real (wall-clock) throughput of the distributed
@@ -227,6 +232,50 @@ func BenchmarkWireAuto(b *testing.B) { benchWire(b, frontier.WireAuto) }
 
 // BenchmarkWireHybrid runs the chunked container codec.
 func BenchmarkWireHybrid(b *testing.B) { benchWire(b, frontier.WireHybrid) }
+
+// BenchmarkDeltaStepping measures distributed Δ-stepping shortest
+// paths on the weighted n=100k k=10 workload at 4x4 (uniform [1,256]
+// weights, auto Δ), reporting the relaxation-work and volume metrics
+// the Δ sweep trades against each other.
+func BenchmarkDeltaStepping(b *testing.B) {
+	params := graph.Params{N: 100000, K: 10, Seed: 9}
+	spec := graph.WeightSpec{Dist: graph.WeightUniform, MaxWeight: 256, Seed: 10}
+	g, err := graph.GenerateWeighted(params, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := partition.NewLayout2D(params.N, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stores, err := partition.Build2DWeighted(layout, g.VisitWeightedEdges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := comm.NewWorld(comm.Config{P: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := graph.LargestComponentVertex(g)
+	b.ResetTimer()
+	var last *sssp.Result
+	for i := 0; i < b.N; i++ {
+		res, err := sssp.Run2D(w, stores, sssp.DefaultOptions(src))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if last != nil {
+		b.ReportMetric(float64(g.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+		b.ReportMetric(float64(last.TotalRelaxations), "relaxations")
+		b.ReportMetric(float64(last.TotalReSettles), "re-settles")
+		b.ReportMetric(float64(last.TotalWords()), "words")
+		b.ReportMetric(last.SimTime, "simexec-s")
+		b.ReportMetric(last.SimComm, "simcomm-s")
+	}
+}
 
 // BenchmarkTraversal1D measures the dedicated Algorithm 1 engine.
 func BenchmarkTraversal1D(b *testing.B) {

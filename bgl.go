@@ -15,7 +15,10 @@
 // traversal that switches to a bitmap-exchanged bottom-up parent
 // search on the large middle levels, plus an adaptive sparse/dense
 // frontier representation and a bitmap wire encoding
-// (WithFrontierWire) for dense frontiers.
+// (WithFrontierWire) for dense frontiers. Weighted graphs
+// (GenerateWeighted) additionally support distributed single-source
+// shortest paths by Δ-stepping (Cluster.SSSP, WithDelta), validated
+// against a serial Dijkstra oracle.
 //
 // Quick start:
 //
@@ -34,6 +37,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/sssp"
 	"repro/internal/torus"
 )
 
@@ -60,6 +64,63 @@ type Graph struct {
 // vertices and expected average degree k, deterministic in seed.
 func Generate(n int, k float64, seed int64) (*Graph, error) {
 	g, err := graph.Generate(graph.Params{N: n, K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{csr: g}, nil
+}
+
+// MaxDist marks vertices a shortest-path search did not reach.
+const MaxDist = graph.MaxDist
+
+// WeightDist re-exports the edge-weight distribution selector.
+type WeightDist = graph.WeightDist
+
+// Edge-weight distributions for GenerateWeighted.
+const (
+	WeightUniform     = graph.WeightUniform
+	WeightExponential = graph.WeightExponential
+	WeightUnit        = graph.WeightUnit
+)
+
+// WeightOption adjusts the weight assignment of GenerateWeighted.
+type WeightOption func(*graph.WeightSpec)
+
+// WithWeightDist selects the edge-weight distribution.
+func WithWeightDist(d WeightDist) WeightOption {
+	return func(s *graph.WeightSpec) { s.Dist = d }
+}
+
+// WithMaxWeight bounds every weight draw (default graph.DefaultMaxWeight).
+func WithMaxWeight(w uint32) WeightOption {
+	return func(s *graph.WeightSpec) { s.MaxWeight = w }
+}
+
+// WithWeightSeed decorrelates the weight draws from the topology seed.
+func WithWeightSeed(seed int64) WeightOption {
+	return func(s *graph.WeightSpec) { s.Seed = seed }
+}
+
+// GenerateWeighted creates the Poisson random graph of Generate with
+// per-edge uint32 weights: identical topology for the same (n, k,
+// seed), weights drawn by a deterministic symmetric hash of the edge
+// endpoints (uniform in [1, max] by default; see WithWeightDist).
+func GenerateWeighted(n int, k float64, seed int64, opts ...WeightOption) (*Graph, error) {
+	spec := graph.WeightSpec{Dist: graph.WeightUniform, Seed: seed + 1}
+	for _, fn := range opts {
+		fn(&spec)
+	}
+	g, err := graph.GenerateWeighted(graph.Params{N: n, K: k, Seed: seed}, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{csr: g}, nil
+}
+
+// FromWeightedEdges builds a weighted graph from an explicit
+// undirected edge list and a parallel slice of positive weights.
+func FromWeightedEdges(n int, edges [][2]Vertex, weights []uint32) (*Graph, error) {
+	g, err := graph.FromWeightedEdges(n, edges, weights)
 	if err != nil {
 		return nil, err
 	}
@@ -104,8 +165,22 @@ func (g *Graph) Degree(v Vertex) int { return g.csr.Degree(v) }
 // Neighbors returns v's adjacency list (aliased, do not modify).
 func (g *Graph) Neighbors(v Vertex) []Vertex { return g.csr.Neighbors(v) }
 
+// Weighted reports whether the graph carries explicit edge weights.
+func (g *Graph) Weighted() bool { return g.csr.Weighted() }
+
+// EdgeWeightRange returns the smallest and largest edge weight (1, 1
+// for unweighted graphs) — the anchors of the useful Δ range.
+func (g *Graph) EdgeWeightRange() (min, max uint32) {
+	return g.csr.MinEdgeWeight(), g.csr.MaxEdgeWeight()
+}
+
 // SerialBFS runs the single-machine reference BFS.
 func (g *Graph) SerialBFS(src Vertex) []int32 { return graph.BFS(g.csr, src) }
+
+// SerialDijkstra runs the single-machine shortest-path oracle every
+// distributed Δ-stepping run is validated against (unit weights when
+// the graph is unweighted).
+func (g *Graph) SerialDijkstra(src Vertex) []uint32 { return graph.Dijkstra(g.csr, src) }
 
 // SerialDistance returns the exact s→t distance (Unreached if none).
 func (g *Graph) SerialDistance(s, t Vertex) int32 { return graph.Distance(g.csr, s, t) }
@@ -228,14 +303,20 @@ type DistGraph struct {
 }
 
 // Distribute partitions g over the cluster's R x C mesh (2D edge
-// partitioning, §2.2). The centralized loader stands in for the
-// original system's parallel file I/O.
+// partitioning, §2.2). Weighted graphs distribute their edge weights
+// alongside the partial edge lists. The centralized loader stands in
+// for the original system's parallel file I/O.
 func (c *Cluster) Distribute(g *Graph) (*DistGraph, error) {
 	l, err := partition.NewLayout2D(g.N(), c.cfg.R, c.cfg.C)
 	if err != nil {
 		return nil, err
 	}
-	stores, err := partition.Build2D(l, g.visit)
+	var stores []*partition.Store2D
+	if g.csr.Weighted() {
+		stores, err = partition.Build2DWeighted(l, g.csr.VisitWeightedEdges)
+	} else {
+		stores, err = partition.Build2D(l, g.visit)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -256,6 +337,29 @@ func (dg *DistGraph) Memory() []MemoryStats {
 		out[i] = st.Memory()
 	}
 	return out
+}
+
+// SSSPResult re-exports the Δ-stepping result: per-vertex distances,
+// per-epoch statistics, and simulated times.
+type SSSPResult = sssp.Result
+
+// EpochStats re-exports the per-epoch Δ-stepping statistics record.
+type EpochStats = sssp.EpochStats
+
+// DeltaInf selects the single-bucket (Bellman-Ford) degenerate of
+// Δ-stepping.
+const DeltaInf = sssp.DeltaInf
+
+// SSSP runs distributed single-source shortest paths by Δ-stepping
+// from source over the cluster's mesh. Unweighted graphs run with
+// unit weights (distances equal BFS levels). Δ defaults to
+// max(1, maxWeight/avgDegree); tune it with WithDelta.
+func (c *Cluster) SSSP(dg *DistGraph, source Vertex, opts ...SSSPOption) (*SSSPResult, error) {
+	o := sssp.DefaultOptions(source)
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return sssp.Run2D(c.world, dg.stores, o)
 }
 
 // BFS runs a full distributed traversal from source.

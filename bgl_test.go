@@ -307,3 +307,102 @@ func TestResultNetworkMetrics(t *testing.T) {
 		t.Errorf("load imbalance %g below 1", im)
 	}
 }
+
+func TestSSSPQuickstartFlow(t *testing.T) {
+	g, err := GenerateWeighted(2000, 8, 42, WithWeightDist(WeightUniform), WithMaxWeight(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("GenerateWeighted produced an unweighted graph")
+	}
+	if min, max := g.EdgeWeightRange(); min < 1 || max > 64 || min > max {
+		t.Fatalf("weight range [%d, %d] outside [1, 64]", min, max)
+	}
+	cl, err := NewCluster(ClusterConfig{R: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cl.Distribute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.LargestComponentVertex()
+	res, err := cl.SSSP(dg, src, WithSSSPWire(WireHybrid),
+		WithSSSPChunkWords(4096), WithSSSPFrontierOccupancy(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.SerialDijkstra(src)
+	for v, d := range res.Dist {
+		if d != want[v] {
+			t.Fatalf("dist[%d] = %d, serial dijkstra %d", v, d, want[v])
+		}
+	}
+	if res.Delta == 0 {
+		t.Fatal("auto delta not recorded")
+	}
+	if res.Epochs == 0 || res.BucketsDrained == 0 || res.TotalRelaxations == 0 {
+		t.Fatalf("empty run stats: epochs=%d buckets=%d relax=%d",
+			res.Epochs, res.BucketsDrained, res.TotalRelaxations)
+	}
+}
+
+func TestSSSPDeltaOptionAndUnweighted(t *testing.T) {
+	// SSSP on an unweighted graph runs with unit weights: distances are
+	// BFS levels, under both degenerate Δ choices.
+	g, err := Generate(1200, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(ClusterConfig{R: 1, C: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cl.Distribute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.LargestComponentVertex()
+	levels := g.SerialBFS(src)
+	for _, delta := range []uint32{1, DeltaInf} {
+		res, err := cl.SSSP(dg, src, WithDelta(delta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, l := range levels {
+			want := MaxDist
+			if l != Unreached {
+				want = uint32(l)
+			}
+			if res.Dist[v] != want {
+				t.Fatalf("delta %d: dist[%d] = %d, want level %d", delta, v, res.Dist[v], l)
+			}
+		}
+	}
+}
+
+func TestWeightedSaveLoadRoundTrip(t *testing.T) {
+	g, err := FromWeightedEdges(4, [][2]Vertex{{0, 1}, {1, 2}, {2, 3}}, []uint32{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Weighted() {
+		t.Fatal("weights dropped through Save/Load")
+	}
+	want := g.SerialDijkstra(0)
+	got := back.SerialDijkstra(0)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d after round trip, want %d", v, got[v], want[v])
+		}
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/harness"
+	"repro/internal/partition"
+	"repro/internal/sssp"
 )
 
 // Level is one BFS level of a run.
@@ -44,6 +46,21 @@ type Run struct {
 	Levels       []Level `json:"levels"`
 }
 
+// SSSPRun is one Δ-stepping configuration's result on the weighted
+// variant of the headline workload.
+type SSSPRun struct {
+	Name        string  `json:"name"`
+	Delta       uint32  `json:"delta"`
+	Wire        string  `json:"wire"`
+	SimExecS    float64 `json:"simexec_s"`
+	SimCommS    float64 `json:"simcomm_s"`
+	Buckets     int     `json:"buckets"`
+	Epochs      int     `json:"epochs"`
+	Relaxations int64   `json:"relaxations"`
+	ReSettles   int64   `json:"resettles"`
+	TotalWords  int64   `json:"total_words"`
+}
+
 // Baseline is the file-level document.
 type Baseline struct {
 	N    int     `json:"n"`
@@ -51,6 +68,18 @@ type Baseline struct {
 	Seed int64   `json:"seed"`
 	Mesh string  `json:"mesh"`
 	Runs []Run   `json:"runs"`
+	// SSSP sweeps the Δ-stepping bucket width on the same workload
+	// with uniform [1,256] edge weights; DeltaSweep summarizes the
+	// U-shape acceptance metric (some interior Δ beats both degenerate
+	// extremes in simulated execution time).
+	SSSP       []SSSPRun `json:"sssp"`
+	DeltaSweep struct {
+		DijkstraLikeExecS     float64 `json:"dijkstra_like_simexec_s"`
+		BellmanFordExecS      float64 `json:"bellman_ford_simexec_s"`
+		BestInteriorDelta     uint32  `json:"best_interior_delta"`
+		BestInteriorExecS     float64 `json:"best_interior_simexec_s"`
+		InteriorBeatsExtremes bool    `json:"interior_beats_extremes"`
+	} `json:"delta_sweep"`
 	// MidOccupancy summarizes the acceptance metric: exchange words on
 	// the mid-occupancy levels — global frontier occupancy in
 	// [0.1%, 10%), the middle regime between the list-optimal sparse
@@ -157,6 +186,70 @@ func main() {
 		m.AutoOverHybrid = float64(m.AutoWords) / float64(m.HybridWords)
 	}
 
+	// Δ-stepping sweep on the weighted variant of the same workload.
+	wg, err := graph.GenerateWeighted(graph.Params{N: *n, K: *k, Seed: *seed},
+		graph.WeightSpec{Dist: graph.WeightUniform, MaxWeight: 256, Seed: *seed + 1})
+	if err != nil {
+		fail(err)
+	}
+	layout, err := partition.NewLayout2D(*n, *r, *c)
+	if err != nil {
+		fail(err)
+	}
+	wstores, err := partition.Build2DWeighted(layout, wg.VisitWeightedEdges)
+	if err != nil {
+		fail(err)
+	}
+	wsrc := graph.LargestComponentVertex(wg)
+	minW, maxW := wg.MinEdgeWeight(), wg.MaxEdgeWeight()
+	type spt struct {
+		name  string
+		delta uint32
+	}
+	sweep := []spt{
+		{"dijkstra-like", minW},
+		{"interior-small", maxW / 32},
+		{"interior-mid", maxW / 8},
+		{"interior-large", maxW / 2},
+		{"auto", 0},
+		{"bellman-ford", sssp.DeltaInf},
+	}
+	ds := &doc.DeltaSweep
+	for _, pt := range sweep {
+		opts := sssp.DefaultOptions(wsrc)
+		opts.Delta = pt.delta
+		opts.Wire = frontier.WireHybrid
+		res, err := sssp.Run2D(w.World, wstores, opts)
+		if err != nil {
+			fail(err)
+		}
+		doc.SSSP = append(doc.SSSP, SSSPRun{
+			Name:        pt.name,
+			Delta:       res.Delta,
+			Wire:        opts.Wire.String(),
+			SimExecS:    res.SimTime,
+			SimCommS:    res.SimComm,
+			Buckets:     res.BucketsDrained,
+			Epochs:      res.Epochs,
+			Relaxations: res.TotalRelaxations,
+			ReSettles:   res.TotalReSettles,
+			TotalWords:  res.TotalWords(),
+		})
+		switch pt.name {
+		case "dijkstra-like":
+			ds.DijkstraLikeExecS = res.SimTime
+		case "bellman-ford":
+			ds.BellmanFordExecS = res.SimTime
+		default:
+			if ds.BestInteriorExecS == 0 || res.SimTime < ds.BestInteriorExecS {
+				ds.BestInteriorExecS = res.SimTime
+				ds.BestInteriorDelta = res.Delta
+			}
+		}
+	}
+	ds.InteriorBeatsExtremes = ds.BestInteriorExecS < ds.DijkstraLikeExecS &&
+		ds.BestInteriorExecS < ds.BellmanFordExecS
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fail(err)
@@ -171,4 +264,6 @@ func main() {
 	}
 	fmt.Printf("wrote %s: mid-occupancy auto/hybrid = %.2fx (%d vs %d words)\n",
 		*out, m.AutoOverHybrid, m.AutoWords, m.HybridWords)
+	fmt.Printf("delta sweep: interior Δ=%d %.4fs vs dijkstra-like %.4fs, bellman-ford %.4fs (interior beats extremes: %v)\n",
+		ds.BestInteriorDelta, ds.BestInteriorExecS, ds.DijkstraLikeExecS, ds.BellmanFordExecS, ds.InteriorBeatsExtremes)
 }

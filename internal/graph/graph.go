@@ -16,11 +16,55 @@ type Vertex = uint32
 // CSR is an undirected graph in compressed sparse row form. Every
 // undirected edge {u,v} appears in both adjacency lists.
 type CSR struct {
-	N    int      // number of vertices
-	Off  []int64  // len N+1; adjacency of v is Adj[Off[v]:Off[v+1]]
-	Adj  []Vertex // concatenated adjacency lists
-	Seed int64    // generator seed (0 for hand-built graphs)
-	K    float64  // requested average degree (0 for hand-built graphs)
+	N   int      // number of vertices
+	Off []int64  // len N+1; adjacency of v is Adj[Off[v]:Off[v+1]]
+	Adj []Vertex // concatenated adjacency lists
+	// W, when non-nil, carries one positive edge weight per Adj entry
+	// (both directions of an undirected edge hold the same value). A
+	// nil W means the graph is unweighted; shortest-path code treats
+	// every edge as weight 1 then.
+	W    []uint32
+	Seed int64   // generator seed (0 for hand-built graphs)
+	K    float64 // requested average degree (0 for hand-built graphs)
+}
+
+// Weighted reports whether the graph carries explicit edge weights.
+func (g *CSR) Weighted() bool { return g.W != nil }
+
+// EdgeWeights returns the weights parallel to Neighbors(v), or nil for
+// an unweighted graph. The slice aliases the graph's storage.
+func (g *CSR) EdgeWeights(v Vertex) []uint32 {
+	if g.W == nil {
+		return nil
+	}
+	return g.W[g.Off[v]:g.Off[v+1]]
+}
+
+// MaxEdgeWeight returns the largest edge weight (1 for unweighted or
+// edgeless graphs).
+func (g *CSR) MaxEdgeWeight() uint32 {
+	max := uint32(1)
+	for _, w := range g.W {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// MinEdgeWeight returns the smallest edge weight (1 for unweighted or
+// edgeless graphs).
+func (g *CSR) MinEdgeWeight() uint32 {
+	if len(g.W) == 0 {
+		return 1
+	}
+	min := g.W[0]
+	for _, w := range g.W[1:] {
+		if w < min {
+			min = w
+		}
+	}
+	return min
 }
 
 // NumEdges returns the number of undirected edges.
@@ -50,6 +94,20 @@ func (g *CSR) MaxDegree() int {
 		}
 	}
 	return max
+}
+
+// VisitWeightedEdges streams every undirected edge {u, v}, u < v,
+// exactly once with its weight (1 for unweighted graphs) — the edge
+// source the weight-aware partition loaders consume.
+func (g *CSR) VisitWeightedEdges(fn func(u, v Vertex, w uint32)) error {
+	for v := 0; v < g.N; v++ {
+		for i := g.Off[v]; i < g.Off[v+1]; i++ {
+			if u := g.Adj[i]; Vertex(v) < u {
+				fn(Vertex(v), u, g.weightOf(i))
+			}
+		}
+	}
+	return nil
 }
 
 // FromEdges builds a CSR from an undirected edge list. Self-loops are

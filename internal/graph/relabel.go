@@ -24,11 +24,18 @@ func Relabel(g *CSR, seed int64) (*CSR, []Vertex) {
 		out.Off[v+1] += out.Off[v]
 	}
 	out.Adj = make([]Vertex, len(g.Adj))
+	if g.Weighted() {
+		out.W = make([]uint32, len(g.W))
+	}
 	fill := make([]int64, g.N)
 	for v := 0; v < g.N; v++ {
 		nv := perm[v]
-		for _, u := range g.Neighbors(Vertex(v)) {
-			out.Adj[out.Off[nv]+fill[nv]] = perm[u]
+		for i := g.Off[v]; i < g.Off[v+1]; i++ {
+			slot := out.Off[nv] + fill[nv]
+			out.Adj[slot] = perm[g.Adj[i]]
+			if out.W != nil {
+				out.W[slot] = g.W[i]
+			}
 			fill[nv]++
 		}
 	}

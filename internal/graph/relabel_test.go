@@ -85,3 +85,37 @@ func TestInversePerm(t *testing.T) {
 		}
 	}
 }
+
+func TestRelabelKeepsWeights(t *testing.T) {
+	g, err := GenerateWeighted(Params{N: 400, K: 5, Seed: 6},
+		WeightSpec{Dist: WeightUniform, MaxWeight: 90, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, perm := Relabel(g, 3)
+	if !rg.Weighted() {
+		t.Fatal("relabel dropped the edge weights")
+	}
+	for v := 0; v < g.N; v++ {
+		want := map[Vertex]uint32{}
+		for i := g.Off[v]; i < g.Off[v+1]; i++ {
+			want[perm[g.Adj[i]]] = g.W[i]
+		}
+		nv := perm[v]
+		for i := rg.Off[nv]; i < rg.Off[nv+1]; i++ {
+			if want[rg.Adj[i]] != rg.W[i] {
+				t.Fatalf("vertex %d->%d: edge to %d weight %d, want %d",
+					v, nv, rg.Adj[i], rg.W[i], want[rg.Adj[i]])
+			}
+		}
+	}
+	// Shortest paths are invariant under relabeling.
+	src := LargestComponentVertex(g)
+	want := Dijkstra(g, src)
+	got := Dijkstra(rg, perm[src])
+	for v := range want {
+		if got[perm[v]] != want[v] {
+			t.Fatalf("dist of %d changed under relabel: %d vs %d", v, got[perm[v]], want[v])
+		}
+	}
+}

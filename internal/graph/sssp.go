@@ -1,0 +1,112 @@
+package graph
+
+import "container/heap"
+
+// Serial single-source shortest-path oracles. Every distributed
+// Δ-stepping run is validated against Dijkstra; Bellman-Ford is the
+// second, independently-derived oracle the tests cross-check Dijkstra
+// against (two oracles agreeing is the differential-testing anchor the
+// distributed engines are pinned to).
+
+// MaxDist marks vertices a shortest-path search did not reach. It is
+// also the saturation bound: any tentative distance that would reach
+// or exceed it is treated as unreachable.
+const MaxDist = ^uint32(0)
+
+// weightOf returns the weight of the i-th incident edge of the graph,
+// 1 when unweighted.
+func (g *CSR) weightOf(i int64) uint32 {
+	if g.W == nil {
+		return 1
+	}
+	return g.W[i]
+}
+
+// distHeap is a monotone binary heap of (vertex, dist) pairs.
+type distHeap struct {
+	v []Vertex
+	d []uint32
+}
+
+func (h *distHeap) Len() int           { return len(h.v) }
+func (h *distHeap) Less(i, j int) bool { return h.d[i] < h.d[j] }
+func (h *distHeap) Swap(i, j int)      { h.v[i], h.v[j] = h.v[j], h.v[i]; h.d[i], h.d[j] = h.d[j], h.d[i] }
+func (h *distHeap) Push(x any)         { p := x.([2]uint32); h.v = append(h.v, p[0]); h.d = append(h.d, p[1]) }
+func (h *distHeap) Pop() any {
+	n := len(h.v) - 1
+	p := [2]uint32{h.v[n], h.d[n]}
+	h.v, h.d = h.v[:n], h.d[:n]
+	return p
+}
+
+// Dijkstra returns the exact shortest-path distance from src to every
+// vertex (MaxDist for unreachable ones). Unweighted graphs run with
+// unit weights, so the result equals BFS levels.
+func Dijkstra(g *CSR, src Vertex) []uint32 {
+	dist := make([]uint32, g.N)
+	for i := range dist {
+		dist[i] = MaxDist
+	}
+	dist[src] = 0
+	h := &distHeap{v: []Vertex{src}, d: []uint32{0}}
+	for h.Len() > 0 {
+		p := heap.Pop(h).([2]uint32)
+		v, d := Vertex(p[0]), p[1]
+		if d > dist[v] {
+			continue // stale entry; v was settled cheaper
+		}
+		for i := g.Off[v]; i < g.Off[v+1]; i++ {
+			u, w := g.Adj[i], g.weightOf(i)
+			cand := saturatingAdd(d, w)
+			if cand < dist[u] {
+				dist[u] = cand
+				heap.Push(h, [2]uint32{uint32(u), cand})
+			}
+		}
+	}
+	return dist
+}
+
+// BellmanFord returns shortest-path distances by frontier-based epoch
+// relaxation (only vertices improved in the previous epoch relax their
+// edges), plus the number of epochs until the distances stop changing.
+// It is the Δ=∞ degenerate of Δ-stepping: one bucket, light phases
+// only.
+func BellmanFord(g *CSR, src Vertex) (dist []uint32, epochs int) {
+	dist = make([]uint32, g.N)
+	for i := range dist {
+		dist[i] = MaxDist
+	}
+	dist[src] = 0
+	active := []Vertex{src}
+	for len(active) > 0 {
+		epochs++
+		var next []Vertex
+		changed := make(map[Vertex]bool, len(active))
+		for _, v := range active {
+			d := dist[v]
+			for i := g.Off[v]; i < g.Off[v+1]; i++ {
+				u, w := g.Adj[i], g.weightOf(i)
+				cand := saturatingAdd(d, w)
+				if cand < dist[u] {
+					dist[u] = cand
+					if !changed[u] {
+						changed[u] = true
+						next = append(next, u)
+					}
+				}
+			}
+		}
+		active = next
+	}
+	return dist, epochs
+}
+
+// saturatingAdd adds a distance and a weight, saturating at MaxDist so
+// "unreachable plus anything" stays unreachable.
+func saturatingAdd(d, w uint32) uint32 {
+	if d >= MaxDist-w {
+		return MaxDist
+	}
+	return d + w
+}

@@ -1,0 +1,86 @@
+package graph
+
+import "testing"
+
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g, err := GenerateWeighted(Params{N: 1500, K: 6, Seed: seed},
+			WeightSpec{Dist: WeightUniform, MaxWeight: 50, Seed: seed + 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := LargestComponentVertex(g)
+		dj := Dijkstra(g, src)
+		bf, epochs := BellmanFord(g, src)
+		for v := range dj {
+			if dj[v] != bf[v] {
+				t.Fatalf("seed %d: dist[%d]: dijkstra %d != bellman-ford %d", seed, v, dj[v], bf[v])
+			}
+		}
+		if epochs == 0 {
+			t.Fatalf("seed %d: bellman-ford reported zero epochs", seed)
+		}
+	}
+}
+
+func TestDijkstraUnitWeightsEqualBFSLevels(t *testing.T) {
+	// Unweighted graph: Dijkstra with implicit unit weights is BFS.
+	g, err := Generate(Params{N: 3000, K: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := LargestComponentVertex(g)
+	levels := BFS(g, src)
+	dist := Dijkstra(g, src)
+	for v := range dist {
+		switch {
+		case levels[v] == Unreached && dist[v] != MaxDist:
+			t.Fatalf("vertex %d: BFS unreached but dist %d", v, dist[v])
+		case levels[v] != Unreached && dist[v] != uint32(levels[v]):
+			t.Fatalf("vertex %d: level %d but dist %d", v, levels[v], dist[v])
+		}
+	}
+}
+
+func TestDijkstraHandBuilt(t *testing.T) {
+	//      5       1
+	//  0 ----- 1 ----- 2
+	//   \             /
+	//    \----- 3 ---/     0-3 weight 1, 3-2 weight 2
+	g, err := FromWeightedEdges(4,
+		[][2]Vertex{{0, 1}, {1, 2}, {0, 3}, {3, 2}},
+		[]uint32{5, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := Dijkstra(g, 0)
+	want := []uint32{0, 4, 3, 1} // 0->2 via 3 (1+2), 0->1 via 3,2 (1+2+1)
+	for v, d := range dist {
+		if d != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+}
+
+func TestDijkstraDisconnected(t *testing.T) {
+	g, err := FromWeightedEdges(4, [][2]Vertex{{0, 1}}, []uint32{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := Dijkstra(g, 0)
+	if dist[0] != 0 || dist[1] != 3 || dist[2] != MaxDist || dist[3] != MaxDist {
+		t.Fatalf("dist = %v", dist)
+	}
+}
+
+func TestSaturatingAdd(t *testing.T) {
+	if saturatingAdd(MaxDist, 1) != MaxDist {
+		t.Fatal("unreachable + w must stay unreachable")
+	}
+	if saturatingAdd(MaxDist-1, 1) != MaxDist {
+		t.Fatal("sum reaching the sentinel must saturate")
+	}
+	if saturatingAdd(5, 7) != 12 {
+		t.Fatal("plain add broken")
+	}
+}

@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Per-edge weights extend the paper's unweighted Poisson workload to
+// the shortest-path setting (Δ-stepping SSSP). A weight is a positive
+// uint32 attached to each undirected edge; both directions of the CSR
+// carry the same value.
+//
+// Weights are drawn by a deterministic symmetric hash of the edge
+// endpoints, so the streaming partition loaders can recompute any
+// edge's weight without materializing a global weight list — the same
+// property skip-sampling gives the topology.
+
+// WeightDist selects the edge-weight distribution.
+type WeightDist int
+
+const (
+	// WeightUniform draws integer weights uniformly from [1, MaxWeight].
+	WeightUniform WeightDist = iota
+	// WeightExponential draws from a truncated exponential with mean
+	// MaxWeight/4, shifted to [1, MaxWeight] — the heavy-tailed draw
+	// that makes light/heavy edge phases meaningfully different.
+	WeightExponential
+	// WeightUnit assigns every edge weight 1, reducing shortest paths
+	// to BFS levels (the Δ-stepping = BFS property tests rely on it).
+	WeightUnit
+)
+
+func (d WeightDist) String() string {
+	switch d {
+	case WeightUniform:
+		return "uniform"
+	case WeightExponential:
+		return "exponential"
+	case WeightUnit:
+		return "unit"
+	default:
+		return fmt.Sprintf("WeightDist(%d)", int(d))
+	}
+}
+
+// DefaultMaxWeight is the weight range used when a WeightSpec leaves
+// MaxWeight zero: wide enough that Δ choices spread buckets, small
+// enough that distances stay far from the uint32 sentinel.
+const DefaultMaxWeight = 256
+
+// WeightSpec describes a deterministic edge-weight assignment.
+type WeightSpec struct {
+	Dist WeightDist
+	// MaxWeight bounds every draw; 0 selects DefaultMaxWeight.
+	MaxWeight uint32
+	// Seed decorrelates the weights from the topology seed; the same
+	// (spec, u, v) always yields the same weight.
+	Seed int64
+}
+
+func (s WeightSpec) maxWeight() uint32 {
+	if s.MaxWeight == 0 {
+		return DefaultMaxWeight
+	}
+	return s.MaxWeight
+}
+
+func (s WeightSpec) validate() error {
+	if s.MaxWeight > MaxDist/2 {
+		return fmt.Errorf("graph: MaxWeight %d too close to the distance sentinel", s.MaxWeight)
+	}
+	return nil
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap
+// high-quality 64-bit mix used to hash edge endpoints into draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// WeightOf returns the weight of undirected edge {u, v}: symmetric
+// (order-insensitive), deterministic in (Seed, u, v), and always in
+// [1, MaxWeight].
+func (s WeightSpec) WeightOf(u, v Vertex) uint32 {
+	if u > v {
+		u, v = v, u
+	}
+	h := splitmix64(uint64(s.Seed)<<1 ^ uint64(u)<<32 ^ uint64(v))
+	max := uint64(s.maxWeight())
+	switch s.Dist {
+	case WeightUnit:
+		return 1
+	case WeightExponential:
+		// Inverse-CDF draw with mean max/4 from a uniform in (0, 1],
+		// using the top 53 bits of the hash; truncated to [1, max].
+		u01 := float64(h>>11)/(1<<53) + 1.0/(1<<54)
+		mean := float64(max) / 4
+		if mean < 1 {
+			mean = 1
+		}
+		w := uint64(1 - mean*math.Log(u01))
+		if w > max {
+			w = max
+		}
+		return uint32(w)
+	default: // WeightUniform
+		return uint32(1 + h%max)
+	}
+}
+
+// GenerateWeighted materializes the Poisson random graph with per-edge
+// weights drawn by spec. The topology is identical to Generate(p) —
+// weights are a pure overlay keyed on the edge endpoints.
+func GenerateWeighted(p Params, spec WeightSpec) (*CSR, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	g, err := Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	g.W = make([]uint32, len(g.Adj))
+	for v := 0; v < g.N; v++ {
+		for i := g.Off[v]; i < g.Off[v+1]; i++ {
+			g.W[i] = spec.WeightOf(Vertex(v), g.Adj[i])
+		}
+	}
+	return g, nil
+}
+
+// FromWeightedEdges builds a weighted CSR from an undirected edge list
+// and a parallel weight slice. Every weight must be positive.
+func FromWeightedEdges(n int, edges [][2]Vertex, weights []uint32) (*CSR, error) {
+	if len(weights) != len(edges) {
+		return nil, fmt.Errorf("graph: %d edges but %d weights", len(edges), len(weights))
+	}
+	for i, w := range weights {
+		if w == 0 {
+			return nil, fmt.Errorf("graph: edge (%d,%d) has zero weight; weights must be positive",
+				edges[i][0], edges[i][1])
+		}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	g.W = make([]uint32, len(g.Adj))
+	// Replay the FromEdges fill order so W lines up with Adj.
+	fill := make([]int64, n)
+	for i, e := range edges {
+		g.W[g.Off[e[0]]+fill[e[0]]] = weights[i]
+		fill[e[0]]++
+		g.W[g.Off[e[1]]+fill[e[1]]] = weights[i]
+		fill[e[1]]++
+	}
+	return g, nil
+}

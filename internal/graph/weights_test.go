@@ -1,0 +1,121 @@
+package graph
+
+import "testing"
+
+func TestWeightSpecDeterministicSymmetricPositive(t *testing.T) {
+	for _, dist := range []WeightDist{WeightUniform, WeightExponential, WeightUnit} {
+		spec := WeightSpec{Dist: dist, MaxWeight: 64, Seed: 7}
+		for u := Vertex(0); u < 50; u++ {
+			for v := u + 1; v < 50; v++ {
+				w := spec.WeightOf(u, v)
+				if w != spec.WeightOf(v, u) {
+					t.Fatalf("%v: weight of (%d,%d) not symmetric", dist, u, v)
+				}
+				if w != spec.WeightOf(u, v) {
+					t.Fatalf("%v: weight of (%d,%d) not deterministic", dist, u, v)
+				}
+				if w < 1 || w > 64 {
+					t.Fatalf("%v: weight %d of (%d,%d) outside [1,64]", dist, w, u, v)
+				}
+				if dist == WeightUnit && w != 1 {
+					t.Fatalf("unit weight draw returned %d", w)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightSpecSeedDecorrelates(t *testing.T) {
+	a := WeightSpec{Dist: WeightUniform, MaxWeight: 1 << 20, Seed: 1}
+	b := WeightSpec{Dist: WeightUniform, MaxWeight: 1 << 20, Seed: 2}
+	same := 0
+	for v := Vertex(1); v < 200; v++ {
+		if a.WeightOf(0, v) == b.WeightOf(0, v) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("seeds 1 and 2 agree on %d/199 wide draws", same)
+	}
+}
+
+func TestGenerateWeightedOverlaysTopology(t *testing.T) {
+	p := Params{N: 2000, K: 8, Seed: 3}
+	plain, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := WeightSpec{Dist: WeightUniform, MaxWeight: 100, Seed: 5}
+	wg, err := GenerateWeighted(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wg.Weighted() || len(wg.W) != len(wg.Adj) {
+		t.Fatalf("weighted generate: W len %d, Adj len %d", len(wg.W), len(wg.Adj))
+	}
+	if wg.N != plain.N || len(wg.Adj) != len(plain.Adj) {
+		t.Fatalf("weights changed topology: n %d vs %d, adj %d vs %d", wg.N, plain.N, len(wg.Adj), len(plain.Adj))
+	}
+	for v := 0; v < wg.N; v++ {
+		adj, wts := wg.Neighbors(Vertex(v)), wg.EdgeWeights(Vertex(v))
+		for i, u := range adj {
+			if wts[i] != spec.WeightOf(Vertex(v), u) {
+				t.Fatalf("edge (%d,%d) weight %d != spec %d", v, u, wts[i], spec.WeightOf(Vertex(v), u))
+			}
+		}
+	}
+	// Both directions of every edge agree.
+	for v := 0; v < wg.N; v++ {
+		for i := wg.Off[v]; i < wg.Off[v+1]; i++ {
+			u := wg.Adj[i]
+			found := false
+			for j := wg.Off[u]; j < wg.Off[u+1]; j++ {
+				if wg.Adj[j] == Vertex(v) && wg.W[j] == wg.W[i] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d): reverse direction missing or weight mismatch", v, u)
+			}
+		}
+	}
+}
+
+func TestGenerateWeightedRejectsHugeMaxWeight(t *testing.T) {
+	_, err := GenerateWeighted(Params{N: 10, K: 2, Seed: 1}, WeightSpec{MaxWeight: MaxDist - 1})
+	if err == nil {
+		t.Fatal("MaxWeight near the distance sentinel accepted")
+	}
+}
+
+func TestFromWeightedEdges(t *testing.T) {
+	edges := [][2]Vertex{{0, 1}, {1, 2}, {0, 2}}
+	g, err := FromWeightedEdges(3, edges, []uint32{5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]Vertex]uint32{{0, 1}: 5, {1, 2}: 7, {0, 2}: 9}
+	for v := 0; v < 3; v++ {
+		adj, wts := g.Neighbors(Vertex(v)), g.EdgeWeights(Vertex(v))
+		for i, u := range adj {
+			a, b := Vertex(v), u
+			if a > b {
+				a, b = b, a
+			}
+			if wts[i] != want[[2]Vertex{a, b}] {
+				t.Fatalf("edge (%d,%d) weight %d, want %d", v, u, wts[i], want[[2]Vertex{a, b}])
+			}
+		}
+	}
+	if g.MaxEdgeWeight() != 9 || g.MinEdgeWeight() != 5 {
+		t.Fatalf("weight extrema %d/%d, want 5/9", g.MinEdgeWeight(), g.MaxEdgeWeight())
+	}
+
+	if _, err := FromWeightedEdges(3, edges, []uint32{5, 7}); err == nil {
+		t.Fatal("mismatched weight count accepted")
+	}
+	if _, err := FromWeightedEdges(3, edges, []uint32{5, 0, 9}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}

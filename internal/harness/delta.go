@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/sssp"
+	"repro/internal/torus"
+)
+
+// weightedWorkload builds the Δ-stepping ablation workload: the
+// n=100k k=10 Poisson graph (scaled by Config) with uniform weights,
+// distributed weight-aware over a square mesh.
+type weightedWorkload struct {
+	g      *graph.CSR
+	stores []*partition.Store2D
+	cl     *cluster
+}
+
+func buildWeightedWorkload(cfg Config) (*weightedWorkload, error) {
+	p := minInt(16, cfg.MaxP)
+	for p&(p-1) != 0 {
+		p--
+	}
+	r, c := squareMesh(p)
+	n := cfg.scaleCount(100000/16) * p
+	k := fitK(n, 10)
+	params := graph.Params{N: n, K: k, Seed: cfg.Seed}
+	spec := graph.WeightSpec{Dist: graph.WeightUniform, MaxWeight: 256, Seed: cfg.Seed + 1}
+	g, err := graph.GenerateWeighted(params, spec)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := partition.NewLayout2D(n, r, c)
+	if err != nil {
+		return nil, err
+	}
+	stores, err := partition.Build2DWeighted(layout, func(fn func(u, v graph.Vertex, w uint32)) error {
+		return params.VisitEdges(func(u, v graph.Vertex) { fn(u, v, spec.WeightOf(u, v)) })
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := newCluster(r, c, false, torus.PresetBlueGeneL())
+	if err != nil {
+		return nil, err
+	}
+	return &weightedWorkload{g: g, stores: stores, cl: cl}, nil
+}
+
+// RunAblationDelta sweeps the Δ-stepping bucket width across the
+// weighted Poisson workload, from the Dijkstra-like extreme (Δ = min
+// weight: many buckets, no speculation) through interior widths to
+// the Bellman-Ford degenerate (Δ = ∞: one bucket, maximal
+// re-relaxation). The classic Δ-stepping trade — epochs shrink while
+// re-settles grow — puts the best simulated execution time at an
+// interior Δ that beats both extremes.
+func RunAblationDelta(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: "Ablation — Δ-stepping bucket width on the weighted Poisson workload",
+		Columns: []string{"delta", "buckets", "epochs", "relaxations", "re-settles",
+			"words", "exec(s)", "comm(s)"},
+	}
+	w, err := buildWeightedWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src := graph.LargestComponentVertex(w.g)
+	minW, maxW := w.g.MinEdgeWeight(), w.g.MaxEdgeWeight()
+	type point struct {
+		label string
+		delta uint32
+	}
+	points := []point{{fmt.Sprintf("%d (min w, dijkstra-like)", minW), minW}}
+	for _, d := range []uint32{maxW / 32, maxW / 8, maxW / 2, 2 * maxW} {
+		if d > minW {
+			points = append(points, point{fmt.Sprint(d), d})
+		}
+	}
+	points = append(points, point{"auto", 0}, point{"inf (bellman-ford)", sssp.DeltaInf})
+	for _, pt := range points {
+		opts := sssp.DefaultOptions(src)
+		opts.Delta = pt.delta
+		res, err := sssp.Run2D(w.cl.world, w.stores, opts)
+		if err != nil {
+			return nil, err
+		}
+		label := pt.label
+		if pt.delta == 0 {
+			label = fmt.Sprintf("auto (%d)", res.Delta)
+		}
+		t.AddRow(label, res.BucketsDrained, res.Epochs, res.TotalRelaxations,
+			res.TotalReSettles, res.TotalWords(), res.SimTime, res.SimComm)
+	}
+	t.Note("expected: small Δ pays many near-empty epochs (latency-bound), huge Δ re-relaxes")
+	t.Note("speculatively (volume-bound); an interior Δ beats both degenerate extremes in exec(s)")
+	return t, nil
+}

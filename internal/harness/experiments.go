@@ -76,6 +76,7 @@ func All() []Experiment {
 		{"ablation-termination", "Tree-network vs torus point-to-point termination", "design ablation (§4.1)", RunAblationTermination},
 		{"ablation-direction", "Top-down vs direction-optimizing traversal, level by level", "design ablation (beyond the paper)", RunAblationDirection},
 		{"ablation-wire", "Frontier wire encodings (sparse/dense/auto/hybrid) across occupancies", "design ablation (beyond the paper)", RunAblationWire},
+		{"ablation-delta", "Δ-stepping SSSP bucket-width sweep on the weighted Poisson workload", "design ablation (beyond the paper)", RunAblationDelta},
 	}
 }
 

@@ -24,6 +24,9 @@ type Store2D struct {
 	ColIds []graph.Vertex  // compact column index -> global v (ColMap inverse)
 	Off    []int64
 	Rows   []graph.Vertex // global u ids
+	// RowWts, when non-nil, carries the edge weight parallel to each
+	// Rows entry (weight-aware builds only).
+	RowWts []uint32
 
 	// RowMap indexes every distinct u appearing in Rows, backing the
 	// sent-neighbors bitset (§2.4.3).
@@ -56,6 +59,19 @@ func (s *Store2D) PartialList(v graph.Vertex) []graph.Vertex {
 		return nil
 	}
 	return s.Rows[s.Off[idx]:s.Off[idx+1]]
+}
+
+// PartialWeights returns the weights parallel to PartialList(v), or
+// nil when the store is unweighted or holds no list for v.
+func (s *Store2D) PartialWeights(v graph.Vertex) []uint32 {
+	if s.RowWts == nil {
+		return nil
+	}
+	idx, ok := s.ColMap.Get(v)
+	if !ok {
+		return nil
+	}
+	return s.RowWts[s.Off[idx]:s.Off[idx+1]]
 }
 
 // NeedsRow reports whether mesh row i has a non-empty partial edge list
@@ -101,6 +117,16 @@ func (s *Store2D) Memory() MemoryStats {
 // Build2D constructs all per-rank 2D stores by streaming the edge
 // source twice. See Build1D for the loader-centralization note.
 func Build2D(l *Layout2D, visitEdges func(func(u, v graph.Vertex)) error) ([]*Store2D, error) {
+	return build2D(l, liftUnweighted(visitEdges), false)
+}
+
+// Build2DWeighted is Build2D with per-edge weights: every partial edge
+// list entry carries its weight in RowWts, parallel to Rows.
+func Build2DWeighted(l *Layout2D, visit WeightedVisitor) ([]*Store2D, error) {
+	return build2D(l, visit, true)
+}
+
+func build2D(l *Layout2D, visit WeightedVisitor, weighted bool) ([]*Store2D, error) {
 	p := l.P()
 	stores := make([]*Store2D, p)
 	wpv := (l.R + 63) / 64
@@ -138,7 +164,7 @@ func Build2D(l *Layout2D, visitEdges func(func(u, v graph.Vertex)) error) ([]*St
 		owner := stores[l.OwnerRank(v)]
 		owner.setNeedsRow(owner.LocalOf(v), l.RowIndexOf(u))
 	}
-	if err := visitEdges(func(u, v graph.Vertex) {
+	if err := visit(func(u, v graph.Vertex, w uint32) {
 		entry(u, v)
 		entry(v, u)
 	}); err != nil {
@@ -151,19 +177,25 @@ func Build2D(l *Layout2D, visitEdges func(func(u, v graph.Vertex)) error) ([]*St
 			st.Off[i+1] = st.Off[i] + c
 		}
 		st.Rows = make([]graph.Vertex, st.Off[len(st.Off)-1])
+		if weighted {
+			st.RowWts = make([]uint32, len(st.Rows))
+		}
 		fills[r] = make([]int64, len(counts[r]))
 	}
-	// Pass 2: fill rows.
-	place := func(u, v graph.Vertex) {
+	// Pass 2: fill rows (and their weights when carried).
+	place := func(u, v graph.Vertex, w uint32) {
 		rk := l.StoringRank(u, v)
 		st := stores[rk]
 		ci, _ := st.ColMap.Get(v)
 		st.Rows[st.Off[ci]+fills[rk][ci]] = u
+		if weighted {
+			st.RowWts[st.Off[ci]+fills[rk][ci]] = w
+		}
 		fills[rk][ci]++
 	}
-	if err := visitEdges(func(u, v graph.Vertex) {
-		place(u, v)
-		place(v, u)
+	if err := visit(func(u, v graph.Vertex, w uint32) {
+		place(u, v, w)
+		place(v, u, w)
 	}); err != nil {
 		return nil, err
 	}

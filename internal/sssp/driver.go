@@ -1,0 +1,342 @@
+package sssp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/localindex"
+	"repro/internal/partition"
+)
+
+// engine abstracts one rank's partitioned storage for relaxation
+// rounds; the bucket bookkeeping and phase schedule below are shared
+// between the 1D and 2D implementations.
+type engine interface {
+	comm() *comm.Comm
+	ownedRange() (lo graph.Vertex, n int)
+	universe() int
+	// maxWeight returns the largest local edge weight (1 if none).
+	maxWeight() uint32
+	// localEdgeEntries counts local edge-list entries (the degree
+	// estimate feeding the default-Δ heuristic).
+	localEdgeEntries() int
+	// scatter relaxes the selected class of edges (light: w <= Δ,
+	// heavy: w > Δ) out of the active owned vertices, exchanges the
+	// requests, and returns the ones owned by this rank, deduplicated
+	// to the minimum distance per vertex.
+	scatter(vs, ds []uint32, light bool, delta uint32, tag int, rec *epochRec) (rvs, rds []uint32)
+}
+
+// rankState is one rank's Δ-stepping search state.
+type rankState struct {
+	lo    uint32
+	n     int
+	opts  Options
+	D     []uint32 // tentative distances of owned vertices
+	delta uint32
+	// buckets maps bucket index -> member set. Members whose distance
+	// has since improved to another bucket are stale and filtered
+	// lazily; a drained bucket is deleted.
+	buckets map[uint32]frontier.Frontier
+	// settled marks owned vertices already relaxed during the current
+	// bucket (their light edges were expanded); a vertex relaxed again
+	// in the same bucket is a re-settle.
+	settled *localindex.Bitset
+	// removed collects, in drain order, the distinct vertices the
+	// current bucket settled — the heavy phase's active set.
+	removed []uint32
+}
+
+func (s *rankState) bucketOfDist(d uint32) uint32 { return bucketOf(d, s.delta) }
+
+// insert places an owned vertex in the bucket of its (new) distance.
+func (s *rankState) insert(gv uint32, d uint32) {
+	b := s.bucketOfDist(d)
+	f, ok := s.buckets[b]
+	if !ok {
+		f = s.opts.newBucket(s.lo, s.n)
+		s.buckets[b] = f
+	}
+	f.Add(gv)
+}
+
+// localMinBucket returns the smallest bucket index with a live member
+// (noBucket if none), deleting the fully-stale buckets below it. The
+// indices are scanned in ascending order — not map order — so the
+// scanned-item count, and therefore the simulated clock it is charged
+// to, is determined by the input alone.
+const noBucket = uint64(math.MaxUint64)
+
+func (s *rankState) localMinBucket() (min uint64, scanned int) {
+	min = noBucket
+	idxs := make([]uint32, 0, len(s.buckets))
+	for idx := range s.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		f := s.buckets[idx]
+		live := false
+		for _, gv := range f.Vertices() {
+			scanned++
+			if s.bucketOfDist(s.D[gv-s.lo]) == idx {
+				live = true
+				break
+			}
+		}
+		if live {
+			return uint64(idx), scanned // ascending: first live is the min
+		}
+		delete(s.buckets, idx)
+	}
+	return min, scanned
+}
+
+// drain removes bucket k and returns its live members ascending.
+func (s *rankState) drain(k uint32) []uint32 {
+	f, ok := s.buckets[k]
+	if !ok {
+		return nil
+	}
+	delete(s.buckets, k)
+	var out []uint32
+	f.Iterate(func(gv uint32) {
+		if s.bucketOfDist(s.D[gv-s.lo]) == k {
+			out = append(out, gv)
+		}
+	})
+	return out
+}
+
+// distsOf gathers the current distances of an active list.
+func (s *rankState) distsOf(vs []uint32) []uint32 {
+	ds := make([]uint32, len(vs))
+	for i, gv := range vs {
+		ds[i] = s.D[gv-s.lo]
+	}
+	return ds
+}
+
+// settle marks the active list as relaxed within the current bucket,
+// counting re-settles and extending the heavy-phase removed set.
+func (s *rankState) settle(vs []uint32, rec *epochRec) {
+	for _, gv := range vs {
+		if s.settled.TestAndSet(gv - s.lo) {
+			rec.resettles++
+		} else {
+			s.removed = append(s.removed, gv)
+		}
+	}
+}
+
+// apply processes the relax requests delivered to this rank: every
+// improvement updates the distance and re-buckets the vertex. It
+// returns the vertices whose new distance lands back in bucket k (the
+// next light sub-round's active set, ascending — requests arrive
+// deduplicated and sorted).
+func (s *rankState) apply(rvs, rds []uint32, k uint32, rec *epochRec) []uint32 {
+	var again []uint32
+	for i, gv := range rvs {
+		li := gv - s.lo
+		if rds[i] >= s.D[li] {
+			continue
+		}
+		s.D[li] = rds[i]
+		rec.relax++
+		if b := s.bucketOfDist(rds[i]); b == k {
+			again = append(again, gv)
+		} else {
+			s.insert(gv, rds[i])
+		}
+	}
+	return again
+}
+
+// runRank executes the Δ-stepping schedule on one rank. All control
+// decisions (bucket choice, loop exits, Δ) are globally reduced, so
+// every rank runs the same epoch sequence.
+func runRank(e engine, opts Options) ([]epochRec, *rankState) {
+	c := e.comm()
+	model := c.Model()
+	lo, n := e.ownedRange()
+	st := &rankState{
+		lo:      uint32(lo),
+		n:       n,
+		opts:    opts,
+		D:       make([]uint32, n),
+		buckets: map[uint32]frontier.Frontier{},
+		settled: localindex.NewBitset(n),
+	}
+	for i := range st.D {
+		st.D[i] = graph.MaxDist
+	}
+
+	// Effective Δ: the requested width, or max(1, maxW/avgDegree).
+	maxW := uint32(c.AllReduceMax(uint64(e.maxWeight())))
+	st.delta = opts.Delta
+	if st.delta == 0 {
+		entries := c.AllReduceSum(uint64(e.localEdgeEntries())) // 2m
+		avgDeg := entries / uint64(max(1, e.universe()))
+		if avgDeg < 1 {
+			avgDeg = 1
+		}
+		st.delta = maxW / uint32(avgDeg)
+		if st.delta < 1 {
+			st.delta = 1
+		}
+	}
+	// With every edge light the heavy phases are empty; skip them
+	// (uniformly — maxW and Δ are global).
+	allLight := st.delta == DeltaInf || maxW <= st.delta
+
+	if opts.Source >= lo && opts.Source < lo+graph.Vertex(n) {
+		st.D[opts.Source-lo] = 0
+		st.insert(uint32(opts.Source), 0)
+	}
+
+	var recs []epochRec
+	tagSeq := 0
+	for {
+		min, scanned := st.localMinBucket()
+		c.ChargeItems(scanned, model.VertexCost)
+		k64 := c.AllReduceMin(min)
+		if k64 == noBucket {
+			return recs, st
+		}
+		k := uint32(k64)
+		active := st.drain(k)
+		st.settled = localindex.NewBitset(n)
+		st.removed = st.removed[:0]
+		for {
+			if c.AllReduceSum(uint64(len(active))) == 0 {
+				break
+			}
+			rec := epochRec{bucket: k, phase: PhaseLight, active: len(active)}
+			st.settle(active, &rec)
+			rvs, rds := e.scatter(active, st.distsOf(active), true, st.delta, tagSeq*64, &rec)
+			tagSeq++
+			c.ChargeItems(len(rvs), model.VertexCost)
+			active = st.apply(rvs, rds, k, &rec)
+			recs = append(recs, rec)
+		}
+		if !allLight {
+			heavy := append([]uint32(nil), st.removed...)
+			heavy, _ = localindex.SortSet(heavy)
+			rec := epochRec{bucket: k, phase: PhaseHeavy, active: len(heavy)}
+			rvs, rds := e.scatter(heavy, st.distsOf(heavy), false, st.delta, tagSeq*64, &rec)
+			tagSeq++
+			c.ChargeItems(len(rvs), model.VertexCost)
+			st.apply(rvs, rds, k, &rec) // heavy targets always land in later buckets
+			recs = append(recs, rec)
+		}
+	}
+}
+
+// countBuckets derives the drained-bucket count from an epoch trace:
+// one per distinct (bucket, first-epoch) run.
+func countBuckets(recs []EpochStats) int {
+	n := 0
+	for i, r := range recs {
+		if i == 0 || r.Bucket != recs[i-1].Bucket {
+			n++
+		}
+	}
+	return n
+}
+
+// validate checks shared run inputs.
+func validate(p int, worldP, n int, opts Options) error {
+	if p == 0 {
+		return fmt.Errorf("sssp: no stores")
+	}
+	if p != worldP {
+		return fmt.Errorf("sssp: %d stores for world P=%d", p, worldP)
+	}
+	if int(opts.Source) >= n {
+		return fmt.Errorf("sssp: source %d out of range for n=%d", opts.Source, n)
+	}
+	return nil
+}
+
+// Run2D executes distributed Δ-stepping over the 2D edge partitioning
+// (or, with a degenerate mesh, either 1D partitioning of Table 1).
+// Unweighted stores run with unit weights.
+func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("sssp: no stores")
+	}
+	l := stores[0].Layout
+	if err := validate(len(stores), w.P, l.N, opts); err != nil {
+		return nil, err
+	}
+	if l.P() != w.P {
+		return nil, fmt.Errorf("sssp: layout P=%d for world P=%d", l.P(), w.P)
+	}
+	res := &Result{N: l.N, R: l.R, C: l.C}
+	perRank := make([][]epochRec, w.P)
+	dists := make([][]uint32, w.P)
+	deltas := make([]uint32, w.P)
+	start := time.Now()
+	comms, err := w.Run(func(c *comm.Comm) {
+		e := newEngine2D(c, stores[c.Rank()], opts)
+		recs, st := runRank(e, opts)
+		perRank[c.Rank()] = recs
+		dists[c.Rank()] = st.D
+		deltas[c.Rank()] = st.delta
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	res.Delta = deltas[0]
+	mergeStats(res, perRank, comms)
+	res.BucketsDrained = countBuckets(res.PerEpoch)
+	res.Dist = make([]uint32, l.N)
+	for r, st := range stores {
+		copy(res.Dist[int(st.Lo):int(st.Lo)+st.OwnedCount()], dists[r])
+	}
+	return res, nil
+}
+
+// Run1D executes distributed Δ-stepping over the dedicated 1D engine.
+func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("sssp: no stores")
+	}
+	l := stores[0].Layout
+	if err := validate(len(stores), w.P, l.N, opts); err != nil {
+		return nil, err
+	}
+	if l.P != w.P {
+		return nil, fmt.Errorf("sssp: layout P=%d for world P=%d", l.P, w.P)
+	}
+	res := &Result{N: l.N, R: 1, C: l.P}
+	perRank := make([][]epochRec, w.P)
+	dists := make([][]uint32, w.P)
+	deltas := make([]uint32, w.P)
+	start := time.Now()
+	comms, err := w.Run(func(c *comm.Comm) {
+		e := newEngine1D(c, stores[c.Rank()], opts)
+		recs, st := runRank(e, opts)
+		perRank[c.Rank()] = recs
+		dists[c.Rank()] = st.D
+		deltas[c.Rank()] = st.delta
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	res.Delta = deltas[0]
+	mergeStats(res, perRank, comms)
+	res.BucketsDrained = countBuckets(res.PerEpoch)
+	res.Dist = make([]uint32, l.N)
+	for r, st := range stores {
+		copy(res.Dist[int(st.Lo):int(st.Lo)+st.OwnedCount()], dists[r])
+	}
+	return res, nil
+}

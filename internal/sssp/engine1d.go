@@ -1,0 +1,127 @@
+package sssp
+
+import (
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/torus"
+)
+
+// engine1D holds one rank's storage handles for Δ-stepping under the
+// conventional 1D vertex partitioning: every rank owns full edge
+// lists, so a relaxation round needs no expand — active vertices relax
+// their own edges and a single personalized exchange over all P ranks
+// delivers the requests to the owners (the Algorithm 1 fold shape).
+//
+// This is an independent implementation kept alongside the C=1 / R=1
+// degenerate meshes of the 2D engine; the engines are differentially
+// tested against each other and against the serial oracles.
+type engine1D struct {
+	c     *comm.Comm
+	st    *partition.Store1D
+	opts  Options
+	model torus.CostModel
+	world comm.Group
+	hist  frontier.ContainerHist
+}
+
+func newEngine1D(c *comm.Comm, st *partition.Store1D, opts Options) *engine1D {
+	g := comm.Group{Ranks: make([]int, c.Size()), Me: c.Rank()}
+	for i := range g.Ranks {
+		g.Ranks[i] = i
+	}
+	return &engine1D{c: c, st: st, opts: opts, model: c.Model(), world: g}
+}
+
+func (e *engine1D) comm() *comm.Comm { return e.c }
+
+func (e *engine1D) ownedRange() (graph.Vertex, int) { return e.st.Lo, e.st.OwnedCount() }
+
+func (e *engine1D) universe() int { return e.st.Layout.N }
+
+func (e *engine1D) maxWeight() uint32 {
+	max := uint32(1)
+	for _, w := range e.st.Wt {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+func (e *engine1D) localEdgeEntries() int { return len(e.st.Adj) }
+
+func (e *engine1D) weightAt(i int64) uint32 {
+	if e.st.Wt == nil {
+		return 1
+	}
+	return e.st.Wt[i]
+}
+
+// scatter relaxes one class of edges out of the active owned vertices
+// and delivers the requests to their owners with a direct personalized
+// all-to-all, returning this rank's deduplicated requests.
+func (e *engine1D) scatter(vs, ds []uint32, light bool, delta uint32, tag int, rec *epochRec) ([]uint32, []uint32) {
+	h0 := e.hist
+	l := e.st.Layout
+	p := e.world.Size()
+	binV := make([][]uint32, p)
+	binD := make([][]uint32, p)
+	scanned := 0
+	for idx, gv := range vs {
+		li := e.st.LocalOf(graph.Vertex(gv))
+		dv := ds[idx]
+		for i := e.st.Off[li]; i < e.st.Off[li+1]; i++ {
+			scanned++
+			w := e.weightAt(i)
+			if (w <= delta) != light {
+				continue
+			}
+			cand := dv + w
+			if cand < dv || cand == graph.MaxDist {
+				continue // saturated: stays unreachable
+			}
+			u := e.st.Adj[i]
+			q := l.OwnerRank(u)
+			binV[q] = append(binV[q], uint32(u))
+			binD[q] = append(binD[q], cand)
+		}
+	}
+	rec.edges += scanned
+	e.c.ChargeItems(scanned, e.model.EdgeCost)
+	for q := range binV {
+		var d int
+		binV[q], binD[q], d = dedupMin(binV[q], binD[q])
+		e.c.ChargeItems(len(binV[q])+d, e.model.VertexCost)
+	}
+	send := make([][]uint32, p)
+	for q := range binV {
+		if q == e.world.Me {
+			continue
+		}
+		dlo, dhi := l.OwnedRange(q)
+		send[q] = encodeRequests(binV[q], binD[q], uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
+	}
+	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords}
+	parts, fst := collective.AllToAll(e.c, e.world, o, send)
+	rec.foldWords = fst.RecvWords
+
+	var rvs, rds []uint32
+	for q, part := range parts {
+		var pvs, pds []uint32
+		if q == e.world.Me {
+			pvs, pds = binV[q], binD[q]
+		} else {
+			pvs, pds = decodeRequests(part)
+		}
+		rvs = append(rvs, pvs...)
+		rds = append(rds, pds...)
+	}
+	var d int
+	rvs, rds, d = dedupMin(rvs, rds)
+	e.c.ChargeItems(len(rvs)+d, e.model.VertexCost)
+	rec.containers.Add(e.hist.Sub(h0))
+	return rvs, rds
+}

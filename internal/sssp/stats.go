@@ -1,0 +1,185 @@
+package sssp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// Phase labels one epoch's edge class.
+type Phase int
+
+const (
+	// PhaseLight relaxes edges with weight <= Δ out of the current
+	// bucket's active set; it repeats until the bucket stops refilling.
+	PhaseLight Phase = iota
+	// PhaseHeavy relaxes edges with weight > Δ out of everything the
+	// bucket settled, exactly once per bucket.
+	PhaseHeavy
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseLight:
+		return "light"
+	case PhaseHeavy:
+		return "heavy"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// EpochStats aggregates one relaxation epoch (one global exchange
+// round) across all ranks — the Δ-stepping mirror of bfs.LevelStats.
+type EpochStats struct {
+	Epoch        int32
+	Bucket       uint32 // bucket index being drained
+	Phase        Phase
+	Active       int64 // vertices whose edges were relaxed this epoch
+	ExpandWords  int64 // words received during the 2D column expand
+	FoldWords    int64 // words received delivering relax requests
+	Relaxations  int64 // tentative distances improved by owners
+	ReSettles    int64 // active vertices relaxed again in the same bucket
+	EdgesScanned int64
+	// Containers histograms the request-set codec's choices this epoch.
+	Containers frontier.ContainerHist
+}
+
+// Result reports a finished distributed Δ-stepping run.
+type Result struct {
+	N     int // graph vertices
+	R, C  int // mesh (R=1 for the 1D engine)
+	Delta uint32
+	// Dist holds the shortest-path distance of every vertex from the
+	// source (graph.MaxDist for unreachable vertices).
+	Dist     []uint32
+	PerEpoch []EpochStats
+
+	// BucketsDrained counts non-empty buckets processed; Epochs counts
+	// global exchange rounds (light sub-rounds plus heavy rounds).
+	BucketsDrained int
+	Epochs         int
+
+	// Simulated times (seconds) from the torus cost model.
+	SimTime float64
+	SimComm float64
+	Wall    time.Duration
+
+	TotalExpandWords  int64
+	TotalFoldWords    int64
+	TotalRelaxations  int64
+	TotalReSettles    int64
+	TotalEdgesScanned int64
+	Containers        frontier.ContainerHist
+
+	// Link-level traffic totals from the torus mapping (see
+	// bfs.Result for the meaning of each).
+	MsgsRecv uint64
+	HopsRecv uint64
+	HopBytes uint64
+
+	// PerRank[rank] holds that rank's own per-epoch records (the
+	// global PerEpoch is their sum).
+	PerRank [][]EpochStats
+}
+
+// Reached returns the number of vertices with a finite distance.
+func (r *Result) Reached() int {
+	n := 0
+	for _, d := range r.Dist {
+		if d != graph.MaxDist {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalWords returns all payload words moved (expand + fold).
+func (r *Result) TotalWords() int64 { return r.TotalExpandWords + r.TotalFoldWords }
+
+// MaxDistance returns the largest finite distance (0 if none).
+func (r *Result) MaxDistance() uint32 {
+	max := uint32(0)
+	for _, d := range r.Dist {
+		if d != graph.MaxDist && d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// epochRec is one rank's contribution to an epoch's statistics.
+type epochRec struct {
+	bucket      uint32
+	phase       Phase
+	active      int
+	expandWords int
+	foldWords   int
+	relax       int
+	resettles   int
+	edges       int
+	containers  frontier.ContainerHist
+}
+
+// mergeStats combines per-rank per-epoch records into global
+// EpochStats and totals. Every rank participates in every epoch's
+// collectives, so the records are aligned by construction.
+func mergeStats(res *Result, perRank [][]epochRec, comms []*comm.Comm) {
+	epochs := 0
+	for _, er := range perRank {
+		if len(er) > epochs {
+			epochs = len(er)
+		}
+	}
+	res.Epochs = epochs
+	res.PerEpoch = make([]EpochStats, epochs)
+	for e := 0; e < epochs; e++ {
+		res.PerEpoch[e].Epoch = int32(e)
+	}
+	res.PerRank = make([][]EpochStats, len(perRank))
+	for rank, er := range perRank {
+		res.PerRank[rank] = make([]EpochStats, len(er))
+		for e, s := range er {
+			res.PerRank[rank][e] = EpochStats{
+				Epoch:        int32(e),
+				Bucket:       s.bucket,
+				Phase:        s.phase,
+				Active:       int64(s.active),
+				ExpandWords:  int64(s.expandWords),
+				FoldWords:    int64(s.foldWords),
+				Relaxations:  int64(s.relax),
+				ReSettles:    int64(s.resettles),
+				EdgesScanned: int64(s.edges),
+				Containers:   s.containers,
+			}
+			es := &res.PerEpoch[e]
+			es.Bucket = s.bucket // uniform across ranks by construction
+			es.Phase = s.phase
+			es.Active += int64(s.active)
+			es.ExpandWords += int64(s.expandWords)
+			es.FoldWords += int64(s.foldWords)
+			es.Relaxations += int64(s.relax)
+			es.ReSettles += int64(s.resettles)
+			es.EdgesScanned += int64(s.edges)
+			es.Containers.Add(s.containers)
+		}
+	}
+	for _, es := range res.PerEpoch {
+		res.TotalExpandWords += es.ExpandWords
+		res.TotalFoldWords += es.FoldWords
+		res.TotalRelaxations += es.Relaxations
+		res.TotalReSettles += es.ReSettles
+		res.TotalEdgesScanned += es.EdgesScanned
+		res.Containers.Add(es.Containers)
+	}
+	res.SimTime = comm.MaxClock(comms)
+	res.SimComm = comm.MaxCommTime(comms)
+	for _, c := range comms {
+		res.MsgsRecv += c.MsgsRecv()
+		res.HopsRecv += c.HopsRecv()
+		res.HopBytes += c.HopBytes()
+	}
+}

@@ -1,0 +1,82 @@
+package sssp
+
+import (
+	"sort"
+
+	"repro/internal/frontier"
+)
+
+// Relax requests cross the simulated torus as a vertex set plus a
+// parallel distance array:
+//
+//	[setWords, encodedSet..., dists...]
+//
+// Senders keep only the minimum distance per vertex, so the vertex
+// list is ascending and duplicate-free — exactly the payload shape the
+// frontier wire codec compresses (raw list, bitmap, or hybrid chunk
+// containers by Options.Wire). The distances follow in the decoded
+// set's order; the setWords prefix keeps the payload self-describing
+// under every mode. An empty request batch is a nil payload.
+
+// encodeRequests packs a deduplicated request batch drawn from the
+// destination's owned universe [lo, lo+n).
+func encodeRequests(vs, ds []uint32, lo uint32, n int, mode frontier.WireMode, h *frontier.ContainerHist) []uint32 {
+	if len(vs) == 0 {
+		return nil
+	}
+	enc := frontier.EncodeSetStats(vs, lo, n, mode, h)
+	out := make([]uint32, 0, 1+len(enc)+len(ds))
+	out = append(out, uint32(len(enc)))
+	out = append(out, enc...)
+	return append(out, ds...)
+}
+
+// decodeRequests inverts encodeRequests.
+func decodeRequests(buf []uint32) (vs, ds []uint32) {
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	nw := int(buf[0])
+	if 1+nw > len(buf) {
+		panic("sssp: truncated relax-request payload")
+	}
+	vs = frontier.Decode(buf[1 : 1+nw])
+	ds = buf[1+nw:]
+	if len(vs) != len(ds) {
+		panic("sssp: relax-request set/distance length mismatch")
+	}
+	return vs, ds
+}
+
+// pairsByVertex sorts parallel (vertex, dist) slices by vertex, ties
+// by ascending distance so the minimum lands first.
+type pairsByVertex struct{ vs, ds []uint32 }
+
+func (p pairsByVertex) Len() int { return len(p.vs) }
+func (p pairsByVertex) Less(i, j int) bool {
+	return p.vs[i] < p.vs[j] || (p.vs[i] == p.vs[j] && p.ds[i] < p.ds[j])
+}
+func (p pairsByVertex) Swap(i, j int) {
+	p.vs[i], p.vs[j] = p.vs[j], p.vs[i]
+	p.ds[i], p.ds[j] = p.ds[j], p.ds[i]
+}
+
+// dedupMin sorts the request pairs by vertex and keeps the minimum
+// distance per vertex, in place. It returns the compacted slices — an
+// ascending duplicate-free vertex set with parallel distances — and
+// the number of requests the local minimum-merge absorbed.
+func dedupMin(vs, ds []uint32) ([]uint32, []uint32, int) {
+	if len(vs) < 2 {
+		return vs, ds, 0
+	}
+	sort.Sort(pairsByVertex{vs, ds})
+	w := 1
+	for i := 1; i < len(vs); i++ {
+		if vs[i] != vs[w-1] {
+			vs[w], ds[w] = vs[i], ds[i]
+			w++
+		}
+		// Same vertex: ds[w-1] already holds the minimum (sort order).
+	}
+	return vs[:w], ds[:w], len(vs) - w
+}

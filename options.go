@@ -4,6 +4,7 @@ import (
 	"repro/internal/analytic"
 	"repro/internal/bfs"
 	"repro/internal/frontier"
+	"repro/internal/sssp"
 )
 
 // Option adjusts search behavior.
@@ -97,6 +98,30 @@ func WithChunkWords(n int) Option { return func(o *bfs.Options) { o.ChunkWords =
 
 // WithMaxLevels bounds the search depth.
 func WithMaxLevels(n int) Option { return func(o *bfs.Options) { o.MaxLevels = n } }
+
+// SSSPOption adjusts a Δ-stepping shortest-path run.
+type SSSPOption func(*sssp.Options)
+
+// WithDelta sets the Δ-stepping bucket width: 0 selects the
+// max(1, maxWeight/avgDegree) heuristic, DeltaInf the single-bucket
+// Bellman-Ford degenerate; Δ at or below the minimum edge weight
+// settles buckets Dijkstra-like.
+func WithDelta(delta uint32) SSSPOption { return func(o *sssp.Options) { o.Delta = delta } }
+
+// WithSSSPWire selects the wire encoding of the relax-request vertex
+// sets (the same codec family WithFrontierWire selects for BFS).
+func WithSSSPWire(m WireMode) SSSPOption { return func(o *sssp.Options) { o.Wire = m } }
+
+// WithSSSPChunkWords caps physical SSSP messages at n words (§3.1
+// fixed buffers); 0 disables chunking.
+func WithSSSPChunkWords(n int) SSSPOption { return func(o *sssp.Options) { o.ChunkWords = n } }
+
+// WithSSSPFrontierOccupancy sets the buckets' sparse→dense switch
+// threshold as an occupancy fraction of the owned range (the SSSP
+// counterpart of WithFrontierOccupancy).
+func WithSSSPFrontierOccupancy(f float64) SSSPOption {
+	return func(o *sssp.Options) { o.FrontierOccupancy = f }
+}
 
 // Analytic re-exports (§3.1, Figure 6b).
 
