@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet tier1 race build test bench bench-smoke bench-json fuzz
+.PHONY: ci fmt-check vet tier1 race build test bench bench-smoke bench-json fuzz deprecated-surface
 
 # Seconds per fuzz target in `make fuzz`.
 FUZZTIME ?= 20s
 
-ci: fmt-check vet tier1 race bench-smoke
+ci: fmt-check vet tier1 race bench-smoke deprecated-surface
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \
@@ -38,9 +38,18 @@ bench:
 bench-smoke: bench
 
 # Machine-readable perf baseline for the headline workload (see
-# README.md "Perf trajectory" for the format).
+# README.md "Perf trajectory" for the format). Also writes the
+# multi-source BFS baseline (BENCH_PR4.json): one 64-lane batch vs 64
+# independent runs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -out4 BENCH_PR4.json
+
+# Deprecated-surface check: the examples (examples/compat in
+# particular) compile and run against the pre-redesign option aliases,
+# so the compat shims cannot silently rot.
+deprecated-surface:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/compat
 
 # Coverage-guided fuzzing: the hybrid wire codec round-trips, weighted
 # edge-list IO, and distributed Δ-stepping vs the serial Dijkstra

@@ -10,23 +10,43 @@
 // deterministic cost model reports simulated execution/communication
 // times alongside real wall time.
 //
+// The public surface is partition-polymorphic: Distribute splits a
+// graph under any of the paper's Table 1 partitionings (Part2D,
+// Part1DRow, Part1DCol — see WithPartition) and every search entry
+// point (BFS, Search, BiSearch, Path, SSSP, MultiBFS) dispatches to
+// the engine matching the DistGraph's partitioning. One Option
+// vocabulary serves every algorithm: WithWire, WithChunkWords and
+// WithOccupancy configure the shared payload/codec machinery, while
+// algorithm-specific options (WithDirection, WithDelta, ...) apply
+// only to their family.
+//
 // Beyond the paper, searches can run with a direction policy
 // (WithDirection): top-down, bottom-up, or direction-optimizing
 // traversal that switches to a bitmap-exchanged bottom-up parent
 // search on the large middle levels, plus an adaptive sparse/dense
-// frontier representation and a bitmap wire encoding
-// (WithFrontierWire) for dense frontiers. Weighted graphs
-// (GenerateWeighted) additionally support distributed single-source
-// shortest paths by Δ-stepping (Cluster.SSSP, WithDelta), validated
-// against a serial Dijkstra oracle.
+// frontier representation and compressed wire encodings (WithWire)
+// for the exchanged vertex sets. Weighted graphs (GenerateWeighted)
+// additionally support distributed single-source shortest paths by
+// Δ-stepping (Cluster.SSSP, WithDelta), validated against a serial
+// Dijkstra oracle; and batches of up to 64 sources can traverse
+// together in one bit-lane-parallel sweep sequence (Cluster.MultiBFS),
+// sharing every set payload across the batch.
 //
 // Quick start:
 //
 //	g, _ := bgl.Generate(100000, 10, 42)
 //	cl, _ := bgl.NewCluster(bgl.ClusterConfig{R: 4, C: 4})
-//	dg, _ := cl.Distribute(g)
-//	res, _ := cl.BFS(dg, g.LargestComponentVertex())
+//	dg, _ := cl.Distribute(g)                   // 2D edge partitioning (default)
+//	res, _ := cl.BFS(dg, g.LargestComponentVertex(), bgl.WithWire(bgl.WireHybrid))
 //	fmt.Println(res.Reached(), res.SimTime)
+//
+//	// The same entry points run on the 1D partitionings of Table 1:
+//	dg1, _ := cl.Distribute(g, bgl.WithPartition(bgl.Part1DCol))
+//	res1, _ := cl.BFS(dg1, g.LargestComponentVertex())
+//
+//	// Batched multi-source BFS: k path queries in one sweep sequence.
+//	mres, _ := cl.MultiBFS(dg, []bgl.Vertex{3, 99, 1024})
+//	fmt.Println(mres.LaneLevels[1][42]) // distance 99 -> 42
 package bgl
 
 import (
@@ -198,8 +218,12 @@ func (g *Graph) Relabel(seed int64) (*Graph, []Vertex) {
 	return &Graph{csr: rg}, perm
 }
 
-// visit streams the graph's edges for the partition builders.
-func (g *Graph) visit(fn func(u, v Vertex)) error {
+// visit streams the graph's edges for the partition builders. Walking
+// an in-memory CSR cannot fail, so — unlike the IO-backed edge sources
+// the builders also accept — visit has no error to report and returns
+// none; visitSource adapts it to the builders' fallible-source shape
+// without inventing an error path that silently never fires.
+func (g *Graph) visit(fn func(u, v Vertex)) {
 	for v := 0; v < g.csr.N; v++ {
 		for _, u := range g.csr.Neighbors(Vertex(v)) {
 			if Vertex(v) < u {
@@ -207,6 +231,12 @@ func (g *Graph) visit(fn func(u, v Vertex)) error {
 			}
 		}
 	}
+}
+
+// visitSource adapts visit to the partition builders' edge-source
+// contract (which must admit failing sources such as file readers).
+func (g *Graph) visitSource(fn func(u, v Vertex)) error {
+	g.visit(fn)
 	return nil
 }
 
@@ -294,37 +324,135 @@ func (c *Cluster) P() int { return c.cfg.R * c.cfg.C }
 // Mesh returns the logical mesh dimensions.
 func (c *Cluster) Mesh() (r, cc int) { return c.cfg.R, c.cfg.C }
 
-// DistGraph is a graph distributed over a cluster's ranks with the 2D
-// edge partitioning.
-type DistGraph struct {
-	graph  *Graph
-	layout *partition.Layout2D
-	stores []*partition.Store2D
+// Partition selects how Distribute splits a graph over the cluster's
+// P = R*C ranks — the head-to-head axis of the paper's Table 1. Every
+// search entry point dispatches to the engine matching the DistGraph's
+// partitioning, so the choice is purely a data-layout decision.
+type Partition int
+
+const (
+	// Part2D is the paper's 2D edge partitioning (§2.2) over the full
+	// R x C mesh: the adjacency matrix is split into block rows and
+	// columns, expand runs down processor columns and fold across
+	// processor rows. The default.
+	Part2D Partition = iota
+	// Part1DRow is the row-wise 1D partitioning of Table 1: the 2D
+	// layout with the mesh collapsed to P x 1, so each rank stores a
+	// block of matrix rows for every vertex and levels pay a
+	// full-column expand.
+	Part1DRow
+	// Part1DCol is the conventional column-wise 1D vertex partitioning
+	// of §2.1: each rank owns a contiguous vertex block with full edge
+	// lists (whole matrix columns), and each level is a single fold
+	// over all P ranks. Runs on the dedicated 1D engine (Algorithm 1).
+	Part1DCol
+)
+
+func (p Partition) String() string {
+	switch p {
+	case Part2D:
+		return "2d"
+	case Part1DRow:
+		return "1drow"
+	case Part1DCol:
+		return "1dcol"
+	default:
+		return fmt.Sprintf("Partition(%d)", int(p))
+	}
 }
 
-// Distribute partitions g over the cluster's R x C mesh (2D edge
-// partitioning, §2.2). Weighted graphs distribute their edge weights
-// alongside the partial edge lists. The centralized loader stands in
-// for the original system's parallel file I/O.
-func (c *Cluster) Distribute(g *Graph) (*DistGraph, error) {
-	l, err := partition.NewLayout2D(g.N(), c.cfg.R, c.cfg.C)
-	if err != nil {
-		return nil, err
+// distributeConfig collects Distribute's options.
+type distributeConfig struct {
+	part Partition
+}
+
+// DistributeOption adjusts how Distribute lays the graph out.
+type DistributeOption func(*distributeConfig)
+
+// WithPartition selects the partitioning (default Part2D).
+func WithPartition(p Partition) DistributeOption {
+	return func(c *distributeConfig) { c.part = p }
+}
+
+// DistGraph is a graph distributed over a cluster's ranks. It carries
+// its partitioning: every search entry point dispatches to the
+// matching engine.
+type DistGraph struct {
+	graph *Graph
+	part  Partition
+
+	// 2D-layout storage (Part2D and Part1DRow).
+	layout *partition.Layout2D
+	stores []*partition.Store2D
+	// Dedicated 1D storage (Part1DCol).
+	layout1 *partition.Layout1D
+	stores1 []*partition.Store1D
+}
+
+// Distribute partitions g over the cluster's mesh under the selected
+// partitioning (Part2D by default; see WithPartition). Weighted graphs
+// distribute their edge weights alongside the partial edge lists. The
+// centralized loader stands in for the original system's parallel file
+// I/O.
+func (c *Cluster) Distribute(g *Graph, opts ...DistributeOption) (*DistGraph, error) {
+	cfg := distributeConfig{part: Part2D}
+	for _, fn := range opts {
+		fn(&cfg)
 	}
-	var stores []*partition.Store2D
-	if g.csr.Weighted() {
-		stores, err = partition.Build2DWeighted(l, g.csr.VisitWeightedEdges)
-	} else {
-		stores, err = partition.Build2D(l, g.visit)
+	p := c.P()
+	if g.N() < p {
+		return nil, fmt.Errorf(
+			"bgl: mesh %dx%d has more ranks (%d) than the graph has vertices (%d); no %s layout can give every rank work — shrink the mesh or grow the graph",
+			c.cfg.R, c.cfg.C, p, g.N(), cfg.part)
 	}
-	if err != nil {
-		return nil, err
+	weighted := g.csr.Weighted()
+	dg := &DistGraph{graph: g, part: cfg.part}
+	switch cfg.part {
+	case Part2D, Part1DRow:
+		r, cc := c.cfg.R, c.cfg.C
+		if cfg.part == Part1DRow {
+			r, cc = p, 1
+		}
+		l, err := partition.NewLayout2D(g.N(), r, cc)
+		if err != nil {
+			return nil, err
+		}
+		var stores []*partition.Store2D
+		if weighted {
+			stores, err = partition.Build2DWeighted(l, g.csr.VisitWeightedEdges)
+		} else {
+			stores, err = partition.Build2D(l, g.visitSource)
+		}
+		if err != nil {
+			return nil, err
+		}
+		dg.layout, dg.stores = l, stores
+	case Part1DCol:
+		l, err := partition.NewLayout1D(g.N(), p)
+		if err != nil {
+			return nil, err
+		}
+		var stores []*partition.Store1D
+		if weighted {
+			stores, err = partition.Build1DWeighted(l, g.csr.VisitWeightedEdges)
+		} else {
+			stores, err = partition.Build1D(l, g.visitSource)
+		}
+		if err != nil {
+			return nil, err
+		}
+		dg.layout1, dg.stores1 = l, stores
+	default:
+		return nil, fmt.Errorf("bgl: unknown partitioning %s", cfg.part)
 	}
-	return &DistGraph{graph: g, layout: l, stores: stores}, nil
+	return dg, nil
 }
 
 // Graph returns the underlying graph.
 func (dg *DistGraph) Graph() *Graph { return dg.graph }
+
+// Partition returns the partitioning the graph was distributed under.
+func (dg *DistGraph) Partition() Partition { return dg.part }
 
 // MemoryStats re-exports the per-rank storage summary of §2.4.1.
 type MemoryStats = partition.MemoryStats
@@ -332,6 +460,25 @@ type MemoryStats = partition.MemoryStats
 // Memory returns per-rank storage statistics, demonstrating the
 // §2.4.1 claim that indexed state stays O(n/P) rather than O(n/C).
 func (dg *DistGraph) Memory() []MemoryStats {
+	if dg.part == Part1DCol {
+		out := make([]MemoryStats, len(dg.stores1))
+		for i, st := range dg.stores1 {
+			nonEmpty := 0
+			for li := 0; li < st.OwnedCount(); li++ {
+				if st.Off[li+1] > st.Off[li] {
+					nonEmpty++
+				}
+			}
+			out[i] = MemoryStats{
+				OwnedVertices:   st.OwnedCount(),
+				NonEmptyColumns: nonEmpty,
+				DistinctRows:    st.TargetCount,
+				EdgeEntries:     len(st.Adj),
+				DenseColumns:    st.OwnedCount(),
+			}
+		}
+		return out
+	}
 	out := make([]MemoryStats, len(dg.stores))
 	for i, st := range dg.stores {
 		out[i] = st.Memory()
@@ -351,39 +498,53 @@ type EpochStats = sssp.EpochStats
 const DeltaInf = sssp.DeltaInf
 
 // SSSP runs distributed single-source shortest paths by Δ-stepping
-// from source over the cluster's mesh. Unweighted graphs run with
-// unit weights (distances equal BFS levels). Δ defaults to
+// from source over the DistGraph's partitioning. Unweighted graphs run
+// with unit weights (distances equal BFS levels). Δ defaults to
 // max(1, maxWeight/avgDegree); tune it with WithDelta.
-func (c *Cluster) SSSP(dg *DistGraph, source Vertex, opts ...SSSPOption) (*SSSPResult, error) {
-	o := sssp.DefaultOptions(source)
-	for _, fn := range opts {
-		fn(&o)
+func (c *Cluster) SSSP(dg *DistGraph, source Vertex, opts ...Option) (*SSSPResult, error) {
+	cfg := newSearchConfig(source)
+	cfg.apply(opts)
+	if dg.part == Part1DCol {
+		return sssp.Run1D(c.world, dg.stores1, cfg.sssp)
 	}
-	return sssp.Run2D(c.world, dg.stores, o)
+	return sssp.Run2D(c.world, dg.stores, cfg.sssp)
+}
+
+// runUni dispatches a configured uni-directional search to the engine
+// matching dg's partitioning.
+func (c *Cluster) runUni(dg *DistGraph, o bfs.Options) (*Result, error) {
+	if dg.part == Part1DCol {
+		return bfs.Run1D(c.world, dg.stores1, o)
+	}
+	return bfs.Run2D(c.world, dg.stores, o)
 }
 
 // BFS runs a full distributed traversal from source.
 func (c *Cluster) BFS(dg *DistGraph, source Vertex, opts ...Option) (*Result, error) {
-	o := bfs.DefaultOptions(source)
-	applyOptions(&o, opts)
-	return bfs.Run2D(c.world, dg.stores, o)
+	cfg := newSearchConfig(source)
+	cfg.apply(opts)
+	return c.runUni(dg, cfg.bfs)
 }
 
 // Search runs a uni-directional s→t search that stops when t is
 // labeled, as in the paper's timing experiments.
 func (c *Cluster) Search(dg *DistGraph, s, t Vertex, opts ...Option) (*Result, error) {
-	o := bfs.DefaultOptions(s)
-	o.Target, o.HasTarget = t, true
-	applyOptions(&o, opts)
-	return bfs.Run2D(c.world, dg.stores, o)
+	cfg := newSearchConfig(s)
+	cfg.bfs.Target, cfg.bfs.HasTarget = t, true
+	cfg.apply(opts)
+	return c.runUni(dg, cfg.bfs)
 }
 
-// BiSearch runs the bi-directional s→t search of §2.3.
+// BiSearch runs the bi-directional s→t search of §2.3 (the paper
+// notes either partitioning can host it).
 func (c *Cluster) BiSearch(dg *DistGraph, s, t Vertex, opts ...Option) (*Result, error) {
-	o := bfs.DefaultOptions(s)
-	o.Target, o.HasTarget = t, true
-	applyOptions(&o, opts)
-	return bfs.RunBidirectional2D(c.world, dg.stores, o)
+	cfg := newSearchConfig(s)
+	cfg.bfs.Target, cfg.bfs.HasTarget = t, true
+	cfg.apply(opts)
+	if dg.part == Part1DCol {
+		return bfs.RunBidirectional1D(c.world, dg.stores1, cfg.bfs)
+	}
+	return bfs.RunBidirectional2D(c.world, dg.stores, cfg.bfs)
 }
 
 // Path runs a distributed BFS from s and reconstructs one shortest
@@ -392,10 +553,10 @@ func (c *Cluster) BiSearch(dg *DistGraph, s, t Vertex, opts ...Option) (*Result,
 // the shortest path"). Returns the path [s, ..., t] and the search
 // Result, or an error if t is unreachable.
 func (c *Cluster) Path(dg *DistGraph, s, t Vertex, opts ...Option) ([]Vertex, *Result, error) {
-	o := bfs.DefaultOptions(s)
-	o.Target, o.HasTarget = t, true
-	applyOptions(&o, opts)
-	res, err := bfs.Run2D(c.world, dg.stores, o)
+	cfg := newSearchConfig(s)
+	cfg.bfs.Target, cfg.bfs.HasTarget = t, true
+	cfg.apply(opts)
+	res, err := c.runUni(dg, cfg.bfs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -407,4 +568,38 @@ func (c *Cluster) Path(dg *DistGraph, s, t Vertex, opts ...Option) ([]Vertex, *R
 		return nil, res, err
 	}
 	return path, res, nil
+}
+
+// MultiResult re-exports the batched multi-source BFS result: per-lane
+// level arrays, nearest-source Levels, and per-sweep statistics.
+type MultiResult = bfs.MultiResult
+
+// MaxLanes is the multi-source batch capacity (one bit-lane per
+// source).
+const MaxLanes = bfs.MaxLanes
+
+// MultiBFS runs a batched multi-source BFS: up to MaxLanes sources
+// traverse together, one bit-lane per source, sharing one wire payload
+// per hop (the lane-OR frontier rides the configured wire codec with
+// the lane masks alongside). Each lane's levels are identical to an
+// independent BFS from that source, but the batch moves far fewer
+// total words than len(sources) separate runs — the §1 semantic-graph
+// workload of answering many path queries at once.
+//
+// Batched sweeps are always top-down with the targeted expand (a lane
+// mask must accompany every travelling vertex, which the bottom-up
+// bitmap exchange and the sent-neighbors cache cannot express), so of
+// the BFS-family options only WithMaxLevels applies; WithDirection,
+// WithExpand, WithFold and WithSentCache are ignored. The shared
+// options (WithWire, WithChunkWords, WithOccupancy) apply as usual.
+func (c *Cluster) MultiBFS(dg *DistGraph, sources []Vertex, opts ...Option) (*MultiResult, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("bgl: MultiBFS needs at least one source")
+	}
+	cfg := newSearchConfig(sources[0])
+	cfg.apply(opts)
+	if dg.part == Part1DCol {
+		return bfs.MultiRun1D(c.world, dg.stores1, sources, cfg.bfs)
+	}
+	return bfs.MultiRun2D(c.world, dg.stores, sources, cfg.bfs)
 }

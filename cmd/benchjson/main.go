@@ -5,6 +5,12 @@
 // PRs can diff simulated execution time, exchange words, and edges
 // scanned against a recorded trajectory. See README.md ("Perf
 // trajectory") for the format.
+//
+// It additionally writes BENCH_PR4.json (-out4): the batched
+// multi-source BFS baseline — one 64-lane MultiBFS sweep sequence on
+// the same workload versus 64 independent BFS runs, with per-sweep
+// word counts and the words ratio (the PR 4 acceptance metric requires
+// the batch to move strictly fewer total wire words).
 package main
 
 import (
@@ -99,9 +105,46 @@ const (
 	midOccHiPct  = 10
 )
 
+// MultiSweep is one multi-source sweep's statistics.
+type MultiSweep struct {
+	Sweep        int   `json:"sweep"`
+	Frontier     int64 `json:"frontier"`
+	ExpandWords  int64 `json:"expand_words"`
+	FoldWords    int64 `json:"fold_words"`
+	LaneLabels   int64 `json:"lane_labels"`
+	EdgesScanned int64 `json:"edges_scanned"`
+}
+
+// MultiBFSBench compares one b-lane batched run against b independent
+// single-source runs on the same stores and wire mode.
+type MultiBFSBench struct {
+	B                 int          `json:"b"`
+	Wire              string       `json:"wire"`
+	Sweeps            int          `json:"sweeps"`
+	MultiWords        int64        `json:"multi_words"`
+	MultiSimExecS     float64      `json:"multi_simexec_s"`
+	IndependentWords  int64        `json:"independent_words"`
+	IndependentExecS  float64      `json:"independent_simexec_s"`
+	IndependentRuns   int          `json:"independent_runs"`
+	WordsRatio        float64      `json:"independent_over_multi_words"`
+	StrictlyFewer     bool         `json:"multi_strictly_fewer_words"`
+	PerSweep          []MultiSweep `json:"per_sweep"`
+	LaneLevelsChecked bool         `json:"lane_levels_verified"`
+}
+
+// Baseline4 is the PR 4 document: the multi-source acceptance metric.
+type Baseline4 struct {
+	N        int           `json:"n"`
+	K        float64       `json:"k"`
+	Seed     int64         `json:"seed"`
+	Mesh     string        `json:"mesh"`
+	MultiBFS MultiBFSBench `json:"multi_bfs"`
+}
+
 func main() {
 	var (
 		out  = flag.String("out", "BENCH_PR2.json", "output file")
+		out4 = flag.String("out4", "BENCH_PR4.json", "multi-source baseline output file (empty = skip)")
 		n    = flag.Int("n", 100000, "vertices")
 		k    = flag.Float64("k", 10, "expected average degree")
 		seed = flag.Int64("seed", 9, "graph seed")
@@ -266,4 +309,102 @@ func main() {
 		*out, m.AutoOverHybrid, m.AutoWords, m.HybridWords)
 	fmt.Printf("delta sweep: interior Δ=%d %.4fs vs dijkstra-like %.4fs, bellman-ford %.4fs (interior beats extremes: %v)\n",
 		ds.BestInteriorDelta, ds.BestInteriorExecS, ds.DijkstraLikeExecS, ds.BellmanFordExecS, ds.InteriorBeatsExtremes)
+
+	if *out4 != "" {
+		if err := writeMultiBaseline(*out4, w, src, *n, *k, *seed, *r, *c); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// multiSources picks b spread-out vertices reachable from src so every
+// lane traverses the giant component.
+func multiSources(levels []int32, b int) []graph.Vertex {
+	var reachable []graph.Vertex
+	for v, l := range levels {
+		if l != graph.Unreached {
+			reachable = append(reachable, graph.Vertex(v))
+		}
+	}
+	srcs := make([]graph.Vertex, 0, b)
+	step := len(reachable) / b
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; len(srcs) < b; i += step {
+		srcs = append(srcs, reachable[i%len(reachable)])
+	}
+	return srcs
+}
+
+// writeMultiBaseline runs the PR 4 acceptance comparison: one 64-lane
+// MultiBFS versus 64 independent BFS runs on the same stores, wire
+// mode auto for both.
+func writeMultiBaseline(path string, w *harness.Workload, src graph.Vertex, n int, k float64, seed int64, r, c int) error {
+	doc := Baseline4{N: n, K: k, Seed: seed, Mesh: fmt.Sprintf("%dx%d", r, c)}
+	srcs := multiSources(graph.BFS(w.Graph, src), bfs.MaxLanes)
+
+	opts := bfs.DefaultOptions(0)
+	opts.Wire = frontier.WireAuto
+	mres, err := bfs.MultiRun2D(w.World, w.Stores, srcs, opts)
+	if err != nil {
+		return err
+	}
+	mb := &doc.MultiBFS
+	mb.B = mres.B
+	mb.Wire = opts.Wire.String()
+	mb.Sweeps = len(mres.PerLevel)
+	mb.MultiWords = mres.TotalExpandWords + mres.TotalFoldWords
+	mb.MultiSimExecS = mres.SimTime
+	for _, ls := range mres.PerLevel {
+		mb.PerSweep = append(mb.PerSweep, MultiSweep{
+			Sweep:        int(ls.Level),
+			Frontier:     ls.Frontier,
+			ExpandWords:  ls.ExpandWords,
+			FoldWords:    ls.FoldWords,
+			LaneLabels:   ls.Marked,
+			EdgesScanned: ls.EdgesScanned,
+		})
+	}
+
+	mb.LaneLevelsChecked = true
+	for lane, s := range srcs {
+		single := bfs.DefaultOptions(s)
+		single.Wire = frontier.WireAuto
+		ind, err := bfs.Run2D(w.World, w.Stores, single)
+		if err != nil {
+			return err
+		}
+		mb.IndependentRuns++
+		mb.IndependentWords += ind.TotalExpandWords + ind.TotalFoldWords
+		mb.IndependentExecS += ind.SimTime
+		for v, l := range ind.Levels {
+			if mres.LaneLevels[lane][v] != l {
+				mb.LaneLevelsChecked = false
+				return fmt.Errorf("benchjson: lane %d level[%d] = %d, independent run %d",
+					lane, v, mres.LaneLevels[lane][v], l)
+			}
+		}
+	}
+	if mb.MultiWords > 0 {
+		mb.WordsRatio = float64(mb.IndependentWords) / float64(mb.MultiWords)
+	}
+	mb.StrictlyFewer = mb.MultiWords < mb.IndependentWords
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: multi-bfs b=%d moved %d words vs %d over %d runs (%.2fx, strictly fewer: %v); simexec %.4fs vs %.4fs (%.1fx)\n",
+		path, mb.B, mb.MultiWords, mb.IndependentWords, mb.IndependentRuns, mb.WordsRatio, mb.StrictlyFewer,
+		mb.MultiSimExecS, mb.IndependentExecS, mb.IndependentExecS/mb.MultiSimExecS)
+	return nil
 }

@@ -1,0 +1,66 @@
+// Command compat is the deprecated-surface check: it compiles and runs
+// against every pre-redesign option spelling (the alias shims kept by
+// the PR 4 API unification) so `make deprecated-surface` fails the
+// moment the compat layer rots. New code should use the unified names
+// — see the README migration table; this program intentionally should
+// not be modernized.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	bgl "repro"
+)
+
+func main() {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	g, err := bgl.GenerateWeighted(5000, 8, 4, bgl.WithMaxWeight(32))
+	if err != nil {
+		fail(err)
+	}
+	cl, err := bgl.NewCluster(bgl.ClusterConfig{R: 2, C: 2})
+	if err != nil {
+		fail(err)
+	}
+	dg, err := cl.Distribute(g) // pre-redesign call shape: no options
+	if err != nil {
+		fail(err)
+	}
+	src := g.LargestComponentVertex()
+
+	// The deprecated BFS spellings.
+	res, err := cl.BFS(dg, src,
+		bgl.WithFrontierWire(bgl.WireHybrid),
+		bgl.WithFrontierOccupancy(0.05),
+		bgl.WithChunkWords(4096),
+	)
+	if err != nil {
+		fail(err)
+	}
+
+	// The deprecated SSSP spellings, including the SSSPOption type.
+	var ssspOpts []bgl.SSSPOption
+	ssspOpts = append(ssspOpts,
+		bgl.WithDelta(8),
+		bgl.WithSSSPWire(bgl.WireAuto),
+		bgl.WithSSSPChunkWords(4096),
+		bgl.WithSSSPFrontierOccupancy(0.05),
+	)
+	sres, err := cl.SSSP(dg, src, ssspOpts...)
+	if err != nil {
+		fail(err)
+	}
+
+	want := g.SerialDijkstra(src)
+	for v, d := range sres.Dist {
+		if d != want[v] {
+			fail(fmt.Errorf("compat: dist[%d] = %d, serial dijkstra %d", v, d, want[v]))
+		}
+	}
+	fmt.Printf("deprecated surface OK: bfs reached %d, sssp verified %d distances\n",
+		res.Reached(), len(sres.Dist))
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/search"
 	"repro/internal/torus"
 )
 
@@ -94,7 +95,8 @@ func TestRun2DAllAlgorithmCombinations(t *testing.T) {
 				for _, chunk := range []int{0, 64} {
 					opts := Options{
 						Source: fx.src, Expand: ex, Fold: fo,
-						SentCache: cache, ChunkWords: chunk,
+						SentCache: cache,
+						Common:    search.Common{ChunkWords: chunk},
 					}
 					res, err := Run2D(fx.world, fx.st2, opts)
 					if err != nil {
@@ -521,11 +523,11 @@ func TestQuickRandomConfigs(t *testing.T) {
 		g := testGraph(t, n, k, int64(trial))
 		fx := build2D(t, g, r, c)
 		opts := Options{
-			Source:     graph.Vertex(rng.Intn(n)),
-			Expand:     ExpandAlg(rng.Intn(3)),
-			Fold:       FoldAlg(rng.Intn(4)),
-			SentCache:  rng.Intn(2) == 0,
-			ChunkWords: []int{0, 16, 1024}[rng.Intn(3)],
+			Source:    graph.Vertex(rng.Intn(n)),
+			Expand:    ExpandAlg(rng.Intn(3)),
+			Fold:      FoldAlg(rng.Intn(4)),
+			SentCache: rng.Intn(2) == 0,
+			Common:    search.Common{ChunkWords: []int{0, 16, 1024}[rng.Intn(3)]},
 		}
 		res, err := Run2D(fx.world, fx.st2, opts)
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/frontier"
 	"repro/internal/graph"
+	"repro/internal/search"
 )
 
 // Direction selects how levels are expanded.
@@ -68,9 +69,6 @@ const (
 	// simulator charges hash probes and received words far above edge
 	// scans, making one-level-early switches expensive.
 	DefaultDOAlpha = 6.0
-	// DefaultFrontierOccupancy is the adaptive frontier's sparse→dense
-	// switch threshold (see frontier.DefaultOccupancy).
-	DefaultFrontierOccupancy = frontier.DefaultOccupancy
 )
 
 // ExpandAlg selects the expand (processor-column) collective.
@@ -156,25 +154,15 @@ type Options struct {
 	// bottom-up when DOAlpha x (frontier out-degree) >= (unlabeled
 	// out-degree); <= 0 selects DefaultDOAlpha.
 	DOAlpha float64
-	// FrontierOccupancy is the adaptive frontier's sparse→dense switch
-	// threshold as a fraction of the owned range; <= 0 selects
-	// DefaultFrontierOccupancy, >= 1 pins the frontier sparse.
-	FrontierOccupancy float64
-	// Wire selects the frontier wire encoding for the expand payloads
-	// and union-fold sets: WireSparse (the legacy vertex lists),
-	// WireDense (always bitmaps), WireAuto (whichever of the two is
-	// fewer words per payload), or WireHybrid (chunked delta-varint /
-	// bitmap / run-length containers, never more words than WireAuto).
-	// The bottom-up steps exchange bitmaps under every mode except
-	// WireHybrid, which re-encodes those bitmaps through the same
-	// container codec.
-	Wire frontier.WireMode
+	// Common carries the knobs shared with every other search
+	// algorithm — Wire, ChunkWords, FrontierOccupancy — promoted so
+	// o.Wire etc. read as before. The bottom-up steps exchange bitmaps
+	// under every Wire mode except WireHybrid, which re-encodes those
+	// bitmaps through the same container codec.
+	search.Common
 	// SentCache enables the sent-neighbors optimization (§2.4.3): a
 	// neighbor vertex is never sent to its owner twice.
 	SentCache bool
-	// ChunkWords > 0 caps every physical message at this many words
-	// (§3.1 fixed-length buffers); 0 sends logical messages whole.
-	ChunkWords int
 	// MaxLevels bounds the search depth; 0 means unbounded.
 	MaxLevels int
 	// P2PTermination runs the per-level termination/found/meet
@@ -190,22 +178,18 @@ type Options struct {
 // fixed 16Ki-word message buffers.
 func DefaultOptions(source graph.Vertex) Options {
 	return Options{
-		Source:     source,
-		Expand:     ExpandTargeted,
-		Fold:       FoldTwoPhase,
-		SentCache:  true,
-		ChunkWords: 16384,
+		Source:    source,
+		Expand:    ExpandTargeted,
+		Fold:      FoldTwoPhase,
+		SentCache: true,
+		Common:    search.Defaults(),
 	}
 }
 
 // newFrontier builds a level frontier over the owned range [lo, lo+n)
 // with the configured adaptive occupancy threshold.
 func (o Options) newFrontier(lo graph.Vertex, n int) frontier.Frontier {
-	occ := o.FrontierOccupancy
-	if occ <= 0 {
-		occ = DefaultFrontierOccupancy
-	}
-	return frontier.NewAdaptive(uint32(lo), n, occ)
+	return o.NewFrontier(uint32(lo), n)
 }
 
 // doAlpha returns the effective direction-optimizing switch factor.

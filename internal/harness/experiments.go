@@ -77,6 +77,7 @@ func All() []Experiment {
 		{"ablation-direction", "Top-down vs direction-optimizing traversal, level by level", "design ablation (beyond the paper)", RunAblationDirection},
 		{"ablation-wire", "Frontier wire encodings (sparse/dense/auto/hybrid) across occupancies", "design ablation (beyond the paper)", RunAblationWire},
 		{"ablation-delta", "Δ-stepping SSSP bucket-width sweep on the weighted Poisson workload", "design ablation (beyond the paper)", RunAblationDelta},
+		{"ablation-partition", "2D vs 1D-row vs 1D-col partitionings through the unified search API", "Table 1 reproduction", RunAblationPartition},
 	}
 }
 

@@ -195,3 +195,27 @@ func TestTerminationAblationShape(t *testing.T) {
 		t.Errorf("p2p termination messages %g not above tree %g", p2p, tree)
 	}
 }
+
+// TestAblationPartitionCoversAllPartitionings checks the Table 1
+// head-to-head exhibits every public partitioning with nonzero moved
+// words.
+func TestAblationPartitionCoversAllPartitionings(t *testing.T) {
+	tbl, err := RunAblationPartition(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, row := range tbl.Rows {
+		part := row[1]
+		seen[part] = true
+		var total float64
+		if _, err := fmtSscan(row[5], &total); err != nil || total <= 0 {
+			t.Fatalf("%s: total words cell %q not positive (%v)", part, row[5], err)
+		}
+	}
+	for _, want := range []string{"2d", "1drow", "1dcol"} {
+		if !seen[want] {
+			t.Errorf("exhibit missing partitioning %s", want)
+		}
+	}
+}

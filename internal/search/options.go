@@ -1,0 +1,50 @@
+// Package search holds the options core shared by every distributed
+// search algorithm in this repository. BFS, batched multi-source BFS,
+// and Δ-stepping SSSP all move vertex-set payloads over the same
+// simulated torus, chunk them into the same fixed-length buffers
+// (§3.1), and hold per-rank sets in the same adaptive sparse/dense
+// frontier representations — so the knobs controlling those mechanisms
+// have one meaning and live in one embedded struct instead of
+// per-algorithm forks.
+package search
+
+import "repro/internal/frontier"
+
+// DefaultChunkWords is the paper's fixed 16Ki-word message buffer
+// (§3.1), the production chunking every algorithm defaults to.
+const DefaultChunkWords = 16384
+
+// Common is the options block shared by every search algorithm.
+// Algorithm-specific option structs embed it, promoting the fields so
+// existing o.Wire / o.ChunkWords / o.FrontierOccupancy call sites keep
+// working while the public API applies one option to every family.
+type Common struct {
+	// Wire selects the wire encoding of vertex-set payloads (expand
+	// frontiers, union-fold sets, relax-request sets, lane-OR
+	// frontiers): WireSparse raw vertex lists, WireDense whole-universe
+	// bitmaps, WireAuto whichever of the two is fewer words per payload,
+	// WireHybrid chunked delta-varint/bitmap/run-length containers
+	// (never more words than WireAuto).
+	Wire frontier.WireMode
+	// ChunkWords > 0 caps every physical message at this many words
+	// (§3.1 fixed-length buffers); 0 sends logical messages whole.
+	ChunkWords int
+	// FrontierOccupancy is the adaptive sets' sparse→dense switch
+	// threshold as a fraction of the owned range; <= 0 selects
+	// frontier.DefaultOccupancy, >= 1 pins the sets sparse.
+	FrontierOccupancy float64
+}
+
+// Defaults returns the shared production configuration: legacy sparse
+// wire lists, the paper's fixed message buffers, and the frontier
+// package's default occupancy threshold.
+func Defaults() Common {
+	return Common{ChunkWords: DefaultChunkWords}
+}
+
+// NewFrontier builds an adaptive vertex set over the owned range
+// [lo, lo+n) with the configured sparse→dense occupancy threshold —
+// the representation level frontiers and Δ-stepping buckets share.
+func (c Common) NewFrontier(lo uint32, n int) frontier.Frontier {
+	return frontier.NewAdaptive(lo, n, c.FrontierOccupancy)
+}

@@ -18,8 +18,8 @@
 package sssp
 
 import (
-	"repro/internal/frontier"
 	"repro/internal/graph"
+	"repro/internal/search"
 )
 
 // DeltaInf selects a single bucket: every edge is light and the run
@@ -34,29 +34,18 @@ type Options struct {
 	// stores with two reductions); DeltaInf selects the Bellman-Ford
 	// degenerate.
 	Delta uint32
-	// Wire selects the encoding of the relax-request vertex sets, the
-	// same codec family the BFS payloads use: WireSparse raw lists,
-	// WireDense bitmaps, WireAuto the cheaper of the two, WireHybrid
-	// chunked containers.
-	Wire frontier.WireMode
-	// ChunkWords > 0 caps every physical message at this many words
-	// (§3.1 fixed-length buffers); 0 sends logical messages whole.
-	ChunkWords int
-	// FrontierOccupancy is the buckets' sparse→dense switch threshold
-	// as a fraction of the owned range; <= 0 selects the frontier
-	// package default.
-	FrontierOccupancy float64
+	// Common carries the knobs shared with every other search
+	// algorithm: Wire selects the encoding of the relax-request vertex
+	// sets (the same codec family the BFS payloads use), ChunkWords the
+	// fixed message buffers, and FrontierOccupancy the buckets'
+	// sparse→dense switch threshold.
+	search.Common
 }
 
 // DefaultOptions returns the production configuration: auto Δ, raw
 // vertex lists, and the paper's fixed 16Ki-word message buffers.
 func DefaultOptions(source graph.Vertex) Options {
-	return Options{Source: source, ChunkWords: 16384}
-}
-
-// newBucket builds one bucket set over the owned range [lo, lo+n).
-func (o Options) newBucket(lo uint32, n int) frontier.Frontier {
-	return frontier.NewAdaptive(lo, n, o.FrontierOccupancy)
+	return Options{Source: source, Common: search.Defaults()}
 }
 
 // bucketOf maps a tentative distance to its bucket index.

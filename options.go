@@ -7,14 +7,48 @@ import (
 	"repro/internal/sssp"
 )
 
-// Option adjusts search behavior.
-type Option func(*bfs.Options)
+// searchConfig is the unified option target: one BFS-family and one
+// SSSP-family options struct, configured together so a single Option
+// vocabulary serves every search algorithm. Shared knobs (WithWire,
+// WithChunkWords, WithOccupancy) write both halves; algorithm-specific
+// knobs write only theirs and are ignored by the other family's runs.
+type searchConfig struct {
+	bfs  bfs.Options
+	sssp sssp.Options
+}
 
-func applyOptions(o *bfs.Options, opts []Option) {
-	for _, fn := range opts {
-		fn(o)
+// newSearchConfig returns the production defaults for every family,
+// searching from source.
+func newSearchConfig(source Vertex) searchConfig {
+	return searchConfig{
+		bfs:  bfs.DefaultOptions(source),
+		sssp: sssp.DefaultOptions(source),
 	}
 }
+
+func (c *searchConfig) apply(opts []Option) {
+	for _, fn := range opts {
+		if fn != nil {
+			fn(c)
+		}
+	}
+}
+
+// Option adjusts a search run. One option vocabulary serves every
+// algorithm and partitioning: the shared knobs (WithWire,
+// WithChunkWords, WithOccupancy) apply to BFS, multi-source BFS and
+// Δ-stepping SSSP alike; algorithm-specific options (WithDirection,
+// WithDelta, ...) are silently ignored by runs of the other family.
+// MultiBFS additionally ignores the single-source traversal-shape
+// options — see its doc comment for the exact carve-out.
+type Option func(*searchConfig)
+
+// SSSPOption is the former Δ-stepping-specific option type.
+//
+// Deprecated: the options surface is unified — every Option works with
+// Cluster.SSSP. SSSPOption is kept as an alias so existing code
+// compiles unchanged.
+type SSSPOption = Option
 
 // ExpandAlg and FoldAlg re-export the collective algorithm selectors.
 type (
@@ -48,13 +82,14 @@ const (
 	DirectionOptimizing = bfs.DirectionOptimizing
 )
 
-// WireMode re-exports the frontier wire-encoding selector.
+// WireMode re-exports the wire-encoding selector for vertex-set
+// payloads.
 type WireMode = frontier.WireMode
 
-// Frontier wire encodings: plain vertex lists, bitmaps, whichever of
-// the two is fewer words per payload, or the chunked hybrid container
-// codec (delta-varint lists / bitmaps / run-length extents per 4096-id
-// chunk, never more words than WireAuto).
+// Wire encodings for vertex-set payloads: plain vertex lists, bitmaps,
+// whichever of the two is fewer words per payload, or the chunked
+// hybrid container codec (delta-varint lists / bitmaps / run-length
+// extents per 4096-id chunk, never more words than WireAuto).
 const (
 	WireSparse = frontier.WireSparse
 	WireDense  = frontier.WireDense
@@ -66,62 +101,102 @@ const (
 // Result.Containers and LevelStats.Containers).
 type ContainerHist = frontier.ContainerHist
 
+// Shared options — these apply to every search algorithm.
+
+// WithWire selects the wire encoding of vertex-set payloads: BFS
+// expand frontiers and union-fold sets, multi-source lane-OR
+// frontiers, and SSSP relax-request sets all ride the same codec.
+func WithWire(m WireMode) Option {
+	return func(c *searchConfig) { c.bfs.Wire = m; c.sssp.Wire = m }
+}
+
+// WithChunkWords caps physical messages at n words (§3.1 fixed
+// buffers) in every algorithm; 0 disables chunking.
+func WithChunkWords(n int) Option {
+	return func(c *searchConfig) { c.bfs.ChunkWords = n; c.sssp.ChunkWords = n }
+}
+
+// WithOccupancy sets the adaptive vertex sets' sparse→dense switch
+// threshold — level frontiers and Δ-stepping buckets alike — as an
+// occupancy fraction of the owned range.
+func WithOccupancy(f float64) Option {
+	return func(c *searchConfig) { c.bfs.FrontierOccupancy = f; c.sssp.FrontierOccupancy = f }
+}
+
+// BFS-family options (ignored by SSSP runs).
+
 // WithDirection selects the traversal direction policy.
-func WithDirection(d Direction) Option { return func(o *bfs.Options) { o.Direction = d } }
+func WithDirection(d Direction) Option {
+	return func(c *searchConfig) { c.bfs.Direction = d }
+}
 
 // WithDOAlpha tunes the direction-optimizing switch: a level runs
-// bottom-up when alpha x |frontier| >= |unlabeled|.
-func WithDOAlpha(alpha float64) Option { return func(o *bfs.Options) { o.DOAlpha = alpha } }
-
-// WithFrontierWire selects the wire encoding for top-down expand and
-// union-fold payloads.
-func WithFrontierWire(m WireMode) Option { return func(o *bfs.Options) { o.Wire = m } }
-
-// WithFrontierOccupancy sets the adaptive frontier's sparse→dense
-// switch threshold as an occupancy fraction of the owned range.
-func WithFrontierOccupancy(f float64) Option {
-	return func(o *bfs.Options) { o.FrontierOccupancy = f }
+// bottom-up when alpha x (frontier out-degree) >= (unlabeled
+// out-degree).
+func WithDOAlpha(alpha float64) Option {
+	return func(c *searchConfig) { c.bfs.DOAlpha = alpha }
 }
 
 // WithExpand selects the expand collective.
-func WithExpand(a ExpandAlg) Option { return func(o *bfs.Options) { o.Expand = a } }
+func WithExpand(a ExpandAlg) Option {
+	return func(c *searchConfig) { c.bfs.Expand = a }
+}
 
 // WithFold selects the fold collective.
-func WithFold(a FoldAlg) Option { return func(o *bfs.Options) { o.Fold = a } }
+func WithFold(a FoldAlg) Option {
+	return func(c *searchConfig) { c.bfs.Fold = a }
+}
 
 // WithSentCache toggles the sent-neighbors optimization (§2.4.3).
-func WithSentCache(on bool) Option { return func(o *bfs.Options) { o.SentCache = on } }
+func WithSentCache(on bool) Option {
+	return func(c *searchConfig) { c.bfs.SentCache = on }
+}
 
-// WithChunkWords caps physical messages at n words (§3.1 fixed
-// buffers); 0 disables chunking.
-func WithChunkWords(n int) Option { return func(o *bfs.Options) { o.ChunkWords = n } }
+// WithMaxLevels bounds the search depth (BFS levels or multi-source
+// sweeps).
+func WithMaxLevels(n int) Option {
+	return func(c *searchConfig) { c.bfs.MaxLevels = n }
+}
 
-// WithMaxLevels bounds the search depth.
-func WithMaxLevels(n int) Option { return func(o *bfs.Options) { o.MaxLevels = n } }
-
-// SSSPOption adjusts a Δ-stepping shortest-path run.
-type SSSPOption func(*sssp.Options)
+// SSSP-family options (ignored by BFS runs).
 
 // WithDelta sets the Δ-stepping bucket width: 0 selects the
 // max(1, maxWeight/avgDegree) heuristic, DeltaInf the single-bucket
 // Bellman-Ford degenerate; Δ at or below the minimum edge weight
 // settles buckets Dijkstra-like.
-func WithDelta(delta uint32) SSSPOption { return func(o *sssp.Options) { o.Delta = delta } }
-
-// WithSSSPWire selects the wire encoding of the relax-request vertex
-// sets (the same codec family WithFrontierWire selects for BFS).
-func WithSSSPWire(m WireMode) SSSPOption { return func(o *sssp.Options) { o.Wire = m } }
-
-// WithSSSPChunkWords caps physical SSSP messages at n words (§3.1
-// fixed buffers); 0 disables chunking.
-func WithSSSPChunkWords(n int) SSSPOption { return func(o *sssp.Options) { o.ChunkWords = n } }
-
-// WithSSSPFrontierOccupancy sets the buckets' sparse→dense switch
-// threshold as an occupancy fraction of the owned range (the SSSP
-// counterpart of WithFrontierOccupancy).
-func WithSSSPFrontierOccupancy(f float64) SSSPOption {
-	return func(o *sssp.Options) { o.FrontierOccupancy = f }
+func WithDelta(delta uint32) Option {
+	return func(c *searchConfig) { c.sssp.Delta = delta }
 }
+
+// Deprecated aliases — the pre-redesign option names. Each is a thin
+// shim over its unified spelling; see the README migration table. They
+// are compiled by the examples under `make deprecated-surface` so the
+// compat layer cannot silently rot.
+
+// WithFrontierWire selects the wire encoding for search payloads.
+//
+// Deprecated: use WithWire, which also covers SSSP relax requests.
+func WithFrontierWire(m WireMode) Option { return WithWire(m) }
+
+// WithSSSPWire selects the wire encoding of the relax-request sets.
+//
+// Deprecated: use WithWire; the codec family was always shared.
+func WithSSSPWire(m WireMode) Option { return WithWire(m) }
+
+// WithFrontierOccupancy sets the frontier sparse→dense threshold.
+//
+// Deprecated: use WithOccupancy, which also covers SSSP buckets.
+func WithFrontierOccupancy(f float64) Option { return WithOccupancy(f) }
+
+// WithSSSPFrontierOccupancy sets the buckets' sparse→dense threshold.
+//
+// Deprecated: use WithOccupancy; buckets and frontiers share the knob.
+func WithSSSPFrontierOccupancy(f float64) Option { return WithOccupancy(f) }
+
+// WithSSSPChunkWords caps physical SSSP messages at n words.
+//
+// Deprecated: use WithChunkWords, which chunks every algorithm.
+func WithSSSPChunkWords(n int) Option { return WithChunkWords(n) }
 
 // Analytic re-exports (§3.1, Figure 6b).
 
