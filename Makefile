@@ -39,10 +39,12 @@ bench-smoke: bench
 
 # Machine-readable perf baseline for the headline workload (see
 # README.md "Perf trajectory" for the format). Also writes the
-# multi-source BFS baseline (BENCH_PR4.json): one 64-lane batch vs 64
-# independent runs.
+# multi-source BFS baseline (BENCH_PR4.json: one 64-lane batch vs 64
+# independent runs) and the async-overlap baseline (BENCH_PR5.json:
+# sync vs async schedule per level/epoch with hidden fractions and the
+# flagship >=1.3x check).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -out4 BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -out4 BENCH_PR4.json -out5 BENCH_PR5.json
 
 # Deprecated-surface check: the examples (examples/compat in
 # particular) compile and run against the pre-redesign option aliases,

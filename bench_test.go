@@ -104,6 +104,10 @@ func BenchmarkAblationWire(b *testing.B) { runExperiment(b, "ablation-wire") }
 // BenchmarkMemScale regenerates the §2.4.1 memory-scalability exhibit.
 func BenchmarkMemScale(b *testing.B) { runExperiment(b, "memscale") }
 
+// BenchmarkAblationOverlap regenerates the synchronous-vs-overlapped
+// exchange-schedule ablation (async collectives hidden under the scan).
+func BenchmarkAblationOverlap(b *testing.B) { runExperiment(b, "ablation-overlap") }
+
 // BenchmarkAblationDelta regenerates the Δ-stepping bucket-width
 // sweep on the weighted Poisson workload.
 func BenchmarkAblationDelta(b *testing.B) { runExperiment(b, "ablation-delta") }

@@ -38,16 +38,22 @@ type Level struct {
 	EdgesScanned int64   `json:"edges_scanned"`
 }
 
+// Summary holds the per-run fields every baseline document shares —
+// one reused type instead of a copy per PR's block.
+type Summary struct {
+	Name       string  `json:"name"`
+	Wire       string  `json:"wire"`
+	SimExecS   float64 `json:"simexec_s"`
+	SimCommS   float64 `json:"simcomm_s"`
+	TotalWords int64   `json:"total_words"`
+}
+
 // Run is one benchmark configuration's result.
 type Run struct {
-	Name         string  `json:"name"`
+	Summary
 	Direction    string  `json:"direction"`
-	Wire         string  `json:"wire"`
-	SimExecS     float64 `json:"simexec_s"`
-	SimCommS     float64 `json:"simcomm_s"`
 	ExpandWords  int64   `json:"expand_words"`
 	FoldWords    int64   `json:"fold_words"`
-	TotalWords   int64   `json:"total_words"`
 	EdgesScanned int64   `json:"edges_scanned"`
 	Levels       []Level `json:"levels"`
 }
@@ -55,16 +61,12 @@ type Run struct {
 // SSSPRun is one Δ-stepping configuration's result on the weighted
 // variant of the headline workload.
 type SSSPRun struct {
-	Name        string  `json:"name"`
-	Delta       uint32  `json:"delta"`
-	Wire        string  `json:"wire"`
-	SimExecS    float64 `json:"simexec_s"`
-	SimCommS    float64 `json:"simcomm_s"`
-	Buckets     int     `json:"buckets"`
-	Epochs      int     `json:"epochs"`
-	Relaxations int64   `json:"relaxations"`
-	ReSettles   int64   `json:"resettles"`
-	TotalWords  int64   `json:"total_words"`
+	Summary
+	Delta       uint32 `json:"delta"`
+	Buckets     int    `json:"buckets"`
+	Epochs      int    `json:"epochs"`
+	Relaxations int64  `json:"relaxations"`
+	ReSettles   int64  `json:"resettles"`
 }
 
 // Baseline is the file-level document.
@@ -141,10 +143,51 @@ type Baseline4 struct {
 	MultiBFS MultiBFSBench `json:"multi_bfs"`
 }
 
+// OverlapPoint is one level's (BFS) or epoch's (Δ-stepping) timing
+// under both schedules.
+type OverlapPoint struct {
+	Index      int     `json:"index"`
+	SyncExecS  float64 `json:"sync_exec_s"`
+	AsyncExecS float64 `json:"async_exec_s"`
+	AsyncCommS float64 `json:"async_comm_s"`
+	HiddenFrac float64 `json:"hidden_frac"`
+}
+
+// OverlapRun compares one configuration under the phase-synchronous and
+// overlapped schedules; the embedded Summary carries the async run's
+// totals (results and words are identical under both by construction).
+type OverlapRun struct {
+	Summary
+	Algo      string  `json:"algo"`
+	SyncExecS float64 `json:"sync_exec_s"`
+	OverlapS  float64 `json:"overlap_s"`
+	Speedup   float64 `json:"speedup"`
+	// HiddenFrac is the fraction of the async run's communication
+	// seconds that progressed under concurrent activity.
+	HiddenFrac float64        `json:"hidden_frac"`
+	PerPhase   []OverlapPoint `json:"per_phase"`
+}
+
+// Baseline5 is the PR 5 document: synchronous vs asynchronous schedule
+// on the headline workload, with the flagship ≥1.3x acceptance check.
+type Baseline5 struct {
+	N        int          `json:"n"`
+	K        float64      `json:"k"`
+	Seed     int64        `json:"seed"`
+	Mesh     string       `json:"mesh"`
+	Runs     []OverlapRun `json:"runs"`
+	Flagship struct {
+		Name     string  `json:"name"`
+		Speedup  float64 `json:"speedup"`
+		Meets13x bool    `json:"meets_1_3x"`
+	} `json:"flagship"`
+}
+
 func main() {
 	var (
 		out  = flag.String("out", "BENCH_PR2.json", "output file")
 		out4 = flag.String("out4", "BENCH_PR4.json", "multi-source baseline output file (empty = skip)")
+		out5 = flag.String("out5", "BENCH_PR5.json", "async-overlap baseline output file (empty = skip)")
 		n    = flag.Int("n", 100000, "vertices")
 		k    = flag.Float64("k", 10, "expected average degree")
 		seed = flag.Int64("seed", 9, "graph seed")
@@ -189,14 +232,16 @@ func main() {
 		}
 		byName[cf.name] = res
 		run := Run{
-			Name:         cf.name,
+			Summary: Summary{
+				Name:       cf.name,
+				Wire:       cf.wire.String(),
+				SimExecS:   res.SimTime,
+				SimCommS:   res.SimComm,
+				TotalWords: res.TotalExpandWords + res.TotalFoldWords,
+			},
 			Direction:    cf.dir.String(),
-			Wire:         cf.wire.String(),
-			SimExecS:     res.SimTime,
-			SimCommS:     res.SimComm,
 			ExpandWords:  res.TotalExpandWords,
 			FoldWords:    res.TotalFoldWords,
-			TotalWords:   res.TotalExpandWords + res.TotalFoldWords,
 			EdgesScanned: res.TotalEdgesScanned,
 		}
 		for _, ls := range res.PerLevel {
@@ -267,16 +312,18 @@ func main() {
 			fail(err)
 		}
 		doc.SSSP = append(doc.SSSP, SSSPRun{
-			Name:        pt.name,
+			Summary: Summary{
+				Name:       pt.name,
+				Wire:       opts.Wire.String(),
+				SimExecS:   res.SimTime,
+				SimCommS:   res.SimComm,
+				TotalWords: res.TotalWords(),
+			},
 			Delta:       res.Delta,
-			Wire:        opts.Wire.String(),
-			SimExecS:    res.SimTime,
-			SimCommS:    res.SimComm,
 			Buckets:     res.BucketsDrained,
 			Epochs:      res.Epochs,
 			Relaxations: res.TotalRelaxations,
 			ReSettles:   res.TotalReSettles,
-			TotalWords:  res.TotalWords(),
 		})
 		switch pt.name {
 		case "dijkstra-like":
@@ -315,6 +362,160 @@ func main() {
 			fail(err)
 		}
 	}
+	if *out5 != "" {
+		layout1, err := partition.NewLayout1D(*n, *r**c)
+		if err != nil {
+			fail(err)
+		}
+		wstores1, err := partition.Build1DWeighted(layout1, wg.VisitWeightedEdges)
+		if err != nil {
+			fail(err)
+		}
+		if err := writeOverlapBaseline(*out5, w, wstores, wstores1, src, wsrc, *n, *k, *seed, *r, *c); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// bfsOverlapPoints converts per-level stats into sync/async points.
+func bfsOverlapPoints(sync, async *bfs.Result) []OverlapPoint {
+	pts := make([]OverlapPoint, 0, len(async.PerLevel))
+	for l := range async.PerLevel {
+		ls, la := sync.PerLevel[l], async.PerLevel[l]
+		pts = append(pts, OverlapPoint{
+			Index: l, SyncExecS: ls.ExecS, AsyncExecS: la.ExecS,
+			AsyncCommS: la.CommS, HiddenFrac: la.HiddenFrac(),
+		})
+	}
+	return pts
+}
+
+// ssspOverlapPoints converts per-epoch stats into sync/async points.
+func ssspOverlapPoints(sync, async *sssp.Result) []OverlapPoint {
+	pts := make([]OverlapPoint, 0, len(async.PerEpoch))
+	for e := range async.PerEpoch {
+		es, ea := sync.PerEpoch[e], async.PerEpoch[e]
+		pts = append(pts, OverlapPoint{
+			Index: e, SyncExecS: es.ExecS, AsyncExecS: ea.ExecS,
+			AsyncCommS: ea.CommS, HiddenFrac: ea.HiddenFrac(),
+		})
+	}
+	return pts
+}
+
+// writeOverlapBaseline runs the PR 5 acceptance comparison: each
+// configuration under the synchronous and overlapped schedules — same
+// workload, same words, different clocks — with the flagship Δ-stepping
+// run checked against the ≥1.3x bar.
+func writeOverlapBaseline(path string, w *harness.Workload, wstores []*partition.Store2D, wstores1 []*partition.Store1D,
+	src, wsrc graph.Vertex, n int, k float64, seed int64, r, c int) error {
+	doc := Baseline5{N: n, K: k, Seed: seed, Mesh: fmt.Sprintf("%dx%d", r, c)}
+	const flagship = "sssp-1dcol-delta128"
+
+	addRun := func(run OverlapRun, syncExec, asyncExec, overlap, comm float64) {
+		run.SyncExecS = syncExec
+		run.OverlapS = overlap
+		if asyncExec > 0 {
+			run.Speedup = syncExec / asyncExec
+		}
+		if comm > 0 {
+			run.HiddenFrac = overlap / comm
+		}
+		doc.Runs = append(doc.Runs, run)
+		if run.Name == flagship {
+			doc.Flagship.Name = run.Name
+			doc.Flagship.Speedup = run.Speedup
+			doc.Flagship.Meets13x = run.Speedup >= 1.3
+		}
+	}
+
+	bfsCfgs := []struct {
+		name string
+		dir  bfs.Direction
+		wire frontier.WireMode
+	}{
+		{"bfs-topdown-sparse", bfs.TopDown, frontier.WireSparse},
+		{"bfs-dirop-auto", bfs.DirectionOptimizing, frontier.WireAuto},
+	}
+	for _, cf := range bfsCfgs {
+		runOne := func(async bool) (*bfs.Result, error) {
+			opts := bfs.DefaultOptions(src)
+			opts.Direction = cf.dir
+			opts.Wire = cf.wire
+			opts.Async = async
+			return bfs.Run2D(w.World, w.Stores, opts)
+		}
+		syncRes, err := runOne(false)
+		if err != nil {
+			return err
+		}
+		asyncRes, err := runOne(true)
+		if err != nil {
+			return err
+		}
+		addRun(OverlapRun{
+			Summary: Summary{Name: cf.name, Wire: cf.wire.String(), SimExecS: asyncRes.SimTime,
+				SimCommS: asyncRes.SimComm, TotalWords: asyncRes.TotalExpandWords + asyncRes.TotalFoldWords},
+			Algo:     "bfs",
+			PerPhase: bfsOverlapPoints(syncRes, asyncRes),
+		}, syncRes.SimTime, asyncRes.SimTime, asyncRes.SimOverlap, asyncRes.SimComm)
+	}
+
+	ssspCfgs := []struct {
+		name  string
+		delta uint32
+		part  string
+	}{
+		{"sssp-2d-auto", 0, "2d"},
+		{"sssp-2d-delta128", 128, "2d"},
+		{flagship, 128, "1dcol"},
+	}
+	for _, cf := range ssspCfgs {
+		baseOpts := sssp.DefaultOptions(wsrc)
+		baseOpts.Delta = cf.delta
+		runOne := func(async bool) (*sssp.Result, error) {
+			opts := baseOpts
+			opts.Async = async
+			if cf.part == "1dcol" {
+				return sssp.Run1D(w.World, wstores1, opts)
+			}
+			return sssp.Run2D(w.World, wstores, opts)
+		}
+		syncRes, err := runOne(false)
+		if err != nil {
+			return err
+		}
+		asyncRes, err := runOne(true)
+		if err != nil {
+			return err
+		}
+		addRun(OverlapRun{
+			Summary: Summary{Name: cf.name, Wire: baseOpts.Wire.String(), SimExecS: asyncRes.SimTime,
+				SimCommS: asyncRes.SimComm, TotalWords: asyncRes.TotalWords()},
+			Algo:     "sssp",
+			PerPhase: ssspOverlapPoints(syncRes, asyncRes),
+		}, syncRes.SimTime, asyncRes.SimTime, asyncRes.SimOverlap, asyncRes.SimComm)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, run := range doc.Runs {
+		fmt.Printf("overlap %-22s sync %.4fs -> async %.4fs (%.2fx, %.0f%% of comm hidden)\n",
+			run.Name, run.SyncExecS, run.SimExecS, run.Speedup, 100*run.HiddenFrac)
+	}
+	fmt.Printf("wrote %s: flagship %s speedup %.2fx (meets 1.3x bar: %v)\n",
+		path, doc.Flagship.Name, doc.Flagship.Speedup, doc.Flagship.Meets13x)
+	return nil
 }
 
 // multiSources picks b spread-out vertices reachable from src so every

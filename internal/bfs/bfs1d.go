@@ -89,11 +89,10 @@ func (e *engine1D) frontierOutDegree(s *sideState) uint64 {
 	return sum
 }
 
-// step runs one complete Algorithm 1 level: merge frontier edge lists
-// into per-owner bins (steps 7–9), fold (steps 8–13), mark (14–16).
-func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
-	h0 := e.hist
-	rec := rankLevel{frontier: s.F.Len()}
+// scanFrontier merges the frontier's edge lists into per-owner bins
+// (Algorithm 1 steps 7–9), charging the edge scan and hash probes; the
+// bins are unsorted (the fold paths sort and charge them).
+func (e *engine1D) scanFrontier(s *sideState) ([][]uint32, int) {
 	l := e.st.Layout
 	bins := make([][]uint32, e.c.Size())
 	probes0 := e.st.TargetMap.Probes()
@@ -115,9 +114,27 @@ func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
 			bins[l.OwnerRank(u)] = append(bins[l.OwnerRank(u)], uint32(u))
 		}
 	})
-	rec.edges = scanned
 	e.c.ChargeItems(scanned, e.model.EdgeCost)
 	e.c.ChargeItems(int(e.st.TargetMap.Probes()-probes0), e.model.HashCost)
+	return bins, scanned
+}
+
+// step runs one complete Algorithm 1 level: merge frontier edge lists
+// into per-owner bins (steps 7–9), fold (steps 8–13), mark (14–16).
+func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
+	if e.opts.Async {
+		return e.stepAsync(s, tagBase)
+	}
+	return e.stepSync(s, tagBase)
+}
+
+// stepSync is the phase-synchronous Algorithm 1 level.
+func (e *engine1D) stepSync(s *sideState, tagBase int) (rankLevel, bool) {
+	tm := newLevelTimer(e.c)
+	h0 := e.hist
+	rec := rankLevel{frontier: s.F.Len()}
+	bins, scanned := e.scanFrontier(s)
+	rec.edges = scanned
 	for q := range bins {
 		var d int
 		bins[q], d = localindex.SortSet(bins[q])
@@ -161,6 +178,7 @@ func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
 	s.F = next
 	s.level++
 	rec.containers = e.hist.Sub(h0)
+	tm.record(&rec)
 	return rec, foundTarget
 }
 

@@ -2,6 +2,7 @@ package bfs
 
 import (
 	"repro/internal/collective"
+	"repro/internal/comm"
 	"repro/internal/frontier"
 	"repro/internal/graph"
 )
@@ -40,14 +41,27 @@ func unwireBitPieces(opts Options, pieces [][]uint32, widths func(i int) int) {
 // needed), then scans its unlabeled owned vertices for frontier
 // parents.
 func (e *engine1D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
+	tm := newLevelTimer(e.c)
 	h0 := e.hist
 	rec := rankLevel{frontier: s.F.Len()}
-	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
+	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords, Async: e.opts.Async}
 	payload := wireBits(e.opts, &e.hist, frontier.Bits(s.F), e.st.OwnedCount())
-	pieces, st := collective.AllGather(e.c, e.world, o, payload)
+	var pieces [][]uint32
+	var st collective.Stats
+	if e.opts.Async {
+		// Pipelined ring: each received piece is forwarded before its
+		// handling charge, which then hides the next hop's transit.
+		pieces, st = collective.AllGatherAsync(e.c, e.world, o, payload, func(m int, piece []uint32) {
+			if m != e.world.Me {
+				e.c.ChargeItems(len(piece), e.model.VertexCost)
+			}
+		})
+	} else {
+		pieces, st = collective.AllGather(e.c, e.world, o, payload)
+		e.c.ChargeItems(st.RecvWords, e.model.VertexCost)
+	}
 	unwireBitPieces(e.opts, pieces, e.st.Layout.OwnedCount)
 	rec.expandWords = st.RecvWords
-	e.c.ChargeItems(st.RecvWords, e.model.VertexCost)
 
 	bs := uint32(e.st.Layout.BlockSize())
 	inFrontier := func(u graph.Vertex) bool {
@@ -81,6 +95,7 @@ func (e *engine1D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	s.F = next
 	s.level++
 	rec.containers = e.hist.Sub(h0)
+	tm.record(&rec)
 	return rec, foundTarget
 }
 
@@ -103,14 +118,33 @@ func (e *engine1D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 // payloads (the gathers at the caller edges, the claims through
 // collective.Opts.Codec).
 func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
+	tm := newLevelTimer(e.c)
 	l := e.st.Layout
 	bs := uint32(l.BlockSize())
 	h0 := e.hist
 	rec := rankLevel{frontier: s.F.Len()}
 
-	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
+	// Per-piece handling charge for the pipelined gathers (received
+	// pieces only, the synchronous charge split across arrivals).
+	chargeRecv := func(me int) collective.Handle {
+		return func(m int, piece []uint32) {
+			if m != me {
+				e.c.ChargeItems(len(piece), e.model.VertexCost)
+			}
+		}
+	}
+	gather := func(g comm.Group, o collective.Opts, data []uint32) ([][]uint32, collective.Stats) {
+		if e.opts.Async {
+			return collective.AllGatherAsync(e.c, g, o, data, chargeRecv(g.Me))
+		}
+		pieces, st := collective.AllGather(e.c, g, o, data)
+		e.c.ChargeItems(st.RecvWords, e.model.VertexCost)
+		return pieces, st
+	}
+
+	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords, Async: e.opts.Async}
 	fSend := wireBits(e.opts, &e.hist, frontier.Bits(s.F), e.st.OwnedCount())
-	fPieces, fst := collective.AllGather(e.c, e.rowG, o, fSend)
+	fPieces, fst := gather(e.rowG, o, fSend)
 	unwireBitPieces(e.opts, fPieces, func(i int) int { return l.OwnedCount(e.rowG.Ranks[i]) })
 
 	un := frontier.NewBits(e.st.OwnedCount())
@@ -119,11 +153,10 @@ func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 			frontier.SetBit(un, uint32(li))
 		}
 	}
-	o2 := collective.Opts{Tag: tagBase + 1<<22, Chunk: e.opts.ChunkWords}
-	uPieces, ust := collective.AllGather(e.c, e.colG, o2, wireBits(e.opts, &e.hist, un, e.st.OwnedCount()))
+	o2 := collective.Opts{Tag: tagBase + 1<<22, Chunk: e.opts.ChunkWords, Async: e.opts.Async}
+	uPieces, ust := gather(e.colG, o2, wireBits(e.opts, &e.hist, un, e.st.OwnedCount()))
 	unwireBitPieces(e.opts, uPieces, func(i int) int { return l.OwnedCount(e.colG.Ranks[i]) })
 	rec.expandWords = fst.RecvWords + ust.RecvWords
-	e.c.ChargeItems(fst.RecvWords+ust.RecvWords, e.model.VertexCost)
 
 	// My row vertices u satisfy BlockOf(u) mod R == my mesh row, so
 	// their owner sits at row-group index BlockOf(u)/R.
@@ -158,7 +191,7 @@ func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	e.c.ChargeItems(len(e.st.ColIds), e.model.VertexCost)
 	e.c.ChargeItems(edges, e.model.EdgeCost)
 
-	o3 := collective.Opts{Tag: tagBase + 2<<22, Chunk: e.opts.ChunkWords}
+	o3 := collective.Opts{Tag: tagBase + 2<<22, Chunk: e.opts.ChunkWords, Async: e.opts.Async}
 	if e.opts.Wire == frontier.WireHybrid {
 		o3.Codec = &collective.Codec{
 			Enc: func(m int, w []uint32) []uint32 {
@@ -169,9 +202,16 @@ func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 			},
 		}
 	}
-	mine, cst := collective.ReduceScatterOr(e.c, e.colG, o3, claims)
+	var mine []uint32
+	var cst collective.Stats
+	if e.opts.Async {
+		mine, cst = collective.ReduceScatterOrAsync(e.c, e.colG, o3,
+			func(m int) []uint32 { return claims[m] }, chargeRecv(e.colG.Me))
+	} else {
+		mine, cst = collective.ReduceScatterOr(e.c, e.colG, o3, claims)
+		e.c.ChargeItems(cst.RecvWords, e.model.VertexCost)
+	}
 	rec.foldWords = cst.RecvWords
-	e.c.ChargeItems(cst.RecvWords, e.model.VertexCost)
 
 	next := e.opts.newFrontier(e.st.Lo, e.st.OwnedCount())
 	foundTarget := false
@@ -190,5 +230,6 @@ func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	s.F = next
 	s.level++
 	rec.containers = e.hist.Sub(h0)
+	tm.record(&rec)
 	return rec, foundTarget
 }

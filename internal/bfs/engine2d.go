@@ -141,11 +141,54 @@ func (e *engine2D) expand(s *sideState, tag int) ([]uint32, collective.Stats) {
 		e.expandUnwire(parts)
 		return flatten(parts), st
 	case ExpandTwoPhase:
+		o.BundleMerge = e.expandBundleMerge()
 		parts, st := collective.TwoPhaseExpand(e.c, e.colG, o, e.wireFrontier(s.F))
 		e.expandUnwire(parts)
 		return flatten(parts), st
 	default:
 		panic(fmt.Sprintf("bfs: unknown expand algorithm %v", e.opts.Expand))
+	}
+}
+
+// expandBundleMerge recompresses a two-phase expand bundle — the
+// processor column's per-origin frontier payloads, which circulate
+// together along every grid-row hop — as one set over the column's
+// stacked owned ranges, re-encoded through the configured wire codec.
+// TwoPhaseExpand ships whichever of this and the plain framing is fewer
+// words, so configuring it never costs a word; it wins whenever the
+// per-origin headers and framing dominate (dense or hybrid payloads,
+// and the a-1 length words of sparse bundles).
+func (e *engine2D) expandBundleMerge() *collective.BundleCodec {
+	l := e.st.Layout
+	return &collective.BundleCodec{
+		Merge: func(origins []int, payloads [][]uint32) []uint32 {
+			var stacked []uint32
+			off := uint32(0)
+			for j, m := range origins {
+				lo, hi := l.OwnedRange(e.colG.World(m))
+				for _, id := range frontier.Decode(payloads[j]) {
+					stacked = append(stacked, id-uint32(lo)+off)
+				}
+				off += uint32(hi - lo)
+			}
+			return frontier.EncodeSet(stacked, 0, int(off), e.opts.Wire)
+		},
+		Split: func(origins []int, merged []uint32) [][]uint32 {
+			out := make([][]uint32, len(origins))
+			ids := frontier.Decode(merged)
+			off := uint32(0)
+			idx := 0
+			for j, m := range origins {
+				lo, hi := l.OwnedRange(e.colG.World(m))
+				n := uint32(hi - lo)
+				for idx < len(ids) && ids[idx] < off+n {
+					out[j] = append(out[j], ids[idx]-off+uint32(lo))
+					idx++
+				}
+				off += n
+			}
+			return out
+		},
 	}
 }
 
@@ -161,16 +204,20 @@ func flatten(parts [][]uint32) []uint32 {
 	return out
 }
 
-// neighbors scans the partial edge lists of F̄ (Algorithm 2 step 12)
-// and bins the discovered neighbors by owner mesh column for the fold,
-// also returning the number of edge entries inspected.
-func (e *engine2D) neighbors(s *sideState, fbar []uint32) ([][]uint32, int) {
+// scanPart scans the partial edge lists of one decoded expand part
+// (Algorithm 2 step 12), binning the discovered neighbors by owner mesh
+// column and charging the edge scan and hash probes. It returns the
+// edge entries inspected. The overlapped schedule calls it once per
+// received part as each arrives; the synchronous path once with all of
+// F̄. The bins, sent-cache state, and charges are identical either way
+// (the sent cache admits each row vertex exactly once regardless of
+// scan order, and the bins are sorted sets before they travel).
+func (e *engine2D) scanPart(s *sideState, part []uint32, bins [][]uint32) int {
 	l := e.st.Layout
-	bins := make([][]uint32, l.C)
 	colProbes0 := e.st.ColMap.Probes()
 	rowProbes0 := e.st.RowMap.Probes()
 	scanned := 0
-	for _, gv := range fbar {
+	for _, gv := range part {
 		list := e.st.PartialList(graph.Vertex(gv))
 		scanned += len(list)
 		for _, u := range list {
@@ -189,8 +236,15 @@ func (e *engine2D) neighbors(s *sideState, fbar []uint32) ([][]uint32, int) {
 	e.c.ChargeItems(scanned, e.model.EdgeCost)
 	probes := (e.st.ColMap.Probes() - colProbes0) + (e.st.RowMap.Probes() - rowProbes0)
 	e.c.ChargeItems(int(probes), e.model.HashCost)
-	// Local merge of partial edge lists into per-destination sets
-	// ("merged to form N").
+	return scanned
+}
+
+// neighbors scans the partial edge lists of F̄ and merges the
+// discovered neighbors into per-destination sorted sets ("merged to
+// form N").
+func (e *engine2D) neighbors(s *sideState, fbar []uint32) ([][]uint32, int) {
+	bins := make([][]uint32, e.st.Layout.C)
+	scanned := e.scanPart(s, fbar, bins)
 	for j := range bins {
 		var d int
 		bins[j], d = localindex.SortSet(bins[j])
@@ -302,6 +356,16 @@ func (e *engine2D) frontierOutDegree(s *sideState) uint64 {
 // check belongs to the caller (it differs between uni- and
 // bi-directional drivers).
 func (e *engine2D) step(s *sideState, tagBase int) (rankLevel, bool) {
+	if e.opts.Async {
+		return e.stepAsync(s, tagBase)
+	}
+	return e.stepSync(s, tagBase)
+}
+
+// stepSync is the phase-synchronous level schedule: wait out the whole
+// expand, scan, wait out the whole fold, mark.
+func (e *engine2D) stepSync(s *sideState, tagBase int) (rankLevel, bool) {
+	tm := newLevelTimer(e.c)
 	h0 := e.hist
 	rec := rankLevel{frontier: s.F.Len()}
 	fbar, est := e.expand(s, tagBase)
@@ -333,6 +397,7 @@ func (e *engine2D) step(s *sideState, tagBase int) (rankLevel, bool) {
 	s.F = next
 	s.level++
 	rec.containers = e.hist.Sub(h0)
+	tm.record(&rec)
 	return rec, foundTarget
 }
 

@@ -334,6 +334,10 @@ func (e *multiEngine2D) newMulti(sources []graph.Vertex) *multiState {
 }
 
 func (e *multiEngine2D) sweep(s *multiState, tagBase int) rankLevel {
+	if e.opts.Async {
+		return e.sweepAsync(s, tagBase)
+	}
+	tm := newLevelTimer(e.c)
 	h0 := e.hist
 	rec := rankLevel{dir: TopDown, frontier: s.F.Len()}
 	l := e.st.Layout
@@ -445,6 +449,7 @@ func (e *multiEngine2D) sweep(s *multiState, tagBase int) rankLevel {
 
 	s.mark(e.opts, e.st.Lo, e.st.OwnedCount(), rvs, rms, &rec)
 	rec.containers = e.hist.Sub(h0)
+	tm.record(&rec)
 	return rec
 }
 
@@ -473,6 +478,10 @@ func (e *multiEngine1D) newMulti(sources []graph.Vertex) *multiState {
 }
 
 func (e *multiEngine1D) sweep(s *multiState, tagBase int) rankLevel {
+	if e.opts.Async {
+		return e.sweepAsync(s, tagBase)
+	}
+	tm := newLevelTimer(e.c)
 	h0 := e.hist
 	rec := rankLevel{dir: TopDown, frontier: s.F.Len()}
 	l := e.st.Layout
@@ -533,6 +542,7 @@ func (e *multiEngine1D) sweep(s *multiState, tagBase int) rankLevel {
 
 	s.mark(e.opts, e.st.Lo, e.st.OwnedCount(), rvs, rms, &rec)
 	rec.containers = e.hist.Sub(h0)
+	tm.record(&rec)
 	return rec
 }
 

@@ -21,6 +21,28 @@ type LevelStats struct {
 	// Containers histograms the wire codec's payload and chunk-container
 	// choices this level (all-zero unless a codec-bearing Wire mode ran).
 	Containers frontier.ContainerHist
+
+	// ExecS is the level's simulated execution time: the maximum over
+	// ranks of the per-rank clock advance during the level (the level's
+	// critical path; reductions between levels are not attributed).
+	ExecS float64
+	// CommS sums the per-rank communication seconds charged during the
+	// level — including any hidden under the asynchronous schedule.
+	CommS float64
+	// OverlapS sums the per-rank communication seconds that progressed
+	// concurrently with compute (or other transfers) instead of
+	// serializing into the clock. Zero on the synchronous schedule;
+	// never exceeds CommS.
+	OverlapS float64
+}
+
+// HiddenFrac returns the fraction of the level's communication seconds
+// the asynchronous schedule kept off the critical path.
+func (ls LevelStats) HiddenFrac() float64 {
+	if ls.CommS == 0 {
+		return 0
+	}
+	return ls.OverlapS / ls.CommS
 }
 
 // Result reports a finished distributed search.
@@ -31,9 +53,13 @@ type Result struct {
 	PerLevel []LevelStats
 
 	// Simulated times (seconds) from the torus cost model: max over
-	// ranks of the per-rank clocks / communication ledgers.
-	SimTime float64
-	SimComm float64
+	// ranks of the per-rank clocks / communication ledgers. SimOverlap
+	// is the max per-rank communication time hidden under concurrent
+	// activity by the asynchronous schedule (0 when Options.Async is
+	// off); it never exceeds SimComm.
+	SimTime    float64
+	SimComm    float64
+	SimOverlap float64
 	// Wall is the real elapsed time of the simulation itself (not a
 	// paper-comparable quantity on a shared-memory host).
 	Wall time.Duration
@@ -169,6 +195,26 @@ type rankLevel struct {
 	marked      int
 	edges       int
 	containers  frontier.ContainerHist
+	execS       float64
+	commS       float64
+	overlapS    float64
+}
+
+// levelTimer snapshots a rank's simulated-time ledgers at level entry
+// so the level's clock/comm/overlap deltas can be recorded on exit.
+type levelTimer struct {
+	c                    *comm.Comm
+	clock, comm, overlap float64
+}
+
+func newLevelTimer(c *comm.Comm) levelTimer {
+	return levelTimer{c: c, clock: c.Clock(), comm: c.CommTime(), overlap: c.OverlapTime()}
+}
+
+func (t levelTimer) record(rec *rankLevel) {
+	rec.execS = t.c.Clock() - t.clock
+	rec.commS = t.c.CommTime() - t.comm
+	rec.overlapS = t.c.OverlapTime() - t.overlap
 }
 
 // mergeStats combines per-rank per-level records into global LevelStats
@@ -198,6 +244,9 @@ func mergeStats(res *Result, perRank [][]rankLevel, comms []*comm.Comm) {
 				Marked:       int64(s.marked),
 				EdgesScanned: int64(s.edges),
 				Containers:   s.containers,
+				ExecS:        s.execS,
+				CommS:        s.commS,
+				OverlapS:     s.overlapS,
 			}
 			ls := &res.PerLevel[l]
 			ls.Direction = s.dir // uniform across ranks by construction
@@ -208,6 +257,11 @@ func mergeStats(res *Result, perRank [][]rankLevel, comms []*comm.Comm) {
 			ls.Marked += int64(s.marked)
 			ls.EdgesScanned += int64(s.edges)
 			ls.Containers.Add(s.containers)
+			if s.execS > ls.ExecS {
+				ls.ExecS = s.execS // critical path: slowest rank
+			}
+			ls.CommS += s.commS
+			ls.OverlapS += s.overlapS
 		}
 	}
 	for _, ls := range res.PerLevel {
@@ -219,6 +273,7 @@ func mergeStats(res *Result, perRank [][]rankLevel, comms []*comm.Comm) {
 	}
 	res.SimTime = comm.MaxClock(comms)
 	res.SimComm = comm.MaxCommTime(comms)
+	res.SimOverlap = comm.MaxOverlapTime(comms)
 	for _, c := range comms {
 		res.MsgsRecv += c.MsgsRecv()
 		res.HopsRecv += c.HopsRecv()

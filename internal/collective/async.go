@@ -1,0 +1,386 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/localindex"
+)
+
+// Asynchronous (pipelined) variants of the collectives. The payloads,
+// tags, chunking, and received-word statistics are identical to the
+// synchronous operations — only the schedule changes:
+//
+//   - every send is posted before any wait, so all transfers are in
+//     flight concurrently instead of serializing one transit per
+//     pairwise step;
+//   - parts are delivered to the caller through a handle as each one
+//     completes, so the caller's per-part compute charges (the hash
+//     probes and scans that dominate §4.2's profile) hide the wire time
+//     of the parts still in flight.
+//
+// Hidden wire seconds are audited by comm.Comm.OverlapTime. Results are
+// bit-identical to the synchronous path: the engines only ever combine
+// parts with order-insensitive reductions (set union, min-merge,
+// bitwise OR, concatenate-then-sort).
+
+// Prep produces the payload destined to group member m. The pipelined
+// exchanges call it immediately before posting m's send (self last,
+// after every send is posted), so compute charged inside Prep — sort,
+// dedup, encode — overlaps the transfers already in flight.
+type Prep func(m int) []uint32
+
+// Handle consumes one completed part. The pipelined exchanges invoke it
+// with the self part first and then every received part in the
+// synchronous step order; compute charged inside Handle hides the
+// remaining parts' wire time.
+type Handle func(m int, part []uint32)
+
+// prepared wraps precomputed send buffers as a Prep.
+func prepared(send [][]uint32) Prep {
+	return func(m int) []uint32 { return send[m] }
+}
+
+// AllToAllAsync performs the personalized exchange of AllToAll with the
+// pipelined schedule. prep must not be nil; handle may be. out[i] and
+// Stats match AllToAll exactly.
+func AllToAllAsync(c *comm.Comm, g comm.Group, o Opts, prep Prep, handle Handle) ([][]uint32, Stats) {
+	size := g.Size()
+	out := make([][]uint32, size)
+	var st Stats
+	if size == 1 {
+		out[0] = prep(0)
+		if handle != nil {
+			handle(0, out[0])
+		}
+		return out, st
+	}
+	for step := 1; step < size; step++ {
+		to := (g.Me + step) % size
+		c.IsendChunked(g.World(to), o.Tag+step, prep(to), o.Chunk)
+	}
+	reqs := make([]*comm.Request, size)
+	for step := 1; step < size; step++ {
+		from := (g.Me - step + size) % size
+		reqs[step] = c.IrecvChunked(g.World(from), o.Tag+step, o.Chunk)
+	}
+	out[g.Me] = prep(g.Me)
+	if handle != nil {
+		handle(g.Me, out[g.Me])
+	}
+	for step := 1; step < size; step++ {
+		from := (g.Me - step + size) % size
+		part := reqs[step].Wait()
+		st.RecvWords += len(part)
+		out[from] = part
+		if handle != nil {
+			handle(from, part)
+		}
+	}
+	return out, st
+}
+
+// AllGatherAsync is the ring all-gather with each hop's forward posted
+// before the previous piece is processed: handle sees every piece in
+// ring order — this rank's own data first, right after the first
+// forward posts — and its compute hides the next hop's transit.
+// Callers mirroring the synchronous charge of received words only skip
+// the m == g.Me invocation. out and Stats match AllGather exactly.
+func AllGatherAsync(c *comm.Comm, g comm.Group, o Opts, data []uint32, handle Handle) ([][]uint32, Stats) {
+	size := g.Size()
+	out := make([][]uint32, size)
+	out[g.Me] = data
+	var st Stats
+	if size == 1 {
+		if handle != nil {
+			handle(g.Me, data)
+		}
+		return out, st
+	}
+	next := g.World(g.Next(g.Me))
+	prev := g.World(g.Prev(g.Me))
+	piece := data
+	pendIdx := g.Me // own piece processes under the first hop
+	for step := 0; step < size-1; step++ {
+		c.IsendChunked(next, o.Tag+step, piece, o.Chunk)
+		req := c.IrecvChunked(prev, o.Tag+step, o.Chunk)
+		if handle != nil {
+			handle(pendIdx, out[pendIdx]) // forwarded above; process under the next hop
+		}
+		piece = req.Wait()
+		srcIdx := g.Me - step - 1
+		for srcIdx < 0 {
+			srcIdx += size
+		}
+		out[srcIdx] = piece
+		st.RecvWords += len(piece)
+		pendIdx = srcIdx
+	}
+	if handle != nil {
+		handle(pendIdx, out[pendIdx])
+	}
+	return out, st
+}
+
+// ReduceScatterUnionAsync is the direct union fold on the pipelined
+// exchange: prep returns the sorted set destined to member m (the codec,
+// if any, is applied at the wire), and every part union-merges into the
+// accumulator as it completes. Result and Stats match ReduceScatterUnion.
+func ReduceScatterUnionAsync(c *comm.Comm, g comm.Group, o Opts, prep Prep) ([]uint32, Stats) {
+	var acc []uint32
+	accSet := false
+	var dups int
+	wirePrep := func(m int) []uint32 {
+		s := prep(m)
+		if o.Codec != nil && m != g.Me {
+			return o.Codec.Enc(m, s)
+		}
+		return s
+	}
+	handle := func(m int, part []uint32) {
+		if m != g.Me && o.Codec != nil {
+			part = o.Codec.Dec(g.Me, part)
+		}
+		if !accSet {
+			acc = append([]uint32(nil), part...)
+			accSet = true
+			return
+		}
+		var d int
+		acc, d = localindex.UnionInto(acc, part)
+		dups += d
+	}
+	_, st := AllToAllAsync(c, g, o, wirePrep, handle)
+	st.Dups += dups
+	return acc, st
+}
+
+// ReduceScatterOrAsync is ReduceScatterOr on the pipelined exchange:
+// each claim bitmap ORs into the accumulator as it completes. handle
+// (if any) sees each part in its wire form, before the codec decodes
+// it, so callers can mirror the synchronous received-word charges.
+func ReduceScatterOrAsync(c *comm.Comm, g comm.Group, o Opts, prep Prep, handle Handle) ([]uint32, Stats) {
+	var acc []uint32
+	orPart := func(m int, part []uint32) {
+		if handle != nil {
+			handle(m, part)
+		}
+		if m != g.Me && o.Codec != nil {
+			part = o.Codec.Dec(g.Me, part)
+		}
+		if len(part) > len(acc) {
+			grown := make([]uint32, len(part))
+			copy(grown, acc)
+			acc = grown
+		}
+		for j, w := range part {
+			acc[j] |= w
+		}
+	}
+	wirePrep := func(m int) []uint32 {
+		s := prep(m)
+		if o.Codec != nil && m != g.Me {
+			return o.Codec.Enc(m, s)
+		}
+		return s
+	}
+	_, st := AllToAllAsync(c, g, o, wirePrep, orPart)
+	return acc, st
+}
+
+// ReduceScatterUnionBruckAsync folds with Bruck's exchange. Every round
+// of the log-step schedule forwards blocks received the round before,
+// so the rounds are inherently serial and there is nothing to pipeline
+// between them; the variant exists so the async engines have a uniform
+// call surface, and it simply runs the synchronous schedule.
+func ReduceScatterUnionBruckAsync(c *comm.Comm, g comm.Group, o Opts, prep Prep) ([]uint32, Stats) {
+	send := make([][]uint32, g.Size())
+	for m := range send {
+		send[m] = prep(m)
+	}
+	return ReduceScatterUnionBruck(c, g, o, send)
+}
+
+// TwoPhaseExpandAsync is TwoPhaseExpand with the pipelined schedule:
+// phase 1's column exchange streams pieces through handle, and each
+// phase-2 ring hop forwards the received bundle before its sets are
+// processed, hiding the next hop's transit under handle's compute.
+// out[i] and Stats match TwoPhaseExpand (including Opts.BundleMerge
+// recompression when configured).
+func TwoPhaseExpandAsync(c *comm.Comm, g comm.Group, o Opts, data []uint32, handle Handle) ([][]uint32, Stats) {
+	size := g.Size()
+	var st Stats
+	out := make([][]uint32, size)
+	out[g.Me] = data
+	if size == 1 {
+		if handle != nil {
+			handle(g.Me, data)
+		}
+		return out, st
+	}
+	a, b := FactorGrid(size)
+	row, col := g.Me/b, g.Me%b
+	next := g.World(row*b + (col+1)%b)
+	prev := g.World(row*b + (col-1+b)%b)
+	tag2 := o.Tag + 1<<20
+
+	// Phase 1: exchange within my grid column, all sends posted before
+	// any compute. A single-row grid's phase-2 bundle is just my own
+	// data, so its first hop posts immediately too.
+	colSets := make([][]uint32, a)
+	colSets[row] = data
+	for i := 0; i < a; i++ {
+		if i != row {
+			c.IsendChunked(g.World(i*b+col), o.Tag+row, data, o.Chunk)
+		}
+	}
+	reqs := make([]*comm.Request, a)
+	for i := 0; i < a; i++ {
+		if i != row {
+			reqs[i] = c.IrecvChunked(g.World(i*b+col), o.Tag+i, o.Chunk)
+		}
+	}
+	var wire []uint32
+	var p2req *comm.Request
+	if b > 1 && a == 1 {
+		wire = bundleForWire(o, g, col, colSets)
+		c.IsendChunked(next, tag2, wire, o.Chunk)
+		p2req = c.IrecvChunked(prev, tag2, o.Chunk)
+	}
+
+	// My own portion processes under the transfers just posted; then
+	// each phase-1 piece is handled while the next is in flight, keeping
+	// the last one pending so it can hide phase 2's first hop instead.
+	if handle != nil {
+		handle(g.Me, data)
+	}
+	pendP1 := -1
+	for i := 0; i < a; i++ {
+		if i == row {
+			continue
+		}
+		if pendP1 >= 0 && handle != nil {
+			handle(pendP1*b+col, colSets[pendP1])
+		}
+		colSets[i] = reqs[i].Wait()
+		st.RecvWords += len(colSets[i])
+		out[i*b+col] = colSets[i]
+		pendP1 = i
+	}
+
+	// Phase 2: circulate bundles along my grid-row ring. Each hop's
+	// forward posts before the pending sets are handled, so their scan
+	// hides the hop's transit; received bundles forward verbatim.
+	if b > 1 {
+		if p2req == nil {
+			wire = bundleForWire(o, g, col, colSets)
+			c.IsendChunked(next, tag2, wire, o.Chunk)
+			p2req = c.IrecvChunked(prev, tag2, o.Chunk)
+		}
+		if pendP1 >= 0 && handle != nil {
+			handle(pendP1*b+col, colSets[pendP1])
+		}
+		var pend [][]uint32 // sets waiting to be handled
+		pendCol := -1
+		for s := 0; s < b-1; s++ {
+			if s > 0 {
+				c.IsendChunked(next, tag2+s, wire, o.Chunk)
+				p2req = c.IrecvChunked(prev, tag2+s, o.Chunk)
+			}
+			if pendCol >= 0 && handle != nil {
+				for i := 0; i < a; i++ {
+					handle(i*b+pendCol, pend[i])
+				}
+			}
+			buf := p2req.Wait()
+			st.RecvWords += len(buf)
+			wire = buf // forward verbatim next hop
+			srcCol := (col - s - 1 + b) % b
+			bundle := bundleFromWire(o, g, srcCol, buf, a)
+			for i := 0; i < a; i++ {
+				out[i*b+srcCol] = bundle[i]
+			}
+			pend, pendCol = bundle, srcCol
+		}
+		if pendCol >= 0 && handle != nil {
+			for i := 0; i < a; i++ {
+				handle(i*b+pendCol, pend[i])
+			}
+		}
+	} else if pendP1 >= 0 && handle != nil {
+		handle(pendP1*b+col, colSets[pendP1])
+	}
+	return out, st
+}
+
+// twoPhaseFoldPhase2Async distributes the reduced per-destination sets
+// down the grid column with every send posted before any wait, merging
+// parts as they complete. Called from TwoPhaseFold when o.Async is set.
+func twoPhaseFoldPhase2Async(c *comm.Comm, g comm.Group, o Opts, a, b, row, col int, mine [][]uint32, st *Stats) []uint32 {
+	acc := append([]uint32(nil), mine[row]...)
+	tag2 := o.Tag + 1<<20
+	useCodec := o.Codec != nil && !o.NoUnion
+	for i := 0; i < a; i++ {
+		if i == row {
+			continue
+		}
+		part := mine[i]
+		if useCodec {
+			part = o.Codec.Enc(i*b+col, part)
+		}
+		c.IsendChunked(g.World(i*b+col), tag2+row, part, o.Chunk)
+	}
+	reqs := make([]*comm.Request, a)
+	for i := 0; i < a; i++ {
+		if i != row {
+			reqs[i] = c.IrecvChunked(g.World(i*b+col), tag2+i, o.Chunk)
+		}
+	}
+	for i := 0; i < a; i++ {
+		if i == row {
+			continue
+		}
+		part := reqs[i].Wait()
+		st.RecvWords += len(part)
+		if useCodec {
+			part = o.Codec.Dec(g.Me, part)
+		}
+		if o.NoUnion {
+			part, _ = localindex.SortSet(append([]uint32(nil), part...))
+		}
+		var d int
+		acc, d = localindex.UnionInto(acc, part)
+		st.Dups += d
+	}
+	if o.NoUnion {
+		acc, _ = localindex.SortSet(acc)
+	}
+	return acc
+}
+
+// FoldAsync dispatches a union fold to the pipelined variant of the
+// configured algorithm; alg names match the synchronous dispatchers in
+// the engines ("direct", "twophase", "twophase-nounion", "bruck").
+// Sets are produced by prep in posting order so their sort/encode
+// compute overlaps the transfers already in flight (the two-phase and
+// Bruck schedules need every bundle up front and call prep eagerly).
+func FoldAsync(c *comm.Comm, g comm.Group, o Opts, alg string, prep Prep) ([]uint32, Stats) {
+	switch alg {
+	case "direct":
+		return ReduceScatterUnionAsync(c, g, o, prep)
+	case "twophase", "twophase-nounion":
+		o.Async = true
+		if alg == "twophase-nounion" {
+			o.NoUnion = true
+		}
+		send := make([][]uint32, g.Size())
+		for m := range send {
+			send[m] = prep(m)
+		}
+		return TwoPhaseFold(c, g, o, send)
+	case "bruck":
+		return ReduceScatterUnionBruckAsync(c, g, o, prep)
+	default:
+		panic(fmt.Sprintf("collective: unknown async fold %q", alg))
+	}
+}

@@ -45,6 +45,19 @@ type Opts struct {
 	// traffic is not. This is the baseline against which the paper's
 	// union-fold saves up to 80% of received vertices (Fig. 7).
 	NoUnion bool
+	// Async selects the pipelined schedule where an operation supports
+	// one: every send posts before any wait and independent transfers
+	// progress concurrently (see async.go). Payloads, tags, and received
+	// words are identical to the synchronous schedule; only the simulated
+	// clock — and the OverlapTime ledger — differ. Operations whose hops
+	// are serially dependent (the Bruck rounds, the two-phase fold's
+	// phase-1 ring) ignore the knob for those hops.
+	Async bool
+	// BundleMerge, when non-nil, lets TwoPhaseExpand recompress each
+	// circulating phase-2 bundle as one merged payload; the hop ships
+	// whichever of the plain framed bundle and the merged form is fewer
+	// words, so configuring it can only reduce traffic.
+	BundleMerge *BundleCodec
 	// Codec, when non-nil, re-encodes payloads at wire boundaries
 	// (typically frontier.EncodeSet picking vertex lists, bitmaps, or
 	// hybrid chunk containers, whichever is fewer words). Honored by
@@ -70,6 +83,17 @@ type Opts struct {
 type Codec struct {
 	Enc func(m int, payload []uint32) []uint32
 	Dec func(m int, buf []uint32) []uint32
+}
+
+// BundleCodec recompresses a circulating phase-2 expand bundle — the
+// per-origin payloads one grid column contributed, which travel
+// together for every remaining ring hop — into a single merged payload
+// and back. origins are group member indices in bundle order; Split
+// returns per-origin DECODED payloads (the callers of TwoPhaseExpand
+// decode at the edges anyway, and a raw id list decodes as itself).
+type BundleCodec struct {
+	Merge func(origins []int, payloads [][]uint32) []uint32
+	Split func(origins []int, merged []uint32) [][]uint32
 }
 
 // encodeSends re-encodes every payload that will cross the wire

@@ -127,7 +127,14 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 	// This rank now owns the fully reduced bundle for its grid column.
 	mine := chunks[(col+1)%b]
 
-	// Phase 2: point-to-point distribution down my grid column.
+	// Phase 2: point-to-point distribution down my grid column. The
+	// async schedule posts every send before any wait so the column's
+	// transfers fly concurrently (phase 1's ring is serially dependent —
+	// each step forwards what the previous one merged — and stays
+	// synchronous either way).
+	if o.Async {
+		return twoPhaseFoldPhase2Async(c, g, o, a, b, row, col, mine, &st), st
+	}
 	acc := append([]uint32(nil), mine[row]...)
 	tag2 := o.Tag + 1<<20
 	useCodec := o.Codec != nil && !o.NoUnion
@@ -252,22 +259,70 @@ func TwoPhaseExpand(c *comm.Comm, g comm.Group, o Opts, data []uint32) ([][]uint
 
 	// Phase 2: circulate bundles along my grid-row ring. The bundle I
 	// forward at step s originated at grid column (col-s); receivers
-	// attribute sets to the originating column.
+	// attribute sets to the originating column. With o.BundleMerge set,
+	// each hop ships the cheaper of the plain framed bundle and the
+	// merged recompression (see bundleForWire).
 	if b > 1 {
 		next := g.World(row*b + (col+1)%b)
 		prev := g.World(row*b + (col-1+b)%b)
 		tag2 := o.Tag + 1<<20
-		bundle := colSets
+		// Each received bundle is forwarded verbatim on the next hop (a
+		// bundle's content never changes while it circulates, so the
+		// framing — plain or merged — is chosen once, at its first hop).
+		wire := bundleForWire(o, g, col, colSets)
 		for s := 0; s < b-1; s++ {
-			c.SendChunked(next, tag2+s, encodeBundle(bundle), o.Chunk)
+			c.SendChunked(next, tag2+s, wire, o.Chunk)
 			buf := c.RecvChunked(prev, tag2+s, o.Chunk)
 			st.RecvWords += len(buf)
-			bundle = decodeBundle(buf, a)
+			wire = buf
 			srcCol := (col - s - 1 + b) % b
+			bundle := bundleFromWire(o, g, srcCol, buf, a)
 			for i := 0; i < a; i++ {
 				out[i*b+srcCol] = bundle[i]
 			}
 		}
 	}
 	return out, st
+}
+
+// mergedBundleMarker leads a recompressed phase-2 bundle. A plain
+// framed bundle starts with its first set's length, which can never be
+// the maximum uint32, so the two wire forms are self-describing.
+const mergedBundleMarker = ^uint32(0)
+
+// bundleOrigins returns the group member indices contributing to the
+// phase-2 bundle that originated at grid column srcCol, in bundle
+// order.
+func bundleOrigins(g comm.Group, srcCol int, a int) []int {
+	_, b := FactorGrid(g.Size())
+	origins := make([]int, a)
+	for i := range origins {
+		origins[i] = i*b + srcCol
+	}
+	return origins
+}
+
+// bundleForWire frames a phase-2 bundle for one ring hop: the plain
+// (length, payload) framing, or — when o.BundleMerge is set and wins —
+// the merged recompression behind mergedBundleMarker. Never more words
+// than the plain framing.
+func bundleForWire(o Opts, g comm.Group, srcCol int, sets [][]uint32) []uint32 {
+	plain := encodeBundle(sets)
+	if o.BundleMerge == nil {
+		return plain
+	}
+	merged := o.BundleMerge.Merge(bundleOrigins(g, srcCol, len(sets)), sets)
+	if 1+len(merged) >= len(plain) {
+		return plain
+	}
+	out := make([]uint32, 0, 1+len(merged))
+	return append(append(out, mergedBundleMarker), merged...)
+}
+
+// bundleFromWire inverts bundleForWire.
+func bundleFromWire(o Opts, g comm.Group, srcCol int, buf []uint32, a int) [][]uint32 {
+	if o.BundleMerge != nil && len(buf) > 0 && buf[0] == mergedBundleMarker {
+		return o.BundleMerge.Split(bundleOrigins(g, srcCol, a), buf[1:])
+	}
+	return decodeBundle(buf, a)
 }

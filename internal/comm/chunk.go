@@ -14,16 +14,7 @@ func (c *Comm) SendChunked(dst, tag int, data []uint32, maxWords int) {
 		c.Send(dst, tag, data)
 		return
 	}
-	nchunks := (len(data) + maxWords - 1) / maxWords
-	c.Send(dst, tag, []uint32{uint32(nchunks)})
-	for i := 0; i < nchunks; i++ {
-		lo := i * maxWords
-		hi := lo + maxWords
-		if hi > len(data) {
-			hi = len(data)
-		}
-		c.Send(dst, tag, data[lo:hi])
-	}
+	sendChunks(func(piece []uint32) { c.Send(dst, tag, piece) }, data, maxWords)
 }
 
 // RecvChunked receives a logical message sent with SendChunked using
@@ -32,20 +23,42 @@ func (c *Comm) RecvChunked(src, tag int, maxWords int) []uint32 {
 	if maxWords <= 0 {
 		return c.Recv(src, tag)
 	}
-	header := c.Recv(src, tag)
+	return recvChunks(func() []uint32 { return c.Recv(src, tag) }, maxWords)
+}
+
+// sendChunks splits data into the chunk-count header plus fixed-size
+// pieces, emitting each through send — the one copy of the framing the
+// blocking and offloaded senders share (the receivers must agree on it
+// whichever pair is in use).
+func sendChunks(send func(piece []uint32), data []uint32, maxWords int) {
+	nchunks := (len(data) + maxWords - 1) / maxWords
+	send([]uint32{uint32(nchunks)})
+	for i := 0; i < nchunks; i++ {
+		lo := i * maxWords
+		hi := lo + maxWords
+		if hi > len(data) {
+			hi = len(data)
+		}
+		send(data[lo:hi])
+	}
+}
+
+// recvChunks inverts sendChunks, drawing each message through recv.
+func recvChunks(recv func() []uint32, maxWords int) []uint32 {
+	header := recv()
 	if len(header) != 1 {
-		panic("comm: RecvChunked got malformed chunk header")
+		panic("comm: malformed chunk header")
 	}
 	nchunks := int(header[0])
 	if nchunks == 0 {
 		return nil
 	}
 	if nchunks == 1 {
-		return c.Recv(src, tag)
+		return recv()
 	}
 	out := make([]uint32, 0, nchunks*maxWords)
 	for i := 0; i < nchunks; i++ {
-		out = append(out, c.Recv(src, tag)...)
+		out = append(out, recv()...)
 	}
 	return out
 }

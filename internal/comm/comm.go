@@ -19,6 +19,17 @@ type Comm struct {
 	clock    float64 // simulated time on this rank
 	commTime float64 // time attributed to communication
 	compTime float64 // time attributed to computation
+	// overlapTime is the subset of commTime that progressed concurrently
+	// with other activity on this rank — transfers posted through the
+	// nonblocking operations, which the modeled communication
+	// coprocessor progresses while the main core computes (or waits on
+	// other transfers) — instead of serializing into the clock.
+	// Invariant, maintained by every operation:
+	// clock == compTime + commTime - overlapTime.
+	overlapTime float64
+	// copSendFree is when the modeled communication coprocessor finishes
+	// its last posted send; offloaded departures serialize through it.
+	copSendFree float64
 
 	bytesSent uint64
 	msgsSent  uint64
@@ -47,6 +58,12 @@ func (c *Comm) CommTime() float64 { return c.commTime }
 
 // CompTime returns accumulated simulated computation time.
 func (c *Comm) CompTime() float64 { return c.compTime }
+
+// OverlapTime returns the communication seconds hidden under concurrent
+// activity by the nonblocking operations (see Request): always part of
+// CommTime, never part of the clock. Zero on purely synchronous
+// schedules.
+func (c *Comm) OverlapTime() float64 { return c.overlapTime }
 
 // BytesSent returns total payload+header bytes sent by this rank.
 func (c *Comm) BytesSent() uint64 { return c.bytesSent }
@@ -102,19 +119,12 @@ func (c *Comm) Send(dst, tag int, data []uint32) {
 // Recv receives the next message from rank src, which must carry the
 // given tag (the SPMD protocols are deterministic; a tag mismatch means
 // a protocol bug and panics). It returns the payload and advances the
-// simulated clock past the message's arrival.
+// simulated clock past the message's arrival. This is the
+// paper-faithful single-core receive: the wait and the receive overhead
+// serialize into the clock, and nothing is ever hidden (contrast
+// Irecv/Wait, which model the communication coprocessor).
 func (c *Comm) Recv(src, tag int) []uint32 {
-	if src == c.rank {
-		panic(fmt.Sprintf("comm: rank %d receiving from itself (tag %d)", c.rank, tag))
-	}
-	msg, ok := c.world.mail[c.rank][src].pop()
-	if !ok {
-		panic("comm: receive aborted because a peer rank panicked")
-	}
-	if msg.tag != tag {
-		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", c.rank, tag, src, msg.tag))
-	}
-	bytes := messageHeaderBytes + 4*len(msg.data)
+	msg, bytes := c.takeMessage(src, tag)
 	hops := c.world.mapping.Hops(src, c.rank)
 	c.hopsRecv += uint64(hops)
 	c.hopBytes += uint64(hops) * uint64(bytes)

@@ -51,6 +51,18 @@ func (q *queue) pop() (message, bool) {
 	return m, true
 }
 
+// peek returns the head message without consuming it, never blocking;
+// the bool result is false when the queue is currently empty or
+// poisoned. Advisory only — see Request.Test.
+func (q *queue) peek() (message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.items) || q.poisoned {
+		return message{}, false
+	}
+	return q.items[q.head], true
+}
+
 func (q *queue) poison() {
 	q.mu.Lock()
 	q.poisoned = true

@@ -174,6 +174,20 @@ func MaxCommTime(comms []*Comm) float64 {
 	return max
 }
 
+// MaxOverlapTime returns the maximum per-rank communication time hidden
+// under concurrent activity by nonblocking transfers — the seconds the
+// asynchronous schedule kept off the critical path (the counterpart of
+// MaxCommTime, which it never exceeds).
+func MaxOverlapTime(comms []*Comm) float64 {
+	max := 0.0
+	for _, c := range comms {
+		if c.overlapTime > max {
+			max = c.overlapTime
+		}
+	}
+	return max
+}
+
 // TotalBytes returns the total bytes sent by all ranks.
 func TotalBytes(comms []*Comm) uint64 {
 	var total uint64

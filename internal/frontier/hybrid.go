@@ -1,11 +1,14 @@
 package frontier
 
+import "math/bits"
+
 // Hybrid chunked container codec: the universe [lo, lo+n) is split into
 // fixed-width chunks of ChunkSpan ids and every chunk is encoded
-// independently as the cheapest of three containers — a delta-varint id
-// list, a plain bitmap, or run-length extents — mirroring the
-// roaring-bitmap design but packed into uint32 wire words so the
-// word-based torus cost model and comm accounting stay exact.
+// independently as the cheapest of four containers — a delta-varint id
+// list, a plain bitmap, run-length extents, or bit-packed fixed-width
+// deltas — mirroring the roaring-bitmap design but packed into uint32
+// wire words so the word-based torus cost model and comm accounting
+// stay exact.
 //
 // Chunk stream layout (one entry per chunk, in chunk order, empty
 // chunks included):
@@ -18,6 +21,10 @@ package frontier
 //
 //	list:  count, off[0], off[1]-off[0]-1, off[2]-off[1]-1, ...
 //	runs:  nruns, then per run: gap from the previous run's end, len-1
+//
+// The packed container is word-granular: one meta word (count-1, delta
+// width, first offset) followed by fixed-width bit-packed deltas — see
+// appendPackedChunk.
 //
 // All offsets are chunk-relative (< ChunkSpan, so every varint fits in
 // two bytes). A set payload wraps the chunk stream in a
@@ -35,15 +42,21 @@ const ChunkSpan = 1 << 12
 // sentinels).
 const hybridSentinel = ^uint32(0) - 1
 
-// Container type codes stored in chunk headers.
+// Container type codes stored in chunk headers (3 bits; payload word
+// counts use the remaining 29, far above any chunk's worst case of
+// ChunkSpan/32 + 1 words).
 const (
 	chunkEmpty  = 0 // no members, header only
 	chunkList   = 1 // delta-varint id list
 	chunkBitmap = 2 // plain bitmap over the chunk span
 	chunkRuns   = 3 // run-length extents
+	chunkPacked = 4 // bit-packed fixed-width deltas
 )
 
-const chunkWordsMask = 1<<30 - 1
+const (
+	chunkTypeShift = 29
+	chunkWordsMask = 1<<chunkTypeShift - 1
+)
 
 // ContainerHist counts the hybrid codec's choices: how many whole
 // payloads fell back to the raw list or dense bitmap versus carrying a
@@ -57,6 +70,7 @@ type ContainerHist struct {
 	ListChunks     int64
 	BitmapChunks   int64
 	RunChunks      int64
+	PackedChunks   int64
 }
 
 // Add accumulates other into h.
@@ -68,6 +82,7 @@ func (h *ContainerHist) Add(other ContainerHist) {
 	h.ListChunks += other.ListChunks
 	h.BitmapChunks += other.BitmapChunks
 	h.RunChunks += other.RunChunks
+	h.PackedChunks += other.PackedChunks
 }
 
 // Sub returns h - other, the delta between two snapshots.
@@ -80,6 +95,7 @@ func (h ContainerHist) Sub(other ContainerHist) ContainerHist {
 		ListChunks:     h.ListChunks - other.ListChunks,
 		BitmapChunks:   h.BitmapChunks - other.BitmapChunks,
 		RunChunks:      h.RunChunks - other.RunChunks,
+		PackedChunks:   h.PackedChunks - other.PackedChunks,
 	}
 }
 
@@ -156,14 +172,15 @@ func bytesToWords(n int) int { return (n + 3) / 4 }
 
 // --- chunk encoding -------------------------------------------------
 
-// chunkCosts returns the payload word counts of the three containers
+// chunkCosts returns the payload word counts of the four containers
 // for a chunk holding offs (ascending, chunk-relative) over span ids.
-func chunkCosts(offs []uint32, span int) (list, bitmap, runs int) {
+func chunkCosts(offs []uint32, span int) (list, bitmap, runs, packed int) {
 	listBytes := uvarintLen(uint32(len(offs)))
 	runsBytes := 0
 	nruns := 0
 	prevEnd := uint32(0) // one past the previous run's last member
 	runStart := uint32(0)
+	maxDelta := uint32(0)
 	for i, off := range offs {
 		if i == 0 {
 			listBytes += uvarintLen(off)
@@ -171,7 +188,11 @@ func chunkCosts(offs []uint32, span int) (list, bitmap, runs int) {
 			nruns++
 			continue
 		}
-		listBytes += uvarintLen(off - offs[i-1] - 1)
+		d := off - offs[i-1] - 1
+		if d > maxDelta {
+			maxDelta = d
+		}
+		listBytes += uvarintLen(d)
 		if off != offs[i-1]+1 {
 			runsBytes += uvarintLen(runStart-prevEnd) + uvarintLen(offs[i-1]-runStart)
 			prevEnd = offs[i-1] + 1
@@ -183,7 +204,21 @@ func chunkCosts(offs []uint32, span int) (list, bitmap, runs int) {
 		runsBytes += uvarintLen(runStart-prevEnd) + uvarintLen(offs[len(offs)-1]-runStart)
 	}
 	runsBytes += uvarintLen(uint32(nruns))
-	return bytesToWords(listBytes), BitWords(span), bytesToWords(runsBytes)
+	return bytesToWords(listBytes), BitWords(span), bytesToWords(runsBytes), packedCost(len(offs), maxDelta)
+}
+
+// packedCost is the word count of the bit-packed fixed-width delta
+// container: one meta word plus count-1 deltas at the width of the
+// largest gap. Where the varint list pays whole bytes per member, the
+// packed form pays the chunk's entropy-ish width — the winner in the
+// ~12% occupancy crossover band, where gaps fit in 4-6 bits but the
+// bitmap is still twice as wide as the membership.
+func packedCost(count int, maxDelta uint32) int {
+	if count <= 1 {
+		return 1
+	}
+	width := bits.Len32(maxDelta)
+	return 1 + ((count-1)*width+31)/32
 }
 
 // encodeChunk appends one chunk's header + payload for offs (ascending,
@@ -192,11 +227,24 @@ func chunkCosts(offs []uint32, span int) (list, bitmap, runs int) {
 func encodeChunk(buf []uint32, offs []uint32, span int, h *ContainerHist) []uint32 {
 	if len(offs) == 0 {
 		h.EmptyChunks++
-		return append(buf, chunkEmpty<<30)
+		return append(buf, chunkEmpty<<chunkTypeShift)
 	}
-	list, bitmap, runs := chunkCosts(offs, span)
-	switch {
-	case list <= bitmap && list <= runs:
+	list, bitmap, runs, packed := chunkCosts(offs, span)
+	// Cheapest container wins; ties keep the pre-packed preference order
+	// (list, then runs, then bitmap), so the packed form is only ever
+	// chosen when it strictly shrinks a chunk and can never regress.
+	best, choice := list, chunkList
+	if runs < best {
+		best, choice = runs, chunkRuns
+	}
+	if packed < best {
+		best, choice = packed, chunkPacked
+	}
+	if bitmap < best {
+		choice = chunkBitmap
+	}
+	switch choice {
+	case chunkList:
 		h.ListChunks++
 		b := appendUvarint(nil, uint32(len(offs)))
 		for i, off := range offs {
@@ -206,9 +254,11 @@ func encodeChunk(buf []uint32, offs []uint32, span int, h *ContainerHist) []uint
 				b = appendUvarint(b, off-offs[i-1]-1)
 			}
 		}
-		buf = append(buf, chunkList<<30|uint32(bytesToWords(len(b))))
+		buf = append(buf, chunkList<<chunkTypeShift|uint32(bytesToWords(len(b))))
 		return packBytes(buf, b)
-	case runs <= bitmap:
+	case chunkPacked:
+		return appendPackedChunk(buf, offs, h)
+	case chunkRuns:
 		h.RunChunks++
 		var b []byte
 		nruns := 0
@@ -228,7 +278,7 @@ func encodeChunk(buf []uint32, offs []uint32, span int, h *ContainerHist) []uint
 			b = appendUvarint(b, r[1]-r[0])
 			prevEnd = r[1] + 1
 		}
-		buf = append(buf, chunkRuns<<30|uint32(bytesToWords(len(b))))
+		buf = append(buf, chunkRuns<<chunkTypeShift|uint32(bytesToWords(len(b))))
 		return packBytes(buf, b)
 	default:
 		h.BitmapChunks++
@@ -236,8 +286,90 @@ func encodeChunk(buf []uint32, offs []uint32, span int, h *ContainerHist) []uint
 		for _, off := range offs {
 			SetBit(w, off)
 		}
-		buf = append(buf, chunkBitmap<<30|uint32(len(w)))
+		buf = append(buf, chunkBitmap<<chunkTypeShift|uint32(len(w)))
 		return append(buf, w...)
+	}
+}
+
+// Packed chunk payload layout: a meta word holding count-1 (bits 0-11),
+// the delta width in bits (12-15), and the first member's offset
+// (16-27), followed by count-1 deltas (member gap minus one) packed
+// LSB-first at the fixed width. All offsets are chunk-relative, so
+// count-1, first, and every delta fit in 12 bits.
+const (
+	packedCountBits = 12
+	packedWidthBits = 4
+	packedFirstOff  = packedCountBits + packedWidthBits
+)
+
+// appendPackedChunk appends the header and payload of a packed chunk.
+func appendPackedChunk(buf []uint32, offs []uint32, h *ContainerHist) []uint32 {
+	h.PackedChunks++
+	maxDelta := uint32(0)
+	for i := 1; i < len(offs); i++ {
+		if d := offs[i] - offs[i-1] - 1; d > maxDelta {
+			maxDelta = d
+		}
+	}
+	width := uint(bits.Len32(maxDelta))
+	words := packedCost(len(offs), maxDelta)
+	buf = append(buf, chunkPacked<<chunkTypeShift|uint32(words))
+	meta := uint32(len(offs)-1) | uint32(width)<<packedCountBits | offs[0]<<packedFirstOff
+	buf = append(buf, meta)
+	var cur uint32
+	var filled uint
+	for i := 1; i < len(offs); i++ {
+		d := offs[i] - offs[i-1] - 1
+		cur |= d << filled
+		filled += width
+		if filled >= 32 {
+			buf = append(buf, cur)
+			filled -= 32
+			cur = 0
+			if filled > 0 {
+				cur = d >> (width - filled)
+			}
+		}
+	}
+	if filled > 0 {
+		buf = append(buf, cur)
+	}
+	return buf
+}
+
+// decodePackedChunk walks a packed chunk payload, emitting each
+// chunk-relative offset in ascending order.
+func decodePackedChunk(payload []uint32, span int, emit func(off uint32)) {
+	if len(payload) == 0 {
+		panic("frontier: truncated packed chunk")
+	}
+	meta := payload[0]
+	count := int(meta&(1<<packedCountBits-1)) + 1
+	width := uint(meta >> packedCountBits & (1<<packedWidthBits - 1))
+	off := meta >> packedFirstOff
+	if count > span || int(off) >= span {
+		panic("frontier: packed chunk overflows its span")
+	}
+	emit(off)
+	mask := uint32(1)<<width - 1
+	pos := uint(0)
+	for i := 1; i < count; i++ {
+		var d uint32
+		if width > 0 {
+			word := 1 + int(pos>>5)
+			shift := pos & 31
+			d = payload[word] >> shift
+			if shift+width > 32 {
+				d |= payload[word+1] << (32 - shift)
+			}
+			d &= mask
+			pos += width
+		}
+		off += d + 1
+		if int(off) >= span {
+			panic("frontier: packed chunk offset overflows its span")
+		}
+		emit(off)
 	}
 }
 
@@ -312,8 +444,10 @@ func decodeChunks(stream []uint32, n int, emit func(off uint32)) {
 		}
 		payload := stream[pos : pos+nw]
 		pos += nw
-		switch header >> 30 {
+		switch header >> chunkTypeShift {
 		case chunkEmpty:
+		case chunkPacked:
+			decodePackedChunk(payload, span, func(off uint32) { emit(base + off) })
 		case chunkList:
 			b := unpackBytes(payload)
 			count, bp := readUvarint(b, 0)

@@ -78,6 +78,7 @@ func All() []Experiment {
 		{"ablation-wire", "Frontier wire encodings (sparse/dense/auto/hybrid) across occupancies", "design ablation (beyond the paper)", RunAblationWire},
 		{"ablation-delta", "Δ-stepping SSSP bucket-width sweep on the weighted Poisson workload", "design ablation (beyond the paper)", RunAblationDelta},
 		{"ablation-partition", "2D vs 1D-row vs 1D-col partitionings through the unified search API", "Table 1 reproduction", RunAblationPartition},
+		{"ablation-overlap", "Synchronous vs overlapped (async) exchange schedule, level by level", "design ablation (beyond the paper)", RunAblationOverlap},
 	}
 }
 

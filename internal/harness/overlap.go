@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/sssp"
+)
+
+// RunAblationOverlap compares the phase-synchronous schedule against
+// the overlapped (asynchronous) one on the headline Poisson workload:
+// the same exchanges, words, and results, but with every send posted
+// before any wait and received parts streaming into the local scan.
+// BFS rows report per-level critical-path time under both schedules
+// with the fraction of communication the coprocessor-progressed
+// transfers kept off the clock; Δ-stepping rows (whose relax exchanges
+// dominate simulated time at P=16) report per-run totals across the
+// partitionings.
+func RunAblationOverlap(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: "Ablation — async overlap: expand/fold exchanges hidden under the local scan",
+		Columns: []string{"run", "level/epochs", "sync exec ms", "async exec ms",
+			"speedup", "async comm ms/rank", "hidden %"},
+	}
+	p := minInt(16, cfg.MaxP)
+	for p&(p-1) != 0 {
+		p--
+	}
+	r, c := squareMesh(p)
+	n := cfg.scaleCount(100000/fig4aScaleDivisor) * p
+	k := fitK(n, 10)
+
+	// BFS: per-level comparison on the 2D mesh.
+	w, err := buildWorkload(n, k, cfg.Seed, r, c, false)
+	if err != nil {
+		return nil, err
+	}
+	src := graph.LargestComponentVertex(w.g)
+	runBFS := func(async bool) (*bfs.Result, error) {
+		opts := bfs.DefaultOptions(src)
+		opts.Async = async
+		return bfs.Run2D(w.cl.world, w.stores, opts)
+	}
+	syncRes, err := runBFS(false)
+	if err != nil {
+		return nil, err
+	}
+	asyncRes, err := runBFS(true)
+	if err != nil {
+		return nil, err
+	}
+	// The comm column is the per-rank mean of the exchange communication
+	// charged inside the level (LevelStats.CommS sums over ranks), so
+	// the per-level rows and the total row reconcile by addition.
+	label := "bfs " + meshLabel(r, c)
+	var commTot, overlapTot float64
+	for l := range syncRes.PerLevel {
+		s, a := syncRes.PerLevel[l], asyncRes.PerLevel[l]
+		commTot += a.CommS
+		overlapTot += a.OverlapS
+		t.AddRow(label, l, 1e3*s.ExecS, 1e3*a.ExecS, ratioF(s.ExecS, a.ExecS),
+			1e3*a.CommS/float64(p), 100*a.HiddenFrac())
+	}
+	t.AddRow(label, "total", 1e3*syncRes.SimTime, 1e3*asyncRes.SimTime,
+		ratioF(syncRes.SimTime, asyncRes.SimTime), 1e3*commTot/float64(p),
+		100*pctOf(overlapTot, commTot))
+
+	// Δ-stepping: totals on the weighted variant across partitionings.
+	wg, err := graph.GenerateWeighted(graph.Params{N: n, K: k, Seed: cfg.Seed},
+		graph.WeightSpec{Dist: graph.WeightUniform, MaxWeight: 256, Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	wsrc := graph.LargestComponentVertex(wg)
+	layout2, err := partition.NewLayout2D(n, r, c)
+	if err != nil {
+		return nil, err
+	}
+	wstores, err := partition.Build2DWeighted(layout2, wg.VisitWeightedEdges)
+	if err != nil {
+		return nil, err
+	}
+	layout1, err := partition.NewLayout1D(n, p)
+	if err != nil {
+		return nil, err
+	}
+	wstores1, err := partition.Build1DWeighted(layout1, wg.VisitWeightedEdges)
+	if err != nil {
+		return nil, err
+	}
+	ssspRuns := []struct {
+		label string
+		run   func(async bool) (*sssp.Result, error)
+	}{
+		{"sssp 2d " + meshLabel(r, c), func(async bool) (*sssp.Result, error) {
+			opts := sssp.DefaultOptions(wsrc)
+			opts.Async = async
+			return sssp.Run2D(w.cl.world, wstores, opts)
+		}},
+		{"sssp 1d " + meshLabel(1, p), func(async bool) (*sssp.Result, error) {
+			opts := sssp.DefaultOptions(wsrc)
+			opts.Async = async
+			return sssp.Run1D(w.cl.world, wstores1, opts)
+		}},
+	}
+	for _, sr := range ssspRuns {
+		syncS, err := sr.run(false)
+		if err != nil {
+			return nil, err
+		}
+		asyncS, err := sr.run(true)
+		if err != nil {
+			return nil, err
+		}
+		var commTot, overlapTot float64
+		for _, es := range asyncS.PerEpoch {
+			commTot += es.CommS
+			overlapTot += es.OverlapS
+		}
+		t.AddRow(sr.label, syncS.Epochs, 1e3*syncS.SimTime, 1e3*asyncS.SimTime,
+			ratioF(syncS.SimTime, asyncS.SimTime), 1e3*commTot/float64(p),
+			100*pctOf(overlapTot, commTot))
+	}
+
+	t.Note("n=%d k=%g P=%d: identical levels/distances and words under both schedules;", n, k, p)
+	t.Note("async posts every send before any wait (BG/L coprocessor mode) and streams parts")
+	t.Note("into the hash-probe scan, so wire time and message overheads hide under compute.")
+	t.Note("Δ-stepping gains most: many small exchanges whose per-epoch scans cover them.")
+	return t, nil
+}
+
+func ratioF(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+func pctOf(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

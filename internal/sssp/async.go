@@ -1,0 +1,192 @@
+package sssp
+
+import (
+	"repro/internal/collective"
+	"repro/internal/comm"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/torus"
+)
+
+// Overlapped (asynchronous) relaxation rounds. Both engines keep the
+// synchronous payloads and statistics bit-for-bit; only the schedule
+// changes: every exchange posts its sends before any wait, received
+// request batches stream into the partial-list scan as they complete,
+// and the delivery exchange's sends post per destination bin as each
+// finishes its min-merge. The min-merge is order-insensitive, so the
+// deduplicated request sets — and therefore the distances, relaxation
+// counts, and re-settle traces — are identical to the synchronous path.
+
+// dedupPrep wraps parallel request bins as a collective.Prep that
+// min-merges (and charges) each bin the moment it is needed for
+// posting, then encodes it against its destination's owned range (the
+// self bin is min-merged too but never encoded — it stays local).
+func dedupPrep(c *comm.Comm, model torus.CostModel, me int, wire frontier.WireMode, hist *frontier.ContainerHist,
+	ownedRangeOf func(member int) (graph.Vertex, graph.Vertex), binV, binD [][]uint32) collective.Prep {
+	deduped := make([]bool, len(binV))
+	return func(m int) []uint32 {
+		if !deduped[m] {
+			var d int
+			binV[m], binD[m], d = dedupMin(binV[m], binD[m])
+			c.ChargeItems(len(binV[m])+d, model.VertexCost)
+			deduped[m] = true
+		}
+		if m == me {
+			return nil // stays local; the handler reads the bins directly
+		}
+		dlo, dhi := ownedRangeOf(m)
+		return encodeRequests(binV[m], binD[m], uint32(dlo), int(dhi-dlo), wire, hist)
+	}
+}
+
+// scatterAsync is the overlapped 2D relaxation round: the targeted
+// column expand streams active batches into the scan, and the row
+// exchange pipelines behind the per-bin min-merges.
+func (e *engine2D) scatterAsync(vs, ds []uint32, light bool, delta uint32, tag int, rec *epochRec) ([]uint32, []uint32) {
+	h0 := e.hist
+	l := e.st.Layout
+	r := e.colG.Size()
+
+	sendV := make([][]uint32, r)
+	sendD := make([][]uint32, r)
+	for idx, gv := range vs {
+		li := e.st.LocalOf(graph.Vertex(gv))
+		for i := 0; i < r; i++ {
+			if e.st.NeedsRow(li, i) {
+				sendV[i] = append(sendV[i], gv)
+				sendD[i] = append(sendD[i], ds[idx])
+			}
+		}
+	}
+	e.c.ChargeItems(len(vs)*((r+63)/64), e.model.EdgeCost)
+	lo, n := e.st.Lo, e.st.OwnedCount()
+
+	binV := make([][]uint32, l.C)
+	binD := make([][]uint32, l.C)
+	scanned := 0
+	handle := func(m int, part []uint32) {
+		var avs, ads []uint32
+		if m == e.colG.Me {
+			avs, ads = sendV[m], sendD[m]
+		} else {
+			avs, ads = decodeRequests(part)
+		}
+		e.c.ChargeItems(len(avs), e.model.VertexCost)
+		s0, p0 := scanned, e.st.ColMap.Probes()
+		for idx, gv := range avs {
+			ci, ok := e.st.ColMap.Get(graph.Vertex(gv))
+			if !ok {
+				continue // no partial list here (possible only locally)
+			}
+			dv := ads[idx]
+			for i := e.st.Off[ci]; i < e.st.Off[ci+1]; i++ {
+				scanned++
+				w := e.weightAt(i)
+				if (w <= delta) != light {
+					continue
+				}
+				cand := dv + w
+				if cand < dv || cand == graph.MaxDist {
+					continue // saturated: stays unreachable
+				}
+				u := e.st.Rows[i]
+				j := l.ColBlockOf(u)
+				binV[j] = append(binV[j], uint32(u))
+				binD[j] = append(binD[j], cand)
+			}
+		}
+		e.c.ChargeItems(scanned-s0, e.model.EdgeCost)
+		e.c.ChargeItems(int(e.st.ColMap.Probes()-p0), e.model.HashCost)
+	}
+	prep := func(i int) []uint32 {
+		if i == e.colG.Me {
+			return nil
+		}
+		return encodeRequests(sendV[i], sendD[i], uint32(lo), n, e.opts.Wire, &e.hist)
+	}
+	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords, Async: true}
+	_, est := collective.AllToAllAsync(e.c, e.colG, o, prep, handle)
+	rec.expandWords = est.RecvWords
+	rec.edges += scanned
+
+	prepR := dedupPrep(e.c, e.model, e.rowG.Me, e.opts.Wire, &e.hist,
+		func(m int) (graph.Vertex, graph.Vertex) { return l.OwnedRange(e.rowG.World(m)) },
+		binV, binD)
+	var rvs, rds []uint32
+	handleR := func(j int, part []uint32) {
+		var pvs, pds []uint32
+		if j == e.rowG.Me {
+			pvs, pds = binV[j], binD[j]
+		} else {
+			pvs, pds = decodeRequests(part)
+		}
+		rvs = append(rvs, pvs...)
+		rds = append(rds, pds...)
+	}
+	o2 := collective.Opts{Tag: tag + 1<<24, Chunk: e.opts.ChunkWords, Async: true}
+	_, fst := collective.AllToAllAsync(e.c, e.rowG, o2, prepR, handleR)
+	rec.foldWords = fst.RecvWords
+
+	var d int
+	rvs, rds, d = dedupMin(rvs, rds)
+	e.c.ChargeItems(len(rvs)+d, e.model.VertexCost)
+	rec.containers.Add(e.hist.Sub(h0))
+	return rvs, rds
+}
+
+// scatterAsync is the overlapped 1D relaxation round: the scan is
+// local, so the win is the pipelined delivery — per-bin min-merges
+// interleave with the posts, and all P-1 transfers fly concurrently.
+func (e *engine1D) scatterAsync(vs, ds []uint32, light bool, delta uint32, tag int, rec *epochRec) ([]uint32, []uint32) {
+	h0 := e.hist
+	l := e.st.Layout
+	p := e.world.Size()
+	binV := make([][]uint32, p)
+	binD := make([][]uint32, p)
+	scanned := 0
+	for idx, gv := range vs {
+		li := e.st.LocalOf(graph.Vertex(gv))
+		dv := ds[idx]
+		for i := e.st.Off[li]; i < e.st.Off[li+1]; i++ {
+			scanned++
+			w := e.weightAt(i)
+			if (w <= delta) != light {
+				continue
+			}
+			cand := dv + w
+			if cand < dv || cand == graph.MaxDist {
+				continue // saturated: stays unreachable
+			}
+			u := e.st.Adj[i]
+			q := l.OwnerRank(u)
+			binV[q] = append(binV[q], uint32(u))
+			binD[q] = append(binD[q], cand)
+		}
+	}
+	rec.edges += scanned
+	e.c.ChargeItems(scanned, e.model.EdgeCost)
+
+	prep := dedupPrep(e.c, e.model, e.world.Me, e.opts.Wire, &e.hist,
+		func(m int) (graph.Vertex, graph.Vertex) { return l.OwnedRange(m) },
+		binV, binD)
+	var rvs, rds []uint32
+	handle := func(q int, part []uint32) {
+		var pvs, pds []uint32
+		if q == e.world.Me {
+			pvs, pds = binV[q], binD[q]
+		} else {
+			pvs, pds = decodeRequests(part)
+		}
+		rvs = append(rvs, pvs...)
+		rds = append(rds, pds...)
+	}
+	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords, Async: true}
+	_, fst := collective.AllToAllAsync(e.c, e.world, o, prep, handle)
+	rec.foldWords = fst.RecvWords
+
+	var d int
+	rvs, rds, d = dedupMin(rvs, rds)
+	e.c.ChargeItems(len(rvs)+d, e.model.VertexCost)
+	rec.containers.Add(e.hist.Sub(h0))
+	return rvs, rds
+}

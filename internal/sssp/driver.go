@@ -217,21 +217,25 @@ func runRank(e engine, opts Options) ([]epochRec, *rankState) {
 				break
 			}
 			rec := epochRec{bucket: k, phase: PhaseLight, active: len(active)}
+			tme := newEpochTimer(c)
 			st.settle(active, &rec)
 			rvs, rds := e.scatter(active, st.distsOf(active), true, st.delta, tagSeq*64, &rec)
 			tagSeq++
 			c.ChargeItems(len(rvs), model.VertexCost)
 			active = st.apply(rvs, rds, k, &rec)
+			tme.record(&rec)
 			recs = append(recs, rec)
 		}
 		if !allLight {
 			heavy := append([]uint32(nil), st.removed...)
 			heavy, _ = localindex.SortSet(heavy)
 			rec := epochRec{bucket: k, phase: PhaseHeavy, active: len(heavy)}
+			tme := newEpochTimer(c)
 			rvs, rds := e.scatter(heavy, st.distsOf(heavy), false, st.delta, tagSeq*64, &rec)
 			tagSeq++
 			c.ChargeItems(len(rvs), model.VertexCost)
 			st.apply(rvs, rds, k, &rec) // heavy targets always land in later buckets
+			tme.record(&rec)
 			recs = append(recs, rec)
 		}
 	}

@@ -64,6 +64,14 @@ func (e *engine1D) weightAt(i int64) uint32 {
 // and delivers the requests to their owners with a direct personalized
 // all-to-all, returning this rank's deduplicated requests.
 func (e *engine1D) scatter(vs, ds []uint32, light bool, delta uint32, tag int, rec *epochRec) ([]uint32, []uint32) {
+	if e.opts.Async {
+		return e.scatterAsync(vs, ds, light, delta, tag, rec)
+	}
+	return e.scatterSync(vs, ds, light, delta, tag, rec)
+}
+
+// scatterSync is the phase-synchronous relaxation round.
+func (e *engine1D) scatterSync(vs, ds []uint32, light bool, delta uint32, tag int, rec *epochRec) ([]uint32, []uint32) {
 	h0 := e.hist
 	l := e.st.Layout
 	p := e.world.Size()

@@ -72,6 +72,14 @@ func (e *engine2D) weightAt(i int64) uint32 {
 // and returns the requests destined to this rank, deduplicated to the
 // minimum distance per vertex.
 func (e *engine2D) scatter(vs, ds []uint32, light bool, delta uint32, tag int, rec *epochRec) ([]uint32, []uint32) {
+	if e.opts.Async {
+		return e.scatterAsync(vs, ds, light, delta, tag, rec)
+	}
+	return e.scatterSync(vs, ds, light, delta, tag, rec)
+}
+
+// scatterSync is the phase-synchronous relaxation round.
+func (e *engine2D) scatterSync(vs, ds []uint32, light bool, delta uint32, tag int, rec *epochRec) ([]uint32, []uint32) {
 	h0 := e.hist
 	l := e.st.Layout
 	r := e.colG.Size()

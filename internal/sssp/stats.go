@@ -46,6 +46,25 @@ type EpochStats struct {
 	EdgesScanned int64
 	// Containers histograms the request-set codec's choices this epoch.
 	Containers frontier.ContainerHist
+
+	// ExecS is the epoch's simulated execution time: the maximum over
+	// ranks of the per-rank clock advance (critical path).
+	ExecS float64
+	// CommS sums the per-rank communication seconds charged during the
+	// epoch, including any hidden under the asynchronous schedule;
+	// OverlapS is the hidden subset (zero when Options.Async is off,
+	// never above CommS).
+	CommS    float64
+	OverlapS float64
+}
+
+// HiddenFrac returns the fraction of the epoch's communication seconds
+// the asynchronous schedule kept off the critical path.
+func (es EpochStats) HiddenFrac() float64 {
+	if es.CommS == 0 {
+		return 0
+	}
+	return es.OverlapS / es.CommS
 }
 
 // Result reports a finished distributed Δ-stepping run.
@@ -63,10 +82,14 @@ type Result struct {
 	BucketsDrained int
 	Epochs         int
 
-	// Simulated times (seconds) from the torus cost model.
-	SimTime float64
-	SimComm float64
-	Wall    time.Duration
+	// Simulated times (seconds) from the torus cost model. SimOverlap is
+	// the max per-rank communication time hidden under concurrent
+	// activity by the asynchronous schedule (0 when Options.Async is
+	// off); it never exceeds SimComm.
+	SimTime    float64
+	SimComm    float64
+	SimOverlap float64
+	Wall       time.Duration
 
 	TotalExpandWords  int64
 	TotalFoldWords    int64
@@ -122,6 +145,26 @@ type epochRec struct {
 	resettles   int
 	edges       int
 	containers  frontier.ContainerHist
+	execS       float64
+	commS       float64
+	overlapS    float64
+}
+
+// epochTimer snapshots a rank's simulated-time ledgers at epoch entry
+// so the epoch's clock/comm/overlap deltas can be recorded on exit.
+type epochTimer struct {
+	c                    *comm.Comm
+	clock, comm, overlap float64
+}
+
+func newEpochTimer(c *comm.Comm) epochTimer {
+	return epochTimer{c: c, clock: c.Clock(), comm: c.CommTime(), overlap: c.OverlapTime()}
+}
+
+func (t epochTimer) record(rec *epochRec) {
+	rec.execS = t.c.Clock() - t.clock
+	rec.commS = t.c.CommTime() - t.comm
+	rec.overlapS = t.c.OverlapTime() - t.overlap
 }
 
 // mergeStats combines per-rank per-epoch records into global
@@ -154,6 +197,9 @@ func mergeStats(res *Result, perRank [][]epochRec, comms []*comm.Comm) {
 				ReSettles:    int64(s.resettles),
 				EdgesScanned: int64(s.edges),
 				Containers:   s.containers,
+				ExecS:        s.execS,
+				CommS:        s.commS,
+				OverlapS:     s.overlapS,
 			}
 			es := &res.PerEpoch[e]
 			es.Bucket = s.bucket // uniform across ranks by construction
@@ -165,6 +211,11 @@ func mergeStats(res *Result, perRank [][]epochRec, comms []*comm.Comm) {
 			es.ReSettles += int64(s.resettles)
 			es.EdgesScanned += int64(s.edges)
 			es.Containers.Add(s.containers)
+			if s.execS > es.ExecS {
+				es.ExecS = s.execS // critical path: slowest rank
+			}
+			es.CommS += s.commS
+			es.OverlapS += s.overlapS
 		}
 	}
 	for _, es := range res.PerEpoch {
@@ -177,6 +228,7 @@ func mergeStats(res *Result, perRank [][]epochRec, comms []*comm.Comm) {
 	}
 	res.SimTime = comm.MaxClock(comms)
 	res.SimComm = comm.MaxCommTime(comms)
+	res.SimOverlap = comm.MaxOverlapTime(comms)
 	for _, c := range comms {
 		res.MsgsRecv += c.MsgsRecv()
 		res.HopsRecv += c.HopsRecv()

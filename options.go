@@ -123,6 +123,17 @@ func WithOccupancy(f float64) Option {
 	return func(c *searchConfig) { c.bfs.FrontierOccupancy = f; c.sssp.FrontierOccupancy = f }
 }
 
+// WithAsync toggles the overlapped exchange schedule (on by default):
+// every expand/fold/relax exchange posts its sends before any wait and
+// streams received parts into the local scan, hiding wire time under
+// the hash-probe compute that dominates the cost model. Results are
+// identical either way; simulated execution time and the
+// OverlapS/hidden-fraction statistics differ. WithAsync(false) selects
+// the phase-synchronous baseline the paper describes.
+func WithAsync(on bool) Option {
+	return func(c *searchConfig) { c.bfs.Async = on; c.sssp.Async = on }
+}
+
 // BFS-family options (ignored by SSSP runs).
 
 // WithDirection selects the traversal direction policy.
