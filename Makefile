@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet tier1 race build test bench bench-smoke bench-json fuzz deprecated-surface
+.PHONY: ci fmt-check vet tier1 race build test bench bench-smoke bench-json bench-diff trace-smoke profile fuzz deprecated-surface
 
 # Seconds per fuzz target in `make fuzz`.
 FUZZTIME ?= 20s
 
-ci: fmt-check vet tier1 race bench-smoke deprecated-surface
+ci: fmt-check vet tier1 race bench-smoke trace-smoke bench-diff deprecated-surface
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \
@@ -45,6 +45,37 @@ bench-smoke: bench
 # flagship >=1.3x check).
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -out4 BENCH_PR4.json -out5 BENCH_PR5.json
+
+# Perf-regression gate: rerun the baseline batch into a scratch
+# directory and diff it against the committed BENCH_PR*.json under the
+# documented tolerances (simexec_s may drift up to 5%, word counts are
+# exact). Then the self-test: a deliberately injected 10% simexec
+# regression must make the gate fail, proving it actually bites.
+bench-diff:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/benchjson -out $$tmp/BENCH_PR2.json -out4 $$tmp/BENCH_PR4.json -out5 $$tmp/BENCH_PR5.json >/dev/null; \
+	$(GO) run ./cmd/benchdiff BENCH_PR2.json=$$tmp/BENCH_PR2.json BENCH_PR4.json=$$tmp/BENCH_PR4.json BENCH_PR5.json=$$tmp/BENCH_PR5.json; \
+	if $(GO) run ./cmd/benchdiff -inject-simexec 1.10 BENCH_PR2.json=$$tmp/BENCH_PR2.json >/dev/null 2>&1; then \
+		echo "bench-diff: injected 10% simexec regression was NOT caught"; exit 1; \
+	fi; \
+	echo "bench-diff: injected 10% simexec regression correctly rejected"
+
+# Trace smoke: record BFS and Δ-stepping runs with -trace (which
+# re-derives clock == comp + comm - overlap from the span stream and
+# cross-checks it against the Result before writing), then re-verify
+# the exported files with the standalone checker.
+trace-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/bfsrun -n 20000 -k 10 -r 4 -c 4 -direction dirop -wire hybrid -trace $$tmp/bfs.json -metrics $$tmp/bfs.metrics >/dev/null; \
+	$(GO) run ./cmd/bfsrun -algo sssp -n 20000 -k 10 -r 4 -c 4 -delta 128 -trace $$tmp/sssp.json >/dev/null; \
+	$(GO) run ./cmd/tracecheck -q $$tmp/bfs.json $$tmp/sssp.json; \
+	echo "trace-smoke: both span exports verified"
+
+# Host-process profiles of the flagship workload; inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/bfsrun -n 100000 -k 10 -r 4 -c 4 -verify=false -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof (open with: go tool pprof cpu.pprof)"
 
 # Deprecated-surface check: the examples (examples/compat in
 # particular) compile and run against the pre-redesign option aliases,

@@ -1,0 +1,90 @@
+// Command benchdiff is the perf-regression gate: it diffs fresh
+// benchmark baselines (written by cmd/benchjson into a scratch
+// directory) against the committed BENCH_PR*.json trajectory and fails
+// when simulated execution time or exchange words regress beyond
+// tolerance. See internal/benchcmp for what is gated and why the
+// defaults are 5% on simexec_s and 0% on total_words.
+//
+// Each positional argument is one base=fresh pair:
+//
+//	benchdiff BENCH_PR2.json=/tmp/b/BENCH_PR2.json BENCH_PR5.json=/tmp/b/BENCH_PR5.json
+//
+// -inject-simexec 1.10 multiplies every fresh simexec_s point by the
+// factor before comparing — the self-test that proves the gate fails
+// on a real 10% slowdown (make bench-diff runs it and asserts failure).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchcmp"
+)
+
+func main() {
+	var (
+		execTol = flag.Float64("exec-tol", benchcmp.DefaultTolerances().Exec,
+			"allowed relative increase of any simexec_s point")
+		wordsTol = flag.Float64("words-tol", benchcmp.DefaultTolerances().Words,
+			"allowed relative increase of any total_words point")
+		inject = flag.Float64("inject-simexec", 1,
+			"multiply every fresh simexec_s by this factor before diffing (self-test)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] base.json=fresh.json...")
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	tol := benchcmp.Tolerances{Exec: *execTol, Words: *wordsTol}
+	regressed := false
+	for _, pair := range flag.Args() {
+		basePath, freshPath, ok := strings.Cut(pair, "=")
+		if !ok {
+			fail(fmt.Errorf("argument %q is not a base.json=fresh.json pair", pair))
+		}
+		base, err := collect(basePath)
+		if err != nil {
+			fail(err)
+		}
+		fresh, err := collect(freshPath)
+		if err != nil {
+			fail(err)
+		}
+		if *inject != 1 {
+			benchcmp.Inject(fresh, *inject)
+		}
+		regs := benchcmp.Compare(base, fresh, tol)
+		if len(regs) == 0 {
+			fmt.Printf("%s vs %s: %d gated points within tolerance (exec %.1f%%, words %.1f%%)\n",
+				basePath, freshPath, benchcmp.Gated(base), 100*tol.Exec, 100*tol.Words)
+			continue
+		}
+		regressed = true
+		fmt.Fprintf(os.Stderr, "%s vs %s: %d regression(s):\n", basePath, freshPath, len(regs))
+		for _, d := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+	}
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+func collect(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := benchcmp.Collect(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return pts, nil
+}

@@ -23,9 +23,14 @@ import (
 	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/sssp"
 )
+
+// reg, when non-nil (-metrics), accumulates counters across every run
+// of the whole baseline batch into one registry snapshot.
+var reg *metrics.Registry
 
 // Level is one BFS level of a run.
 type Level struct {
@@ -41,11 +46,25 @@ type Level struct {
 // Summary holds the per-run fields every baseline document shares —
 // one reused type instead of a copy per PR's block.
 type Summary struct {
-	Name       string  `json:"name"`
-	Wire       string  `json:"wire"`
-	SimExecS   float64 `json:"simexec_s"`
-	SimCommS   float64 `json:"simcomm_s"`
+	Name        string  `json:"name"`
+	Wire        string  `json:"wire"`
+	SimExecS    float64 `json:"simexec_s"`
+	SimCommS    float64 `json:"simcomm_s"`
+	SimOverlapS float64 `json:"sim_overlap_s"`
+	// HiddenFrac is the fraction of the run's communication seconds
+	// that progressed under concurrent activity (SimOverlapS/SimCommS).
+	HiddenFrac float64 `json:"hidden_frac"`
 	TotalWords int64   `json:"total_words"`
+}
+
+// summarize fills a Summary from a run's simulated totals.
+func summarize(name, wire string, simExec, simComm, simOverlap float64, words int64) Summary {
+	s := Summary{Name: name, Wire: wire, SimExecS: simExec, SimCommS: simComm,
+		SimOverlapS: simOverlap, TotalWords: words}
+	if simComm > 0 {
+		s.HiddenFrac = simOverlap / simComm
+	}
+	return s
 }
 
 // Run is one benchmark configuration's result.
@@ -162,10 +181,8 @@ type OverlapRun struct {
 	SyncExecS float64 `json:"sync_exec_s"`
 	OverlapS  float64 `json:"overlap_s"`
 	Speedup   float64 `json:"speedup"`
-	// HiddenFrac is the fraction of the async run's communication
-	// seconds that progressed under concurrent activity.
-	HiddenFrac float64        `json:"hidden_frac"`
-	PerPhase   []OverlapPoint `json:"per_phase"`
+	// The embedded Summary carries HiddenFrac for the async run.
+	PerPhase []OverlapPoint `json:"per_phase"`
 }
 
 // Baseline5 is the PR 5 document: synchronous vs asynchronous schedule
@@ -193,8 +210,12 @@ func main() {
 		seed = flag.Int64("seed", 9, "graph seed")
 		r    = flag.Int("r", 4, "mesh rows")
 		c    = flag.Int("c", 4, "mesh columns")
+		mout = flag.String("metrics", "", "also write a metrics snapshot accumulated over every run to this file")
 	)
 	flag.Parse()
+	if *mout != "" {
+		reg = metrics.NewRegistry()
+	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -226,19 +247,16 @@ func main() {
 		opts := bfs.DefaultOptions(src)
 		opts.Direction = cf.dir
 		opts.Wire = cf.wire
+		opts.Metrics = reg
 		res, err := bfs.Run2D(w.World, w.Stores, opts)
 		if err != nil {
 			fail(err)
 		}
 		byName[cf.name] = res
 		run := Run{
-			Summary: Summary{
-				Name:       cf.name,
-				Wire:       cf.wire.String(),
-				SimExecS:   res.SimTime,
-				SimCommS:   res.SimComm,
-				TotalWords: res.TotalExpandWords + res.TotalFoldWords,
-			},
+			Summary: summarize(cf.name, cf.wire.String(),
+				res.SimTime, res.SimComm, res.SimOverlap,
+				res.TotalExpandWords+res.TotalFoldWords),
 			Direction:    cf.dir.String(),
 			ExpandWords:  res.TotalExpandWords,
 			FoldWords:    res.TotalFoldWords,
@@ -307,18 +325,14 @@ func main() {
 		opts := sssp.DefaultOptions(wsrc)
 		opts.Delta = pt.delta
 		opts.Wire = frontier.WireHybrid
+		opts.Metrics = reg
 		res, err := sssp.Run2D(w.World, wstores, opts)
 		if err != nil {
 			fail(err)
 		}
 		doc.SSSP = append(doc.SSSP, SSSPRun{
-			Summary: Summary{
-				Name:       pt.name,
-				Wire:       opts.Wire.String(),
-				SimExecS:   res.SimTime,
-				SimCommS:   res.SimComm,
-				TotalWords: res.TotalWords(),
-			},
+			Summary: summarize(pt.name, opts.Wire.String(),
+				res.SimTime, res.SimComm, res.SimOverlap, res.TotalWords()),
 			Delta:       res.Delta,
 			Buckets:     res.BucketsDrained,
 			Epochs:      res.Epochs,
@@ -375,6 +389,12 @@ func main() {
 			fail(err)
 		}
 	}
+	if *mout != "" {
+		if err := os.WriteFile(*mout, []byte(reg.Text()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s: metrics snapshot accumulated over the full baseline batch\n", *mout)
+	}
 }
 
 // bfsOverlapPoints converts per-level stats into sync/async points.
@@ -418,9 +438,6 @@ func writeOverlapBaseline(path string, w *harness.Workload, wstores []*partition
 		if asyncExec > 0 {
 			run.Speedup = syncExec / asyncExec
 		}
-		if comm > 0 {
-			run.HiddenFrac = overlap / comm
-		}
 		doc.Runs = append(doc.Runs, run)
 		if run.Name == flagship {
 			doc.Flagship.Name = run.Name
@@ -443,6 +460,7 @@ func writeOverlapBaseline(path string, w *harness.Workload, wstores []*partition
 			opts.Direction = cf.dir
 			opts.Wire = cf.wire
 			opts.Async = async
+			opts.Metrics = reg
 			return bfs.Run2D(w.World, w.Stores, opts)
 		}
 		syncRes, err := runOne(false)
@@ -454,8 +472,8 @@ func writeOverlapBaseline(path string, w *harness.Workload, wstores []*partition
 			return err
 		}
 		addRun(OverlapRun{
-			Summary: Summary{Name: cf.name, Wire: cf.wire.String(), SimExecS: asyncRes.SimTime,
-				SimCommS: asyncRes.SimComm, TotalWords: asyncRes.TotalExpandWords + asyncRes.TotalFoldWords},
+			Summary: summarize(cf.name, cf.wire.String(), asyncRes.SimTime, asyncRes.SimComm,
+				asyncRes.SimOverlap, asyncRes.TotalExpandWords+asyncRes.TotalFoldWords),
 			Algo:     "bfs",
 			PerPhase: bfsOverlapPoints(syncRes, asyncRes),
 		}, syncRes.SimTime, asyncRes.SimTime, asyncRes.SimOverlap, asyncRes.SimComm)
@@ -473,6 +491,7 @@ func writeOverlapBaseline(path string, w *harness.Workload, wstores []*partition
 	for _, cf := range ssspCfgs {
 		baseOpts := sssp.DefaultOptions(wsrc)
 		baseOpts.Delta = cf.delta
+		baseOpts.Metrics = reg
 		runOne := func(async bool) (*sssp.Result, error) {
 			opts := baseOpts
 			opts.Async = async
@@ -490,8 +509,8 @@ func writeOverlapBaseline(path string, w *harness.Workload, wstores []*partition
 			return err
 		}
 		addRun(OverlapRun{
-			Summary: Summary{Name: cf.name, Wire: baseOpts.Wire.String(), SimExecS: asyncRes.SimTime,
-				SimCommS: asyncRes.SimComm, TotalWords: asyncRes.TotalWords()},
+			Summary: summarize(cf.name, baseOpts.Wire.String(), asyncRes.SimTime, asyncRes.SimComm,
+				asyncRes.SimOverlap, asyncRes.TotalWords()),
 			Algo:     "sssp",
 			PerPhase: ssspOverlapPoints(syncRes, asyncRes),
 		}, syncRes.SimTime, asyncRes.SimTime, asyncRes.SimOverlap, asyncRes.SimComm)
@@ -547,6 +566,7 @@ func writeMultiBaseline(path string, w *harness.Workload, src graph.Vertex, n in
 
 	opts := bfs.DefaultOptions(0)
 	opts.Wire = frontier.WireAuto
+	opts.Metrics = reg
 	mres, err := bfs.MultiRun2D(w.World, w.Stores, srcs, opts)
 	if err != nil {
 		return err
@@ -572,6 +592,7 @@ func writeMultiBaseline(path string, w *harness.Workload, src graph.Vertex, n in
 	for lane, s := range srcs {
 		single := bfs.DefaultOptions(s)
 		single.Wire = frontier.WireAuto
+		single.Metrics = reg
 		ind, err := bfs.Run2D(w.World, w.Stores, single)
 		if err != nil {
 			return err

@@ -1,0 +1,96 @@
+// Command tracecheck verifies Chrome trace-event exports written by
+// bfsrun -trace. For each file it re-parses the event stream and
+// re-derives, from the spans alone, the simulated-clock invariant the
+// runtime maintains per rank:
+//
+//	clock == comp + comm - overlap,  overlap <= comm
+//
+// together with the structural rules (main-track cost spans tile
+// [0, clock] without overlap, structural spans nest properly, and
+// per-level/per-epoch spans align index-wise across ranks). It then
+// prints the per-rank ledger decomposition and the per-phase critical
+// paths. A trace that was truncated, hand-edited, or produced by a
+// runtime whose ledgers drifted from its spans fails loudly.
+//
+// Usage:
+//
+//	bfsrun -n 100000 -k 10 -trace out.json
+//	tracecheck out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "verify only, print nothing but errors")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-q] trace.json...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		if err := checkFile(path, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func checkFile(path string, quiet bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := trace.Parse(data)
+	if err != nil {
+		return err
+	}
+	d, err := trace.Check(doc)
+	if err != nil {
+		return err
+	}
+	if quiet {
+		return nil
+	}
+
+	fmt.Printf("%s: %d events across %d ranks — all invariants hold\n",
+		path, len(doc.Events), len(d.Ranks))
+	fmt.Printf("simulated: clock %.6fs, comm %.6fs, overlap %.6fs hidden (maxima over ranks)\n",
+		d.MaxClock, d.MaxComm, d.MaxOverlap)
+
+	ranks := make([]int, 0, len(d.Ranks))
+	for r := range d.Ranks {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	fmt.Println("\nrank      clock       comp       comm    overlap   (re-derived from spans)")
+	for _, r := range ranks {
+		rt := d.Ranks[r]
+		fmt.Printf("%4d  %9.6f  %9.6f  %9.6f  %9.6f\n",
+			r, rt.Clock, rt.SumComp, rt.SumComm+rt.SumOverlap, rt.SumOverlap)
+	}
+
+	printPhases := func(kind string, pts []trace.PhaseTotals) {
+		if len(pts) == 0 {
+			return
+		}
+		fmt.Printf("\n%-5s  name    critical-path-s  expand-words  fold-words  edges\n", kind)
+		for i, pt := range pts {
+			fmt.Printf("%5d  %-6s  %15.6f  %12d  %10d  %6d\n",
+				i, pt.Name, pt.MaxS, pt.Args["expand_words"], pt.Args["fold_words"], pt.Args["edges"])
+		}
+	}
+	printPhases("level", d.Levels)
+	printPhases("epoch", d.Epochs)
+	return nil
+}

@@ -1,0 +1,216 @@
+// Package benchcmp is the perf-regression gate behind cmd/benchdiff:
+// it flattens benchmark-baseline JSON documents (BENCH_PR*.json) into
+// path-keyed metric points and diffs a fresh run against a committed
+// baseline under per-metric tolerances.
+//
+// Flattening is schema-agnostic — any numeric leaf becomes a point —
+// so the gate keeps working as later PRs extend the baseline
+// documents. Array elements that carry a "name" field are keyed by
+// that name instead of their index, so appending or reordering runs
+// does not shift every key after them. Two families of leaf fields
+// gate the diff: simulated-execution seconds (simexec_s and *_simexec_s,
+// tolerance-bounded because code changes legitimately move the
+// simulated constants a little) and exchange word counts (total_words,
+// multi_words, expand_words, ... — exact by default: word counts are
+// deterministic for a fixed workload, so any increase is a real
+// regression). Ratio fields (independent_over_multi_words) are never
+// gated — a ratio can move in the good direction while ending in a
+// gated suffix.
+package benchcmp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The canonical gated leaf fields (Summary's names); gateOf widens
+// each to its family.
+const (
+	KeyExec  = "simexec_s"
+	KeyWords = "total_words"
+)
+
+// wordKeys are the exact leaf names gated as exchange volume. An
+// explicit set rather than a suffix match: ratio fields such as
+// independent_over_multi_words also end in "_words" but must not gate.
+var wordKeys = map[string]bool{
+	KeyWords:            true,
+	"multi_words":       true,
+	"independent_words": true,
+	"expand_words":      true,
+	"fold_words":        true,
+	"auto_words":        true,
+	"hybrid_words":      true,
+}
+
+// gate classifies a leaf field name.
+type gate int
+
+const (
+	gateNone gate = iota
+	gateExec
+	gateWords
+)
+
+func gateOf(l string) gate {
+	switch {
+	case l == KeyExec || strings.HasSuffix(l, "_"+KeyExec):
+		return gateExec
+	case wordKeys[l]:
+		return gateWords
+	}
+	return gateNone
+}
+
+// Tolerances bounds the allowed relative increase of fresh over base
+// per gated metric (0.05 = fresh may run up to 5% slower). Decreases
+// always pass.
+type Tolerances struct {
+	Exec  float64
+	Words float64
+}
+
+// DefaultTolerances matches the documented gate: simulated execution
+// may drift up to 5% before failing, exchange words must not grow.
+func DefaultTolerances() Tolerances { return Tolerances{Exec: 0.05, Words: 0} }
+
+// Collect flattens a baseline JSON document into path -> numeric leaf.
+// Paths join object keys and array positions with '/'.
+func Collect(data []byte) (map[string]float64, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var root any
+	if err := dec.Decode(&root); err != nil {
+		return nil, fmt.Errorf("benchcmp: %w", err)
+	}
+	pts := make(map[string]float64)
+	walk(root, "", pts)
+	return pts, nil
+}
+
+func walk(v any, path string, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, c := range t {
+			walk(c, join(path, k), out)
+		}
+	case []any:
+		for i, c := range t {
+			seg := strconv.Itoa(i)
+			if m, ok := c.(map[string]any); ok {
+				if name, ok := m["name"].(string); ok && name != "" {
+					seg = name
+				}
+			}
+			walk(c, join(path, seg), out)
+		}
+	case json.Number:
+		if f, err := t.Float64(); err == nil {
+			out[path] = f
+		}
+	}
+}
+
+func join(path, seg string) string {
+	if path == "" {
+		return seg
+	}
+	return path + "/" + seg
+}
+
+// leaf returns the final path segment.
+func leaf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// Delta is one gated point that regressed (or vanished: Fresh is NaN
+// when the fresh document no longer has the key).
+type Delta struct {
+	Key         string
+	Base, Fresh float64
+	RelIncrease float64 // (Fresh-Base)/Base
+	Tolerance   float64
+}
+
+func (d Delta) String() string {
+	if math.IsNaN(d.Fresh) {
+		return fmt.Sprintf("%s: baseline point missing from fresh run (base %g)", d.Key, d.Base)
+	}
+	return fmt.Sprintf("%s: %g -> %g (+%.2f%%, tolerance %.2f%%)",
+		d.Key, d.Base, d.Fresh, 100*d.RelIncrease, 100*d.Tolerance)
+}
+
+// Compare diffs every gated point of base against fresh and returns
+// the regressions, sorted by key. Keys present only in fresh are
+// ignored (later PRs add runs); keys present only in base are
+// reported — a baseline point silently vanishing would otherwise
+// let the gate rot.
+func Compare(base, fresh map[string]float64, tol Tolerances) []Delta {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var regs []Delta
+	for _, k := range keys {
+		var t float64
+		switch gateOf(leaf(k)) {
+		case gateExec:
+			t = tol.Exec
+		case gateWords:
+			t = tol.Words
+		default:
+			continue
+		}
+		b := base[k]
+		f, ok := fresh[k]
+		if !ok {
+			regs = append(regs, Delta{Key: k, Base: b, Fresh: math.NaN(), Tolerance: t})
+			continue
+		}
+		var rel float64
+		switch {
+		case b != 0:
+			rel = (f - b) / b
+		case f > 0:
+			rel = math.Inf(1) // base 0, fresh positive: unbounded increase
+		}
+		if rel > t {
+			regs = append(regs, Delta{Key: k, Base: b, Fresh: f, RelIncrease: rel, Tolerance: t})
+		}
+	}
+	return regs
+}
+
+// Gated counts the points of a collection the gate would compare.
+func Gated(pts map[string]float64) int {
+	n := 0
+	for k := range pts {
+		if gateOf(leaf(k)) != gateNone {
+			n++
+		}
+	}
+	return n
+}
+
+// Inject multiplies every exec-gated point by factor — the
+// deliberate-regression self-test behind benchdiff -inject-simexec,
+// proving the gate actually fails when simulated time grows.
+func Inject(pts map[string]float64, factor float64) {
+	for k := range pts {
+		if gateOf(leaf(k)) == gateExec {
+			pts[k] *= factor
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package benchcmp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleDoc = `{
+  "n": 1000,
+  "runs": [
+    {"name": "topdown-auto", "simexec_s": 0.10, "total_words": 500},
+    {"name": "dirop-auto", "simexec_s": 0.08, "total_words": 400}
+  ],
+  "multi_bfs": {
+    "multi_simexec_s": 0.5,
+    "multi_words": 900,
+    "independent_over_multi_words": 3.4
+  },
+  "per_sweep": [
+    {"sweep": 0, "expand_words": 7},
+    {"sweep": 1, "expand_words": 9}
+  ]
+}`
+
+func TestCollect(t *testing.T) {
+	pts, err := Collect([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]float64{
+		"n":                           1000,
+		"runs/topdown-auto/simexec_s": 0.10, // name-keyed, not index-keyed
+		"runs/dirop-auto/total_words": 400,
+		"multi_bfs/multi_simexec_s":   0.5,
+		"per_sweep/0/expand_words":    7, // no name field: index-keyed
+		"per_sweep/1/expand_words":    9,
+	} {
+		if got, ok := pts[key]; !ok || got != want {
+			t.Fatalf("pts[%q] = %g (present %v), want %g\nall: %v", key, got, ok, want, pts)
+		}
+	}
+}
+
+func TestCollectRejectsGarbage(t *testing.T) {
+	if _, err := Collect([]byte("not json")); err == nil {
+		t.Fatal("garbage collected")
+	}
+}
+
+func TestGating(t *testing.T) {
+	pts, err := Collect([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gated: 2x simexec_s, 2x total_words, multi_simexec_s, multi_words,
+	// 2x expand_words. NOT gated: n, sweep indices, and the
+	// independent_over_multi_words ratio.
+	if got := Gated(pts); got != 8 {
+		t.Fatalf("Gated = %d, want 8", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]float64{
+		"runs/a/simexec_s":   1.00,
+		"runs/a/total_words": 100,
+		"runs/b/simexec_s":   2.00,
+		"loose/ratio":        5.0, // ungated: may move freely
+	}
+	tol := Tolerances{Exec: 0.05, Words: 0}
+
+	// Within tolerance, improvements, and ungated noise all pass.
+	fresh := map[string]float64{
+		"runs/a/simexec_s":   1.04, // +4% < 5%
+		"runs/a/total_words": 90,   // improvement
+		"runs/b/simexec_s":   1.50, // improvement
+		"loose/ratio":        50,
+	}
+	if regs := Compare(base, fresh, tol); len(regs) != 0 {
+		t.Fatalf("clean diff reported regressions: %v", regs)
+	}
+
+	// Beyond tolerance fails; exact words gate fails on +1.
+	fresh["runs/a/simexec_s"] = 1.06
+	fresh["runs/a/total_words"] = 101
+	regs := Compare(base, fresh, tol)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	if regs[0].Key != "runs/a/simexec_s" || regs[1].Key != "runs/a/total_words" {
+		t.Fatalf("regressions out of order: %v", regs)
+	}
+	if regs[0].RelIncrease < 0.059 || regs[0].RelIncrease > 0.061 {
+		t.Fatalf("rel increase %g, want ~0.06", regs[0].RelIncrease)
+	}
+
+	// A vanished baseline point is itself a regression.
+	delete(fresh, "runs/b/simexec_s")
+	regs = Compare(base, fresh, tol)
+	if len(regs) != 3 {
+		t.Fatalf("missing key not reported: %v", regs)
+	}
+	var missing *Delta
+	for i := range regs {
+		if regs[i].Key == "runs/b/simexec_s" {
+			missing = &regs[i]
+		}
+	}
+	if missing == nil || !math.IsNaN(missing.Fresh) {
+		t.Fatalf("missing key delta: %v", regs)
+	}
+	if !strings.Contains(missing.String(), "missing") {
+		t.Fatalf("missing-point message: %s", missing)
+	}
+}
+
+func TestCompareZeroBase(t *testing.T) {
+	base := map[string]float64{"runs/a/total_words": 0}
+	fresh := map[string]float64{"runs/a/total_words": 1}
+	if regs := Compare(base, fresh, DefaultTolerances()); len(regs) != 1 || !math.IsInf(regs[0].RelIncrease, 1) {
+		t.Fatalf("zero-base growth not flagged: %v", regs)
+	}
+	fresh["runs/a/total_words"] = 0
+	if regs := Compare(base, fresh, DefaultTolerances()); len(regs) != 0 {
+		t.Fatalf("zero vs zero flagged: %v", regs)
+	}
+}
+
+func TestInject(t *testing.T) {
+	pts := map[string]float64{
+		"runs/a/simexec_s":          1.0,
+		"multi_bfs/multi_simexec_s": 2.0,
+		"runs/a/total_words":        100,
+	}
+	Inject(pts, 1.10)
+	if pts["runs/a/simexec_s"] != 1.10 || pts["multi_bfs/multi_simexec_s"] != 2.2 {
+		t.Fatalf("exec points not scaled: %v", pts)
+	}
+	if pts["runs/a/total_words"] != 100 {
+		t.Fatalf("words point scaled: %v", pts)
+	}
+	// The injected document must fail against its own baseline — the
+	// self-test benchdiff -inject-simexec relies on.
+	base := map[string]float64{"runs/a/simexec_s": 1.0}
+	if regs := Compare(base, pts, DefaultTolerances()); len(regs) != 1 {
+		t.Fatalf("injected regression not caught: %v", regs)
+	}
+}

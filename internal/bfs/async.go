@@ -112,7 +112,7 @@ func (e *engine2D) stepAsync(s *sideState, tagBase int) (rankLevel, bool) {
 	rec.expandWords = est.RecvWords
 
 	o := collective.Opts{Tag: tagBase + 1<<24, Chunk: e.opts.ChunkWords, Async: true}
-	o.Codec = foldCodec(e.opts.Wire, e.rowG, e.st.Layout.OwnedRange, &e.hist)
+	o.Codec = foldCodec(e.c.Tracer(), e.opts.Wire, e.rowG, e.st.Layout.OwnedRange, &e.hist)
 	nbar, fst := collective.FoldAsync(e.c, e.rowG, o, foldAlgKey(e.opts.Fold), sortPrep(e.c, e.model, bins))
 	rec.foldWords = fst.RecvWords
 	rec.dups = fst.Dups
@@ -330,7 +330,7 @@ func (e *engine1D) stepAsync(s *sideState, tagBase int) (rankLevel, bool) {
 	rec.edges = scanned
 
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords, Async: true}
-	o.Codec = foldCodec(e.opts.Wire, e.world, e.st.Layout.OwnedRange, &e.hist)
+	o.Codec = foldCodec(e.c.Tracer(), e.opts.Wire, e.world, e.st.Layout.OwnedRange, &e.hist)
 	nbar, fst := collective.FoldAsync(e.c, e.world, o, foldAlgKey(e.opts.Fold), sortPrep(e.c, e.model, bins))
 	rec.foldWords = fst.RecvWords
 	rec.dups = fst.Dups

@@ -142,7 +142,7 @@ func (e *engine1D) stepSync(s *sideState, tagBase int) (rankLevel, bool) {
 	}
 
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
-	o.Codec = foldCodec(e.opts.Wire, e.world, e.st.Layout.OwnedRange, &e.hist)
+	o.Codec = foldCodec(e.c.Tracer(), e.opts.Wire, e.world, e.st.Layout.OwnedRange, &e.hist)
 	var nbar []uint32
 	var fst collective.Stats
 	switch e.opts.Fold {
@@ -226,6 +226,8 @@ func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, e
 	localLevels := make([][]int32, w.P)
 	probes := make([]uint64, w.P)
 	var foundAt int32 = -1
+	w.SetTrace(opts.Trace)
+	defer w.SetTrace(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
@@ -255,6 +257,7 @@ func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, e
 		res.Found = true
 		res.Distance = foundAt
 	}
+	publishMetrics(opts.Metrics, res)
 	return res, nil
 }
 
@@ -277,6 +280,8 @@ func RunBidirectional1D(w *comm.World, stores []*partition.Store1D, opts Options
 	localLevels := make([][]int32, w.P)
 	probes := make([]uint64, w.P)
 	var globalBest int64 = -1
+	w.SetTrace(opts.Trace)
+	defer w.SetTrace(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
@@ -306,5 +311,6 @@ func RunBidirectional1D(w *comm.World, stores []*partition.Store1D, opts Options
 		res.Found = true
 		res.Distance = int32(globalBest)
 	}
+	publishMetrics(opts.Metrics, res)
 	return res, nil
 }

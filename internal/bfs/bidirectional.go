@@ -42,6 +42,8 @@ func RunBidirectional2D(w *comm.World, stores []*partition.Store2D, opts Options
 	localLevels := make([][]int32, w.P)
 	probes := make([]uint64, w.P)
 	var globalBest int64 = -1
+	w.SetTrace(opts.Trace)
+	defer w.SetTrace(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
@@ -68,5 +70,6 @@ func RunBidirectional2D(w *comm.World, stores []*partition.Store2D, opts Options
 		res.Found = true
 		res.Distance = int32(globalBest)
 	}
+	publishMetrics(opts.Metrics, res)
 	return res, nil
 }

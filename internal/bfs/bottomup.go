@@ -43,7 +43,9 @@ func unwireBitPieces(opts Options, pieces [][]uint32, widths func(i int) int) {
 func (e *engine1D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	tm := newLevelTimer(e.c)
 	h0 := e.hist
-	rec := rankLevel{frontier: s.F.Len()}
+	// dir is stamped here, not by the caller: the level span closes
+	// inside tm.record with rec.dir as its arg.
+	rec := rankLevel{dir: BottomUp, frontier: s.F.Len()}
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords, Async: e.opts.Async}
 	payload := wireBits(e.opts, &e.hist, frontier.Bits(s.F), e.st.OwnedCount())
 	var pieces [][]uint32
@@ -122,7 +124,9 @@ func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	l := e.st.Layout
 	bs := uint32(l.BlockSize())
 	h0 := e.hist
-	rec := rankLevel{frontier: s.F.Len()}
+	// dir is stamped here, not by the caller: the level span closes
+	// inside tm.record with rec.dir as its arg.
+	rec := rankLevel{dir: BottomUp, frontier: s.F.Len()}
 
 	// Per-piece handling charge for the pipelined gathers (received
 	// pieces only, the synchronous charge split across arrivals).

@@ -107,18 +107,15 @@ func chooseDirection(opts Options, mf, mu uint64) Direction {
 	}
 }
 
-// stepDir advances one level in the chosen direction and stamps the
-// record with it.
+// stepDir advances one level in the chosen direction. The engines stamp
+// rec.dir themselves (before the level span closes, so the trace and the
+// Result agree); a caller-side stamp here would land after the span's
+// dir arg was already emitted.
 func stepDir(e stepper, s *sideState, dir Direction, tagBase int) (rankLevel, bool) {
-	var rec rankLevel
-	var found bool
 	if dir == BottomUp {
-		rec, found = e.stepBottomUp(s, tagBase)
-	} else {
-		rec, found = e.step(s, tagBase)
+		return e.stepBottomUp(s, tagBase)
 	}
-	rec.dir = dir
-	return rec, found
+	return e.step(s, tagBase)
 }
 
 // driveUni runs a uni-directional level-synchronized search to

@@ -11,6 +11,7 @@ import (
 	"repro/internal/localindex"
 	"repro/internal/partition"
 	"repro/internal/torus"
+	"repro/internal/trace"
 )
 
 // engine2D holds one rank's state for Algorithm 2. The same level
@@ -84,7 +85,11 @@ func (e *engine2D) expandWire(ids []uint32) []uint32 {
 	if e.opts.Wire == frontier.WireSparse {
 		return ids
 	}
-	return frontier.EncodeSetStats(ids, uint32(e.st.Lo), e.st.OwnedCount(), e.opts.Wire, &e.hist)
+	tr := e.c.Tracer()
+	tr.Begin("engine", "encode")
+	out := frontier.EncodeSetStats(ids, uint32(e.st.Lo), e.st.OwnedCount(), e.opts.Wire, &e.hist)
+	tr.End(trace.Arg{Key: "words", Val: int64(len(out))})
+	return out
 }
 
 // wireFrontier encodes the whole frontier as an expand payload, using
@@ -93,7 +98,11 @@ func (e *engine2D) wireFrontier(f frontier.Frontier) []uint32 {
 	if e.opts.Wire == frontier.WireSparse {
 		return f.Vertices()
 	}
-	return frontier.EncodeFrontierStats(f, e.opts.Wire, &e.hist)
+	tr := e.c.Tracer()
+	tr.Begin("engine", "encode")
+	out := frontier.EncodeFrontierStats(f, e.opts.Wire, &e.hist)
+	tr.End(trace.Arg{Key: "words", Val: int64(len(out))})
+	return out
 }
 
 // expandUnwire decodes the pieces of an expand exchange in place
@@ -103,9 +112,14 @@ func (e *engine2D) expandUnwire(parts [][]uint32) {
 	if e.opts.Wire == frontier.WireSparse {
 		return
 	}
+	tr := e.c.Tracer()
+	tr.Begin("engine", "decode")
+	words := int64(0)
 	for i := range parts {
+		words += int64(len(parts[i]))
 		parts[i] = frontier.Decode(parts[i])
 	}
+	tr.End(trace.Arg{Key: "words", Val: words})
 }
 
 // expand performs the processor-column expand of Algorithm 2 steps
@@ -213,6 +227,8 @@ func flatten(parts [][]uint32) []uint32 {
 // (the sent cache admits each row vertex exactly once regardless of
 // scan order, and the bins are sorted sets before they travel).
 func (e *engine2D) scanPart(s *sideState, part []uint32, bins [][]uint32) int {
+	tr := e.c.Tracer()
+	tr.Begin("engine", "scan")
 	l := e.st.Layout
 	colProbes0 := e.st.ColMap.Probes()
 	rowProbes0 := e.st.RowMap.Probes()
@@ -236,6 +252,7 @@ func (e *engine2D) scanPart(s *sideState, part []uint32, bins [][]uint32) int {
 	e.c.ChargeItems(scanned, e.model.EdgeCost)
 	probes := (e.st.ColMap.Probes() - colProbes0) + (e.st.RowMap.Probes() - rowProbes0)
 	e.c.ChargeItems(int(probes), e.model.HashCost)
+	tr.End(trace.Arg{Key: "edges", Val: int64(scanned)}, trace.Arg{Key: "probes", Val: int64(probes)})
 	return scanned
 }
 
@@ -257,16 +274,24 @@ func (e *engine2D) neighbors(s *sideState, fbar []uint32) ([][]uint32, int) {
 // row-group member m is a subset of that member's owned range, so it
 // can travel as a bitmap — or hybrid chunk containers — over that
 // range when denser is cheaper.
-func foldCodec(wire frontier.WireMode, g comm.Group, ownedRange func(worldRank int) (graph.Vertex, graph.Vertex), h *frontier.ContainerHist) *collective.Codec {
+func foldCodec(tr *trace.Tracer, wire frontier.WireMode, g comm.Group, ownedRange func(worldRank int) (graph.Vertex, graph.Vertex), h *frontier.ContainerHist) *collective.Codec {
 	if wire == frontier.WireSparse {
 		return nil
 	}
 	return &collective.Codec{
 		Enc: func(m int, set []uint32) []uint32 {
+			tr.Begin("engine", "encode")
 			lo, hi := ownedRange(g.World(m))
-			return frontier.EncodeSetStats(set, uint32(lo), int(hi-lo), wire, h)
+			out := frontier.EncodeSetStats(set, uint32(lo), int(hi-lo), wire, h)
+			tr.End(trace.Arg{Key: "words", Val: int64(len(out))})
+			return out
 		},
-		Dec: func(m int, buf []uint32) []uint32 { return frontier.Decode(buf) },
+		Dec: func(m int, buf []uint32) []uint32 {
+			tr.Begin("engine", "decode")
+			out := frontier.Decode(buf)
+			tr.End(trace.Arg{Key: "words", Val: int64(len(buf))})
+			return out
+		},
 	}
 }
 
@@ -275,7 +300,7 @@ func foldCodec(wire frontier.WireMode, g comm.Group, ownedRange func(worldRank i
 // of owned vertices to mark.
 func (e *engine2D) fold(bins [][]uint32, tag int) ([]uint32, collective.Stats) {
 	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords}
-	o.Codec = foldCodec(e.opts.Wire, e.rowG, e.st.Layout.OwnedRange, &e.hist)
+	o.Codec = foldCodec(e.c.Tracer(), e.opts.Wire, e.rowG, e.st.Layout.OwnedRange, &e.hist)
 	switch e.opts.Fold {
 	case FoldDirect:
 		return collective.ReduceScatterUnion(e.c, e.rowG, o, bins)
@@ -428,6 +453,8 @@ func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, e
 	localLevels := make([][]int32, w.P)
 	probes := make([]uint64, w.P)
 	var foundAt int32 = -1
+	w.SetTrace(opts.Trace)
+	defer w.SetTrace(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
@@ -454,6 +481,7 @@ func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, e
 		res.Found = true
 		res.Distance = foundAt
 	}
+	publishMetrics(opts.Metrics, res)
 	return res, nil
 }
 

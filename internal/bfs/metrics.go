@@ -1,0 +1,36 @@
+package bfs
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/search"
+)
+
+// publishMetrics folds a finished run's statistics into the registry
+// (no-op when reg is nil). Counters accumulate across runs sharing a
+// registry; gauges hold the last run's values.
+func publishMetrics(reg *metrics.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("bfs_runs_total").Inc()
+	reg.Counter("bfs_levels_total").Add(int64(len(res.PerLevel)))
+	reg.Counter("bfs_expand_words_total").Add(res.TotalExpandWords)
+	reg.Counter("bfs_fold_words_total").Add(res.TotalFoldWords)
+	reg.Counter("bfs_dup_vertices_total").Add(res.TotalDups)
+	reg.Counter("bfs_edges_scanned_total").Add(res.TotalEdgesScanned)
+	reg.Counter("bfs_hash_probes_total").Add(int64(res.HashProbes))
+	switches := int64(0)
+	for i := 1; i < len(res.PerLevel); i++ {
+		if res.PerLevel[i].Direction != res.PerLevel[i-1].Direction {
+			switches++
+		}
+	}
+	reg.Counter("bfs_direction_switches_total").Add(switches)
+	search.PublishContainers(reg, "bfs", res.Containers)
+	search.PublishSim(reg, "bfs", res.SimTime, res.SimComm, res.SimOverlap)
+	reg.Gauge("bfs_load_imbalance").Set(res.LoadImbalance())
+	h := reg.Histogram("bfs_level_exec_seconds", metrics.TimeBuckets)
+	for _, ls := range res.PerLevel {
+		h.Observe(ls.ExecS)
+	}
+}

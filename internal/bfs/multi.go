@@ -610,6 +610,8 @@ func MultiRun2D(w *comm.World, stores []*partition.Store2D, sources []graph.Vert
 	perRank := make([][]rankLevel, w.P)
 	laneLevels := make([][][]int32, w.P)
 	probes := make([]uint64, w.P)
+	w.SetTrace(opts.Trace)
+	defer w.SetTrace(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
@@ -631,6 +633,7 @@ func MultiRun2D(w *comm.World, stores []*partition.Store2D, sources []graph.Vert
 	finishMulti(res, l.N, func(rank int) (graph.Vertex, graph.Vertex) {
 		return l.OwnedRange(rank)
 	}, laneLevels)
+	publishMetrics(opts.Metrics, &res.Result)
 	return res, nil
 }
 
@@ -652,6 +655,8 @@ func MultiRun1D(w *comm.World, stores []*partition.Store1D, sources []graph.Vert
 	res.N, res.R, res.C = l.N, 1, l.P
 	perRank := make([][]rankLevel, w.P)
 	laneLevels := make([][][]int32, w.P)
+	w.SetTrace(opts.Trace)
+	defer w.SetTrace(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		e := newMultiEngine1D(c, stores[c.Rank()], opts)
@@ -667,5 +672,6 @@ func MultiRun1D(w *comm.World, stores []*partition.Store1D, sources []graph.Vert
 	finishMulti(res, l.N, func(rank int) (graph.Vertex, graph.Vertex) {
 		return l.OwnedRange(rank)
 	}, laneLevels)
+	publishMetrics(opts.Metrics, &res.Result)
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/frontier"
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // LevelStats aggregates one BFS level's activity across all ranks.
@@ -208,6 +209,7 @@ type levelTimer struct {
 }
 
 func newLevelTimer(c *comm.Comm) levelTimer {
+	c.Tracer().Begin("level", "level")
 	return levelTimer{c: c, clock: c.Clock(), comm: c.CommTime(), overlap: c.OverlapTime()}
 }
 
@@ -215,6 +217,15 @@ func (t levelTimer) record(rec *rankLevel) {
 	rec.execS = t.c.Clock() - t.clock
 	rec.commS = t.c.CommTime() - t.comm
 	rec.overlapS = t.c.OverlapTime() - t.overlap
+	t.c.Tracer().End(
+		trace.Arg{Key: "dir", Val: int64(rec.dir)},
+		trace.Arg{Key: "frontier", Val: int64(rec.frontier)},
+		trace.Arg{Key: "expand_words", Val: int64(rec.expandWords)},
+		trace.Arg{Key: "fold_words", Val: int64(rec.foldWords)},
+		trace.Arg{Key: "dups", Val: int64(rec.dups)},
+		trace.Arg{Key: "marked", Val: int64(rec.marked)},
+		trace.Arg{Key: "edges", Val: int64(rec.edges)},
+	)
 }
 
 // mergeStats combines per-rank per-level records into global LevelStats

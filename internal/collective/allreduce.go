@@ -53,6 +53,9 @@ func AllReduceP2P(c *comm.Comm, g comm.Group, o Opts, val uint64, op AllReduceOp
 	if size == 1 {
 		return val
 	}
+	var st Stats
+	done := span(c, "allreduce-p2p", &st)
+	defer done()
 	// Largest power of two <= size.
 	pof2 := 1
 	for pof2*2 <= size {

@@ -55,6 +55,7 @@ func AllToAllAsync(c *comm.Comm, g comm.Group, o Opts, prep Prep, handle Handle)
 		}
 		return out, st
 	}
+	done := span(c, "alltoall-async", &st)
 	for step := 1; step < size; step++ {
 		to := (g.Me + step) % size
 		c.IsendChunked(g.World(to), o.Tag+step, prep(to), o.Chunk)
@@ -77,6 +78,7 @@ func AllToAllAsync(c *comm.Comm, g comm.Group, o Opts, prep Prep, handle Handle)
 			handle(from, part)
 		}
 	}
+	done()
 	return out, st
 }
 
@@ -97,6 +99,7 @@ func AllGatherAsync(c *comm.Comm, g comm.Group, o Opts, data []uint32, handle Ha
 		}
 		return out, st
 	}
+	done := span(c, "allgather-async", &st)
 	next := g.World(g.Next(g.Me))
 	prev := g.World(g.Prev(g.Me))
 	piece := data
@@ -119,6 +122,7 @@ func AllGatherAsync(c *comm.Comm, g comm.Group, o Opts, data []uint32, handle Ha
 	if handle != nil {
 		handle(pendIdx, out[pendIdx])
 	}
+	done()
 	return out, st
 }
 
@@ -218,6 +222,7 @@ func TwoPhaseExpandAsync(c *comm.Comm, g comm.Group, o Opts, data []uint32, hand
 		}
 		return out, st
 	}
+	done := span(c, "twophase-expand-async", &st)
 	a, b := FactorGrid(size)
 	row, col := g.Me/b, g.Me%b
 	next := g.World(row*b + (col+1)%b)
@@ -310,6 +315,7 @@ func TwoPhaseExpandAsync(c *comm.Comm, g comm.Group, o Opts, data []uint32, hand
 	} else if pendP1 >= 0 && handle != nil {
 		handle(pendP1*b+col, colSets[pendP1])
 	}
+	done()
 	return out, st
 }
 

@@ -33,6 +33,7 @@ func AllToAllBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uin
 	if size == 1 {
 		return out, st
 	}
+	done := span(c, "bruck", &st)
 
 	// Phase 1 (local rotation): block j carries the payload destined to
 	// relative rank j, i.e. absolute member (me + j) mod size.
@@ -48,8 +49,9 @@ func AllToAllBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uin
 	// A block's first shipping round is its lowest set bit, before the
 	// block has moved, so its destination is still (me + j) mod size —
 	// the moment it is container-encoded.
-	round := 0
+	rnd := 0
 	for step := 1; step < size; step <<= 1 {
+		rndDone := round(c, rnd)
 		var idxs []int
 		for j := 1; j < size; j++ {
 			if j&step != 0 {
@@ -66,15 +68,16 @@ func AllToAllBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uin
 		}
 		to := g.World((g.Me + step) % size)
 		from := g.World((g.Me - step + size) % size)
-		c.SendChunked(to, o.Tag+round, encodeBundle(bundle), o.Chunk)
-		buf := c.RecvChunked(from, o.Tag+round, o.Chunk)
+		c.SendChunked(to, o.Tag+rnd, encodeBundle(bundle), o.Chunk)
+		buf := c.RecvChunked(from, o.Tag+rnd, o.Chunk)
 		st.RecvWords += len(buf)
 		incoming := decodeBundle(buf, len(idxs))
 		for bi, j := range idxs {
 			blocks[j] = incoming[bi]
 			encoded[j] = true // arrived encoded (if a codec is in play)
 		}
-		round++
+		rnd++
+		rndDone()
 	}
 
 	// Phase 3 (inverse placement): block j now holds the payload that
@@ -87,6 +90,7 @@ func AllToAllBruck(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uin
 		}
 		out[src] = block
 	}
+	done()
 	return out, st
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/localindex"
+	"repro/internal/trace"
 )
 
 // Opts carries per-operation knobs.
@@ -126,6 +127,28 @@ func decodeParts(g comm.Group, cdc *Codec, parts [][]uint32) {
 	}
 }
 
+// span opens a structural trace span for one collective operation on
+// this rank's tracer (a no-op without a bound recorder). The returned
+// func closes it, annotating the words this rank received.
+func span(c *comm.Comm, name string, st *Stats) func() {
+	tr := c.Tracer()
+	if tr == nil {
+		return func() {}
+	}
+	tr.Begin("collective", name)
+	return func() { tr.End(trace.Arg{Key: "recv_words", Val: int64(st.RecvWords)}) }
+}
+
+// round wraps one exchange step in a structural span.
+func round(c *comm.Comm, i int) func() {
+	tr := c.Tracer()
+	if tr == nil {
+		return func() {}
+	}
+	tr.Begin("round", "round", trace.Arg{Key: "i", Val: int64(i)})
+	return func() { tr.End() }
+}
+
 // Stats reports what one rank observed during a collective.
 type Stats struct {
 	RecvWords int // payload words received (vertices, in BFS terms)
@@ -151,10 +174,12 @@ func AllGather(c *comm.Comm, g comm.Group, o Opts, data []uint32) ([][]uint32, S
 	if size == 1 {
 		return out, st
 	}
+	done := span(c, "allgather", &st)
 	next := g.World(g.Next(g.Me))
 	prev := g.World(g.Prev(g.Me))
 	piece := data
 	for step := 0; step < size-1; step++ {
+		stepDone := round(c, step)
 		c.SendChunked(next, o.Tag+step, piece, o.Chunk)
 		piece = c.RecvChunked(prev, o.Tag+step, o.Chunk)
 		srcIdx := g.Me - step - 1
@@ -163,7 +188,9 @@ func AllGather(c *comm.Comm, g comm.Group, o Opts, data []uint32) ([][]uint32, S
 		}
 		out[srcIdx] = piece
 		st.RecvWords += len(piece)
+		stepDone()
 	}
+	done()
 	return out, st
 }
 
@@ -180,13 +207,17 @@ func AllToAll(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uint32, 
 	out := make([][]uint32, size)
 	out[g.Me] = send[g.Me]
 	var st Stats
+	done := span(c, "alltoall", &st)
 	for step := 1; step < size; step++ {
+		stepDone := round(c, step)
 		to := (g.Me + step) % size
 		from := (g.Me - step + size) % size
 		c.SendChunked(g.World(to), o.Tag+step, send[to], o.Chunk)
 		out[from] = c.RecvChunked(g.World(from), o.Tag+step, o.Chunk)
 		st.RecvWords += len(out[from])
+		stepDone()
 	}
+	done()
 	return out, st
 }
 
@@ -196,7 +227,10 @@ func AllToAll(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([][]uint32, 
 // happens after receipt (no in-flight reduction), so Dups counts local
 // merge savings only; contrast with TwoPhaseFold.
 func ReduceScatterUnion(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32, Stats) {
-	parts, st := AllToAll(c, g, o, encodeSends(g, o.Codec, send))
+	var st Stats
+	done := span(c, "rs-union", &st)
+	parts, ast := AllToAll(c, g, o, encodeSends(g, o.Codec, send))
+	st = ast
 	decodeParts(g, o.Codec, parts)
 	acc := append([]uint32(nil), parts[g.Me]...)
 	for i, p := range parts {
@@ -207,6 +241,7 @@ func ReduceScatterUnion(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]
 		acc, d = localindex.UnionInto(acc, p)
 		st.Dups += d
 	}
+	done()
 	return acc, st
 }
 
@@ -218,6 +253,7 @@ func Broadcast(c *comm.Comm, g comm.Group, o Opts, root int, data []uint32) ([]u
 	if size == 1 {
 		return data, st
 	}
+	done := span(c, "bcast", &st)
 	// Position relative to root along the ring.
 	rel := (g.Me - root + size) % size
 	if rel != 0 {
@@ -227,5 +263,6 @@ func Broadcast(c *comm.Comm, g comm.Group, o Opts, root int, data []uint32) ([]u
 	if rel != size-1 {
 		c.SendChunked(g.World(g.Next(g.Me)), o.Tag, data, o.Chunk)
 	}
+	done()
 	return data, st
 }

@@ -82,6 +82,8 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 	if size == 1 {
 		return append([]uint32(nil), send[0]...), st
 	}
+	done := span(c, "twophase-fold", &st)
+	tr := c.Tracer()
 	a, b := FactorGrid(size)
 	row, col := g.Me/b, g.Me%b
 
@@ -103,9 +105,11 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 	// cheaper); NoUnion skips the codec because its in-transit payloads
 	// are merged multisets with no set encoding.
 	if b > 1 {
+		tr.Begin("phase", "phase1")
 		next := g.World(row*b + (col+1)%b)
 		prev := g.World(row*b + (col-1+b)%b)
 		for s := 0; s < b-1; s++ {
+			stepDone := round(c, s)
 			sendIdx := (col - s + b) % b
 			recvIdx := (col - s - 1 + b) % b
 			c.SendChunked(next, o.Tag+s, encodeBundle(foldWireSets(o, a, b, sendIdx, chunks[sendIdx])), o.Chunk)
@@ -122,7 +126,9 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 				chunks[recvIdx][i], d = localindex.UnionSorted(chunks[recvIdx][i], incoming[i])
 				st.Dups += d
 			}
+			stepDone()
 		}
+		tr.End()
 	}
 	// This rank now owns the fully reduced bundle for its grid column.
 	mine := chunks[(col+1)%b]
@@ -132,8 +138,12 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 	// transfers fly concurrently (phase 1's ring is serially dependent —
 	// each step forwards what the previous one merged — and stays
 	// synchronous either way).
+	tr.Begin("phase", "phase2")
 	if o.Async {
-		return twoPhaseFoldPhase2Async(c, g, o, a, b, row, col, mine, &st), st
+		acc := twoPhaseFoldPhase2Async(c, g, o, a, b, row, col, mine, &st)
+		tr.End()
+		done()
+		return acc, st
 	}
 	acc := append([]uint32(nil), mine[row]...)
 	tag2 := o.Tag + 1<<20
@@ -170,6 +180,8 @@ func TwoPhaseFold(c *comm.Comm, g comm.Group, o Opts, send [][]uint32) ([]uint32
 	if o.NoUnion {
 		acc, _ = localindex.SortSet(acc)
 	}
+	tr.End()
+	done()
 	return acc, st
 }
 
@@ -236,10 +248,13 @@ func TwoPhaseExpand(c *comm.Comm, g comm.Group, o Opts, data []uint32) ([][]uint
 	if size == 1 {
 		return out, st
 	}
+	done := span(c, "twophase-expand", &st)
+	tr := c.Tracer()
 	a, b := FactorGrid(size)
 	row, col := g.Me/b, g.Me%b
 
 	// Phase 1: exchange within my grid column (stride-b members).
+	tr.Begin("phase", "phase1")
 	colSets := make([][]uint32, a)
 	colSets[row] = data
 	for i := 0; i < a; i++ {
@@ -256,6 +271,7 @@ func TwoPhaseExpand(c *comm.Comm, g comm.Group, o Opts, data []uint32) ([][]uint
 		st.RecvWords += len(colSets[i])
 		out[i*b+col] = colSets[i]
 	}
+	tr.End()
 
 	// Phase 2: circulate bundles along my grid-row ring. The bundle I
 	// forward at step s originated at grid column (col-s); receivers
@@ -263,6 +279,7 @@ func TwoPhaseExpand(c *comm.Comm, g comm.Group, o Opts, data []uint32) ([][]uint
 	// each hop ships the cheaper of the plain framed bundle and the
 	// merged recompression (see bundleForWire).
 	if b > 1 {
+		tr.Begin("phase", "phase2")
 		next := g.World(row*b + (col+1)%b)
 		prev := g.World(row*b + (col-1+b)%b)
 		tag2 := o.Tag + 1<<20
@@ -271,6 +288,7 @@ func TwoPhaseExpand(c *comm.Comm, g comm.Group, o Opts, data []uint32) ([][]uint
 		// framing — plain or merged — is chosen once, at its first hop).
 		wire := bundleForWire(o, g, col, colSets)
 		for s := 0; s < b-1; s++ {
+			stepDone := round(c, s)
 			c.SendChunked(next, tag2+s, wire, o.Chunk)
 			buf := c.RecvChunked(prev, tag2+s, o.Chunk)
 			st.RecvWords += len(buf)
@@ -280,8 +298,11 @@ func TwoPhaseExpand(c *comm.Comm, g comm.Group, o Opts, data []uint32) ([][]uint
 			for i := 0; i < a; i++ {
 				out[i*b+srcCol] = bundle[i]
 			}
+			stepDone()
 		}
+		tr.End()
 	}
+	done()
 	return out, st
 }
 

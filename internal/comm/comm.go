@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/torus"
+	"repro/internal/trace"
 )
 
 // messageHeaderBytes models the per-message envelope (tag, length,
@@ -31,6 +32,12 @@ type Comm struct {
 	// its last posted send; offloaded departures serialize through it.
 	copSendFree float64
 
+	// tr records spans for every ledger charge when a trace.Recorder is
+	// bound to the world; nil (all methods no-ops) otherwise. Recording
+	// never charges the clock, so a traced run is clock-identical to an
+	// untraced one.
+	tr *trace.Tracer
+
 	bytesSent uint64
 	msgsSent  uint64
 	bytesRecv uint64
@@ -43,6 +50,11 @@ type Comm struct {
 
 // Rank returns this rank's id in [0, P).
 func (c *Comm) Rank() int { return c.rank }
+
+// Tracer returns this rank's span tracer — nil (and safe to call) when
+// the world has no recorder bound. Collectives and engines use it for
+// their structural spans.
+func (c *Comm) Tracer() *trace.Tracer { return c.tr }
 
 // Model returns the world's cost model, for explicit compute charges.
 func (c *Comm) Model() torus.CostModel { return c.world.model }
@@ -88,8 +100,10 @@ func (c *Comm) HopBytes() uint64 { return c.hopBytes }
 
 // Compute advances the simulated clock by d seconds of computation.
 func (c *Comm) Compute(d float64) {
+	t0 := c.clock
 	c.clock += d
 	c.compTime += d
+	c.tr.Cost("compute", trace.KindComp, t0, c.clock)
 }
 
 // ChargeItems advances the clock by n items at unit cost each; a
@@ -109,8 +123,10 @@ func (c *Comm) Send(dst, tag int, data []uint32) {
 		panic(fmt.Sprintf("comm: rank %d sending to itself (tag %d)", c.rank, tag))
 	}
 	bytes := messageHeaderBytes + 4*len(data)
+	t0 := c.clock
 	c.clock += c.world.model.SendOverhead
 	c.commTime += c.world.model.SendOverhead
+	c.tr.Cost("send", trace.KindComm, t0, c.clock)
 	c.bytesSent += uint64(bytes)
 	c.msgsSent++
 	c.world.mail[dst][c.rank].push(message{tag: tag, data: data, departure: c.clock})
@@ -131,12 +147,14 @@ func (c *Comm) Recv(src, tag int) []uint32 {
 	c.recordRoute(src, bytes)
 	transit := c.world.model.Transit(hops, bytes)
 	arrival := msg.departure + transit
+	t0 := c.clock
 	if arrival > c.clock {
 		c.commTime += arrival - c.clock
 		c.clock = arrival
 	}
 	c.clock += c.world.model.RecvOverhead
 	c.commTime += c.world.model.RecvOverhead
+	c.tr.Cost("recv", trace.KindComm, t0, c.clock)
 	c.bytesRecv += uint64(bytes)
 	c.msgsRecv++
 	return msg.data
@@ -154,6 +172,7 @@ func (c *Comm) SendRecv(partner, tag int, data []uint32) []uint32 {
 // simulated clocks to the maximum plus a log2(P)-stage tree latency.
 func (c *Comm) Barrier() {
 	_, clk := c.world.barrier.enter(c.rank, c.clock, 0, opMax, c.world.model, c.world.P)
+	c.tr.Cost("barrier", trace.KindComm, c.clock, clk)
 	c.commTime += clk - c.clock
 	c.clock = clk
 }

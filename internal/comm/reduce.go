@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/torus"
+	"repro/internal/trace"
 )
 
 // Reduction op codes for the clock-synchronizing allreduce. The real
@@ -127,6 +128,7 @@ func combine(a, v uint64, op reduceOp) uint64 {
 
 func (c *Comm) allreduce(val uint64, op reduceOp) uint64 {
 	res, clk := c.world.barrier.enter(c.rank, c.clock, val, op, c.world.model, c.world.P)
+	c.tr.Cost("allreduce", trace.KindComm, c.clock, clk)
 	c.commTime += clk - c.clock
 	c.clock = clk
 	return res

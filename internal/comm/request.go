@@ -1,6 +1,10 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // Nonblocking point-to-point operations, modeled on BlueGene/L's
 // co-processor mode: a posted transfer is handed to the communication
@@ -75,6 +79,7 @@ func (c *Comm) sendOffloaded(dst, tag int, data []uint32) {
 	c.copSendFree = departure
 	c.commTime += oS
 	c.overlapTime += oS
+	c.tr.Cost("isend", trace.KindOverlap, start, departure)
 	bytes := messageHeaderBytes + 4*len(data)
 	c.bytesSent += uint64(bytes)
 	c.msgsSent++
@@ -182,7 +187,11 @@ func (c *Comm) receiveOffloaded(src, tag int, ref float64) ([]uint32, float64) {
 	if hidden < 0 {
 		hidden = 0
 	}
+	if hidden > 0 {
+		c.tr.Cost("irecv", trace.KindOverlap, start, start+hidden)
+	}
 	if ready > c.clock {
+		c.tr.Cost("wait", trace.KindComm, c.clock, ready)
 		c.commTime += ready - c.clock
 		c.clock = ready
 	}

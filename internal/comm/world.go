@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/torus"
+	"repro/internal/trace"
 )
 
 // message is a point-to-point payload with its simulated departure time.
@@ -35,6 +36,10 @@ type World struct {
 
 	// Central structures for clock-synchronizing operations.
 	barrier *clockBarrier
+
+	// tracer, when non-nil, has one Tracer bound per rank at the next
+	// Run and records every ledger charge as a span.
+	tracer *trace.Recorder
 
 	mu       sync.Mutex
 	panicked error
@@ -87,6 +92,11 @@ func (w *World) Model() torus.CostModel { return w.model }
 // Mapping returns the rank placement.
 func (w *World) Mapping() *torus.Mapping { return w.mapping }
 
+// SetTrace installs (nil removes) the span recorder the next Run binds
+// its ranks to. A Recorder holds one run; engines install the
+// configured recorder at entry and remove it when done.
+func (w *World) SetTrace(r *trace.Recorder) { w.tracer = r }
+
 // Run executes body as an SPMD program: one goroutine per rank, each
 // receiving its own Comm. It returns the per-rank Comms (for reading
 // counters) after all ranks finish. A panic on any rank is recovered,
@@ -97,6 +107,10 @@ func (w *World) Run(body func(c *Comm)) ([]*Comm, error) {
 	comms := make([]*Comm, w.P)
 	for r := range comms {
 		comms[r] = &Comm{world: w, rank: r}
+		if w.tracer != nil {
+			c := comms[r]
+			c.tr = w.tracer.Bind(r, func() float64 { return c.clock })
+		}
 	}
 	var wg sync.WaitGroup
 	wg.Add(w.P)
@@ -117,6 +131,7 @@ func (w *World) Run(body func(c *Comm)) ([]*Comm, error) {
 				}
 			}()
 			body(c)
+			c.tr.Finish(c.clock, c.compTime, c.commTime, c.overlapTime)
 		}(comms[r])
 	}
 	wg.Wait()

@@ -1,0 +1,259 @@
+// Package metrics is a lightweight counter/gauge/histogram registry —
+// the single source of truth the CLI tools (and the future graphd
+// service) read run statistics from. Engines publish into a Registry
+// after a run: words moved per codec container, direction switches,
+// relaxations, re-settles, hidden-communication seconds. Instruments
+// are atomic so future intra-rank parallelism can update them from
+// many goroutines; snapshots are deterministic (sorted by name) in
+// both the text and JSON forms.
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 panics: counters only grow).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("metrics: counter decrement by %d", n))
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float-valued instrument holding the latest observation.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Max raises the gauge to v if v is larger.
+func (g *Gauge) Max(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed upper-bound buckets plus a
+// +Inf overflow, tracking count and sum like a Prometheus histogram.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; counts has len(bounds)+1
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the cumulative count at or below each bound (the
+// last entry, bound +Inf, equals Count()).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	bounds = h.bounds
+	cumulative = make([]int64, len(h.counts))
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return bounds, cumulative
+}
+
+// TimeBuckets are the default bounds (seconds) for simulated-time
+// histograms: two decades around the millisecond regime the cost model
+// produces per level.
+var TimeBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// Registry holds named instruments. Instruments are created on first
+// use and never removed; names follow the prometheus-ish
+// family_unit_suffix convention (bfs_expand_words_total,
+// sssp_hidden_frac, ...).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bounds on first use (later calls reuse the existing
+// instrument and ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+func (r *Registry) sortedNames() (counters, gauges, hists []string) {
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range r.histograms {
+		hists = append(hists, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return
+}
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Text renders the registry as a deterministic name-per-line snapshot.
+func (r *Registry) Text() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters, gauges, hists := r.sortedNames()
+	var buf bytes.Buffer
+	for _, n := range counters {
+		fmt.Fprintf(&buf, "%s %d\n", n, r.counters[n].Value())
+	}
+	for _, n := range gauges {
+		fmt.Fprintf(&buf, "%s %s\n", n, fnum(r.gauges[n].Value()))
+	}
+	for _, n := range hists {
+		h := r.histograms[n]
+		fmt.Fprintf(&buf, "%s_count %d\n", n, h.Count())
+		fmt.Fprintf(&buf, "%s_sum %s\n", n, fnum(h.Sum()))
+		bounds, cum := h.Buckets()
+		for i, b := range bounds {
+			fmt.Fprintf(&buf, "%s_bucket{le=%q} %d\n", n, fnum(b), cum[i])
+		}
+		fmt.Fprintf(&buf, "%s_bucket{le=\"+Inf\"} %d\n", n, cum[len(cum)-1])
+	}
+	return buf.String()
+}
+
+// JSON renders the registry as a deterministic JSON object with
+// "counters", "gauges", and "histograms" sections.
+func (r *Registry) JSON() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters, gauges, hists := r.sortedNames()
+	var buf bytes.Buffer
+	buf.WriteString("{\n  \"counters\": {")
+	for i, n := range counters {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "\n    %s: %d", strconv.Quote(n), r.counters[n].Value())
+	}
+	buf.WriteString("\n  },\n  \"gauges\": {")
+	for i, n := range gauges {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "\n    %s: %s", strconv.Quote(n), fnum(r.gauges[n].Value()))
+	}
+	buf.WriteString("\n  },\n  \"histograms\": {")
+	for i, n := range hists {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		h := r.histograms[n]
+		bounds, cum := h.Buckets()
+		fmt.Fprintf(&buf, "\n    %s: {\"count\": %d, \"sum\": %s, \"bounds\": [", strconv.Quote(n), h.Count(), fnum(h.Sum()))
+		for j, b := range bounds {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(fnum(b))
+		}
+		buf.WriteString("], \"cumulative\": [")
+		for j, cv := range cum {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(strconv.FormatInt(cv, 10))
+		}
+		buf.WriteString("]}")
+	}
+	buf.WriteString("\n  }\n}\n")
+	return buf.Bytes()
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bfs_runs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("bfs_runs_total") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("load")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+	g.Max(1.0) // lower: no change
+	if g.Value() != 2.5 {
+		t.Fatalf("Max lowered the gauge to %g", g.Value())
+	}
+	g.Max(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("Max did not raise the gauge: %g", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("exec_seconds", []float64{1, 10})
+	for _, v := range []float64{0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 55.5 {
+		t.Fatalf("count %d sum %g, want 3 and 55.5", h.Count(), h.Sum())
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 2 || bounds[0] != 1 || bounds[1] != 10 {
+		t.Fatalf("bounds %v", bounds)
+	}
+	if cum[0] != 1 || cum[1] != 2 || cum[2] != 3 {
+		t.Fatalf("cumulative %v, want [1 2 3]", cum)
+	}
+	// Re-creation with different bounds reuses the existing instrument.
+	if h2 := r.Histogram("exec_seconds", []float64{99}); h2 != h {
+		t.Fatal("same name returned a different histogram")
+	}
+}
+
+// fill populates a registry in the given key order; snapshots must not
+// depend on insertion order.
+func fill(r *Registry, order []string) {
+	for _, n := range order {
+		r.Counter(n).Add(7)
+	}
+	r.Gauge("z_gauge").Set(0.25)
+	r.Gauge("a_gauge").Set(4)
+	r.Histogram("h_seconds", TimeBuckets).Observe(2e-3)
+}
+
+func TestSnapshotsDeterministic(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	fill(a, []string{"b_total", "a_total", "c_total"})
+	fill(b, []string{"c_total", "b_total", "a_total"})
+	if a.Text() != b.Text() {
+		t.Fatal("Text snapshot depends on insertion order")
+	}
+	if string(a.JSON()) != string(b.JSON()) {
+		t.Fatal("JSON snapshot depends on insertion order")
+	}
+}
+
+func TestTextFormat(t *testing.T) {
+	r := NewRegistry()
+	fill(r, []string{"a_total"})
+	text := r.Text()
+	for _, want := range []string{
+		"a_total 7\n",
+		"a_gauge 4\n",
+		"z_gauge 0.25\n",
+		"h_seconds_count 1\n",
+		"h_seconds_sum 0.002\n",
+		`h_seconds_bucket{le="0.01"} 1`,
+		`h_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Text snapshot missing %q:\n%s", want, text)
+		}
+	}
+	// Counters sort before gauges before histograms, each alphabetical.
+	if strings.Index(text, "a_total") > strings.Index(text, "a_gauge") {
+		t.Fatal("counters do not precede gauges")
+	}
+}
+
+func TestJSONWellFormed(t *testing.T) {
+	r := NewRegistry()
+	fill(r, []string{"a_total"})
+	var doc struct {
+		Counters   map[string]int64   `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count      int64     `json:"count"`
+			Sum        float64   `json:"sum"`
+			Bounds     []float64 `json:"bounds"`
+			Cumulative []int64   `json:"cumulative"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(r.JSON(), &doc); err != nil {
+		t.Fatalf("JSON snapshot does not parse: %v\n%s", err, r.JSON())
+	}
+	if doc.Counters["a_total"] != 7 || doc.Gauges["z_gauge"] != 0.25 {
+		t.Fatalf("decoded snapshot %+v", doc)
+	}
+	h := doc.Histograms["h_seconds"]
+	if h.Count != 1 || h.Sum != 2e-3 || len(h.Cumulative) != len(h.Bounds)+1 {
+		t.Fatalf("decoded histogram %+v", h)
+	}
+}

@@ -1,0 +1,35 @@
+package search
+
+import (
+	"repro/internal/frontier"
+	"repro/internal/metrics"
+)
+
+// PublishContainers publishes a run's wire-codec container histogram —
+// how many payloads shipped raw, as whole-universe bitmaps, or as
+// hybrid chunk streams, and which container each encoded chunk chose —
+// as prefixed counters (prefix is the algorithm family, "bfs"/"sssp").
+func PublishContainers(reg *metrics.Registry, prefix string, h frontier.ContainerHist) {
+	reg.Counter(prefix + "_payloads_raw_total").Add(h.RawPayloads)
+	reg.Counter(prefix + "_payloads_dense_total").Add(h.DensePayloads)
+	reg.Counter(prefix + "_payloads_hybrid_total").Add(h.HybridPayloads)
+	reg.Counter(prefix + "_chunks_empty_total").Add(h.EmptyChunks)
+	reg.Counter(prefix + "_chunks_list_total").Add(h.ListChunks)
+	reg.Counter(prefix + "_chunks_bitmap_total").Add(h.BitmapChunks)
+	reg.Counter(prefix + "_chunks_run_total").Add(h.RunChunks)
+	reg.Counter(prefix + "_chunks_packed_total").Add(h.PackedChunks)
+}
+
+// PublishSim publishes the shared simulated-time gauges: total clock,
+// communication seconds, the hidden (overlapped) subset, and the
+// hidden fraction.
+func PublishSim(reg *metrics.Registry, prefix string, simTime, simComm, simOverlap float64) {
+	reg.Gauge(prefix + "_sim_time_s").Set(simTime)
+	reg.Gauge(prefix + "_sim_comm_s").Set(simComm)
+	reg.Gauge(prefix + "_sim_overlap_s").Set(simOverlap)
+	hidden := 0.0
+	if simComm > 0 {
+		hidden = simOverlap / simComm
+	}
+	reg.Gauge(prefix + "_hidden_frac").Set(hidden)
+}

@@ -8,7 +8,11 @@
 // per-algorithm forks.
 package search
 
-import "repro/internal/frontier"
+import (
+	"repro/internal/frontier"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
 
 // DefaultChunkWords is the paper's fixed 16Ki-word message buffer
 // (§3.1), the production chunking every algorithm defaults to.
@@ -42,6 +46,17 @@ type Common struct {
 	// OverlapS / hidden-fraction statistics — improves. On by default;
 	// disable for the phase-synchronous baseline.
 	Async bool
+	// Trace, when non-nil, records every simulated-clock charge and
+	// every collective/engine phase of the run as spans (see
+	// internal/trace). Recording is observation only — the simulated
+	// clock is identical with and without it. A Recorder holds one run;
+	// reusing it across runs keeps only the last.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, receives the run's statistics as
+	// counters/gauges/histograms after the run completes (see
+	// internal/metrics) — the snapshot bfsrun -metrics and benchjson
+	// read.
+	Metrics *metrics.Registry
 }
 
 // Defaults returns the shared production configuration: legacy sparse

@@ -217,7 +217,7 @@ func runRank(e engine, opts Options) ([]epochRec, *rankState) {
 				break
 			}
 			rec := epochRec{bucket: k, phase: PhaseLight, active: len(active)}
-			tme := newEpochTimer(c)
+			tme := newEpochTimer(c, &rec)
 			st.settle(active, &rec)
 			rvs, rds := e.scatter(active, st.distsOf(active), true, st.delta, tagSeq*64, &rec)
 			tagSeq++
@@ -230,7 +230,7 @@ func runRank(e engine, opts Options) ([]epochRec, *rankState) {
 			heavy := append([]uint32(nil), st.removed...)
 			heavy, _ = localindex.SortSet(heavy)
 			rec := epochRec{bucket: k, phase: PhaseHeavy, active: len(heavy)}
-			tme := newEpochTimer(c)
+			tme := newEpochTimer(c, &rec)
 			rvs, rds := e.scatter(heavy, st.distsOf(heavy), false, st.delta, tagSeq*64, &rec)
 			tagSeq++
 			c.ChargeItems(len(rvs), model.VertexCost)
@@ -285,6 +285,8 @@ func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, e
 	perRank := make([][]epochRec, w.P)
 	dists := make([][]uint32, w.P)
 	deltas := make([]uint32, w.P)
+	w.SetTrace(opts.Trace)
+	defer w.SetTrace(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		e := newEngine2D(c, stores[c.Rank()], opts)
@@ -304,6 +306,7 @@ func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, e
 	for r, st := range stores {
 		copy(res.Dist[int(st.Lo):int(st.Lo)+st.OwnedCount()], dists[r])
 	}
+	publishMetrics(opts.Metrics, res)
 	return res, nil
 }
 
@@ -323,6 +326,8 @@ func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, e
 	perRank := make([][]epochRec, w.P)
 	dists := make([][]uint32, w.P)
 	deltas := make([]uint32, w.P)
+	w.SetTrace(opts.Trace)
+	defer w.SetTrace(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		e := newEngine1D(c, stores[c.Rank()], opts)
@@ -342,5 +347,6 @@ func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, e
 	for r, st := range stores {
 		copy(res.Dist[int(st.Lo):int(st.Lo)+st.OwnedCount()], dists[r])
 	}
+	publishMetrics(opts.Metrics, res)
 	return res, nil
 }

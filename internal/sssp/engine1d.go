@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/torus"
+	"repro/internal/trace"
 )
 
 // engine1D holds one rank's storage handles for Δ-stepping under the
@@ -77,6 +78,8 @@ func (e *engine1D) scatterSync(vs, ds []uint32, light bool, delta uint32, tag in
 	p := e.world.Size()
 	binV := make([][]uint32, p)
 	binD := make([][]uint32, p)
+	tr := e.c.Tracer()
+	tr.Begin("engine", "scan")
 	scanned := 0
 	for idx, gv := range vs {
 		li := e.st.LocalOf(graph.Vertex(gv))
@@ -99,6 +102,7 @@ func (e *engine1D) scatterSync(vs, ds []uint32, light bool, delta uint32, tag in
 	}
 	rec.edges += scanned
 	e.c.ChargeItems(scanned, e.model.EdgeCost)
+	tr.End(trace.Arg{Key: "edges", Val: int64(scanned)})
 	for q := range binV {
 		var d int
 		binV[q], binD[q], d = dedupMin(binV[q], binD[q])

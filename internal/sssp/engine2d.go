@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/torus"
+	"repro/internal/trace"
 )
 
 // engine2D holds one rank's storage handles for Δ-stepping under the
@@ -141,6 +142,8 @@ func (e *engine2D) scatterSync(vs, ds []uint32, light bool, delta uint32, tag in
 			}
 		}
 	}
+	tr := e.c.Tracer()
+	tr.Begin("engine", "scan")
 	pairCount := 0
 	for i, p := range parts {
 		var avs, ads []uint32
@@ -156,6 +159,7 @@ func (e *engine2D) scatterSync(vs, ds []uint32, light bool, delta uint32, tag in
 	rec.edges += scanned
 	e.c.ChargeItems(scanned, e.model.EdgeCost)
 	e.c.ChargeItems(int(e.st.ColMap.Probes()-probes0), e.model.HashCost)
+	tr.End(trace.Arg{Key: "edges", Val: int64(scanned)})
 
 	// Local minimum-merge per destination ("merged to form N" with a
 	// min instead of a union), then the row exchange to the owners.

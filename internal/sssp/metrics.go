@@ -1,0 +1,30 @@
+package sssp
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/search"
+)
+
+// publishMetrics folds a finished run's statistics into the registry
+// (no-op when reg is nil). Counters accumulate across runs sharing a
+// registry; gauges hold the last run's values.
+func publishMetrics(reg *metrics.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("sssp_runs_total").Inc()
+	reg.Counter("sssp_epochs_total").Add(int64(res.Epochs))
+	reg.Counter("sssp_buckets_drained_total").Add(int64(res.BucketsDrained))
+	reg.Counter("sssp_expand_words_total").Add(res.TotalExpandWords)
+	reg.Counter("sssp_fold_words_total").Add(res.TotalFoldWords)
+	reg.Counter("sssp_relaxations_total").Add(res.TotalRelaxations)
+	reg.Counter("sssp_resettles_total").Add(res.TotalReSettles)
+	reg.Counter("sssp_edges_scanned_total").Add(res.TotalEdgesScanned)
+	search.PublishContainers(reg, "sssp", res.Containers)
+	search.PublishSim(reg, "sssp", res.SimTime, res.SimComm, res.SimOverlap)
+	reg.Gauge("sssp_delta").Set(float64(res.Delta))
+	h := reg.Histogram("sssp_epoch_exec_seconds", metrics.TimeBuckets)
+	for _, es := range res.PerEpoch {
+		h.Observe(es.ExecS)
+	}
+}

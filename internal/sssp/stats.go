@@ -7,6 +7,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/frontier"
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // Phase labels one epoch's edge class.
@@ -157,7 +158,8 @@ type epochTimer struct {
 	clock, comm, overlap float64
 }
 
-func newEpochTimer(c *comm.Comm) epochTimer {
+func newEpochTimer(c *comm.Comm, rec *epochRec) epochTimer {
+	c.Tracer().Begin("epoch", rec.phase.String(), trace.Arg{Key: "bucket", Val: int64(rec.bucket)})
 	return epochTimer{c: c, clock: c.Clock(), comm: c.CommTime(), overlap: c.OverlapTime()}
 }
 
@@ -165,6 +167,14 @@ func (t epochTimer) record(rec *epochRec) {
 	rec.execS = t.c.Clock() - t.clock
 	rec.commS = t.c.CommTime() - t.comm
 	rec.overlapS = t.c.OverlapTime() - t.overlap
+	t.c.Tracer().End(
+		trace.Arg{Key: "active", Val: int64(rec.active)},
+		trace.Arg{Key: "expand_words", Val: int64(rec.expandWords)},
+		trace.Arg{Key: "fold_words", Val: int64(rec.foldWords)},
+		trace.Arg{Key: "relaxations", Val: int64(rec.relax)},
+		trace.Arg{Key: "resettles", Val: int64(rec.resettles)},
+		trace.Arg{Key: "edges", Val: int64(rec.edges)},
+	)
 }
 
 // mergeStats combines per-rank per-epoch records into global

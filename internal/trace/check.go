@@ -1,0 +1,392 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// tracecheck: re-derive the cost-model invariants from an exported
+// trace alone, with no access to the run that produced it. A valid
+// trace satisfies, per rank:
+//
+//  1. Main-track cost spans are non-overlapping and lie within
+//     [0, clock]; because every clock advance in the comm layer is
+//     covered by exactly one cost span, they tile the clock:
+//     sum(comp spans) + sum(comm spans) == clock.
+//  2. The ledger decomposition: sum(comp spans) == comp,
+//     sum(comm spans) + sum(overlap spans) == comm,
+//     sum(overlap spans) == overlap — which together re-derive the
+//     PR 5 invariant clock == comp + comm - overlap, and
+//     overlap <= comm.
+//  3. Main-track spans nest properly: any two either are disjoint or
+//     one contains the other (structural spans and coalesced cost
+//     spans never partially overlap).
+//  4. Every rank records the same number of level (and epoch) spans,
+//     in the same order as the engine's per-level statistics.
+//
+// Float comparisons use a relative tolerance (Tolerance x clock) that
+// absorbs the microsecond round-trip of the Chrome format and float
+// summation order; the per-level word counts are integer span args and
+// re-derive exactly.
+
+// Tolerance is the relative float tolerance of Check: comparisons of
+// simulated seconds must agree within Tolerance x max(1, clock).
+const Tolerance = 1e-9
+
+// PEvent is one parsed trace event, times in simulated seconds.
+type PEvent struct {
+	Rank int
+	Tid  int
+	Cat  string
+	Name string
+	T0   float64
+	T1   float64
+	Args map[string]int64
+}
+
+// Doc is a parsed trace file.
+type Doc struct {
+	Meta   map[string]string
+	Events []PEvent        // "X" spans, file order
+	Totals map[int]*Totals // per-rank final ledgers
+}
+
+type chromeEvent struct {
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Cat  string  `json:"cat"`
+	Name string  `json:"name"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	// Args stay raw until the phase is known: metadata events carry
+	// string args, span events integer args, totals events floats.
+	Args map[string]json.RawMessage `json:"args"`
+}
+
+func numArg(raw json.RawMessage) (json.Number, error) {
+	var n json.Number
+	if err := json.Unmarshal(raw, &n); err != nil {
+		return "", err
+	}
+	return n, nil
+}
+
+type chromeFile struct {
+	OtherData   map[string]string `json:"otherData"`
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+}
+
+// Parse decodes a Chrome trace-event JSON file produced by
+// WriteChrome (or an equivalent layout) back into spans keyed to
+// simulated seconds.
+func Parse(data []byte) (*Doc, error) {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("trace: parse: %w", err)
+	}
+	doc := &Doc{Meta: f.OtherData, Totals: map[int]*Totals{}}
+	for i, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "I":
+			if ev.Name != totalsName {
+				continue
+			}
+			tt := &Totals{}
+			for _, field := range []struct {
+				key string
+				dst *float64
+			}{
+				{"clock_s", &tt.Clock}, {"comp_s", &tt.Comp}, {"comm_s", &tt.Comm}, {"overlap_s", &tt.Overlap},
+			} {
+				raw, ok := ev.Args[field.key]
+				if !ok {
+					return nil, fmt.Errorf("trace: event %d: totals missing %s", i, field.key)
+				}
+				v, err := numArg(raw)
+				if err != nil {
+					return nil, fmt.Errorf("trace: event %d: totals %s: %w", i, field.key, err)
+				}
+				x, err := v.Float64()
+				if err != nil {
+					return nil, fmt.Errorf("trace: event %d: totals %s: %w", i, field.key, err)
+				}
+				*field.dst = x
+			}
+			if _, dup := doc.Totals[ev.Pid]; dup {
+				return nil, fmt.Errorf("trace: rank %d has duplicate totals", ev.Pid)
+			}
+			doc.Totals[ev.Pid] = tt
+		case "X":
+			p := PEvent{
+				Rank: ev.Pid, Tid: ev.Tid, Cat: ev.Cat, Name: ev.Name,
+				T0: ev.Ts / 1e6, T1: (ev.Ts + ev.Dur) / 1e6,
+			}
+			if ev.Dur < 0 {
+				return nil, fmt.Errorf("trace: event %d (%s): negative duration", i, ev.Name)
+			}
+			if len(ev.Args) > 0 {
+				p.Args = make(map[string]int64, len(ev.Args))
+				for k, raw := range ev.Args {
+					v, err := numArg(raw)
+					if err != nil {
+						return nil, fmt.Errorf("trace: event %d (%s): arg %s not a number: %w", i, ev.Name, k, err)
+					}
+					n, err := v.Int64()
+					if err != nil {
+						return nil, fmt.Errorf("trace: event %d (%s): arg %s not an integer: %w", i, ev.Name, k, err)
+					}
+					p.Args[k] = n
+				}
+			}
+			doc.Events = append(doc.Events, p)
+		default:
+			return nil, fmt.Errorf("trace: event %d: unsupported phase %q", i, ev.Ph)
+		}
+	}
+	return doc, nil
+}
+
+// RankTotals is one rank's ledger re-derivation.
+type RankTotals struct {
+	// Declared ledgers from the totals marker.
+	Totals
+	// Re-derived from the cost spans alone.
+	SumComp    float64 // compute spans on the main track
+	SumComm    float64 // serialized communication spans on the main track
+	SumOverlap float64 // coprocessor-track spans
+}
+
+// PhaseTotals aggregates one level or epoch across ranks: integer span
+// args summed rank-wise (exact), plus the max per-rank duration (the
+// phase's critical path).
+type PhaseTotals struct {
+	Name  string // uniform across ranks (e.g. "level", "light", "heavy")
+	Ranks int    // ranks contributing a span at this index
+	MaxS  float64
+	Args  map[string]int64
+}
+
+// Derived is everything Check re-computed from the trace.
+type Derived struct {
+	Ranks  map[int]*RankTotals
+	Levels []PhaseTotals // cat "level" spans, per-rank order aligned
+	Epochs []PhaseTotals // cat "epoch" spans, per-rank order aligned
+
+	// MaxClock / MaxComm / MaxOverlap are the across-rank maxima of the
+	// declared ledgers — the quantities a Result reports as
+	// SimTime/SimComm/SimOverlap.
+	MaxClock   float64
+	MaxComm    float64
+	MaxOverlap float64
+}
+
+func tol(clock float64) float64 { return Tolerance * math.Max(1, clock) }
+
+func approx(a, b, t float64) bool { return math.Abs(a-b) <= t }
+
+// Check verifies the parsed trace against the cost-model invariants
+// and returns the re-derived per-rank and per-phase aggregates. Any
+// violation is an error naming the rank and rule.
+func Check(doc *Doc) (*Derived, error) {
+	d := &Derived{Ranks: map[int]*RankTotals{}}
+	byRank := map[int][]PEvent{}
+	ranks := []int{}
+	for _, ev := range doc.Events {
+		if _, ok := byRank[ev.Rank]; !ok {
+			ranks = append(ranks, ev.Rank)
+		}
+		byRank[ev.Rank] = append(byRank[ev.Rank], ev)
+	}
+	sort.Ints(ranks)
+	perRankLevels := map[int][]PEvent{}
+	perRankEpochs := map[int][]PEvent{}
+	for _, rank := range ranks {
+		tt, ok := doc.Totals[rank]
+		if !ok {
+			return nil, fmt.Errorf("tracecheck: rank %d has events but no totals", rank)
+		}
+		rt := &RankTotals{Totals: *tt}
+		d.Ranks[rank] = rt
+		eps := tol(tt.Clock)
+
+		evs := byRank[rank]
+		var main []PEvent // all main-track spans, for nesting
+		for _, ev := range evs {
+			if ev.T1 < ev.T0 {
+				return nil, fmt.Errorf("tracecheck: rank %d: span %q ends before it starts", rank, ev.Name)
+			}
+			switch ev.Tid {
+			case TidOverlap:
+				if ev.Cat != "overlap" {
+					return nil, fmt.Errorf("tracecheck: rank %d: non-overlap span %q on the coprocessor track", rank, ev.Name)
+				}
+				rt.SumOverlap += ev.T1 - ev.T0
+				continue
+			case TidMain:
+			default:
+				return nil, fmt.Errorf("tracecheck: rank %d: span %q on unknown track %d", rank, ev.Name, ev.Tid)
+			}
+			main = append(main, ev)
+			switch ev.Cat {
+			case "comp":
+				rt.SumComp += ev.T1 - ev.T0
+			case "comm":
+				rt.SumComm += ev.T1 - ev.T0
+			case "overlap":
+				return nil, fmt.Errorf("tracecheck: rank %d: overlap span %q on the main track", rank, ev.Name)
+			case "level":
+				perRankLevels[rank] = append(perRankLevels[rank], ev)
+			case "epoch":
+				perRankEpochs[rank] = append(perRankEpochs[rank], ev)
+			}
+			if ev.T0 < -eps || ev.T1 > tt.Clock+eps {
+				return nil, fmt.Errorf("tracecheck: rank %d: span %q [%g, %g] outside [0, clock=%g]",
+					rank, ev.Name, ev.T0, ev.T1, tt.Clock)
+			}
+		}
+
+		// Rule 1: main-track cost spans are disjoint and tile the clock.
+		var cost []PEvent
+		for _, ev := range main {
+			if ev.Cat == "comp" || ev.Cat == "comm" {
+				cost = append(cost, ev)
+			}
+		}
+		sort.SliceStable(cost, func(i, j int) bool { return cost[i].T0 < cost[j].T0 })
+		for i := 1; i < len(cost); i++ {
+			if cost[i].T0 < cost[i-1].T1-eps {
+				return nil, fmt.Errorf("tracecheck: rank %d: cost spans %q and %q overlap at t=%g",
+					rank, cost[i-1].Name, cost[i].Name, cost[i].T0)
+			}
+		}
+		if !approx(rt.SumComp+rt.SumComm, tt.Clock, eps) {
+			return nil, fmt.Errorf("tracecheck: rank %d: cost spans sum to %g, clock is %g (gap %g)",
+				rank, rt.SumComp+rt.SumComm, tt.Clock, tt.Clock-rt.SumComp-rt.SumComm)
+		}
+
+		// Rule 2: ledger decomposition and the clock invariant.
+		if !approx(rt.SumComp, tt.Comp, eps) {
+			return nil, fmt.Errorf("tracecheck: rank %d: compute spans sum to %g, compTime is %g", rank, rt.SumComp, tt.Comp)
+		}
+		if !approx(rt.SumComm+rt.SumOverlap, tt.Comm, eps) {
+			return nil, fmt.Errorf("tracecheck: rank %d: comm %g + overlap %g spans != commTime %g",
+				rank, rt.SumComm, rt.SumOverlap, tt.Comm)
+		}
+		if !approx(rt.SumOverlap, tt.Overlap, eps) {
+			return nil, fmt.Errorf("tracecheck: rank %d: overlap spans sum to %g, overlapTime is %g", rank, rt.SumOverlap, tt.Overlap)
+		}
+		if tt.Overlap > tt.Comm+eps {
+			return nil, fmt.Errorf("tracecheck: rank %d: overlapTime %g exceeds commTime %g", rank, tt.Overlap, tt.Comm)
+		}
+		if !approx(tt.Clock, tt.Comp+tt.Comm-tt.Overlap, eps) {
+			return nil, fmt.Errorf("tracecheck: rank %d: clock %g != comp %g + comm %g - overlap %g",
+				rank, tt.Clock, tt.Comp, tt.Comm, tt.Overlap)
+		}
+
+		// Rule 3: main-track spans nest (disjoint or contained).
+		nest := append([]PEvent(nil), main...)
+		sort.SliceStable(nest, func(i, j int) bool {
+			if nest[i].T0 != nest[j].T0 {
+				return nest[i].T0 < nest[j].T0
+			}
+			return nest[i].T1 > nest[j].T1
+		})
+		var stack []PEvent
+		for _, ev := range nest {
+			for len(stack) > 0 && stack[len(stack)-1].T1 <= ev.T0+eps {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && ev.T1 > stack[len(stack)-1].T1+eps {
+				return nil, fmt.Errorf("tracecheck: rank %d: span %q [%g, %g] partially overlaps %q [%g, %g]",
+					rank, ev.Name, ev.T0, ev.T1, stack[len(stack)-1].Name, stack[len(stack)-1].T0, stack[len(stack)-1].T1)
+			}
+			stack = append(stack, ev)
+		}
+
+		if tt.Clock > d.MaxClock {
+			d.MaxClock = tt.Clock
+		}
+		if tt.Comm > d.MaxComm {
+			d.MaxComm = tt.Comm
+		}
+		if tt.Overlap > d.MaxOverlap {
+			d.MaxOverlap = tt.Overlap
+		}
+	}
+
+	// Ranks that recorded totals but no events still bound the maxima.
+	for rank, tt := range doc.Totals {
+		if _, seen := d.Ranks[rank]; seen {
+			continue
+		}
+		d.Ranks[rank] = &RankTotals{Totals: *tt}
+		if tt.Clock > d.MaxClock {
+			d.MaxClock = tt.Clock
+		}
+		if tt.Comm > d.MaxComm {
+			d.MaxComm = tt.Comm
+		}
+		if tt.Overlap > d.MaxOverlap {
+			d.MaxOverlap = tt.Overlap
+		}
+	}
+
+	// Rule 4: align level/epoch spans across ranks and sum their args.
+	var err error
+	if d.Levels, err = alignPhases("level", ranks, perRankLevels); err != nil {
+		return nil, err
+	}
+	if d.Epochs, err = alignPhases("epoch", ranks, perRankEpochs); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// alignPhases merges each rank's ordered cat-spans index-wise — the
+// same alignment the engines' mergeStats applies to per-rank records,
+// because every rank participates in every level's collectives.
+func alignPhases(cat string, ranks []int, per map[int][]PEvent) ([]PhaseTotals, error) {
+	n := 0
+	for _, evs := range per {
+		if len(evs) > n {
+			n = len(evs)
+		}
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	for _, rank := range ranks {
+		if got := len(per[rank]); got != n && got != 0 {
+			return nil, fmt.Errorf("tracecheck: rank %d records %d %s spans, others record %d", rank, got, cat, n)
+		}
+	}
+	out := make([]PhaseTotals, n)
+	for i := range out {
+		out[i].Args = map[string]int64{}
+		for _, rank := range ranks {
+			evs := per[rank]
+			if len(evs) == 0 {
+				continue
+			}
+			ev := evs[i]
+			if out[i].Ranks == 0 {
+				out[i].Name = ev.Name
+			} else if out[i].Name != ev.Name {
+				return nil, fmt.Errorf("tracecheck: %s %d: rank %d names it %q, others %q", cat, i, rank, ev.Name, out[i].Name)
+			}
+			out[i].Ranks++
+			if dur := ev.T1 - ev.T0; dur > out[i].MaxS {
+				out[i].MaxS = dur
+			}
+			for k, v := range ev.Args {
+				out[i].Args[k] += v
+			}
+		}
+	}
+	return out, nil
+}

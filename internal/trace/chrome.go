@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Chrome trace-event export. One "X" (complete) event per span with
+// ts/dur in microseconds, pid = rank, tid 0 for the main track and
+// tid 1 for the coprocessor (overlap) track; "M" metadata events name
+// the tracks and one "I" instant event per rank carries the final
+// ledger totals (full-precision seconds, the values Check verifies
+// against). The output is deterministic: same run, byte-identical
+// file — the golden-trace tests rely on this.
+
+const (
+	// TidMain is the per-rank track carrying everything that advances
+	// the simulated clock (compute, serialized communication,
+	// structural spans).
+	TidMain = 0
+	// TidOverlap is the per-rank coprocessor track carrying the
+	// communication seconds hidden under main-track activity.
+	TidOverlap = 1
+)
+
+// totalsName is the per-rank instant event carrying final ledgers.
+const totalsName = "totals"
+
+func (ev *Event) tid() int {
+	if ev.Kind == KindOverlap {
+		return TidOverlap
+	}
+	return TidMain
+}
+
+func jnum(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// usec converts simulated seconds to trace microseconds.
+func usec(sec float64) string { return jnum(sec * 1e6) }
+
+// WriteChrome writes the recorded run as Chrome trace-event JSON. It
+// fails if any structural span is still open (unbalanced Begin/End) or
+// a bound rank never finished.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.WriteString("{\"displayTimeUnit\":\"ms\",\"otherData\":{")
+	for i, k := range r.metaKeys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(strconv.Quote(k))
+		buf.WriteByte(':')
+		buf.WriteString(strconv.Quote(r.metaVals[i]))
+	}
+	buf.WriteString("},\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			buf.WriteString(",\n")
+		}
+		first = false
+		buf.WriteString(line)
+	}
+	for rank, t := range r.ranks {
+		if t == nil {
+			continue
+		}
+		if n := len(t.open); n != 0 {
+			return fmt.Errorf("trace: rank %d has %d unclosed span(s), innermost %q", rank, n, t.events[t.open[n-1]].Name)
+		}
+		if !t.hasTotals {
+			return fmt.Errorf("trace: rank %d never finished", rank)
+		}
+		emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"rank %d\"}}", rank, TidMain, rank))
+		emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"main\"}}", rank, TidMain))
+		emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"coprocessor\"}}", rank, TidOverlap))
+		for i := range t.events {
+			ev := &t.events[i]
+			var line bytes.Buffer
+			fmt.Fprintf(&line, "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"cat\":%s,\"name\":%s,\"ts\":%s,\"dur\":%s",
+				rank, ev.tid(), strconv.Quote(ev.Cat), strconv.Quote(ev.Name), usec(ev.T0), usec(ev.T1-ev.T0))
+			if len(ev.Args) > 0 {
+				line.WriteString(",\"args\":{")
+				for j, a := range ev.Args {
+					if j > 0 {
+						line.WriteByte(',')
+					}
+					line.WriteString(strconv.Quote(a.Key))
+					line.WriteByte(':')
+					line.WriteString(strconv.FormatInt(a.Val, 10))
+				}
+				line.WriteByte('}')
+			}
+			line.WriteByte('}')
+			emit(line.String())
+		}
+		emit(fmt.Sprintf("{\"ph\":\"I\",\"pid\":%d,\"tid\":%d,\"s\":\"p\",\"cat\":\"meta\",\"name\":%s,\"ts\":%s,\"args\":{\"clock_s\":%s,\"comp_s\":%s,\"comm_s\":%s,\"overlap_s\":%s}}",
+			rank, TidMain, strconv.Quote(totalsName), usec(t.totals.Clock),
+			jnum(t.totals.Clock), jnum(t.totals.Comp), jnum(t.totals.Comm), jnum(t.totals.Overlap)))
+	}
+	buf.WriteString("\n]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Chrome returns the trace-event JSON as bytes.
+func (r *Recorder) Chrome() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,212 @@
+// Package trace records per-rank spans keyed to the simulated clock,
+// so a whole search run renders as a rank x time Gantt chart. The comm
+// layer emits the cost spans (every simulated-clock advance is covered
+// by exactly one compute/send/recv/wait/barrier/allreduce span, and
+// every coprocessor-hidden second by an overlap span on a separate
+// track), the collectives emit per-operation and per-round structural
+// spans, and the engines emit level/epoch/scan spans. The recording is
+// observation only: nothing here charges the clock, so a traced run is
+// clock-identical to an untraced one.
+//
+// A Recorder exports the Chrome trace-event JSON format (one file per
+// run, loadable in Perfetto or chrome://tracing), and Check re-derives
+// the comm ledger invariant
+//
+//	clock == comp + comm - overlap
+//
+// span nesting/non-overlap rules, and the per-level word counts from
+// the trace alone — making the trace an independent witness of the
+// cost model (see tracecheck in check.go).
+package trace
+
+// Kind classifies a span.
+type Kind uint8
+
+const (
+	// KindComp is serialized computation on the rank's main track.
+	KindComp Kind = iota
+	// KindComm is serialized communication on the main track: blocking
+	// send/recv overheads, waits, barriers, and allreduce latencies
+	// that advance the clock.
+	KindComm
+	// KindOverlap is communication progressed by the modeled
+	// coprocessor concurrently with main-track activity: charged to the
+	// communication ledger and OverlapTime but never to the clock.
+	// Overlap spans live on their own track and may overlap each other
+	// (independent transfers progress concurrently).
+	KindOverlap
+	// KindSpan is a structural span opened by Begin and closed by End:
+	// collective operations and rounds, engine levels/epochs/scans.
+	KindSpan
+)
+
+// Cat returns the category cost spans of this kind export under.
+func (k Kind) Cat() string {
+	switch k {
+	case KindComp:
+		return "comp"
+	case KindComm:
+		return "comm"
+	case KindOverlap:
+		return "overlap"
+	default:
+		return "span"
+	}
+}
+
+// Arg is one integer annotation on a span (word counts, round indices,
+// frontier sizes). Integer-valued so re-derivations from the trace are
+// exact.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Event is one recorded span. T0/T1 are simulated seconds.
+type Event struct {
+	Name string
+	Cat  string
+	Kind Kind
+	T0   float64
+	T1   float64 // -1 while a structural span is still open
+	Args []Arg
+}
+
+// Totals snapshots one rank's final simulated-time ledgers.
+type Totals struct {
+	Clock   float64
+	Comp    float64
+	Comm    float64
+	Overlap float64
+}
+
+// Tracer records one rank's events. All methods are safe on a nil
+// receiver and do nothing, so instrumented code needs no guards and a
+// run without a bound Recorder pays only the nil checks. A Tracer must
+// only be used from the goroutine running its rank (events append
+// without locks, mirroring the Comm ownership rule).
+type Tracer struct {
+	rank      int
+	now       func() float64
+	events    []Event
+	open      []int // indices of open structural spans, innermost last
+	last      int   // last main-track cost event eligible for coalescing
+	totals    Totals
+	hasTotals bool
+}
+
+// Cost records a completed cost span [t0, t1]. Zero- and
+// negative-length spans are dropped (nothing was charged). Contiguous
+// main-track spans with the same name and kind coalesce into one event
+// — Begin/End reset the coalescing so a cost span never straddles a
+// structural boundary. Overlap-track spans never coalesce (their
+// intervals are not contiguous by construction).
+func (t *Tracer) Cost(name string, k Kind, t0, t1 float64) {
+	if t == nil || t1 <= t0 {
+		return
+	}
+	if k != KindOverlap && t.last >= 0 {
+		ev := &t.events[t.last]
+		if ev.Name == name && ev.Kind == k && ev.T1 == t0 {
+			ev.T1 = t1
+			return
+		}
+	}
+	t.events = append(t.events, Event{Name: name, Cat: k.Cat(), Kind: k, T0: t0, T1: t1})
+	if k != KindOverlap {
+		t.last = len(t.events) - 1
+	}
+}
+
+// Begin opens a structural span at the current simulated clock.
+func (t *Tracer) Begin(cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.last = -1
+	t.events = append(t.events, Event{Name: name, Cat: cat, Kind: KindSpan, T0: t.now(), T1: -1, Args: args})
+	t.open = append(t.open, len(t.events)-1)
+}
+
+// End closes the innermost open structural span at the current
+// simulated clock, appending args to the ones given at Begin.
+func (t *Tracer) End(args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.last = -1
+	n := len(t.open)
+	if n == 0 {
+		panic("trace: End without matching Begin")
+	}
+	idx := t.open[n-1]
+	t.open = t.open[:n-1]
+	ev := &t.events[idx]
+	ev.T1 = t.now()
+	ev.Args = append(ev.Args, args...)
+}
+
+// Finish records the rank's final ledgers; the world calls it when the
+// rank's SPMD body returns.
+func (t *Tracer) Finish(clock, comp, comm, overlap float64) {
+	if t == nil {
+		return
+	}
+	t.totals = Totals{Clock: clock, Comp: comp, Comm: comm, Overlap: overlap}
+	t.hasTotals = true
+}
+
+// Events returns the recorded events (shared slice; callers must not
+// mutate).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Recorder collects the per-rank tracers of one run plus run-level
+// metadata. It is not safe for concurrent Bind/export; the world binds
+// ranks serially before launching them and exports happen after Run
+// returns.
+type Recorder struct {
+	metaKeys []string
+	metaVals []string
+	ranks    []*Tracer
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// SetMeta sets a run-level metadata key (algo, n, seed, mesh, ...),
+// replacing any previous value. Metadata exports under otherData in
+// insertion order.
+func (r *Recorder) SetMeta(key, val string) {
+	for i, k := range r.metaKeys {
+		if k == key {
+			r.metaVals[i] = val
+			return
+		}
+	}
+	r.metaKeys = append(r.metaKeys, key)
+	r.metaVals = append(r.metaVals, val)
+}
+
+// Bind creates (or replaces) the tracer for rank, reading the
+// simulated clock through now. A Recorder holds one run: binding rank
+// 0 again discards every previously recorded rank.
+func (r *Recorder) Bind(rank int, now func() float64) *Tracer {
+	if rank == 0 && len(r.ranks) > 0 {
+		r.ranks = r.ranks[:0]
+	}
+	for len(r.ranks) <= rank {
+		r.ranks = append(r.ranks, nil)
+	}
+	t := &Tracer{rank: rank, now: now, last: -1}
+	r.ranks[rank] = t
+	return t
+}
+
+// Ranks returns the bound per-rank tracers (nil entries for ranks
+// never bound).
+func (r *Recorder) Ranks() []*Tracer { return r.ranks }

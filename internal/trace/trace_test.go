@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// synthetic builds a one-rank recorder whose ledgers are consistent:
+// comp [0,1], serialized comm [1,1.5], 0.4s hidden on the coprocessor
+// track, so clock = 1.5, comp = 1, comm = 0.9, overlap = 0.4.
+func synthetic() (*Recorder, *float64) {
+	cur := new(float64)
+	rec := NewRecorder()
+	tr := rec.Bind(0, func() float64 { return *cur })
+	tr.Begin("level", "level", Arg{Key: "frontier", Val: 10})
+	tr.Cost("compute", KindComp, 0, 1)
+	tr.Cost("send", KindComm, 1, 1.5)
+	tr.Cost("hidden", KindOverlap, 1.0, 1.4)
+	*cur = 1.5
+	tr.End(Arg{Key: "expand_words", Val: 7})
+	tr.Finish(1.5, 1, 0.9, 0.4)
+	return rec, cur
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Cost("x", KindComp, 0, 1)
+	tr.Begin("a", "b")
+	tr.End()
+	tr.Finish(1, 1, 0, 0)
+	if tr.Events() != nil {
+		t.Fatal("nil tracer returned events")
+	}
+}
+
+func TestCostCoalescing(t *testing.T) {
+	rec := NewRecorder()
+	tr := rec.Bind(0, func() float64 { return 0 })
+
+	// Contiguous same-name same-kind spans merge into one event.
+	tr.Cost("compute", KindComp, 0, 1)
+	tr.Cost("compute", KindComp, 1, 2)
+	if n := len(tr.Events()); n != 1 {
+		t.Fatalf("contiguous spans did not coalesce: %d events", n)
+	}
+	if ev := tr.Events()[0]; ev.T0 != 0 || ev.T1 != 2 {
+		t.Fatalf("coalesced span is [%g,%g], want [0,2]", ev.T0, ev.T1)
+	}
+
+	// A different name breaks the run.
+	tr.Cost("send", KindComm, 2, 3)
+	tr.Cost("compute", KindComp, 3, 4)
+	if n := len(tr.Events()); n != 3 {
+		t.Fatalf("want 3 events after name change, got %d", n)
+	}
+
+	// A gap breaks the run even with matching name/kind.
+	tr.Cost("compute", KindComp, 5, 6)
+	if n := len(tr.Events()); n != 4 {
+		t.Fatalf("gap coalesced: %d events", n)
+	}
+
+	// A structural boundary resets coalescing.
+	tr.Begin("engine", "scan")
+	tr.Cost("compute", KindComp, 6, 7)
+	tr.End()
+	if n := len(tr.Events()); n != 6 {
+		t.Fatalf("cost span straddled a structural boundary: %d events", n)
+	}
+
+	// Overlap-track spans never coalesce.
+	tr.Cost("hidden", KindOverlap, 0, 1)
+	tr.Cost("hidden", KindOverlap, 1, 2)
+	if n := len(tr.Events()); n != 8 {
+		t.Fatalf("overlap spans coalesced: %d events", n)
+	}
+
+	// Zero- and negative-length spans are dropped entirely.
+	tr.Cost("compute", KindComp, 7, 7)
+	tr.Cost("compute", KindComp, 8, 7)
+	if n := len(tr.Events()); n != 8 {
+		t.Fatalf("empty cost spans were recorded: %d events", n)
+	}
+}
+
+func TestEndWithoutBeginPanics(t *testing.T) {
+	rec := NewRecorder()
+	tr := rec.Bind(0, func() float64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("End without Begin did not panic")
+		}
+	}()
+	tr.End()
+}
+
+func TestWriteChromeUnclosedSpan(t *testing.T) {
+	rec := NewRecorder()
+	tr := rec.Bind(0, func() float64 { return 0 })
+	tr.Begin("level", "level")
+	tr.Finish(0, 0, 0, 0)
+	if _, err := rec.Chrome(); err == nil || !strings.Contains(err.Error(), "unclosed") {
+		t.Fatalf("want unclosed-span error, got %v", err)
+	}
+}
+
+func TestWriteChromeUnfinishedRank(t *testing.T) {
+	rec := NewRecorder()
+	rec.Bind(0, func() float64 { return 0 })
+	if _, err := rec.Chrome(); err == nil || !strings.Contains(err.Error(), "never finished") {
+		t.Fatalf("want unfinished-rank error, got %v", err)
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	rec, _ := synthetic()
+	data, err := rec.Chrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Check(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxClock != 1.5 || d.MaxComm != 0.9 || d.MaxOverlap != 0.4 {
+		t.Fatalf("derived maxima %g/%g/%g, want 1.5/0.9/0.4", d.MaxClock, d.MaxComm, d.MaxOverlap)
+	}
+	if len(d.Levels) != 1 {
+		t.Fatalf("want 1 level span, got %d", len(d.Levels))
+	}
+	lv := d.Levels[0]
+	if lv.Args["frontier"] != 10 || lv.Args["expand_words"] != 7 {
+		t.Fatalf("level args %v, want frontier=10 expand_words=7", lv.Args)
+	}
+	if lv.MaxS != 1.5 {
+		t.Fatalf("level critical path %g, want 1.5", lv.MaxS)
+	}
+}
+
+func TestSetMetaRoundTrip(t *testing.T) {
+	rec, _ := synthetic()
+	rec.SetMeta("algo", "bfs")
+	rec.SetMeta("algo", "sssp") // replaces, not appends
+	rec.SetMeta("mesh", "4x4")
+	data, err := rec.Chrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Meta["algo"] != "sssp" || doc.Meta["mesh"] != "4x4" {
+		t.Fatalf("meta round-trip %v", doc.Meta)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("not a trace")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+func TestCheckRejectsLedgerDrift(t *testing.T) {
+	// Declared totals inconsistent with the spans: the clock claims 2.0
+	// but the main track only tiles [0, 1.5].
+	cur := 0.0
+	rec := NewRecorder()
+	tr := rec.Bind(0, func() float64 { return cur })
+	tr.Cost("compute", KindComp, 0, 1)
+	tr.Cost("send", KindComm, 1, 1.5)
+	tr.Finish(2.0, 1, 0.5, 0)
+	data, err := rec.Chrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(doc); err == nil {
+		t.Fatal("drifted ledgers passed the checker")
+	}
+}
+
+func TestCheckRejectsMainTrackOverlap(t *testing.T) {
+	// Two main-track cost spans overlapping in time: the clock cannot be
+	// charged twice for the same instant.
+	rec := NewRecorder()
+	tr := rec.Bind(0, func() float64 { return 0 })
+	tr.Cost("compute", KindComp, 0, 1)
+	tr.Cost("send", KindComm, 0.5, 1.5)
+	tr.Finish(1.5, 1, 0.5, 0)
+	data, err := rec.Chrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(doc); err == nil {
+		t.Fatal("overlapping main-track cost spans passed the checker")
+	}
+}
+
+func TestBindRankZeroDiscardsPriorRun(t *testing.T) {
+	rec, _ := synthetic()
+	if n := len(rec.Ranks()[0].Events()); n == 0 {
+		t.Fatal("first run recorded nothing")
+	}
+	tr := rec.Bind(0, func() float64 { return 0 })
+	if n := len(tr.Events()); n != 0 {
+		t.Fatalf("rebinding rank 0 kept %d events", n)
+	}
+	if n := len(rec.Ranks()); n != 1 {
+		t.Fatalf("rebinding rank 0 kept %d ranks", n)
+	}
+}

@@ -1,0 +1,136 @@
+// Package traceverify cross-checks a checked trace (trace.Check's
+// re-derivation) against the Result the traced run reported. Together
+// with the trace-internal invariants this closes the loop: the span
+// stream alone re-derives the simulated clock decomposition AND
+// matches the engine's own statistics — simulated times within the
+// float round-trip tolerance, per-level/per-epoch word counts exactly
+// (they travel as integer span args).
+package traceverify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bfs"
+	"repro/internal/sssp"
+	"repro/internal/trace"
+)
+
+func tol(clock float64) float64 { return trace.Tolerance * math.Max(1, clock) }
+
+func checkSim(d *trace.Derived, simTime, simComm, simOverlap float64) error {
+	eps := tol(d.MaxClock)
+	if math.Abs(d.MaxClock-simTime) > eps {
+		return fmt.Errorf("traceverify: trace max clock %g != Result SimTime %g", d.MaxClock, simTime)
+	}
+	if math.Abs(d.MaxComm-simComm) > eps {
+		return fmt.Errorf("traceverify: trace max comm %g != Result SimComm %g", d.MaxComm, simComm)
+	}
+	if math.Abs(d.MaxOverlap-simOverlap) > eps {
+		return fmt.Errorf("traceverify: trace max overlap %g != Result SimOverlap %g", d.MaxOverlap, simOverlap)
+	}
+	return nil
+}
+
+func wantArg(kind string, i int, args map[string]int64, key string, want int64) error {
+	if got := args[key]; got != want {
+		return fmt.Errorf("traceverify: %s %d: trace %s = %d, Result records %d", kind, i, key, got, want)
+	}
+	return nil
+}
+
+// BFS verifies a checked trace against a BFS (or multi-source BFS)
+// Result: simulated time/comm/overlap maxima, the level count, each
+// level's critical path, and the exact per-level word counts.
+func BFS(d *trace.Derived, res *bfs.Result) error {
+	if err := checkSim(d, res.SimTime, res.SimComm, res.SimOverlap); err != nil {
+		return err
+	}
+	if len(d.Levels) != len(res.PerLevel) {
+		return fmt.Errorf("traceverify: trace has %d level spans, Result has %d levels", len(d.Levels), len(res.PerLevel))
+	}
+	eps := tol(d.MaxClock)
+	for i, pt := range d.Levels {
+		ls := res.PerLevel[i]
+		if math.Abs(pt.MaxS-ls.ExecS) > eps {
+			return fmt.Errorf("traceverify: level %d: trace critical path %g != Result ExecS %g", i, pt.MaxS, ls.ExecS)
+		}
+		for _, chk := range []struct {
+			key  string
+			want int64
+		}{
+			{"frontier", ls.Frontier},
+			{"expand_words", ls.ExpandWords},
+			{"fold_words", ls.FoldWords},
+			{"dups", ls.Dups},
+			{"marked", ls.Marked},
+			{"edges", ls.EdgesScanned},
+			// dir is per-rank uniform, so the rank-wise sum is dir x ranks.
+			{"dir", int64(ls.Direction) * int64(pt.Ranks)},
+		} {
+			if err := wantArg("level", i, pt.Args, chk.key, chk.want); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SSSP verifies a checked trace against a Δ-stepping Result: simulated
+// maxima, the epoch count, each epoch's phase name and critical path,
+// and the exact per-epoch word/relaxation counts.
+func SSSP(d *trace.Derived, res *sssp.Result) error {
+	if err := checkSim(d, res.SimTime, res.SimComm, res.SimOverlap); err != nil {
+		return err
+	}
+	if len(d.Epochs) != len(res.PerEpoch) {
+		return fmt.Errorf("traceverify: trace has %d epoch spans, Result has %d epochs", len(d.Epochs), len(res.PerEpoch))
+	}
+	eps := tol(d.MaxClock)
+	for i, pt := range d.Epochs {
+		es := res.PerEpoch[i]
+		if pt.Name != es.Phase.String() {
+			return fmt.Errorf("traceverify: epoch %d: trace phase %q != Result phase %q", i, pt.Name, es.Phase)
+		}
+		if math.Abs(pt.MaxS-es.ExecS) > eps {
+			return fmt.Errorf("traceverify: epoch %d: trace critical path %g != Result ExecS %g", i, pt.MaxS, es.ExecS)
+		}
+		for _, chk := range []struct {
+			key  string
+			want int64
+		}{
+			// bucket is per-rank uniform, so the rank-wise sum is bucket x ranks.
+			{"bucket", int64(es.Bucket) * int64(pt.Ranks)},
+			{"active", es.Active},
+			{"expand_words", es.ExpandWords},
+			{"fold_words", es.FoldWords},
+			{"relaxations", es.Relaxations},
+			{"resettles", es.ReSettles},
+			{"edges", es.EdgesScanned},
+		} {
+			if err := wantArg("epoch", i, pt.Args, chk.key, chk.want); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Export renders a recorder to Chrome JSON and runs the full pipeline:
+// parse, invariant check, and (via the returned Derived) Result
+// cross-checks. Convenience for the CLIs and tests.
+func Export(rec *trace.Recorder) ([]byte, *trace.Derived, error) {
+	data, err := rec.Chrome()
+	if err != nil {
+		return nil, nil, err
+	}
+	doc, err := trace.Parse(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := trace.Check(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, d, nil
+}

@@ -1,0 +1,45 @@
+package bgl
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Trace is a simulated-clock span recorder. Pass one to a run via
+// WithTrace and every simulated-clock charge (compute, send, receive,
+// barrier, hidden coprocessor transfers) plus every collective round
+// and engine phase is recorded as a span against the run's simulated
+// clock — recording is observation only, the clock is identical with
+// and without it. Export with Trace.Chrome / Trace.WriteChrome: the
+// output is Chrome trace-event JSON, loadable in Perfetto
+// (https://ui.perfetto.dev) with one process per rank and separate
+// main/coprocessor tracks. A Trace holds one run; reusing it across
+// runs keeps only the last.
+type Trace = trace.Recorder
+
+// NewTrace returns an empty span recorder for WithTrace.
+func NewTrace() *Trace { return trace.NewRecorder() }
+
+// Metrics is a counter/gauge/histogram registry. Pass one to runs via
+// WithMetrics and each finished run publishes its statistics — words
+// moved per codec container, direction switches, relaxations,
+// re-settles, hidden-communication seconds — into it. Counters
+// accumulate across runs sharing a registry; gauges hold the last
+// run's values. Snapshot with Metrics.Text or Metrics.JSON (both
+// deterministic, sorted by name).
+type Metrics = metrics.Registry
+
+// NewMetrics returns an empty registry for WithMetrics.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// WithTrace records the run's simulated-clock spans into t (every
+// algorithm family). Tracing does not alter the simulated clock.
+func WithTrace(t *Trace) Option {
+	return func(c *searchConfig) { c.bfs.Trace = t; c.sssp.Trace = t }
+}
+
+// WithMetrics publishes the run's statistics into m after the run
+// completes (every algorithm family).
+func WithMetrics(m *Metrics) Option {
+	return func(c *searchConfig) { c.bfs.Metrics = m; c.sssp.Metrics = m }
+}
