@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet tier1 race build test bench bench-smoke bench-json bench-diff trace-smoke profile fuzz deprecated-surface
+.PHONY: ci fmt-check vet tier1 race build test bench bench-smoke bench-json bench-diff trace-smoke chaos-smoke profile fuzz deprecated-surface
 
 # Seconds per fuzz target in `make fuzz`.
 FUZZTIME ?= 20s
 
-ci: fmt-check vet tier1 race bench-smoke trace-smoke bench-diff deprecated-surface
+ci: fmt-check vet tier1 race bench-smoke trace-smoke chaos-smoke bench-diff deprecated-surface
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \
@@ -71,6 +71,24 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck -q $$tmp/bfs.json $$tmp/sssp.json; \
 	echo "trace-smoke: both span exports verified"
 
+# Chaos smoke: the robustness gate. First the differential suite under
+# the race detector — every engine on every mesh shape and wire codec,
+# faulted (canned plan: corruption, drops, duplicates, delays, a
+# straggler, an outage) vs clean, with scrubbed Results required to
+# match exactly, plus the in-process kill/restore byte-identity checks.
+# Then a CLI round trip: checkpoint a faulted flagship BFS and
+# Δ-stepping run at an interior level/epoch, restore each from its
+# snapshot file, and re-verify the resumed runs against the serial
+# oracles.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosDifferential|TestChaosKillRestore' .
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/bfsrun -n 20000 -k 10 -r 4 -c 4 -direction dirop -wire hybrid -fault canned -checkpoint $$tmp/bfs.ckpt -kill-at 3 >/dev/null; \
+	$(GO) run ./cmd/bfsrun -n 20000 -k 10 -r 4 -c 4 -direction dirop -wire hybrid -fault canned -restore $$tmp/bfs.ckpt >/dev/null; \
+	$(GO) run ./cmd/bfsrun -algo sssp -n 20000 -k 10 -r 4 -c 4 -wire hybrid -fault canned -checkpoint $$tmp/sssp.ckpt -kill-at 4 >/dev/null; \
+	$(GO) run ./cmd/bfsrun -algo sssp -n 20000 -k 10 -r 4 -c 4 -wire hybrid -fault canned -restore $$tmp/sssp.ckpt >/dev/null; \
+	echo "chaos-smoke: faulted differential suite and kill/restore round trips verified"
+
 # Host-process profiles of the flagship workload; inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
 profile:
@@ -84,11 +102,12 @@ deprecated-surface:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/compat
 
-# Coverage-guided fuzzing: the hybrid wire codec round-trips, weighted
-# edge-list IO, and distributed Δ-stepping vs the serial Dijkstra
-# oracle. FUZZTIME sets the budget per target.
+# Coverage-guided fuzzing: the hybrid wire codec round-trips, malformed
+# payload rejection, weighted edge-list IO, and distributed Δ-stepping
+# vs the serial Dijkstra oracle. FUZZTIME sets the budget per target.
 fuzz:
 	$(GO) test ./internal/frontier -run=^$$ -fuzz=FuzzHybridSetRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/frontier -run=^$$ -fuzz=FuzzHybridBitsRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/frontier -run=^$$ -fuzz=FuzzDecodeMalformed -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/graph -run=^$$ -fuzz=FuzzWeightedEdgeListRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sssp -run=^$$ -fuzz=FuzzDeltaSteppingVsDijkstra -fuzztime=$(FUZZTIME)

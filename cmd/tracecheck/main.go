@@ -55,6 +55,12 @@ func checkFile(path string, quiet bool) error {
 	if err != nil {
 		return err
 	}
+	if len(doc.Events) == 0 {
+		// Valid JSON with nothing to verify is how a file looks when a
+		// writer died before its first flush; "all invariants hold" on
+		// zero spans would be vacuous and misleading.
+		return fmt.Errorf("no trace events — truncated or not a trace export")
+	}
 	d, err := trace.Check(doc)
 	if err != nil {
 		return err

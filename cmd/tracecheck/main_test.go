@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	bgl "repro"
+	"repro/internal/traceverify"
+)
+
+// exportTrace runs a small traced BFS and returns the verified Chrome
+// trace-event export — the same bytes bfsrun -trace writes.
+func exportTrace(t *testing.T) []byte {
+	t.Helper()
+	g, err := bgl.Generate(4000, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := bgl.NewCluster(bgl.ClusterConfig{R: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cl.Distribute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := bgl.NewTrace()
+	if _, err := cl.BFS(dg, g.LargestComponentVertex(), bgl.WithTrace(rec)); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := traceverify.Export(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCheckFileValid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.json")
+	if err := os.WriteFile(path, exportTrace(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFile(path, true); err != nil {
+		t.Fatalf("valid export rejected: %v", err)
+	}
+}
+
+// TestCheckFileCorruption: a trace file caught mid-write — truncated at
+// any byte — or otherwise damaged must come back as an error from
+// checkFile, never a panic or a false "all invariants hold".
+func TestCheckFileCorruption(t *testing.T) {
+	raw := exportTrace(t)
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Every truncation point (stride keeps the test fast; the endpoints
+	// and mid-JSON cuts are all covered).
+	step := len(raw)/200 + 1
+	for cut := 0; cut < len(raw); cut += step {
+		if err := checkFile(write("trunc.json", raw[:cut]), true); err == nil {
+			t.Fatalf("truncation at byte %d/%d accepted", cut, len(raw))
+		}
+	}
+
+	// Valid JSON, wrong shape: an empty object has no events to check.
+	if err := checkFile(write("empty.json", []byte("{}")), true); err == nil {
+		t.Error("empty JSON object accepted")
+	}
+	// Binary garbage.
+	if err := checkFile(write("garbage.bin", []byte{0xff, 0x00, 0x13, 0x37}), true); err == nil {
+		t.Error("binary garbage accepted")
+	}
+	// A corrupted span duration: still perfectly valid JSON, but the
+	// cost spans no longer tile the rank's clock, which the re-derived
+	// invariant must catch.
+	bad := append([]byte(nil), raw...)
+	if i := bytes.Index(bad, []byte(`"dur":`)); i < 0 {
+		t.Fatal("export has no dur field")
+	} else {
+		for j := i + 6; j < len(bad); j++ {
+			if bad[j] >= '0' && bad[j] <= '8' {
+				bad[j]++
+				break
+			}
+		}
+	}
+	if err := checkFile(write("flipped.json", bad), true); err == nil {
+		t.Error("corrupted span duration accepted")
+	}
+	// Missing file.
+	if err := checkFile(filepath.Join(dir, "missing.json"), true); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -37,6 +37,9 @@ type engine1D struct {
 	// (1D stores hold full edge lists, so degrees are local).
 	degTotal    uint64
 	degComputed bool
+	// probes0 is the store's hash-probe counter at run (or restore)
+	// start; probeDelta reports this run's probes against it.
+	probes0 uint64
 }
 
 func newEngine1D(c *comm.Comm, st *partition.Store1D, opts Options) *engine1D {
@@ -44,8 +47,13 @@ func newEngine1D(c *comm.Comm, st *partition.Store1D, opts Options) *engine1D {
 	for i := range g.Ranks {
 		g.Ranks[i] = i
 	}
-	return &engine1D{c: c, st: st, opts: opts, model: c.Model(), world: g}
+	return &engine1D{c: c, st: st, opts: opts, model: c.Model(), world: g,
+		probes0: st.TargetMap.Probes()}
 }
+
+// probeDelta returns the hash probes performed since the engine was
+// built, plus any restored pre-checkpoint probes.
+func (e *engine1D) probeDelta() uint64 { return e.st.TargetMap.Probes() - e.probes0 }
 
 func (e *engine1D) newSide(src graph.Vertex) *sideState {
 	s := &sideState{
@@ -217,6 +225,9 @@ func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+	if err := validateRobustness(opts, true); err != nil {
+		return nil, err
+	}
 	if opts.HasTarget && opts.Source == opts.Target {
 		return trivialResult(l.N, 1, l.P, opts.Source), nil
 	}
@@ -228,15 +239,16 @@ func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, e
 	var foundAt int32 = -1
 	w.SetTrace(opts.Trace)
 	defer w.SetTrace(nil)
+	w.SetFault(opts.Fault)
+	defer w.SetFault(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
 		e := newEngine1D(c, st, opts)
-		probes0 := st.TargetMap.Probes()
 		recs, s, found := driveUni(c, e, opts)
 		perRank[c.Rank()] = recs
 		localLevels[c.Rank()] = s.L
-		probes[c.Rank()] = st.TargetMap.Probes() - probes0
+		probes[c.Rank()] = e.probeDelta()
 		if found && c.Rank() == 0 {
 			foundAt = s.level
 		}
@@ -271,6 +283,9 @@ func RunBidirectional1D(w *comm.World, stores []*partition.Store1D, opts Options
 	if err != nil {
 		return nil, err
 	}
+	if err := validateRobustness(opts, false); err != nil {
+		return nil, err
+	}
 	if opts.Source == opts.Target {
 		return trivialResult(l.N, 1, l.P, opts.Source), nil
 	}
@@ -282,15 +297,16 @@ func RunBidirectional1D(w *comm.World, stores []*partition.Store1D, opts Options
 	var globalBest int64 = -1
 	w.SetTrace(opts.Trace)
 	defer w.SetTrace(nil)
+	w.SetFault(opts.Fault)
+	defer w.SetFault(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
 		e := newEngine1D(c, st, opts)
-		probes0 := st.TargetMap.Probes()
 		recs, ss, best := driveBidir(c, e, st, opts)
 		perRank[c.Rank()] = recs
 		localLevels[c.Rank()] = ss.L
-		probes[c.Rank()] = st.TargetMap.Probes() - probes0
+		probes[c.Rank()] = e.probeDelta()
 		if c.Rank() == 0 && best != bidirInf {
 			globalBest = int64(best)
 		}

@@ -33,6 +33,10 @@ func RunBidirectional2D(w *comm.World, stores []*partition.Store2D, opts Options
 		return nil, fmt.Errorf("bfs: endpoints (%d,%d) out of range for n=%d", opts.Source, opts.Target, l.N)
 	}
 
+	if err := validateRobustness(opts, false); err != nil {
+		return nil, err
+	}
+
 	res := &Result{N: l.N, R: l.R, C: l.C}
 	if opts.Source == opts.Target {
 		return trivialResult(l.N, l.R, l.C, opts.Source), nil
@@ -44,15 +48,16 @@ func RunBidirectional2D(w *comm.World, stores []*partition.Store2D, opts Options
 	var globalBest int64 = -1
 	w.SetTrace(opts.Trace)
 	defer w.SetTrace(nil)
+	w.SetFault(opts.Fault)
+	defer w.SetFault(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
 		e := newEngine2D(c, st, opts)
-		probes0 := st.ColMap.Probes() + st.RowMap.Probes()
 		recs, ss, best := driveBidir(c, e, st, opts)
 		perRank[c.Rank()] = recs
 		localLevels[c.Rank()] = ss.L
-		probes[c.Rank()] = st.ColMap.Probes() + st.RowMap.Probes() - probes0
+		probes[c.Rank()] = e.probeDelta()
 		if c.Rank() == 0 && best != bidirInf {
 			globalBest = int64(best)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/checkpoint"
 	"repro/internal/collective"
 	"repro/internal/comm"
 	"repro/internal/graph"
@@ -77,6 +78,14 @@ type stepper interface {
 	// under DirectionOptimizing.
 	totalOutDegree() uint64
 	frontierOutDegree(s *sideState) uint64
+	// fingerprint identifies the engine's partitioned workload (graph
+	// size, mesh shape) for checkpoint compatibility checks.
+	fingerprint() uint64
+	// saveExtra / restoreExtra serialize engine-internal caches whose
+	// absence would change a restored run's charges (the 2D engine's
+	// degree-exchange result, the 1D engine's degree sum).
+	saveExtra(enc *checkpoint.Enc)
+	restoreExtra(dec *checkpoint.Dec)
 }
 
 // chooseDirection picks a level's expansion direction from Beamer's
@@ -123,19 +132,40 @@ func stepDir(e stepper, s *sideState, dir Direction, tagBase int) (rankLevel, bo
 // MaxLevels bound. It returns the per-level records, the search state,
 // and whether the target was found (globally agreed).
 func driveUni(c *comm.Comm, e stepper, opts Options) ([]rankLevel, *sideState, bool) {
-	s := e.newSide(opts.Source)
 	red := newReducer(c, opts)
 	dirop := opts.Direction == DirectionOptimizing
+	var s *sideState
+	var recs []rankLevel
 	// Every vertex joins the frontier exactly once, at the level it is
 	// labeled, so subtracting each level frontier's out-degree tracks
 	// the unlabeled set's out-degree with one extra reduction per
 	// level. Fixed policies skip the degree machinery entirely.
 	var unlabeledDeg uint64
-	if dirop {
-		unlabeledDeg = red.sum(e.totalOutDegree())
+	if opts.Restore != nil {
+		// Resume from a snapshot: load engine + transport state and
+		// skip the charged initialization (it already happened in the
+		// checkpointing run and its cost is in the restored ledgers).
+		if err := opts.Restore.Check("bfs", c.Size(), runFingerprint(e, opts, c.Size())); err != nil {
+			panic(err.Error())
+		}
+		var redTag int
+		s, recs, unlabeledDeg, redTag = restoreUniBlob(c, e, opts, opts.Restore.Blobs[c.Rank()])
+		red.tag = redTag
+	} else {
+		s = e.newSide(opts.Source)
+		if dirop {
+			unlabeledDeg = red.sum(e.totalOutDegree())
+		}
 	}
-	var recs []rankLevel
 	for {
+		if opts.Checkpoint.Enabled() && opts.Restore == nil && int(s.level) == opts.Checkpoint.At {
+			// Halt here: snapshot this rank's complete state at the top
+			// of level At, before any of its reductions or exchanges.
+			opts.Checkpoint.Put("bfs", opts.Checkpoint.At, c.Size(), c.Rank(),
+				runFingerprint(e, opts, c.Size()),
+				saveUniBlob(c, e, s, recs, unlabeledDeg, red.tag))
+			return recs, s, false
+		}
 		gf := red.sum(uint64(s.F.Len()))
 		if gf == 0 {
 			return recs, s, false

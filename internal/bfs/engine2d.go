@@ -33,19 +33,29 @@ type engine2D struct {
 	// mean no single rank holds a vertex's full degree). Only the
 	// direction-optimizing policy consults it.
 	deg []uint32
+	// probes0 is the stores' combined hash-probe counter at run (or
+	// restore) start; probeDelta reports this run's probes against it.
+	probes0 uint64
 }
 
 func newEngine2D(c *comm.Comm, st *partition.Store2D, opts Options) *engine2D {
 	l := st.Layout
 	mesh := comm.Mesh{R: l.R, C: l.C}
 	return &engine2D{
-		c:     c,
-		st:    st,
-		opts:  opts,
-		model: c.Model(),
-		colG:  mesh.ColGroup(c.Rank()),
-		rowG:  mesh.RowGroup(c.Rank()),
+		c:       c,
+		st:      st,
+		opts:    opts,
+		model:   c.Model(),
+		colG:    mesh.ColGroup(c.Rank()),
+		rowG:    mesh.RowGroup(c.Rank()),
+		probes0: st.ColMap.Probes() + st.RowMap.Probes(),
 	}
+}
+
+// probeDelta returns the hash probes performed since the engine was
+// built, plus any restored pre-checkpoint probes.
+func (e *engine2D) probeDelta() uint64 {
+	return e.st.ColMap.Probes() + e.st.RowMap.Probes() - e.probes0
 }
 
 // sideState is the per-side search state (the bi-directional search
@@ -444,6 +454,10 @@ func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, e
 		return nil, fmt.Errorf("bfs: target %d out of range for n=%d", opts.Target, l.N)
 	}
 
+	if err := validateRobustness(opts, true); err != nil {
+		return nil, err
+	}
+
 	res := &Result{N: l.N, R: l.R, C: l.C}
 	if opts.HasTarget && opts.Source == opts.Target {
 		return trivialResult(l.N, l.R, l.C, opts.Source), nil
@@ -455,15 +469,16 @@ func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, e
 	var foundAt int32 = -1
 	w.SetTrace(opts.Trace)
 	defer w.SetTrace(nil)
+	w.SetFault(opts.Fault)
+	defer w.SetFault(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
 		e := newEngine2D(c, st, opts)
-		probes0 := st.ColMap.Probes() + st.RowMap.Probes()
 		recs, s, found := driveUni(c, e, opts)
 		perRank[c.Rank()] = recs
 		localLevels[c.Rank()] = s.L
-		probes[c.Rank()] = st.ColMap.Probes() + st.RowMap.Probes() - probes0
+		probes[c.Rank()] = e.probeDelta()
 		if found && c.Rank() == 0 {
 			foundAt = s.level // target labeled at the last completed level
 		}

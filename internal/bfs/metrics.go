@@ -28,6 +28,7 @@ func publishMetrics(reg *metrics.Registry, res *Result) {
 	reg.Counter("bfs_direction_switches_total").Add(switches)
 	search.PublishContainers(reg, "bfs", res.Containers)
 	search.PublishSim(reg, "bfs", res.SimTime, res.SimComm, res.SimOverlap)
+	search.PublishFaults(reg, "bfs", res.Faults)
 	reg.Gauge("bfs_load_imbalance").Set(res.LoadImbalance())
 	h := reg.Histogram("bfs_level_exec_seconds", metrics.TimeBuckets)
 	for _, ls := range res.PerLevel {

@@ -604,6 +604,9 @@ func MultiRun2D(w *comm.World, stores []*partition.Store2D, sources []graph.Vert
 	if err := validateSources(sources, l.N); err != nil {
 		return nil, err
 	}
+	if err := validateRobustness(opts, false); err != nil {
+		return nil, err
+	}
 
 	res := &MultiResult{B: len(sources), Sources: append([]graph.Vertex(nil), sources...)}
 	res.N, res.R, res.C = l.N, l.R, l.C
@@ -612,6 +615,8 @@ func MultiRun2D(w *comm.World, stores []*partition.Store2D, sources []graph.Vert
 	probes := make([]uint64, w.P)
 	w.SetTrace(opts.Trace)
 	defer w.SetTrace(nil)
+	w.SetFault(opts.Fault)
+	defer w.SetFault(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
@@ -650,6 +655,9 @@ func MultiRun1D(w *comm.World, stores []*partition.Store1D, sources []graph.Vert
 	if err := validateSources(sources, l.N); err != nil {
 		return nil, err
 	}
+	if err := validateRobustness(opts, false); err != nil {
+		return nil, err
+	}
 
 	res := &MultiResult{B: len(sources), Sources: append([]graph.Vertex(nil), sources...)}
 	res.N, res.R, res.C = l.N, 1, l.P
@@ -657,6 +665,8 @@ func MultiRun1D(w *comm.World, stores []*partition.Store1D, sources []graph.Vert
 	laneLevels := make([][][]int32, w.P)
 	w.SetTrace(opts.Trace)
 	defer w.SetTrace(nil)
+	w.SetFault(opts.Fault)
+	defer w.SetFault(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		e := newMultiEngine1D(c, stores[c.Rank()], opts)

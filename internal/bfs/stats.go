@@ -93,6 +93,13 @@ type Result struct {
 	MaxLinkBytes uint64
 	LinksUsed    int
 
+	// Faults sums the per-rank transport-fault activity: injections,
+	// retries, checksum failures, duplicate discards, and the simulated
+	// seconds recovery added (all zero on a clean wire). Everything
+	// else in the Result is identical to the fault-free run for any
+	// plan below the retry budget.
+	Faults comm.FaultStats
+
 	// PerRank[rank] holds that rank's own per-level statistics (the
 	// global PerLevel is their sum). §2 requires the partitioning to
 	// balance vertices and edges across ranks; LoadImbalance quantifies
@@ -291,4 +298,5 @@ func mergeStats(res *Result, perRank [][]rankLevel, comms []*comm.Comm) {
 		res.HopBytes += c.HopBytes()
 	}
 	res.MaxLinkBytes, _, res.LinksUsed = comm.LinkLoads(comms)
+	res.Faults = comm.MergeFaultStats(comms)
 }

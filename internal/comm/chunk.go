@@ -9,13 +9,24 @@ package comm
 //
 // maxWords <= 0 disables chunking and sends in one piece with no
 // header; the receiver must use the same maxWords.
+//
+// Unlike the raw Send, a nil data slice is legal here and means an
+// empty logical message: SendChunked frames a logical buffer, and the
+// collectives routinely hand it absent per-destination bins.
 func (c *Comm) SendChunked(dst, tag int, data []uint32, maxWords int) {
+	if data == nil {
+		data = emptyPayload
+	}
 	if maxWords <= 0 {
 		c.Send(dst, tag, data)
 		return
 	}
 	sendChunks(func(piece []uint32) { c.Send(dst, tag, piece) }, data, maxWords)
 }
+
+// emptyPayload is the canonical zero-length wire payload, substituted
+// for nil logical buffers at the chunked-send boundaries.
+var emptyPayload = []uint32{}
 
 // RecvChunked receives a logical message sent with SendChunked using
 // the same maxWords, reassembling the chunks into one slice.

@@ -1,8 +1,6 @@
 package comm
 
 import (
-	"fmt"
-
 	"repro/internal/torus"
 	"repro/internal/trace"
 )
@@ -46,6 +44,16 @@ type Comm struct {
 	hopBytes  uint64 // sum of bytes x hops (link-traffic load)
 
 	linkLoad map[linkKey]uint64 // bytes per directed torus link
+
+	// Transport framing: per-peer sequence counters (sendSeq[dst] is
+	// the next outgoing frame number on the rank->dst stream,
+	// recvSeq[src] the next expected incoming frame from src) and the
+	// fault/recovery activity ledger. slow is the fault plan's
+	// straggler factor for this rank (1 when not a straggler).
+	sendSeq []uint32
+	recvSeq []uint32
+	faults  FaultStats
+	slow    float64
 }
 
 // Rank returns this rank's id in [0, P).
@@ -99,7 +107,13 @@ func (c *Comm) HopsRecv() uint64 { return c.hopsRecv }
 func (c *Comm) HopBytes() uint64 { return c.hopBytes }
 
 // Compute advances the simulated clock by d seconds of computation.
+// On a straggler rank (see fault.Plan.Stragglers) the charge is scaled
+// by the slowdown factor: the slow core takes proportionally longer
+// for the same work.
 func (c *Comm) Compute(d float64) {
+	if c.slow > 1 {
+		d *= c.slow
+	}
 	t0 := c.clock
 	c.clock += d
 	c.compTime += d
@@ -117,11 +131,12 @@ func (c *Comm) ChargeItems(n int, unit float64) {
 // Send transmits data to rank dst with the given tag. The payload slice
 // is handed over by reference and must not be mutated by the sender
 // afterwards (ranks share one address space; the simulated network does
-// not copy).
+// not copy). Every payload is framed with a sequence number and
+// checksum carried in the modeled message envelope; a nil payload or an
+// out-of-range dst is a descriptive panic (recovered by World.Run into
+// an error).
 func (c *Comm) Send(dst, tag int, data []uint32) {
-	if dst == c.rank {
-		panic(fmt.Sprintf("comm: rank %d sending to itself (tag %d)", c.rank, tag))
-	}
+	c.validateSend(dst, tag, data)
 	bytes := messageHeaderBytes + 4*len(data)
 	t0 := c.clock
 	c.clock += c.world.model.SendOverhead
@@ -129,7 +144,7 @@ func (c *Comm) Send(dst, tag int, data []uint32) {
 	c.tr.Cost("send", trace.KindComm, t0, c.clock)
 	c.bytesSent += uint64(bytes)
 	c.msgsSent++
-	c.world.mail[dst][c.rank].push(message{tag: tag, data: data, departure: c.clock})
+	c.post(dst, tag, data, c.clock)
 }
 
 // Recv receives the next message from rank src, which must carry the
@@ -139,6 +154,14 @@ func (c *Comm) Send(dst, tag int, data []uint32) {
 // paper-faithful single-core receive: the wait and the receive overhead
 // serialize into the clock, and nothing is ever hidden (contrast
 // Irecv/Wait, which model the communication coprocessor).
+//
+// The frame's sequence number and checksum are verified on receipt;
+// under a bound fault plan, lost or corrupted copies are recovered by
+// the NACK-driven retransmission protocol (see recover) and duplicate
+// copies are discarded, all charged to the simulated clock as
+// communication time. The traffic counters (bytes, messages, hops,
+// link loads) count each logical message once, exactly as fault-free,
+// so only the clock differs between a faulted and a clean run.
 func (c *Comm) Recv(src, tag int) []uint32 {
 	msg, bytes := c.takeMessage(src, tag)
 	hops := c.world.mapping.Hops(src, c.rank)
@@ -146,18 +169,29 @@ func (c *Comm) Recv(src, tag int) []uint32 {
 	c.hopBytes += uint64(hops) * uint64(bytes)
 	c.recordRoute(src, bytes)
 	transit := c.world.model.Transit(hops, bytes)
-	arrival := msg.departure + transit
-	t0 := c.clock
-	if arrival > c.clock {
-		c.commTime += arrival - c.clock
-		c.clock = arrival
-	}
-	c.clock += c.world.model.RecvOverhead
-	c.commTime += c.world.model.RecvOverhead
-	c.tr.Cost("recv", trace.KindComm, t0, c.clock)
 	c.bytesRecv += uint64(bytes)
 	c.msgsRecv++
-	return msg.data
+	data := msg.data
+	if msg.dropped {
+		data, _ = c.recover(src, msg, transit, true)
+	} else {
+		arrival := msg.departure + transit
+		t0 := c.clock
+		if arrival > c.clock {
+			c.commTime += arrival - c.clock
+			c.clock = arrival
+		}
+		c.clock += c.world.model.RecvOverhead
+		c.commTime += c.world.model.RecvOverhead
+		c.tr.Cost("recv", trace.KindComm, t0, c.clock)
+		if !verifyFrame(msg) {
+			data, _ = c.recover(src, msg, transit, false)
+		}
+	}
+	if msg.dupTrail {
+		c.discardDup(src, transit)
+	}
+	return data
 }
 
 // SendRecv performs a simultaneous exchange with a partner rank: both

@@ -97,7 +97,7 @@ func TestTagMismatchPanics(t *testing.T) {
 	w := newTestWorld(t, 2)
 	_, err := w.Run(func(c *Comm) {
 		if c.Rank() == 0 {
-			c.Send(1, 1, nil)
+			c.Send(1, 1, []uint32{7})
 		} else {
 			c.Recv(0, 2)
 		}

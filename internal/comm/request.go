@@ -52,8 +52,12 @@ func (c *Comm) Isend(dst, tag int, data []uint32) *Request {
 
 // IsendChunked is Isend under the fixed-length buffer discipline of
 // SendChunked; the receiver must use IrecvChunked with the same
-// maxWords.
+// maxWords. As with SendChunked, a nil data slice means an empty
+// logical message.
 func (c *Comm) IsendChunked(dst, tag int, data []uint32, maxWords int) *Request {
+	if data == nil {
+		data = emptyPayload
+	}
 	if maxWords <= 0 {
 		c.sendOffloaded(dst, tag, data)
 		return &Request{c: c, done: true}
@@ -67,9 +71,7 @@ func (c *Comm) IsendChunked(dst, tag int, data []uint32, maxWords int) *Request 
 // engine), the overhead lands in the communication ledger as overlap,
 // and the clock is untouched.
 func (c *Comm) sendOffloaded(dst, tag int, data []uint32) {
-	if dst == c.rank {
-		panic(fmt.Sprintf("comm: rank %d sending to itself (tag %d)", c.rank, tag))
-	}
+	c.validateSend(dst, tag, data)
 	oS := c.world.model.SendOverhead
 	start := c.clock
 	if c.copSendFree > start {
@@ -83,7 +85,7 @@ func (c *Comm) sendOffloaded(dst, tag int, data []uint32) {
 	bytes := messageHeaderBytes + 4*len(data)
 	c.bytesSent += uint64(bytes)
 	c.msgsSent++
-	c.world.mail[dst][c.rank].push(message{tag: tag, data: data, departure: departure})
+	c.post(dst, tag, data, departure)
 }
 
 // Irecv posts a receive for the next message from src with the given
@@ -169,49 +171,68 @@ func (c *Comm) receiveOffloaded(src, tag int, ref float64) ([]uint32, float64) {
 	c.hopsRecv += uint64(hops)
 	c.hopBytes += uint64(hops) * uint64(bytes)
 	c.recordRoute(src, bytes)
-	arrival := msg.departure + c.world.model.Transit(hops, bytes)
-	if ref > arrival {
-		// The coprocessor was still completing the previous chunk.
-		arrival = ref
-	}
-	ready := arrival + c.world.model.RecvOverhead
-	start := ref
-	if msg.departure > start {
-		start = msg.departure // the transfer only progresses once posted
-	}
-	hidden := ready
-	if c.clock < hidden {
-		hidden = c.clock
-	}
-	hidden -= start
-	if hidden < 0 {
-		hidden = 0
-	}
-	if hidden > 0 {
-		c.tr.Cost("irecv", trace.KindOverlap, start, start+hidden)
-	}
-	if ready > c.clock {
-		c.tr.Cost("wait", trace.KindComm, c.clock, ready)
-		c.commTime += ready - c.clock
-		c.clock = ready
-	}
-	c.commTime += hidden
-	c.overlapTime += hidden
+	transit := c.world.model.Transit(hops, bytes)
 	c.bytesRecv += uint64(bytes)
 	c.msgsRecv++
-	return msg.data, ready
+	var data []uint32
+	var ready float64
+	if msg.dropped {
+		// A lost transfer forfeits its overlap window: the coprocessor
+		// cannot hide a copy that never arrived, so the whole recovery
+		// serializes into the clock.
+		data, ready = c.recover(src, msg, transit, true)
+	} else {
+		arrival := msg.departure + transit
+		if ref > arrival {
+			// The coprocessor was still completing the previous chunk.
+			arrival = ref
+		}
+		ready = arrival + c.world.model.RecvOverhead
+		start := ref
+		if msg.departure > start {
+			start = msg.departure // the transfer only progresses once posted
+		}
+		hidden := ready
+		if c.clock < hidden {
+			hidden = c.clock
+		}
+		hidden -= start
+		if hidden < 0 {
+			hidden = 0
+		}
+		if hidden > 0 {
+			c.tr.Cost("irecv", trace.KindOverlap, start, start+hidden)
+		}
+		if ready > c.clock {
+			c.tr.Cost("wait", trace.KindComm, c.clock, ready)
+			c.commTime += ready - c.clock
+			c.clock = ready
+		}
+		c.commTime += hidden
+		c.overlapTime += hidden
+		data = msg.data
+		if !verifyFrame(msg) {
+			// The copy in hand is garbage; the NACK retransmission
+			// serializes like any other post-arrival repair.
+			data, ready = c.recover(src, msg, transit, false)
+		}
+	}
+	if msg.dupTrail {
+		c.discardDup(src, transit)
+		if c.clock > ready {
+			ready = c.clock // the coprocessor also chewed the duplicate
+		}
+	}
+	return data, ready
 }
 
-// takeMessage pops and tag-checks the next message from src, returning
-// it with its on-wire byte count.
+// takeMessage pops the next frame from src (verifying its sequence
+// number) and tag-checks it, returning it with its on-wire byte count.
 func (c *Comm) takeMessage(src, tag int) (message, int) {
 	if src == c.rank {
 		panic(fmt.Sprintf("comm: rank %d receiving from itself (tag %d)", c.rank, tag))
 	}
-	msg, ok := c.world.mail[c.rank][src].pop()
-	if !ok {
-		panic("comm: receive aborted because a peer rank panicked")
-	}
+	msg := c.nextFrame(src)
 	if msg.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", c.rank, tag, src, msg.tag))
 	}

@@ -13,15 +13,30 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/torus"
 	"repro/internal/trace"
 )
 
 // message is a point-to-point payload with its simulated departure time.
+// seq and sum are the transport frame — a per-peer sequence number and
+// payload checksum riding in the modeled 16-byte envelope
+// (messageHeaderBytes), so framing adds no wire words. The remaining
+// fields are wire-fault markers (see fault.go): orig retains the true
+// payload when the wire image was corrupted or lost so a retransmission
+// can deliver it, dropped marks a copy the wire lost in transit, and
+// dupTrail marks a frame immediately followed by a duplicate copy on
+// the FIFO stream.
 type message struct {
 	tag       int
 	data      []uint32
 	departure float64
+
+	seq      uint32
+	sum      uint32
+	orig     []uint32
+	dropped  bool
+	dupTrail bool
 }
 
 // World is a set of P simulated ranks wired all-to-all with FIFO
@@ -40,6 +55,10 @@ type World struct {
 	// tracer, when non-nil, has one Tracer bound per rank at the next
 	// Run and records every ledger charge as a span.
 	tracer *trace.Recorder
+
+	// fault, when non-nil, is the deterministic fault plan the wire
+	// consults on every posted message (see fault.go).
+	fault *fault.Plan
 
 	mu       sync.Mutex
 	panicked error
@@ -97,6 +116,16 @@ func (w *World) Mapping() *torus.Mapping { return w.mapping }
 // configured recorder at entry and remove it when done.
 func (w *World) SetTrace(r *trace.Recorder) { w.tracer = r }
 
+// SetFault installs (nil removes) the deterministic fault plan the wire
+// consults for every message posted during subsequent Runs. Engines
+// install the configured plan at entry and remove it when done, like
+// SetTrace.
+func (w *World) SetFault(p *fault.Plan) { w.fault = p }
+
+// Fault returns the currently installed fault plan (nil when the wire
+// is clean).
+func (w *World) Fault() *fault.Plan { return w.fault }
+
 // Run executes body as an SPMD program: one goroutine per rank, each
 // receiving its own Comm. It returns the per-rank Comms (for reading
 // counters) after all ranks finish. A panic on any rank is recovered,
@@ -106,7 +135,10 @@ func (w *World) SetTrace(r *trace.Recorder) { w.tracer = r }
 func (w *World) Run(body func(c *Comm)) ([]*Comm, error) {
 	comms := make([]*Comm, w.P)
 	for r := range comms {
-		comms[r] = &Comm{world: w, rank: r}
+		comms[r] = &Comm{world: w, rank: r, slow: 1}
+		if w.fault != nil {
+			comms[r].slow = w.fault.StragglerFactor(r)
+		}
 		if w.tracer != nil {
 			c := comms[r]
 			c.tr = w.tracer.Bind(r, func() float64 { return c.clock })

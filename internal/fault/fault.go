@@ -1,0 +1,499 @@
+// Package fault provides a seeded, deterministic fault plan for the
+// simulated transport. The comm layer consults the plan at every
+// point-to-point message to decide whether the wire corrupts,
+// duplicates, drops, or delays that copy, whether a link outage holds
+// its departure, and how much slower a straggler rank computes. Every
+// decision is a pure hash of (seed, src, dst, tag, seq, attempt) —
+// never of wall-clock time or goroutine schedule — so a faulted run is
+// exactly as deterministic as a fault-free one: the same plan on the
+// same workload produces the same retries at the same simulated times,
+// and the PR 5/6 clock-ledger and trace machinery keep auditing it.
+//
+// Faults cost simulated seconds only. A dropped or corrupted message
+// is detected by the receiver (sequence gap / checksum mismatch) and
+// recovered with a NACK-driven retransmission whose timeout, backoff,
+// and resend wire time are charged to the simulated clock as
+// communication time; the host process never sleeps.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies one wire-level fault decision.
+type Kind int
+
+const (
+	// None delivers the copy cleanly.
+	None Kind = iota
+	// Corrupt flips payload bits in flight; the receiver's checksum
+	// catches it and triggers a retransmission.
+	Corrupt
+	// Drop loses the copy on the wire; the receiver's NACK timer
+	// detects the sequence gap and triggers a retransmission.
+	Drop
+	// Duplicate delivers the copy twice; the receiver's sequence
+	// counter discards the second copy.
+	Duplicate
+	// Delay holds the copy on the wire for a bounded extra time; it
+	// arrives late but intact (no retransmission).
+	Delay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Corrupt:
+		return "corrupt"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Outage takes one directed link (or, with Src/Dst == -1, a wildcard
+// set of links) down for a window of simulated time. Messages whose
+// departure falls inside the window are held until it lifts — they
+// arrive late but intact, modeling a transient link failure below the
+// retransmission layer.
+type Outage struct {
+	Src, Dst    int // rank endpoints; -1 matches any rank
+	From, Until float64
+}
+
+// Default protocol parameters, in simulated seconds. The timeout is a
+// few times the cost model's per-message overhead scale (BG/L software
+// overheads are ~µs), the backoff base one overhead below it.
+const (
+	DefaultRetryTimeout = 20e-6
+	DefaultBackoffBase  = 5e-6
+	DefaultMaxAttempts  = 8
+	DefaultCleanAttempt = 3
+)
+
+// Plan is a complete seeded fault schedule. The zero value injects
+// nothing; probabilities select faults per message copy.
+type Plan struct {
+	// Seed keys every hash decision; two plans with different seeds
+	// fault different messages at the same probabilities.
+	Seed uint64
+
+	// Per-message fault probabilities in [0, 1]. At most one fault is
+	// chosen per copy; the probabilities partition the unit interval
+	// in the order corrupt, drop, duplicate, delay.
+	PCorrupt   float64
+	PDrop      float64
+	PDuplicate float64
+	PDelay     float64
+
+	// MaxDelay bounds the Delay fault's extra wire time (simulated
+	// seconds); the actual delay is hash-uniform in (0, MaxDelay].
+	MaxDelay float64
+
+	// RetryTimeout is the simulated time from a detected loss or
+	// corruption to the retransmission request reaching the sender (the
+	// NACK round trip); BackoffBase scales the exponential backoff
+	// (BackoffBase * 2^(attempt-1) before attempt's resend). Zero
+	// values select the defaults above.
+	RetryTimeout float64
+	BackoffBase  float64
+
+	// MaxAttempts bounds the copies tried per message (first send plus
+	// retransmissions). Exceeding it is an unrecoverable transport
+	// failure: the receiving rank panics and World.Run reports the
+	// error. Zero selects DefaultMaxAttempts.
+	MaxAttempts int
+
+	// CleanAttempt is the attempt index from which the wire is forced
+	// clean, bounding every fault burst (faults are transient, as on
+	// the real machine). Zero selects DefaultCleanAttempt; negative
+	// disables the bound (useful only for exhaustion tests).
+	CleanAttempt int
+
+	// Stragglers maps rank -> compute-slowdown factor (> 1): every
+	// compute charge on that rank is scaled by the factor, modeling a
+	// slow core. Factors <= 1 are ignored.
+	Stragglers map[int]float64
+
+	// Outages lists transient link-down windows.
+	Outages []Outage
+}
+
+// splitmix64 is the SplitMix64 finalizer — one multiply-xor-shift
+// round with strong avalanche, the standard seed-expansion hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash chains the message coordinates through splitmix64.
+func (p *Plan) hash(src, dst, tag int, seq uint32, attempt int) uint64 {
+	h := splitmix64(p.Seed)
+	h = splitmix64(h ^ uint64(uint32(src)))
+	h = splitmix64(h ^ uint64(uint32(dst)))
+	h = splitmix64(h ^ uint64(uint64(tag)))
+	h = splitmix64(h ^ uint64(seq))
+	h = splitmix64(h ^ uint64(uint32(attempt)))
+	return h
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// Decide returns the fault injected into one copy of message seq from
+// src to dst, plus the extra wire delay when the kind is Delay. The
+// attempt index counts copies of the same message (0 = first send);
+// attempts at or beyond CleanAttempt are always clean, so any plan
+// below the retry budget makes progress.
+func (p *Plan) Decide(src, dst, tag int, seq uint32, attempt int) (Kind, float64) {
+	if p == nil {
+		return None, 0
+	}
+	clean := p.CleanAttempt
+	if clean == 0 {
+		clean = DefaultCleanAttempt
+	}
+	if clean > 0 && attempt >= clean {
+		return None, 0
+	}
+	h := p.hash(src, dst, tag, seq, attempt)
+	u := unit(h)
+	switch {
+	case u < p.PCorrupt:
+		return Corrupt, 0
+	case u < p.PCorrupt+p.PDrop:
+		return Drop, 0
+	case u < p.PCorrupt+p.PDrop+p.PDuplicate:
+		if attempt > 0 {
+			// Duplicating a retransmission adds nothing to coverage;
+			// deliver it cleanly instead of re-keying the decision.
+			return None, 0
+		}
+		return Duplicate, 0
+	case u < p.PCorrupt+p.PDrop+p.PDuplicate+p.PDelay:
+		if p.MaxDelay <= 0 {
+			return None, 0
+		}
+		// A second hash round decorrelates the delay magnitude from
+		// the kind decision.
+		return Delay, p.MaxDelay * (unit(splitmix64(h)) + 1) / 2
+	default:
+		return None, 0
+	}
+}
+
+// Timeout returns the NACK round-trip time.
+func (p *Plan) Timeout() float64 {
+	if p.RetryTimeout > 0 {
+		return p.RetryTimeout
+	}
+	return DefaultRetryTimeout
+}
+
+// Backoff returns the exponential backoff charged before the given
+// retransmission attempt (attempt >= 1).
+func (p *Plan) Backoff(attempt int) float64 {
+	base := p.BackoffBase
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	return base * float64(uint64(1)<<uint(attempt-1))
+}
+
+// AttemptBudget returns the per-message copy budget.
+func (p *Plan) AttemptBudget() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+// StragglerFactor returns the compute-slowdown factor for a rank
+// (1 when the rank is not a straggler).
+func (p *Plan) StragglerFactor(rank int) float64 {
+	if p == nil {
+		return 1
+	}
+	if f, ok := p.Stragglers[rank]; ok && f > 1 {
+		return f
+	}
+	return 1
+}
+
+// HoldForOutages returns the departure time after any link-down
+// windows covering (src, dst) at that time have lifted: a message
+// departing inside a window is held until the window's end, repeatedly
+// if windows chain.
+func (p *Plan) HoldForOutages(src, dst int, departure float64) float64 {
+	if p == nil || len(p.Outages) == 0 {
+		return departure
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, o := range p.Outages {
+			if o.Src != -1 && o.Src != src {
+				continue
+			}
+			if o.Dst != -1 && o.Dst != dst {
+				continue
+			}
+			if departure >= o.From && departure < o.Until {
+				departure = o.Until
+				changed = true
+			}
+		}
+	}
+	return departure
+}
+
+// Active reports whether the plan can inject anything at all.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	if p.PCorrupt > 0 || p.PDrop > 0 || p.PDuplicate > 0 || p.PDelay > 0 {
+		return true
+	}
+	if len(p.Outages) > 0 {
+		return true
+	}
+	for _, f := range p.Stragglers {
+		if f > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Canned returns the chaos-smoke plan: every fault class at a rate
+// that exercises the recovery protocol hundreds of times on the
+// flagship workloads while staying far below the retry budget, one
+// straggler, and one early transient outage.
+func Canned(seed uint64) *Plan {
+	return &Plan{
+		Seed:       seed,
+		PCorrupt:   0.01,
+		PDrop:      0.01,
+		PDuplicate: 0.01,
+		PDelay:     0.02,
+		MaxDelay:   50e-6,
+		Stragglers: map[int]float64{1: 1.5},
+		Outages:    []Outage{{Src: -1, Dst: 0, From: 100e-6, Until: 300e-6}},
+	}
+}
+
+// Parse builds a plan from a comma-separated key=value spec, the
+// format of bfsrun's -fault flag, e.g.
+//
+//	seed=42,corrupt=0.01,drop=0.01,dup=0.005,delay=0.02,maxdelay=50us,
+//	straggler=1:1.5,outage=*>0@100us-300us
+//
+// Durations accept s/ms/us/ns suffixes (plain numbers are seconds).
+// The spec "canned" (optionally "canned:SEED") selects Canned.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("fault: empty spec")
+	}
+	if spec == "canned" {
+		return Canned(1), nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "canned:"); ok {
+		seed, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad canned seed %q: %v", rest, err)
+		}
+		return Canned(seed), nil
+	}
+	p := &Plan{}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "corrupt":
+			p.PCorrupt, err = parseProb(val)
+		case "drop":
+			p.PDrop, err = parseProb(val)
+		case "dup":
+			p.PDuplicate, err = parseProb(val)
+		case "delay":
+			p.PDelay, err = parseProb(val)
+		case "maxdelay":
+			p.MaxDelay, err = parseSeconds(val)
+		case "timeout":
+			p.RetryTimeout, err = parseSeconds(val)
+		case "backoff":
+			p.BackoffBase, err = parseSeconds(val)
+		case "attempts":
+			p.MaxAttempts, err = strconv.Atoi(val)
+		case "clean":
+			p.CleanAttempt, err = strconv.Atoi(val)
+		case "straggler":
+			err = parseStraggler(p, val)
+		case "outage":
+			err = parseOutage(p, val)
+		default:
+			return nil, fmt.Errorf("fault: unknown key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad %s=%s: %v", key, val, err)
+		}
+	}
+	return p, nil
+}
+
+func parseProb(val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("probability %v outside [0, 1]", f)
+	}
+	return f, nil
+}
+
+// parseSeconds parses a simulated duration: a float with an optional
+// s/ms/us/ns suffix (bare numbers are seconds).
+func parseSeconds(val string) (float64, error) {
+	scale := 1.0
+	switch {
+	case strings.HasSuffix(val, "ns"):
+		scale, val = 1e-9, strings.TrimSuffix(val, "ns")
+	case strings.HasSuffix(val, "us"):
+		scale, val = 1e-6, strings.TrimSuffix(val, "us")
+	case strings.HasSuffix(val, "ms"):
+		scale, val = 1e-3, strings.TrimSuffix(val, "ms")
+	case strings.HasSuffix(val, "s"):
+		val = strings.TrimSuffix(val, "s")
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("negative duration")
+	}
+	return f * scale, nil
+}
+
+// parseStraggler parses RANK:FACTOR.
+func parseStraggler(p *Plan, val string) error {
+	r, f, ok := strings.Cut(val, ":")
+	if !ok {
+		return fmt.Errorf("want RANK:FACTOR")
+	}
+	rank, err := strconv.Atoi(r)
+	if err != nil {
+		return err
+	}
+	factor, err := strconv.ParseFloat(f, 64)
+	if err != nil {
+		return err
+	}
+	if factor <= 1 {
+		return fmt.Errorf("factor %v must exceed 1", factor)
+	}
+	if p.Stragglers == nil {
+		p.Stragglers = map[int]float64{}
+	}
+	p.Stragglers[rank] = factor
+	return nil
+}
+
+// parseOutage parses SRC>DST@FROM-UNTIL with * as a rank wildcard.
+func parseOutage(p *Plan, val string) error {
+	link, window, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want SRC>DST@FROM-UNTIL")
+	}
+	s, d, ok := strings.Cut(link, ">")
+	if !ok {
+		return fmt.Errorf("want SRC>DST@FROM-UNTIL")
+	}
+	parseRank := func(v string) (int, error) {
+		if v == "*" {
+			return -1, nil
+		}
+		return strconv.Atoi(v)
+	}
+	src, err := parseRank(s)
+	if err != nil {
+		return err
+	}
+	dst, err := parseRank(d)
+	if err != nil {
+		return err
+	}
+	fs, us, ok := strings.Cut(window, "-")
+	if !ok {
+		return fmt.Errorf("want FROM-UNTIL window")
+	}
+	from, err := parseSeconds(fs)
+	if err != nil {
+		return err
+	}
+	until, err := parseSeconds(us)
+	if err != nil {
+		return err
+	}
+	if until <= from {
+		return fmt.Errorf("window %v-%v is empty", from, until)
+	}
+	p.Outages = append(p.Outages, Outage{Src: src, Dst: dst, From: from, Until: until})
+	return nil
+}
+
+// String renders the plan back into Parse's spec format (stable field
+// order; stragglers sorted by rank).
+func (p *Plan) String() string {
+	if p == nil {
+		return "<nil>"
+	}
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	add("corrupt", p.PCorrupt)
+	add("drop", p.PDrop)
+	add("dup", p.PDuplicate)
+	add("delay", p.PDelay)
+	add("maxdelay", p.MaxDelay)
+	ranks := make([]int, 0, len(p.Stragglers))
+	for r := range p.Stragglers {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		parts = append(parts, fmt.Sprintf("straggler=%d:%g", r, p.Stragglers[r]))
+	}
+	for _, o := range p.Outages {
+		fmtRank := func(r int) string {
+			if r == -1 {
+				return "*"
+			}
+			return strconv.Itoa(r)
+		}
+		parts = append(parts, fmt.Sprintf("outage=%s>%s@%g-%g", fmtRank(o.Src), fmtRank(o.Dst), o.From, o.Until))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDecideDeterministic(t *testing.T) {
+	p := &Plan{Seed: 7, PCorrupt: 0.2, PDrop: 0.2, PDuplicate: 0.2, PDelay: 0.2, MaxDelay: 1e-5}
+	q := &Plan{Seed: 7, PCorrupt: 0.2, PDrop: 0.2, PDuplicate: 0.2, PDelay: 0.2, MaxDelay: 1e-5}
+	counts := map[Kind]int{}
+	for seq := uint32(0); seq < 2000; seq++ {
+		k1, d1 := p.Decide(0, 1, 3, seq, 0)
+		k2, d2 := q.Decide(0, 1, 3, seq, 0)
+		if k1 != k2 || d1 != d2 {
+			t.Fatalf("seq %d: same plan decided differently: (%v, %v) vs (%v, %v)", seq, k1, d1, k2, d2)
+		}
+		counts[k1]++
+	}
+	for _, k := range []Kind{Corrupt, Drop, Duplicate, Delay} {
+		// With p = 0.2 each over 2000 trials, all classes appear.
+		if counts[k] == 0 {
+			t.Errorf("fault class %v never chosen over 2000 messages", k)
+		}
+	}
+}
+
+func TestDecideSeedChangesSchedule(t *testing.T) {
+	a := &Plan{Seed: 1, PDrop: 0.5}
+	b := &Plan{Seed: 2, PDrop: 0.5}
+	same := true
+	for seq := uint32(0); seq < 200; seq++ {
+		ka, _ := a.Decide(0, 1, 0, seq, 0)
+		kb, _ := b.Decide(0, 1, 0, seq, 0)
+		if ka != kb {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault schedules over 200 messages")
+	}
+}
+
+func TestCleanAttemptBoundsBursts(t *testing.T) {
+	p := &Plan{Seed: 3, PDrop: 1} // every copy dropped...
+	if k, _ := p.Decide(0, 1, 0, 0, 0); k != Drop {
+		t.Fatalf("attempt 0: want drop, got %v", k)
+	}
+	// ...until the default CleanAttempt forces the wire clean.
+	if k, _ := p.Decide(0, 1, 0, 0, DefaultCleanAttempt); k != None {
+		t.Fatalf("attempt %d: want none, got %v", DefaultCleanAttempt, k)
+	}
+}
+
+func TestDelayBounded(t *testing.T) {
+	p := &Plan{Seed: 11, PDelay: 1, MaxDelay: 5e-5}
+	for seq := uint32(0); seq < 500; seq++ {
+		k, d := p.Decide(2, 3, 1, seq, 0)
+		if k != Delay {
+			t.Fatalf("seq %d: want delay, got %v", seq, k)
+		}
+		if d <= 0 || d > p.MaxDelay {
+			t.Fatalf("seq %d: delay %v outside (0, %v]", seq, d, p.MaxDelay)
+		}
+	}
+}
+
+func TestBackoffDoubles(t *testing.T) {
+	p := &Plan{BackoffBase: 2e-6}
+	for attempt := 1; attempt < 6; attempt++ {
+		want := 2e-6 * float64(uint(1)<<uint(attempt-1))
+		if got := p.Backoff(attempt); got != want {
+			t.Fatalf("backoff(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+}
+
+func TestHoldForOutages(t *testing.T) {
+	p := &Plan{Outages: []Outage{
+		{Src: -1, Dst: 0, From: 10, Until: 20},
+		{Src: 1, Dst: 0, From: 20, Until: 25}, // chains with the first
+	}}
+	if got := p.HoldForOutages(1, 0, 12); got != 25 {
+		t.Fatalf("chained windows: held to %v, want 25", got)
+	}
+	if got := p.HoldForOutages(2, 0, 12); got != 20 {
+		t.Fatalf("single window: held to %v, want 20", got)
+	}
+	if got := p.HoldForOutages(1, 2, 12); got != 12 {
+		t.Fatalf("unmatched link: held to %v, want 12 (untouched)", got)
+	}
+	if got := p.HoldForOutages(1, 0, 30); got != 30 {
+		t.Fatalf("after windows: held to %v, want 30 (untouched)", got)
+	}
+}
+
+func TestStragglerFactor(t *testing.T) {
+	p := &Plan{Stragglers: map[int]float64{2: 1.5, 3: 0.5}}
+	if got := p.StragglerFactor(2); got != 1.5 {
+		t.Fatalf("rank 2: got %v, want 1.5", got)
+	}
+	if got := p.StragglerFactor(3); got != 1 {
+		t.Fatalf("rank 3: factor <= 1 must be ignored, got %v", got)
+	}
+	if got := p.StragglerFactor(0); got != 1 {
+		t.Fatalf("rank 0: got %v, want 1", got)
+	}
+	var nilPlan *Plan
+	if got := nilPlan.StragglerFactor(0); got != 1 {
+		t.Fatalf("nil plan: got %v, want 1", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "seed=42,corrupt=0.01,drop=0.02,dup=0.005,delay=0.03,maxdelay=5e-05,straggler=1:1.5,outage=*>0@0.0001-0.0003"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.PCorrupt != 0.01 || p.PDrop != 0.02 || p.PDuplicate != 0.005 || p.PDelay != 0.03 {
+		t.Fatalf("parsed plan wrong: %+v", p)
+	}
+	if p.MaxDelay != 5e-5 {
+		t.Fatalf("maxdelay: got %v", p.MaxDelay)
+	}
+	if p.Stragglers[1] != 1.5 {
+		t.Fatalf("straggler: got %v", p.Stragglers)
+	}
+	want := Outage{Src: -1, Dst: 0, From: 1e-4, Until: 3e-4}
+	if len(p.Outages) != 1 || p.Outages[0] != want {
+		t.Fatalf("outage: got %+v", p.Outages)
+	}
+	back, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing String(): %v", err)
+	}
+	if back.String() != p.String() {
+		t.Fatalf("round trip changed the plan: %q vs %q", back.String(), p.String())
+	}
+}
+
+func TestParseDurationsAndCanned(t *testing.T) {
+	p, err := Parse("timeout=20us,backoff=5us,attempts=4,clean=2,maxdelay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	if !near(p.RetryTimeout, 20e-6) || !near(p.BackoffBase, 5e-6) || p.MaxAttempts != 4 || p.CleanAttempt != 2 || !near(p.MaxDelay, 1e-3) {
+		t.Fatalf("parsed plan wrong: timeout=%v backoff=%v attempts=%d clean=%d maxdelay=%v",
+			p.RetryTimeout, p.BackoffBase, p.MaxAttempts, p.CleanAttempt, p.MaxDelay)
+	}
+	c, err := Parse("canned:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 9 || !c.Active() {
+		t.Fatalf("canned plan wrong: %+v", c)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "bogus", "drop=1.5", "maxdelay=-3us", "straggler=1:0.5",
+		"outage=0>1@5-2", "outage=0:1", "frobnicate=1",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): expected error", spec)
+		} else if !strings.HasPrefix(err.Error(), "fault:") {
+			t.Errorf("Parse(%q): error %q not prefixed with package name", spec, err)
+		}
+	}
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	p := &Plan{Seed: 123}
+	if p.Active() {
+		t.Fatal("zero-probability plan reports Active")
+	}
+	for seq := uint32(0); seq < 100; seq++ {
+		if k, _ := p.Decide(0, 1, 0, seq, 0); k != None {
+			t.Fatalf("zero plan injected %v", k)
+		}
+	}
+	var nilPlan *Plan
+	if k, _ := nilPlan.Decide(0, 1, 0, 0, 0); k != None {
+		t.Fatal("nil plan injected a fault")
+	}
+}

@@ -350,6 +350,11 @@ func decodePackedChunk(payload []uint32, span int, emit func(off uint32)) {
 	if count > span || int(off) >= span {
 		panic("frontier: packed chunk overflows its span")
 	}
+	// The delta words the meta claims must actually be present — a
+	// forged header must not index past the payload.
+	if need := 1 + (uint(count-1)*width+31)/32; uint(len(payload)) < need {
+		panic("frontier: packed chunk payload shorter than its meta word claims")
+	}
 	emit(off)
 	mask := uint32(1)<<width - 1
 	pos := uint(0)
@@ -472,6 +477,9 @@ func decodeChunks(stream []uint32, n int, emit func(off uint32)) {
 			if nw != BitWords(span) {
 				panic("frontier: hybrid bitmap chunk has wrong width")
 			}
+			if pad := span % 32; pad != 0 && payload[nw-1]>>uint(pad) != 0 {
+				panic("frontier: hybrid bitmap chunk has bits set beyond its span")
+			}
 			IterateBits(payload, func(off uint32) { emit(base + off) })
 		case chunkRuns:
 			b := unpackBytes(payload)
@@ -490,6 +498,8 @@ func decodeChunks(stream []uint32, n int, emit func(off uint32)) {
 					pos++
 				}
 			}
+		default:
+			panic("frontier: unknown hybrid chunk container")
 		}
 	}
 	if pos != len(stream) {
@@ -511,7 +521,19 @@ func decodeHybridSet(buf []uint32) []uint32 {
 		panic("frontier: truncated hybrid wire payload")
 	}
 	lo, n := buf[1], int(buf[2])
-	out := make([]uint32, 0, n/8)
+	if uint64(lo)+uint64(n) > uint64(hybridSentinel) {
+		// Vertex ids live strictly below the sentinels; a universe
+		// reaching past them would let lo+off wrap uint32.
+		panic("frontier: hybrid universe exceeds the id space")
+	}
+	// Size the output from the universe, but never let a forged header
+	// n drive the allocation: a genuine stream of len(buf) words can
+	// hold at most ~32 members per word, so cap by that.
+	capHint := n / 8
+	if m := 32 * len(buf); capHint > m {
+		capHint = m
+	}
+	out := make([]uint32, 0, capHint)
 	decodeChunks(buf[3:], n, func(off uint32) { out = append(out, lo+off) })
 	return out
 }

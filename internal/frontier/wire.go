@@ -204,9 +204,32 @@ func EncodeFrontierStats(f Frontier, mode WireMode, h *ContainerHist) []uint32 {
 	}
 }
 
+// DecodeError reports a malformed wire payload rejected by
+// DecodeChecked.
+type DecodeError struct{ Reason string }
+
+func (e *DecodeError) Error() string { return e.Reason }
+
+// DecodeChecked is Decode for payloads of uncertain provenance
+// (checkpoint files, tools reading foreign dumps): a malformed payload
+// comes back as a *DecodeError instead of a panic. The decode paths
+// validate every length, span, and container code before indexing, so
+// arbitrary input cannot crash or over-allocate.
+func DecodeChecked(buf []uint32) (ids []uint32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &DecodeError{Reason: fmt.Sprint(r)}
+		}
+	}()
+	return Decode(buf), nil
+}
+
 // Decode unpacks a payload produced by EncodeSet back into an
 // ascending id slice. Raw lists pass through untouched (and aliased),
-// so decoding an unencoded payload is a safe no-op.
+// so decoding an unencoded payload is a safe no-op. Malformed payloads
+// panic (transit corruption is the transport's job to catch — see
+// internal/comm's checksummed frames); use DecodeChecked for input
+// that is not protocol-guaranteed.
 func Decode(buf []uint32) []uint32 {
 	if len(buf) == 0 {
 		return buf
@@ -221,6 +244,12 @@ func Decode(buf []uint32) []uint32 {
 		lo, n := buf[1], int(buf[2])
 		if len(buf) != 3+BitWords(n) {
 			panic("frontier: malformed dense wire payload")
+		}
+		if uint64(lo)+uint64(n) > uint64(hybridSentinel) {
+			panic("frontier: dense universe exceeds the id space")
+		}
+		if pad := n % 32; pad != 0 && buf[len(buf)-1]>>uint(pad) != 0 {
+			panic("frontier: dense wire payload has bits set beyond its universe")
 		}
 		return BitsToIDs(buf[3:], lo)
 	default:

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"repro/internal/comm"
 	"repro/internal/frontier"
 	"repro/internal/metrics"
 )
@@ -32,4 +33,22 @@ func PublishSim(reg *metrics.Registry, prefix string, simTime, simComm, simOverl
 		hidden = simOverlap / simComm
 	}
 	reg.Gauge(prefix + "_hidden_frac").Set(hidden)
+}
+
+// PublishFaults publishes a run's transport-fault ledger as prefixed
+// counters. It is a no-op on a clean run (all-zero stats), so
+// fault-free metric snapshots are unchanged by the fault machinery.
+func PublishFaults(reg *metrics.Registry, prefix string, fs comm.FaultStats) {
+	if fs.Injected() == 0 && fs.Retries == 0 && fs.DupsDiscarded == 0 {
+		return
+	}
+	reg.Counter(prefix + "_fault_corrupt_total").Add(int64(fs.InjCorrupt))
+	reg.Counter(prefix + "_fault_drop_total").Add(int64(fs.InjDrop))
+	reg.Counter(prefix + "_fault_duplicate_total").Add(int64(fs.InjDuplicate))
+	reg.Counter(prefix + "_fault_delay_total").Add(int64(fs.InjDelay))
+	reg.Counter(prefix + "_fault_outage_holds_total").Add(int64(fs.InjOutage))
+	reg.Counter(prefix + "_fault_retries_total").Add(int64(fs.Retries))
+	reg.Counter(prefix + "_fault_checksum_fails_total").Add(int64(fs.ChecksumFails))
+	reg.Counter(prefix + "_fault_dups_discarded_total").Add(int64(fs.DupsDiscarded))
+	reg.Gauge(prefix + "_fault_retry_seconds").Set(fs.RetrySeconds)
 }

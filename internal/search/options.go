@@ -9,6 +9,8 @@
 package search
 
 import (
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
 	"repro/internal/frontier"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -57,6 +59,25 @@ type Common struct {
 	// internal/metrics) — the snapshot bfsrun -metrics and benchjson
 	// read.
 	Metrics *metrics.Registry
+	// Fault, when non-nil, is the seeded deterministic fault plan the
+	// simulated transport consults for every point-to-point message
+	// (see internal/fault). Any plan below the retry budget leaves the
+	// Result identical to the fault-free run except for the simulated
+	// times and the Faults counters.
+	Fault *fault.Plan
+	// Checkpoint, when enabled, halts the run at the plan's level
+	// (BFS) / epoch ordinal (Δ-stepping), deposits every rank's engine
+	// and transport state into the plan, and returns a partial Result.
+	// Not supported by the bi-directional or multi-source drivers, or
+	// combined with Trace (a restored run's spans cannot tile the clock
+	// from zero).
+	Checkpoint *checkpoint.Plan
+	// Restore, when non-nil, resumes a run from a snapshot instead of
+	// starting at the source: the engines load every rank's state and
+	// continue, producing a Result byte-identical to the uninterrupted
+	// run. The workload (graph, source, options) must match the
+	// snapshot's fingerprint.
+	Restore *checkpoint.Snapshot
 }
 
 // Defaults returns the shared production configuration: legacy sparse

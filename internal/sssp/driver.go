@@ -30,6 +30,9 @@ type engine interface {
 	// requests, and returns the ones owned by this rank, deduplicated
 	// to the minimum distance per vertex.
 	scatter(vs, ds []uint32, light bool, delta uint32, tag int, rec *epochRec) (rvs, rds []uint32)
+	// fingerprint identifies the engine's partitioned workload (graph
+	// size, mesh shape) for checkpoint compatibility checks.
+	fingerprint() uint64
 }
 
 // rankState is one rank's Δ-stepping search state.
@@ -172,36 +175,56 @@ func runRank(e engine, opts Options) ([]epochRec, *rankState) {
 		buckets: map[uint32]frontier.Frontier{},
 		settled: localindex.NewBitset(n),
 	}
-	for i := range st.D {
-		st.D[i] = graph.MaxDist
-	}
-
-	// Effective Δ: the requested width, or max(1, maxW/avgDegree).
-	maxW := uint32(c.AllReduceMax(uint64(e.maxWeight())))
-	st.delta = opts.Delta
-	if st.delta == 0 {
-		entries := c.AllReduceSum(uint64(e.localEdgeEntries())) // 2m
-		avgDeg := entries / uint64(max(1, e.universe()))
-		if avgDeg < 1 {
-			avgDeg = 1
-		}
-		st.delta = maxW / uint32(avgDeg)
-		if st.delta < 1 {
-			st.delta = 1
-		}
-	}
-	// With every edge light the heavy phases are empty; skip them
-	// (uniformly — maxW and Δ are global).
-	allLight := st.delta == DeltaInf || maxW <= st.delta
-
-	if opts.Source >= lo && opts.Source < lo+graph.Vertex(n) {
-		st.D[opts.Source-lo] = 0
-		st.insert(uint32(opts.Source), 0)
-	}
-
 	var recs []epochRec
+	var allLight bool
 	tagSeq := 0
+	if opts.Restore != nil {
+		// Resume from a snapshot: load the distances, buckets, Δ, and
+		// transport state and skip the charged initialization (its cost
+		// lives in the restored ledgers).
+		if err := opts.Restore.Check("sssp", c.Size(), runFingerprint(e, opts, c.Size())); err != nil {
+			panic(err.Error())
+		}
+		recs, allLight, tagSeq = restoreEpochBlob(c, st, opts.Restore.Blobs[c.Rank()])
+	} else {
+		for i := range st.D {
+			st.D[i] = graph.MaxDist
+		}
+
+		// Effective Δ: the requested width, or max(1, maxW/avgDegree).
+		maxW := uint32(c.AllReduceMax(uint64(e.maxWeight())))
+		st.delta = opts.Delta
+		if st.delta == 0 {
+			entries := c.AllReduceSum(uint64(e.localEdgeEntries())) // 2m
+			avgDeg := entries / uint64(max(1, e.universe()))
+			if avgDeg < 1 {
+				avgDeg = 1
+			}
+			st.delta = maxW / uint32(avgDeg)
+			if st.delta < 1 {
+				st.delta = 1
+			}
+		}
+		// With every edge light the heavy phases are empty; skip them
+		// (uniformly — maxW and Δ are global).
+		allLight = st.delta == DeltaInf || maxW <= st.delta
+
+		if opts.Source >= lo && opts.Source < lo+graph.Vertex(n) {
+			st.D[opts.Source-lo] = 0
+			st.insert(uint32(opts.Source), 0)
+		}
+	}
 	for {
+		if opts.Checkpoint.Enabled() && opts.Restore == nil && len(recs) >= opts.Checkpoint.At {
+			// Halt at the first bucket boundary with >= At completed
+			// epochs: every rank has appended the same number of records,
+			// so the condition fires uniformly, and the per-bucket
+			// scratch state (settled, removed, active) is dead here.
+			opts.Checkpoint.Put("sssp", opts.Checkpoint.At, c.Size(), c.Rank(),
+				runFingerprint(e, opts, c.Size()),
+				saveEpochBlob(c, st, recs, allLight, tagSeq))
+			return recs, st
+		}
 		min, scanned := st.localMinBucket()
 		c.ChargeItems(scanned, model.VertexCost)
 		k64 := c.AllReduceMin(min)
@@ -281,12 +304,17 @@ func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, e
 	if l.P() != w.P {
 		return nil, fmt.Errorf("sssp: layout P=%d for world P=%d", l.P(), w.P)
 	}
+	if err := validateRobustness(opts); err != nil {
+		return nil, err
+	}
 	res := &Result{N: l.N, R: l.R, C: l.C}
 	perRank := make([][]epochRec, w.P)
 	dists := make([][]uint32, w.P)
 	deltas := make([]uint32, w.P)
 	w.SetTrace(opts.Trace)
 	defer w.SetTrace(nil)
+	w.SetFault(opts.Fault)
+	defer w.SetFault(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		e := newEngine2D(c, stores[c.Rank()], opts)
@@ -322,12 +350,17 @@ func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, e
 	if l.P != w.P {
 		return nil, fmt.Errorf("sssp: layout P=%d for world P=%d", l.P, w.P)
 	}
+	if err := validateRobustness(opts); err != nil {
+		return nil, err
+	}
 	res := &Result{N: l.N, R: 1, C: l.P}
 	perRank := make([][]epochRec, w.P)
 	dists := make([][]uint32, w.P)
 	deltas := make([]uint32, w.P)
 	w.SetTrace(opts.Trace)
 	defer w.SetTrace(nil)
+	w.SetFault(opts.Fault)
+	defer w.SetFault(nil)
 	start := time.Now()
 	comms, err := w.Run(func(c *comm.Comm) {
 		e := newEngine1D(c, stores[c.Rank()], opts)

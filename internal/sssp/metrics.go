@@ -22,6 +22,7 @@ func publishMetrics(reg *metrics.Registry, res *Result) {
 	reg.Counter("sssp_edges_scanned_total").Add(res.TotalEdgesScanned)
 	search.PublishContainers(reg, "sssp", res.Containers)
 	search.PublishSim(reg, "sssp", res.SimTime, res.SimComm, res.SimOverlap)
+	search.PublishFaults(reg, "sssp", res.Faults)
 	reg.Gauge("sssp_delta").Set(float64(res.Delta))
 	h := reg.Histogram("sssp_epoch_exec_seconds", metrics.TimeBuckets)
 	for _, es := range res.PerEpoch {

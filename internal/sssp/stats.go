@@ -105,6 +105,10 @@ type Result struct {
 	HopsRecv uint64
 	HopBytes uint64
 
+	// Faults sums the per-rank transport-fault activity (see
+	// bfs.Result.Faults; all zero on a clean wire).
+	Faults comm.FaultStats
+
 	// PerRank[rank] holds that rank's own per-epoch records (the
 	// global PerEpoch is their sum).
 	PerRank [][]EpochStats
@@ -244,4 +248,5 @@ func mergeStats(res *Result, perRank [][]epochRec, comms []*comm.Comm) {
 		res.HopsRecv += c.HopsRecv()
 		res.HopBytes += c.HopBytes()
 	}
+	res.Faults = comm.MergeFaultStats(comms)
 }

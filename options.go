@@ -3,6 +3,9 @@ package bgl
 import (
 	"repro/internal/analytic"
 	"repro/internal/bfs"
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+	"repro/internal/fault"
 	"repro/internal/frontier"
 	"repro/internal/sssp"
 )
@@ -167,6 +170,86 @@ func WithSentCache(on bool) Option {
 // sweeps).
 func WithMaxLevels(n int) Option {
 	return func(c *searchConfig) { c.bfs.MaxLevels = n }
+}
+
+// Robustness: fault injection and checkpoint/restart. These apply to
+// every search algorithm (checkpointing to the uni-directional
+// single-source drivers only — see WithCheckpoint).
+
+// FaultPlan re-exports the seeded deterministic fault plan the
+// simulated transport consults for every point-to-point message: bit
+// corruption, drops, duplicates, bounded delays, transient link
+// outages and straggler ranks, each a pure hash of the message
+// coordinates (see internal/fault). Build one directly, with
+// ParseFaultPlan, or with CannedFaultPlan.
+type FaultPlan = fault.Plan
+
+// FaultOutage re-exports a transient link-down window.
+type FaultOutage = fault.Outage
+
+// FaultStats re-exports the per-run fault/recovery counters surfaced
+// as Result.Faults and SSSPResult.Faults.
+type FaultStats = comm.FaultStats
+
+// ParseFaultPlan builds a fault plan from bfsrun's -fault spec format,
+// e.g. "seed=42,corrupt=0.01,drop=0.01,outage=*>0@100us-300us", or
+// "canned" / "canned:SEED" for the chaos-smoke plan.
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
+
+// CannedFaultPlan returns the chaos-smoke plan: every fault class at
+// rates that exercise the recovery protocol while staying far below
+// the retry budget, one straggler, and one early transient outage.
+func CannedFaultPlan(seed uint64) *FaultPlan { return fault.Canned(seed) }
+
+// WithFault injects the plan's faults into every message of the run.
+// Any plan below the retry budget leaves Levels/Dist and every word
+// and duplicate count identical to the fault-free run; only the
+// simulated times and the Faults counters differ.
+func WithFault(p *FaultPlan) Option {
+	return func(c *searchConfig) { c.bfs.Fault = p; c.sssp.Fault = p }
+}
+
+// CheckpointPlan re-exports the checkpoint collection plan: where to
+// halt (a BFS level / Δ-stepping epoch ordinal) and the per-rank state
+// blobs deposited there.
+type CheckpointPlan = checkpoint.Plan
+
+// CheckpointSnapshot re-exports a collected snapshot — the unit
+// WriteCheckpoint/ReadCheckpoint persist and WithRestore resumes from.
+type CheckpointSnapshot = checkpoint.Snapshot
+
+// NewCheckpoint returns a plan that halts the run at BFS level /
+// Δ-stepping epoch ordinal at (counting completed units, so at=2 stops
+// after two full levels) and collects every rank's engine and
+// transport state.
+func NewCheckpoint(at int) *CheckpointPlan { return checkpoint.NewPlan(at) }
+
+// WriteCheckpoint persists a snapshot (atomically, via rename).
+func WriteCheckpoint(path string, s *CheckpointSnapshot) error {
+	return checkpoint.WriteFile(path, s)
+}
+
+// ReadCheckpoint loads a snapshot written by WriteCheckpoint,
+// rejecting truncated or corrupted files.
+func ReadCheckpoint(path string) (*CheckpointSnapshot, error) {
+	return checkpoint.ReadFile(path)
+}
+
+// WithCheckpoint halts the run at the plan's level/epoch, deposits
+// every rank's state into the plan, and returns the partial Result.
+// Supported by the uni-directional single-source drivers (BFS, Search,
+// Path, SSSP); the bi-directional and multi-source drivers and runs
+// with WithTrace reject it.
+func WithCheckpoint(p *CheckpointPlan) Option {
+	return func(c *searchConfig) { c.bfs.Checkpoint = p; c.sssp.Checkpoint = p }
+}
+
+// WithRestore resumes a run from a snapshot instead of starting at the
+// source. The workload must match the snapshot (same graph, mesh,
+// source and options — enforced by fingerprint); the resumed Result is
+// byte-identical to the uninterrupted run's, wall time aside.
+func WithRestore(s *CheckpointSnapshot) Option {
+	return func(c *searchConfig) { c.bfs.Restore = s; c.sssp.Restore = s }
 }
 
 // SSSP-family options (ignored by BFS runs).
