@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet tier1 race build test bench bench-smoke bench-json bench-diff trace-smoke chaos-smoke profile fuzz deprecated-surface
+.PHONY: ci fmt-check vet tier1 race race-pool build test bench bench-smoke bench-json bench-diff trace-smoke chaos-smoke profile fuzz deprecated-surface
 
 # Seconds per fuzz target in `make fuzz`.
 FUZZTIME ?= 20s
 
-ci: fmt-check vet tier1 race bench-smoke trace-smoke chaos-smoke bench-diff deprecated-surface
+ci: fmt-check vet tier1 race race-pool bench-smoke trace-smoke chaos-smoke bench-diff deprecated-surface
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \
@@ -25,6 +25,15 @@ tier1:
 race:
 	$(GO) test -race ./...
 
+# Worker-pool matrix under the race detector: the determinism suite
+# (pool sizes 1/2/8 byte-identical on every mesh x codec x schedule),
+# the oracle-equivalence suite at 8 workers, the cores cost-model
+# check, and the package-level regression tests pinning the shared-map
+# probe counting, CAS visit claims, and grouped codec paths.
+race-pool:
+	$(GO) test -race -count=1 -run 'TestWorkerPoolDeterminism|TestParallelOracleEquivalence|TestCoresModel' .
+	$(GO) test -race -count=1 ./internal/pool ./internal/localindex ./internal/frontier
+
 build:
 	$(GO) build ./...
 
@@ -42,9 +51,11 @@ bench-smoke: bench
 # multi-source BFS baseline (BENCH_PR4.json: one 64-lane batch vs 64
 # independent runs) and the async-overlap baseline (BENCH_PR5.json:
 # sync vs async schedule per level/epoch with hidden fractions and the
-# flagship >=1.3x check).
+# flagship >=1.3x check) and the worker-pool/cores baseline
+# (BENCH_PR8.json: flagship BFS and Δ-stepping at cores 1/2/4, gated on
+# the deterministic simulated fields; wall times are host context).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -out4 BENCH_PR4.json -out5 BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -out4 BENCH_PR4.json -out5 BENCH_PR5.json -out8 BENCH_PR8.json
 
 # Perf-regression gate: rerun the baseline batch into a scratch
 # directory and diff it against the committed BENCH_PR*.json under the
@@ -53,8 +64,8 @@ bench-json:
 # regression must make the gate fail, proving it actually bites.
 bench-diff:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) run ./cmd/benchjson -out $$tmp/BENCH_PR2.json -out4 $$tmp/BENCH_PR4.json -out5 $$tmp/BENCH_PR5.json >/dev/null; \
-	$(GO) run ./cmd/benchdiff BENCH_PR2.json=$$tmp/BENCH_PR2.json BENCH_PR4.json=$$tmp/BENCH_PR4.json BENCH_PR5.json=$$tmp/BENCH_PR5.json; \
+	$(GO) run ./cmd/benchjson -out $$tmp/BENCH_PR2.json -out4 $$tmp/BENCH_PR4.json -out5 $$tmp/BENCH_PR5.json -out8 $$tmp/BENCH_PR8.json >/dev/null; \
+	$(GO) run ./cmd/benchdiff BENCH_PR2.json=$$tmp/BENCH_PR2.json BENCH_PR4.json=$$tmp/BENCH_PR4.json BENCH_PR5.json=$$tmp/BENCH_PR5.json BENCH_PR8.json=$$tmp/BENCH_PR8.json; \
 	if $(GO) run ./cmd/benchdiff -inject-simexec 1.10 BENCH_PR2.json=$$tmp/BENCH_PR2.json >/dev/null 2>&1; then \
 		echo "bench-diff: injected 10% simexec regression was NOT caught"; exit 1; \
 	fi; \

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bfs"
 	"repro/internal/frontier"
@@ -200,11 +201,49 @@ type Baseline5 struct {
 	} `json:"flagship"`
 }
 
+// CorePoint is one modeled core count's run of a pool configuration.
+// SimExecS and TotalWords are benchdiff-gated (both are deterministic
+// at every core count — the pool contract). WallMs and the speedup
+// ratios deliberately use non-gated leaf names: host wall-clock depends
+// on the machine's real CPU count, so it is recorded as context only.
+type CorePoint struct {
+	Name        string  `json:"name"`
+	Cores       int     `json:"cores"`
+	Workers     int     `json:"workers"`
+	SimExecS    float64 `json:"simexec_s"`
+	SimCommS    float64 `json:"simcomm_s"`
+	TotalWords  int64   `json:"total_words"`
+	WallMs      float64 `json:"wall_ms"`
+	SimSpeedup  float64 `json:"sim_speedup_vs_1core"`
+	WallSpeedup float64 `json:"wall_speedup_vs_1core"`
+}
+
+// PoolRun sweeps one configuration over the modeled core counts with
+// the real worker pool sized to match (BG/L virtual-node mapping).
+type PoolRun struct {
+	Name   string      `json:"name"`
+	Algo   string      `json:"algo"`
+	Wire   string      `json:"wire"`
+	Points []CorePoint `json:"points"`
+}
+
+// Baseline8 is the PR 8 document: the per-rank worker-pool and
+// multi-core cost-model sweep on the flagship configurations.
+type Baseline8 struct {
+	N        int       `json:"n"`
+	K        float64   `json:"k"`
+	Seed     int64     `json:"seed"`
+	Mesh     string    `json:"mesh"`
+	HostCPUs int       `json:"host_cpus"`
+	Runs     []PoolRun `json:"pool_runs"`
+}
+
 func main() {
 	var (
 		out  = flag.String("out", "BENCH_PR2.json", "output file")
 		out4 = flag.String("out4", "BENCH_PR4.json", "multi-source baseline output file (empty = skip)")
 		out5 = flag.String("out5", "BENCH_PR5.json", "async-overlap baseline output file (empty = skip)")
+		out8 = flag.String("out8", "BENCH_PR8.json", "worker-pool/cores baseline output file (empty = skip)")
 		n    = flag.Int("n", 100000, "vertices")
 		k    = flag.Float64("k", 10, "expected average degree")
 		seed = flag.Int64("seed", 9, "graph seed")
@@ -386,6 +425,11 @@ func main() {
 			fail(err)
 		}
 		if err := writeOverlapBaseline(*out5, w, wstores, wstores1, src, wsrc, *n, *k, *seed, *r, *c); err != nil {
+			fail(err)
+		}
+	}
+	if *out8 != "" {
+		if err := writePoolBaseline(*out8, w, wstores, src, wsrc, *n, *k, *seed, *r, *c); err != nil {
 			fail(err)
 		}
 	}
@@ -628,5 +672,100 @@ func writeMultiBaseline(path string, w *harness.Workload, src graph.Vertex, n in
 	fmt.Printf("wrote %s: multi-bfs b=%d moved %d words vs %d over %d runs (%.2fx, strictly fewer: %v); simexec %.4fs vs %.4fs (%.1fx)\n",
 		path, mb.B, mb.MultiWords, mb.IndependentWords, mb.IndependentRuns, mb.WordsRatio, mb.StrictlyFewer,
 		mb.MultiSimExecS, mb.IndependentExecS, mb.IndependentExecS/mb.MultiSimExecS)
+	return nil
+}
+
+// poolCores are the modeled core counts the PR 8 baseline sweeps —
+// 1 (the committed single-core trajectory, bit-identical to the other
+// baselines), 2 (BG/L virtual-node mode), and 4 (headroom).
+var poolCores = [...]int{1, 2, 4}
+
+// speedups fills each point's ratios against the sweep's 1-core point.
+func speedups(pts []CorePoint) {
+	base := pts[0]
+	for i := range pts {
+		if pts[i].SimExecS > 0 {
+			pts[i].SimSpeedup = base.SimExecS / pts[i].SimExecS
+		}
+		if pts[i].WallMs > 0 {
+			pts[i].WallSpeedup = base.WallMs / pts[i].WallMs
+		}
+	}
+}
+
+// writePoolBaseline runs the PR 8 sweep: the flagship BFS and
+// Δ-stepping configurations with the modeled core count and the real
+// worker pool stepped together through poolCores. The simulated times
+// and word counts are deterministic at every point and gate the diff;
+// wall times are host context.
+func writePoolBaseline(path string, w *harness.Workload, wstores []*partition.Store2D,
+	src, wsrc graph.Vertex, n int, k float64, seed int64, r, c int) error {
+	doc := Baseline8{N: n, K: k, Seed: seed, Mesh: fmt.Sprintf("%dx%d", r, c),
+		HostCPUs: runtime.NumCPU()}
+
+	bfsRun := PoolRun{Name: "bfs-dirop-hybrid", Algo: "bfs", Wire: frontier.WireHybrid.String()}
+	for _, nc := range poolCores {
+		opts := bfs.DefaultOptions(src)
+		opts.Direction = bfs.DirectionOptimizing
+		opts.Wire = frontier.WireHybrid
+		opts.Cores = nc
+		opts.Workers = nc
+		opts.Metrics = reg
+		res, err := bfs.Run2D(w.World, w.Stores, opts)
+		if err != nil {
+			return err
+		}
+		bfsRun.Points = append(bfsRun.Points, CorePoint{
+			Name: fmt.Sprintf("cores-%d", nc), Cores: nc, Workers: nc,
+			SimExecS: res.SimTime, SimCommS: res.SimComm,
+			TotalWords: res.TotalExpandWords + res.TotalFoldWords,
+			WallMs:     float64(res.Wall.Microseconds()) / 1000,
+		})
+	}
+	speedups(bfsRun.Points)
+	doc.Runs = append(doc.Runs, bfsRun)
+
+	ssspRun := PoolRun{Name: "sssp-2d-delta128", Algo: "sssp", Wire: frontier.WireHybrid.String()}
+	for _, nc := range poolCores {
+		opts := sssp.DefaultOptions(wsrc)
+		opts.Delta = 128
+		opts.Wire = frontier.WireHybrid
+		opts.Cores = nc
+		opts.Workers = nc
+		opts.Metrics = reg
+		res, err := sssp.Run2D(w.World, wstores, opts)
+		if err != nil {
+			return err
+		}
+		ssspRun.Points = append(ssspRun.Points, CorePoint{
+			Name: fmt.Sprintf("cores-%d", nc), Cores: nc, Workers: nc,
+			SimExecS: res.SimTime, SimCommS: res.SimComm,
+			TotalWords: res.TotalWords(),
+			WallMs:     float64(res.Wall.Microseconds()) / 1000,
+		})
+	}
+	speedups(ssspRun.Points)
+	doc.Runs = append(doc.Runs, ssspRun)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, run := range doc.Runs {
+		for _, pt := range run.Points {
+			fmt.Printf("pool %-18s cores=%d simexec %.4fs (%.2fx) wall %.1fms (%.2fx)\n",
+				run.Name, pt.Cores, pt.SimExecS, pt.SimSpeedup, pt.WallMs, pt.WallSpeedup)
+		}
+	}
+	fmt.Printf("wrote %s: cores sweep on %d host CPUs (wall fields are context, not gated)\n",
+		path, doc.HostCPUs)
 	return nil
 }

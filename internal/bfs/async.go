@@ -103,16 +103,16 @@ func (e *engine2D) stepAsync(s *sideState, tagBase int) (rankLevel, bool) {
 		// Mirror expandUnwire: WireSparse parts are raw id lists that never
 		// saw the sentinel guard, so they must not go through Decode.
 		if e.opts.Wire != frontier.WireSparse {
-			part = frontier.Decode(part) // no-op on raw lists and local parts
+			part = frontier.DecodePar(e.pl, part) // no-op on raw lists and local parts
 		}
-		e.c.ChargeItems(len(part), e.model.VertexCost)
+		e.c.ChargeItemsPar(len(part), e.model.VertexCost)
 		rec.edges += e.scanPart(s, part, bins)
 	}
 	est := e.expandAsync(s, tagBase, scan)
 	rec.expandWords = est.RecvWords
 
 	o := collective.Opts{Tag: tagBase + 1<<24, Chunk: e.opts.ChunkWords, Async: true}
-	o.Codec = foldCodec(e.c.Tracer(), e.opts.Wire, e.rowG, e.st.Layout.OwnedRange, &e.hist)
+	o.Codec = foldCodec(e.c.Tracer(), e.pl, e.opts.Wire, e.rowG, e.st.Layout.OwnedRange, &e.hist)
 	nbar, fst := collective.FoldAsync(e.c, e.rowG, o, foldAlgKey(e.opts.Fold), sortPrep(e.c, e.model, bins))
 	rec.foldWords = fst.RecvWords
 	rec.dups = fst.Dups
@@ -174,32 +174,15 @@ func (e *multiEngine2D) sweepAsync(s *multiState, tagBase int) rankLevel {
 		if m == e.colG.Me {
 			avs, ams = sendV[m], sendM[m]
 		} else {
-			avs, ams = decodeLanes(part, b)
+			avs, ams = decodeLanes(e.pl, part, b)
 		}
-		e.c.ChargeItems(len(avs), e.model.VertexCost)
-		s0, p0 := scanned, e.st.ColMap.Probes()
-		for idx, gv := range avs {
-			ci, ok := e.st.ColMap.Get(graph.Vertex(gv))
-			if !ok {
-				continue // no partial list here (possible only locally)
-			}
-			mask := ams[idx]
-			for i := e.st.Off[ci]; i < e.st.Off[ci+1]; i++ {
-				scanned++
-				u := e.st.Rows[i]
-				j := l.ColBlockOf(u)
-				binV[j] = append(binV[j], uint32(u))
-				binM[j] = append(binM[j], mask)
-			}
-		}
-		e.c.ChargeItems(scanned-s0, e.model.EdgeCost)
-		e.c.ChargeItems(int(e.st.ColMap.Probes()-p0), e.model.HashCost)
+		scanned += e.scanLanes(avs, ams, binV, binM)
 	}
 	prep := func(i int) []uint32 {
 		if i == e.colG.Me {
 			return nil // stays local; handle reads sendV/sendM directly
 		}
-		return encodeLanes(sendV[i], sendM[i], b, uint32(lo), n, e.opts.Wire, &e.hist)
+		return encodeLanes(e.pl, sendV[i], sendM[i], b, uint32(lo), n, e.opts.Wire, &e.hist)
 	}
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords, Async: true}
 	_, est := collective.AllToAllAsync(e.c, e.colG, o, prep, handle)
@@ -219,7 +202,7 @@ func (e *multiEngine2D) sweepAsync(s *multiState, tagBase int) rankLevel {
 			return nil
 		}
 		dlo, dhi := l.OwnedRange(e.rowG.World(j))
-		return encodeLanes(binV[j], binM[j], b, uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
+		return encodeLanes(e.pl, binV[j], binM[j], b, uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
 	}
 	var rvs []uint32
 	var rms []uint64
@@ -229,7 +212,7 @@ func (e *multiEngine2D) sweepAsync(s *multiState, tagBase int) rankLevel {
 		if j == e.rowG.Me {
 			pvs, pms = binV[j], binM[j]
 		} else {
-			pvs, pms = decodeLanes(part, b)
+			pvs, pms = decodeLanes(e.pl, part, b)
 		}
 		rvs = append(rvs, pvs...)
 		rms = append(rms, pms...)
@@ -258,22 +241,8 @@ func (e *multiEngine1D) sweepAsync(s *multiState, tagBase int) rankLevel {
 	l := e.st.Layout
 	p := e.world.Size()
 
-	binV := make([][]uint32, p)
-	binM := make([][]uint64, p)
-	scanned := 0
-	s.F.Iterate(func(gv uint32) {
-		li := e.st.LocalOf(graph.Vertex(gv))
-		m := s.fmask[li]
-		adj := e.st.Neighbors(li)
-		scanned += len(adj)
-		for _, u := range adj {
-			q := l.OwnerRank(u)
-			binV[q] = append(binV[q], uint32(u))
-			binM[q] = append(binM[q], m)
-		}
-	})
+	binV, binM, scanned := e.scanLanes(s)
 	rec.edges = scanned
-	e.c.ChargeItems(scanned, e.model.EdgeCost)
 	b := len(s.levels)
 
 	deduped := make([]bool, p)
@@ -289,7 +258,7 @@ func (e *multiEngine1D) sweepAsync(s *multiState, tagBase int) rankLevel {
 			return nil
 		}
 		dlo, dhi := l.OwnedRange(q)
-		return encodeLanes(binV[q], binM[q], b, uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
+		return encodeLanes(e.pl, binV[q], binM[q], b, uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
 	}
 	var rvs []uint32
 	var rms []uint64
@@ -299,7 +268,7 @@ func (e *multiEngine1D) sweepAsync(s *multiState, tagBase int) rankLevel {
 		if q == e.world.Me {
 			pvs, pms = binV[q], binM[q]
 		} else {
-			pvs, pms = decodeLanes(part, b)
+			pvs, pms = decodeLanes(e.pl, part, b)
 		}
 		rvs = append(rvs, pvs...)
 		rms = append(rms, pms...)
@@ -330,7 +299,7 @@ func (e *engine1D) stepAsync(s *sideState, tagBase int) (rankLevel, bool) {
 	rec.edges = scanned
 
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords, Async: true}
-	o.Codec = foldCodec(e.c.Tracer(), e.opts.Wire, e.world, e.st.Layout.OwnedRange, &e.hist)
+	o.Codec = foldCodec(e.c.Tracer(), e.pl, e.opts.Wire, e.world, e.st.Layout.OwnedRange, &e.hist)
 	nbar, fst := collective.FoldAsync(e.c, e.world, o, foldAlgKey(e.opts.Fold), sortPrep(e.c, e.model, bins))
 	rec.foldWords = fst.RecvWords
 	rec.dups = fst.Dups

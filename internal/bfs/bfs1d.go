@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/localindex"
 	"repro/internal/partition"
+	"repro/internal/pool"
 	"repro/internal/torus"
 )
 
@@ -29,6 +30,9 @@ type engine1D struct {
 	opts  Options
 	model torus.CostModel
 	world comm.Group
+	// pl is the per-rank worker pool the hot local loops run on; see
+	// parallel.go for the determinism contract.
+	pl *pool.Pool
 
 	// hist tallies the wire codec's container choices; per-level deltas
 	// land in rankLevel.containers.
@@ -47,8 +51,9 @@ func newEngine1D(c *comm.Comm, st *partition.Store1D, opts Options) *engine1D {
 	for i := range g.Ranks {
 		g.Ranks[i] = i
 	}
+	c.SetCores(opts.Cores)
 	return &engine1D{c: c, st: st, opts: opts, model: c.Model(), world: g,
-		probes0: st.TargetMap.Probes()}
+		pl: pool.New(opts.Workers), probes0: st.TargetMap.Probes()}
 }
 
 // probeDelta returns the hash probes performed since the engine was
@@ -97,36 +102,6 @@ func (e *engine1D) frontierOutDegree(s *sideState) uint64 {
 	return sum
 }
 
-// scanFrontier merges the frontier's edge lists into per-owner bins
-// (Algorithm 1 steps 7–9), charging the edge scan and hash probes; the
-// bins are unsorted (the fold paths sort and charge them).
-func (e *engine1D) scanFrontier(s *sideState) ([][]uint32, int) {
-	l := e.st.Layout
-	bins := make([][]uint32, e.c.Size())
-	probes0 := e.st.TargetMap.Probes()
-	scanned := 0
-	s.F.Iterate(func(gv uint32) {
-		li := e.st.LocalOf(graph.Vertex(gv))
-		adj := e.st.Neighbors(li)
-		scanned += len(adj)
-		for _, u := range adj {
-			if s.sent != nil {
-				idx, ok := e.st.TargetMap.Get(u)
-				if !ok {
-					panic("bfs: neighbor missing from TargetMap")
-				}
-				if s.sent.TestAndSet(idx) {
-					continue // already sent to its owner once (§2.4.3)
-				}
-			}
-			bins[l.OwnerRank(u)] = append(bins[l.OwnerRank(u)], uint32(u))
-		}
-	})
-	e.c.ChargeItems(scanned, e.model.EdgeCost)
-	e.c.ChargeItems(int(e.st.TargetMap.Probes()-probes0), e.model.HashCost)
-	return bins, scanned
-}
-
 // step runs one complete Algorithm 1 level: merge frontier edge lists
 // into per-owner bins (steps 7–9), fold (steps 8–13), mark (14–16).
 func (e *engine1D) step(s *sideState, tagBase int) (rankLevel, bool) {
@@ -150,7 +125,7 @@ func (e *engine1D) stepSync(s *sideState, tagBase int) (rankLevel, bool) {
 	}
 
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
-	o.Codec = foldCodec(e.c.Tracer(), e.opts.Wire, e.world, e.st.Layout.OwnedRange, &e.hist)
+	o.Codec = foldCodec(e.c.Tracer(), e.pl, e.opts.Wire, e.world, e.st.Layout.OwnedRange, &e.hist)
 	var nbar []uint32
 	var fst collective.Stats
 	switch e.opts.Fold {

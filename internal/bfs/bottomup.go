@@ -5,6 +5,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/frontier"
 	"repro/internal/graph"
+	"repro/internal/pool"
 )
 
 // Bottom-up level expansion (the direction-optimizing complement to the
@@ -20,18 +21,18 @@ import (
 // wireBits encodes a bitmap payload over an n-bit universe for the
 // wire under the configured encoding (the identity except under
 // WireHybrid).
-func wireBits(opts Options, h *frontier.ContainerHist, words []uint32, n int) []uint32 {
-	return frontier.EncodeBits(words, n, opts.Wire, h)
+func wireBits(p *pool.Pool, opts Options, h *frontier.ContainerHist, words []uint32, n int) []uint32 {
+	return frontier.EncodeBitsPar(p, words, n, opts.Wire, h)
 }
 
 // unwireBitPieces restores gathered bitmap pieces in place; piece i
 // covers universe size widths(i).
-func unwireBitPieces(opts Options, pieces [][]uint32, widths func(i int) int) {
+func unwireBitPieces(p *pool.Pool, opts Options, pieces [][]uint32, widths func(i int) int) {
 	if opts.Wire != frontier.WireHybrid {
 		return
 	}
 	for i := range pieces {
-		pieces[i] = frontier.DecodeBits(pieces[i], widths(i))
+		pieces[i] = frontier.DecodeBitsPar(p, pieces[i], widths(i))
 	}
 }
 
@@ -47,7 +48,7 @@ func (e *engine1D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	// inside tm.record with rec.dir as its arg.
 	rec := rankLevel{dir: BottomUp, frontier: s.F.Len()}
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords, Async: e.opts.Async}
-	payload := wireBits(e.opts, &e.hist, frontier.Bits(s.F), e.st.OwnedCount())
+	payload := wireBits(e.pl, e.opts, &e.hist, frontier.Bits(s.F), e.st.OwnedCount())
 	var pieces [][]uint32
 	var st collective.Stats
 	if e.opts.Async {
@@ -62,7 +63,7 @@ func (e *engine1D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 		pieces, st = collective.AllGather(e.c, e.world, o, payload)
 		e.c.ChargeItems(st.RecvWords, e.model.VertexCost)
 	}
-	unwireBitPieces(e.opts, pieces, e.st.Layout.OwnedCount)
+	unwireBitPieces(e.pl, e.opts, pieces, e.st.Layout.OwnedCount)
 	rec.expandWords = st.RecvWords
 
 	bs := uint32(e.st.Layout.BlockSize())
@@ -74,26 +75,64 @@ func (e *engine1D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	next := e.opts.newFrontier(e.st.Lo, e.st.OwnedCount())
 	edges := 0
 	foundTarget := false
-	for li := range s.L {
-		if s.L[li] != graph.Unreached {
-			continue
+	if nc := pool.Chunks(len(s.L), ownedGrain); e.pl.Workers() > 1 && nc > 1 {
+		// Workers write s.L only at chunk-disjoint indices and record the
+		// vertices they labeled; the chunk-ordered replay below rebuilds
+		// the frontier in the serial ascending order.
+		type chunkOut struct {
+			marked []uint32 // local indices, ascending
+			edges  int
 		}
-		for _, u := range e.st.Neighbors(uint32(li)) {
-			edges++
-			if inFrontier(u) {
-				s.L[li] = s.level + 1
-				gv := e.st.GlobalOf(uint32(li))
+		outs := make([]chunkOut, nc)
+		e.pl.Run(len(s.L), ownedGrain, func(ch, lo, hi int) {
+			o := &outs[ch]
+			for li := lo; li < hi; li++ {
+				if s.L[li] != graph.Unreached {
+					continue
+				}
+				for _, u := range e.st.Neighbors(uint32(li)) {
+					o.edges++
+					if inFrontier(u) {
+						s.L[li] = s.level + 1
+						o.marked = append(o.marked, uint32(li))
+						break
+					}
+				}
+			}
+		})
+		for i := range outs {
+			edges += outs[i].edges
+			for _, li := range outs[i].marked {
+				gv := e.st.GlobalOf(li)
 				next.Add(uint32(gv))
 				rec.marked++
 				if e.opts.HasTarget && gv == e.opts.Target {
 					foundTarget = true
 				}
-				break
+			}
+		}
+	} else {
+		for li := range s.L {
+			if s.L[li] != graph.Unreached {
+				continue
+			}
+			for _, u := range e.st.Neighbors(uint32(li)) {
+				edges++
+				if inFrontier(u) {
+					s.L[li] = s.level + 1
+					gv := e.st.GlobalOf(uint32(li))
+					next.Add(uint32(gv))
+					rec.marked++
+					if e.opts.HasTarget && gv == e.opts.Target {
+						foundTarget = true
+					}
+					break
+				}
 			}
 		}
 	}
 	rec.edges = edges
-	e.c.ChargeItems(edges, e.model.EdgeCost)
+	e.c.ChargeItemsPar(edges, e.model.EdgeCost)
 	s.F = next
 	s.level++
 	rec.containers = e.hist.Sub(h0)
@@ -147,9 +186,9 @@ func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 	}
 
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords, Async: e.opts.Async}
-	fSend := wireBits(e.opts, &e.hist, frontier.Bits(s.F), e.st.OwnedCount())
+	fSend := wireBits(e.pl, e.opts, &e.hist, frontier.Bits(s.F), e.st.OwnedCount())
 	fPieces, fst := gather(e.rowG, o, fSend)
-	unwireBitPieces(e.opts, fPieces, func(i int) int { return l.OwnedCount(e.rowG.Ranks[i]) })
+	unwireBitPieces(e.pl, e.opts, fPieces, func(i int) int { return l.OwnedCount(e.rowG.Ranks[i]) })
 
 	un := frontier.NewBits(e.st.OwnedCount())
 	for li, lv := range s.L {
@@ -158,8 +197,8 @@ func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 		}
 	}
 	o2 := collective.Opts{Tag: tagBase + 1<<22, Chunk: e.opts.ChunkWords, Async: e.opts.Async}
-	uPieces, ust := gather(e.colG, o2, wireBits(e.opts, &e.hist, un, e.st.OwnedCount()))
-	unwireBitPieces(e.opts, uPieces, func(i int) int { return l.OwnedCount(e.colG.Ranks[i]) })
+	uPieces, ust := gather(e.colG, o2, wireBits(e.pl, e.opts, &e.hist, un, e.st.OwnedCount()))
+	unwireBitPieces(e.pl, e.opts, uPieces, func(i int) int { return l.OwnedCount(e.colG.Ranks[i]) })
 	rec.expandWords = fst.RecvWords + ust.RecvWords
 
 	// My row vertices u satisfy BlockOf(u) mod R == my mesh row, so
@@ -174,35 +213,64 @@ func (e *engine2D) stepBottomUp(s *sideState, tagBase int) (rankLevel, bool) {
 		claims[i] = frontier.NewBits(l.OwnedCount(e.colG.Ranks[i]))
 	}
 	edges := 0
-	for ci, v := range e.st.ColIds {
-		// Column vertices v are owned within my processor column, at
-		// column-group index BlockOf(v) mod R.
-		b := uint32(v) / bs
-		m := int(b) % l.R
-		off := uint32(v) - b*bs
-		if !frontier.TestBit(uPieces[m], off) {
-			continue
+	if nc := pool.Chunks(len(e.st.ColIds), ownedGrain); e.pl.Workers() > 1 && nc > 1 {
+		// Distinct column vertices can claim distinct bits of a shared
+		// claims word, so the set must be a CAS; which bits get set is
+		// schedule-independent (each vertex's scan touches only its own
+		// partial list).
+		chunkEdges := make([]int, nc)
+		e.pl.Run(len(e.st.ColIds), ownedGrain, func(ch, lo, hi int) {
+			for ci := lo; ci < hi; ci++ {
+				v := e.st.ColIds[ci]
+				b := uint32(v) / bs
+				m := int(b) % l.R
+				off := uint32(v) - b*bs
+				if !frontier.TestBit(uPieces[m], off) {
+					continue
+				}
+				for _, u := range e.st.Rows[e.st.Off[ci]:e.st.Off[ci+1]] {
+					chunkEdges[ch]++
+					if inFrontier(u) {
+						frontier.SetBitAtomic(claims[m], off)
+						break
+					}
+				}
+			}
+		})
+		for _, n := range chunkEdges {
+			edges += n
 		}
-		for _, u := range e.st.Rows[e.st.Off[ci]:e.st.Off[ci+1]] {
-			edges++
-			if inFrontier(u) {
-				frontier.SetBit(claims[m], off)
-				break
+	} else {
+		for ci, v := range e.st.ColIds {
+			// Column vertices v are owned within my processor column, at
+			// column-group index BlockOf(v) mod R.
+			b := uint32(v) / bs
+			m := int(b) % l.R
+			off := uint32(v) - b*bs
+			if !frontier.TestBit(uPieces[m], off) {
+				continue
+			}
+			for _, u := range e.st.Rows[e.st.Off[ci]:e.st.Off[ci+1]] {
+				edges++
+				if inFrontier(u) {
+					frontier.SetBit(claims[m], off)
+					break
+				}
 			}
 		}
 	}
 	rec.edges = edges
-	e.c.ChargeItems(len(e.st.ColIds), e.model.VertexCost)
-	e.c.ChargeItems(edges, e.model.EdgeCost)
+	e.c.ChargeItemsPar(len(e.st.ColIds), e.model.VertexCost)
+	e.c.ChargeItemsPar(edges, e.model.EdgeCost)
 
 	o3 := collective.Opts{Tag: tagBase + 2<<22, Chunk: e.opts.ChunkWords, Async: e.opts.Async}
 	if e.opts.Wire == frontier.WireHybrid {
 		o3.Codec = &collective.Codec{
 			Enc: func(m int, w []uint32) []uint32 {
-				return frontier.EncodeBits(w, l.OwnedCount(e.colG.Ranks[m]), e.opts.Wire, &e.hist)
+				return frontier.EncodeBitsPar(e.pl, w, l.OwnedCount(e.colG.Ranks[m]), e.opts.Wire, &e.hist)
 			},
 			Dec: func(m int, buf []uint32) []uint32 {
-				return frontier.DecodeBits(buf, l.OwnedCount(e.colG.Ranks[m]))
+				return frontier.DecodeBitsPar(e.pl, buf, l.OwnedCount(e.colG.Ranks[m]))
 			},
 		}
 	}

@@ -47,6 +47,10 @@ func optsFingerprint(o Options) uint64 {
 		uint64(o.Wire), uint64(o.ChunkWords),
 		math.Float64bits(o.FrontierOccupancy),
 		uint64(o.MaxLevels),
+		// Cores scales the pool-loop charges, so it is workload identity;
+		// 0 and 1 are the same single-core baseline. Workers is real
+		// wall-clock parallelism only and deliberately excluded.
+		uint64(max(1, o.Cores)),
 	)
 }
 

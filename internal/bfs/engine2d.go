@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/localindex"
 	"repro/internal/partition"
+	"repro/internal/pool"
 	"repro/internal/torus"
 	"repro/internal/trace"
 )
@@ -24,6 +25,9 @@ type engine2D struct {
 	model torus.CostModel
 	colG  comm.Group // expand group: my processor-column, R members
 	rowG  comm.Group // fold group: my processor-row, C members
+	// pl is the per-rank worker pool the hot local loops and the hybrid
+	// codec run on; see parallel.go for the determinism contract.
+	pl *pool.Pool
 
 	// hist tallies the wire codec's container choices; per-level deltas
 	// land in rankLevel.containers.
@@ -41,6 +45,7 @@ type engine2D struct {
 func newEngine2D(c *comm.Comm, st *partition.Store2D, opts Options) *engine2D {
 	l := st.Layout
 	mesh := comm.Mesh{R: l.R, C: l.C}
+	c.SetCores(opts.Cores)
 	return &engine2D{
 		c:       c,
 		st:      st,
@@ -48,6 +53,7 @@ func newEngine2D(c *comm.Comm, st *partition.Store2D, opts Options) *engine2D {
 		model:   c.Model(),
 		colG:    mesh.ColGroup(c.Rank()),
 		rowG:    mesh.RowGroup(c.Rank()),
+		pl:      pool.New(opts.Workers),
 		probes0: st.ColMap.Probes() + st.RowMap.Probes(),
 	}
 }
@@ -97,7 +103,7 @@ func (e *engine2D) expandWire(ids []uint32) []uint32 {
 	}
 	tr := e.c.Tracer()
 	tr.Begin("engine", "encode")
-	out := frontier.EncodeSetStats(ids, uint32(e.st.Lo), e.st.OwnedCount(), e.opts.Wire, &e.hist)
+	out := frontier.EncodeSetStatsPar(e.pl, ids, uint32(e.st.Lo), e.st.OwnedCount(), e.opts.Wire, &e.hist)
 	tr.End(trace.Arg{Key: "words", Val: int64(len(out))})
 	return out
 }
@@ -110,7 +116,7 @@ func (e *engine2D) wireFrontier(f frontier.Frontier) []uint32 {
 	}
 	tr := e.c.Tracer()
 	tr.Begin("engine", "encode")
-	out := frontier.EncodeFrontierStats(f, e.opts.Wire, &e.hist)
+	out := frontier.EncodeFrontierStatsPar(e.pl, f, e.opts.Wire, &e.hist)
 	tr.End(trace.Arg{Key: "words", Val: int64(len(out))})
 	return out
 }
@@ -127,7 +133,7 @@ func (e *engine2D) expandUnwire(parts [][]uint32) {
 	words := int64(0)
 	for i := range parts {
 		words += int64(len(parts[i]))
-		parts[i] = frontier.Decode(parts[i])
+		parts[i] = frontier.DecodePar(e.pl, parts[i])
 	}
 	tr.End(trace.Arg{Key: "words", Val: words})
 }
@@ -240,28 +246,75 @@ func (e *engine2D) scanPart(s *sideState, part []uint32, bins [][]uint32) int {
 	tr := e.c.Tracer()
 	tr.Begin("engine", "scan")
 	l := e.st.Layout
-	colProbes0 := e.st.ColMap.Probes()
-	rowProbes0 := e.st.RowMap.Probes()
 	scanned := 0
-	for _, gv := range part {
-		list := e.st.PartialList(graph.Vertex(gv))
-		scanned += len(list)
-		for _, u := range list {
-			if s.sent != nil {
-				idx, ok := e.st.RowMap.Get(u)
+	var probes uint64
+	if nc := pool.Chunks(len(part), scanGrain); e.pl.Workers() > 1 && nc > 1 {
+		type chunkOut struct {
+			bins    [][]uint32
+			scanned int
+			probes  uint64
+		}
+		outs := make([]chunkOut, nc)
+		e.pl.Run(len(part), scanGrain, func(ch, lo, hi int) {
+			o := &outs[ch]
+			o.bins = make([][]uint32, l.C)
+			for _, gv := range part[lo:hi] {
+				ci, ok, cp := e.st.ColMap.GetCounted(gv)
+				o.probes += uint64(cp)
 				if !ok {
-					panic("bfs: row vertex missing from RowMap")
+					continue // no partial list here
 				}
-				if s.sent.TestAndSet(idx) {
-					continue // already sent to its owner once (§2.4.3)
+				list := e.st.Rows[e.st.Off[ci]:e.st.Off[ci+1]]
+				o.scanned += len(list)
+				for _, u := range list {
+					if s.sent != nil {
+						idx, ok, rp := e.st.RowMap.GetCounted(u)
+						o.probes += uint64(rp)
+						if !ok {
+							panic("bfs: row vertex missing from RowMap")
+						}
+						if s.sent.TestAndSetAtomic(idx) {
+							continue // already sent to its owner once (§2.4.3)
+						}
+					}
+					o.bins[l.ColBlockOf(u)] = append(o.bins[l.ColBlockOf(u)], uint32(u))
 				}
 			}
-			bins[l.ColBlockOf(u)] = append(bins[l.ColBlockOf(u)], uint32(u))
+		})
+		for i := range outs {
+			scanned += outs[i].scanned
+			probes += outs[i].probes
+			for j, b := range outs[i].bins {
+				bins[j] = append(bins[j], b...)
+			}
 		}
+		// Credit the shared counter once. probeDelta sums the ColMap and
+		// RowMap counters, so folding the RowMap probes into the ColMap
+		// tally changes no reported number.
+		e.st.ColMap.AddProbes(probes)
+	} else {
+		colProbes0 := e.st.ColMap.Probes()
+		rowProbes0 := e.st.RowMap.Probes()
+		for _, gv := range part {
+			list := e.st.PartialList(graph.Vertex(gv))
+			scanned += len(list)
+			for _, u := range list {
+				if s.sent != nil {
+					idx, ok := e.st.RowMap.Get(u)
+					if !ok {
+						panic("bfs: row vertex missing from RowMap")
+					}
+					if s.sent.TestAndSet(idx) {
+						continue // already sent to its owner once (§2.4.3)
+					}
+				}
+				bins[l.ColBlockOf(u)] = append(bins[l.ColBlockOf(u)], uint32(u))
+			}
+		}
+		probes = (e.st.ColMap.Probes() - colProbes0) + (e.st.RowMap.Probes() - rowProbes0)
 	}
-	e.c.ChargeItems(scanned, e.model.EdgeCost)
-	probes := (e.st.ColMap.Probes() - colProbes0) + (e.st.RowMap.Probes() - rowProbes0)
-	e.c.ChargeItems(int(probes), e.model.HashCost)
+	e.c.ChargeItemsPar(scanned, e.model.EdgeCost)
+	e.c.ChargeItemsPar(int(probes), e.model.HashCost)
 	tr.End(trace.Arg{Key: "edges", Val: int64(scanned)}, trace.Arg{Key: "probes", Val: int64(probes)})
 	return scanned
 }
@@ -284,7 +337,7 @@ func (e *engine2D) neighbors(s *sideState, fbar []uint32) ([][]uint32, int) {
 // row-group member m is a subset of that member's owned range, so it
 // can travel as a bitmap — or hybrid chunk containers — over that
 // range when denser is cheaper.
-func foldCodec(tr *trace.Tracer, wire frontier.WireMode, g comm.Group, ownedRange func(worldRank int) (graph.Vertex, graph.Vertex), h *frontier.ContainerHist) *collective.Codec {
+func foldCodec(tr *trace.Tracer, p *pool.Pool, wire frontier.WireMode, g comm.Group, ownedRange func(worldRank int) (graph.Vertex, graph.Vertex), h *frontier.ContainerHist) *collective.Codec {
 	if wire == frontier.WireSparse {
 		return nil
 	}
@@ -292,13 +345,13 @@ func foldCodec(tr *trace.Tracer, wire frontier.WireMode, g comm.Group, ownedRang
 		Enc: func(m int, set []uint32) []uint32 {
 			tr.Begin("engine", "encode")
 			lo, hi := ownedRange(g.World(m))
-			out := frontier.EncodeSetStats(set, uint32(lo), int(hi-lo), wire, h)
+			out := frontier.EncodeSetStatsPar(p, set, uint32(lo), int(hi-lo), wire, h)
 			tr.End(trace.Arg{Key: "words", Val: int64(len(out))})
 			return out
 		},
 		Dec: func(m int, buf []uint32) []uint32 {
 			tr.Begin("engine", "decode")
-			out := frontier.Decode(buf)
+			out := frontier.DecodePar(p, buf)
 			tr.End(trace.Arg{Key: "words", Val: int64(len(buf))})
 			return out
 		},
@@ -310,7 +363,7 @@ func foldCodec(tr *trace.Tracer, wire frontier.WireMode, g comm.Group, ownedRang
 // of owned vertices to mark.
 func (e *engine2D) fold(bins [][]uint32, tag int) ([]uint32, collective.Stats) {
 	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords}
-	o.Codec = foldCodec(e.c.Tracer(), e.opts.Wire, e.rowG, e.st.Layout.OwnedRange, &e.hist)
+	o.Codec = foldCodec(e.c.Tracer(), e.pl, e.opts.Wire, e.rowG, e.st.Layout.OwnedRange, &e.hist)
 	switch e.opts.Fold {
 	case FoldDirect:
 		return collective.ReduceScatterUnion(e.c, e.rowG, o, bins)
@@ -407,7 +460,7 @@ func (e *engine2D) stepSync(s *sideState, tagBase int) (rankLevel, bool) {
 	rec.expandWords = est.RecvWords
 	// Received frontier vertices are processed through the hash-indexed
 	// partial lists; charge their handling.
-	e.c.ChargeItems(len(fbar), e.model.VertexCost)
+	e.c.ChargeItemsPar(len(fbar), e.model.VertexCost)
 
 	bins, edges := e.neighbors(s, fbar)
 	rec.edges = edges

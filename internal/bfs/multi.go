@@ -11,6 +11,7 @@ import (
 	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/pool"
 	"repro/internal/torus"
 )
 
@@ -99,11 +100,11 @@ func maskWords(b int) int { return (b + 31) / 32 }
 
 // encodeLanes packs a deduplicated (vertex, mask) batch of a b-lane
 // search drawn from the destination's owned universe [lo, lo+n).
-func encodeLanes(vs []uint32, ms []uint64, b int, lo uint32, n int, mode frontier.WireMode, h *frontier.ContainerHist) []uint32 {
+func encodeLanes(p *pool.Pool, vs []uint32, ms []uint64, b int, lo uint32, n int, mode frontier.WireMode, h *frontier.ContainerHist) []uint32 {
 	if len(vs) == 0 {
 		return nil
 	}
-	enc := frontier.EncodeSetStats(vs, lo, n, mode, h)
+	enc := frontier.EncodeSetStatsPar(p, vs, lo, n, mode, h)
 	s := len(vs)
 	wInter := s * maskWords(b)
 	wPlane := b * frontier.BitWords(s)
@@ -134,7 +135,7 @@ func encodeLanes(vs []uint32, ms []uint64, b int, lo uint32, n int, mode frontie
 }
 
 // decodeLanes inverts encodeLanes for a b-lane search.
-func decodeLanes(buf []uint32, b int) (vs []uint32, ms []uint64) {
+func decodeLanes(p *pool.Pool, buf []uint32, b int) (vs []uint32, ms []uint64) {
 	if len(buf) == 0 {
 		return nil, nil
 	}
@@ -146,7 +147,7 @@ func decodeLanes(buf []uint32, b int) (vs []uint32, ms []uint64) {
 	if 2+nw > len(buf) {
 		panic("bfs: truncated lane payload set")
 	}
-	vs = frontier.Decode(buf[2 : 2+nw])
+	vs = frontier.DecodePar(p, buf[2:2+nw])
 	rest := buf[2+nw:]
 	s := len(vs)
 	ms = make([]uint64, s)
@@ -313,12 +314,14 @@ type multiEngine2D struct {
 	model torus.CostModel
 	colG  comm.Group
 	rowG  comm.Group
+	pl    *pool.Pool
 	hist  frontier.ContainerHist
 }
 
 func newMultiEngine2D(c *comm.Comm, st *partition.Store2D, opts Options) *multiEngine2D {
 	l := st.Layout
 	mesh := comm.Mesh{R: l.R, C: l.C}
+	c.SetCores(opts.Cores)
 	return &multiEngine2D{
 		c:     c,
 		st:    st,
@@ -326,6 +329,7 @@ func newMultiEngine2D(c *comm.Comm, st *partition.Store2D, opts Options) *multiE
 		model: c.Model(),
 		colG:  mesh.ColGroup(c.Rank()),
 		rowG:  mesh.RowGroup(c.Rank()),
+		pl:    pool.New(opts.Workers),
 	}
 }
 
@@ -365,49 +369,27 @@ func (e *multiEngine2D) sweep(s *multiState, tagBase int) rankLevel {
 		if i == e.colG.Me {
 			continue // stays local, unencoded
 		}
-		send[i] = encodeLanes(sendV[i], sendM[i], b, uint32(lo), n, e.opts.Wire, &e.hist)
+		send[i] = encodeLanes(e.pl, sendV[i], sendM[i], b, uint32(lo), n, e.opts.Wire, &e.hist)
 	}
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
 	parts, est := collective.AllToAll(e.c, e.colG, o, send)
 	rec.expandWords = est.RecvWords
 
 	// Scan the partial edge lists of every received frontier vertex and
-	// bin the discovered (neighbor, mask) pairs by owner mesh column.
+	// bin the discovered (neighbor, mask) pairs by owner mesh column
+	// (scanLanes runs on the worker pool and charges the scan).
 	binV := make([][]uint32, l.C)
 	binM := make([][]uint64, l.C)
-	probes0 := e.st.ColMap.Probes()
-	scanned, pairCount := 0, 0
-	scanPart := func(avs []uint32, ams []uint64) {
-		for idx, gv := range avs {
-			ci, ok := e.st.ColMap.Get(graph.Vertex(gv))
-			if !ok {
-				continue // no partial list here (possible only locally)
-			}
-			m := ams[idx]
-			for i := e.st.Off[ci]; i < e.st.Off[ci+1]; i++ {
-				scanned++
-				u := e.st.Rows[i]
-				j := l.ColBlockOf(u)
-				binV[j] = append(binV[j], uint32(u))
-				binM[j] = append(binM[j], m)
-			}
-		}
-	}
 	for i, p := range parts {
 		var avs []uint32
 		var ams []uint64
 		if i == e.colG.Me {
 			avs, ams = sendV[i], sendM[i]
 		} else {
-			avs, ams = decodeLanes(p, b)
+			avs, ams = decodeLanes(e.pl, p, b)
 		}
-		pairCount += len(avs)
-		scanPart(avs, ams)
+		rec.edges += e.scanLanes(avs, ams, binV, binM)
 	}
-	e.c.ChargeItems(pairCount, e.model.VertexCost)
-	rec.edges = scanned
-	e.c.ChargeItems(scanned, e.model.EdgeCost)
-	e.c.ChargeItems(int(e.st.ColMap.Probes()-probes0), e.model.HashCost)
 
 	// Local lane merge per destination ("merged to form N" with an OR
 	// instead of a union), then the row exchange to the owners.
@@ -423,7 +405,7 @@ func (e *multiEngine2D) sweep(s *multiState, tagBase int) rankLevel {
 			continue
 		}
 		dlo, dhi := l.OwnedRange(e.rowG.World(j))
-		sendR[j] = encodeLanes(binV[j], binM[j], b, uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
+		sendR[j] = encodeLanes(e.pl, binV[j], binM[j], b, uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
 	}
 	o2 := collective.Opts{Tag: tagBase + 1<<24, Chunk: e.opts.ChunkWords}
 	rparts, fst := collective.AllToAll(e.c, e.rowG, o2, sendR)
@@ -437,7 +419,7 @@ func (e *multiEngine2D) sweep(s *multiState, tagBase int) rankLevel {
 		if j == e.rowG.Me {
 			pvs, pms = binV[j], binM[j]
 		} else {
-			pvs, pms = decodeLanes(p, b)
+			pvs, pms = decodeLanes(e.pl, p, b)
 		}
 		rvs = append(rvs, pvs...)
 		rms = append(rms, pms...)
@@ -462,6 +444,7 @@ type multiEngine1D struct {
 	opts  Options
 	model torus.CostModel
 	world comm.Group
+	pl    *pool.Pool
 	hist  frontier.ContainerHist
 }
 
@@ -470,7 +453,9 @@ func newMultiEngine1D(c *comm.Comm, st *partition.Store1D, opts Options) *multiE
 	for i := range g.Ranks {
 		g.Ranks[i] = i
 	}
-	return &multiEngine1D{c: c, st: st, opts: opts, model: c.Model(), world: g}
+	c.SetCores(opts.Cores)
+	return &multiEngine1D{c: c, st: st, opts: opts, model: c.Model(), world: g,
+		pl: pool.New(opts.Workers)}
 }
 
 func (e *multiEngine1D) newMulti(sources []graph.Vertex) *multiState {
@@ -487,22 +472,8 @@ func (e *multiEngine1D) sweep(s *multiState, tagBase int) rankLevel {
 	l := e.st.Layout
 	p := e.world.Size()
 
-	binV := make([][]uint32, p)
-	binM := make([][]uint64, p)
-	scanned := 0
-	s.F.Iterate(func(gv uint32) {
-		li := e.st.LocalOf(graph.Vertex(gv))
-		m := s.fmask[li]
-		adj := e.st.Neighbors(li)
-		scanned += len(adj)
-		for _, u := range adj {
-			q := l.OwnerRank(u)
-			binV[q] = append(binV[q], uint32(u))
-			binM[q] = append(binM[q], m)
-		}
-	})
+	binV, binM, scanned := e.scanLanes(s)
 	rec.edges = scanned
-	e.c.ChargeItems(scanned, e.model.EdgeCost)
 	for q := range binV {
 		var d int
 		binV[q], binM[q], d = dedupOr(binV[q], binM[q])
@@ -516,7 +487,7 @@ func (e *multiEngine1D) sweep(s *multiState, tagBase int) rankLevel {
 			continue
 		}
 		dlo, dhi := l.OwnedRange(q)
-		send[q] = encodeLanes(binV[q], binM[q], b, uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
+		send[q] = encodeLanes(e.pl, binV[q], binM[q], b, uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
 	}
 	o := collective.Opts{Tag: tagBase, Chunk: e.opts.ChunkWords}
 	parts, fst := collective.AllToAll(e.c, e.world, o, send)
@@ -530,7 +501,7 @@ func (e *multiEngine1D) sweep(s *multiState, tagBase int) rankLevel {
 		if q == e.world.Me {
 			pvs, pms = binV[q], binM[q]
 		} else {
-			pvs, pms = decodeLanes(part, b)
+			pvs, pms = decodeLanes(e.pl, part, b)
 		}
 		rvs = append(rvs, pvs...)
 		rms = append(rms, pms...)

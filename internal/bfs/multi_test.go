@@ -225,10 +225,10 @@ func TestLaneCodecRoundTrip(t *testing.T) {
 		for _, wire := range []frontier.WireMode{
 			frontier.WireSparse, frontier.WireDense, frontier.WireAuto, frontier.WireHybrid,
 		} {
-			buf := encodeLanes(vs, ms, tc.b, 0, tc.n, wire, nil)
+			buf := encodeLanes(nil, vs, ms, tc.b, 0, tc.n, wire, nil)
 			// Copy to catch aliasing into caller storage.
 			buf = append([]uint32(nil), buf...)
-			gvs, gms := decodeLanes(buf, tc.b)
+			gvs, gms := decodeLanes(nil, buf, tc.b)
 			if len(gvs) != len(vs) {
 				t.Fatalf("case %d wire=%v: %d members, want %d", ci, wire, len(gvs), len(vs))
 			}
@@ -240,7 +240,7 @@ func TestLaneCodecRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	if got, _ := decodeLanes(nil, 8); got != nil {
+	if got, _ := decodeLanes(nil, nil, 8); got != nil {
 		t.Error("nil payload should decode to nil")
 	}
 }
@@ -255,7 +255,7 @@ func TestLaneCodecPicksCheaperForm(t *testing.T) {
 		wide[i] = uint32(i)
 		ms[i] = 1
 	}
-	planes := encodeLanes(wide, ms, 8, 0, 1000, frontier.WireSparse, nil)
+	planes := encodeLanes(nil, wide, ms, 8, 0, 1000, frontier.WireSparse, nil)
 	if planes[1] != laneFormPlanes {
 		t.Errorf("b=8 s=1000 shipped form %d, want planes", planes[1])
 	}
@@ -263,7 +263,7 @@ func TestLaneCodecPicksCheaperForm(t *testing.T) {
 	if want := 2 + 1000 + 8*frontier.BitWords(1000); len(planes) != want {
 		t.Errorf("plane payload %d words, want %d", len(planes), want)
 	}
-	inter := encodeLanes(wide[:4], ms[:4], 64, 0, 1000, frontier.WireSparse, nil)
+	inter := encodeLanes(nil, wide[:4], ms[:4], 64, 0, 1000, frontier.WireSparse, nil)
 	if inter[1] != laneFormInterleaved {
 		t.Errorf("b=64 s=4 shipped form %d, want interleaved", inter[1])
 	}

@@ -54,6 +54,13 @@ type Comm struct {
 	recvSeq []uint32
 	faults  FaultStats
 	slow    float64
+
+	// cores is the modeled per-node core count (BG/L co-processor mode
+	// keeps one core on computation, virtual-node mode uses both).
+	// Charges posted through ChargeItemsPar — the loops the engines
+	// actually run on the worker pool — divide by it; everything else
+	// stays serial. Always >= 1.
+	cores int
 }
 
 // Rank returns this rank's id in [0, P).
@@ -126,6 +133,35 @@ func (c *Comm) ChargeItems(n int, unit float64) {
 	if n > 0 {
 		c.Compute(float64(n) * unit)
 	}
+}
+
+// Cores returns the modeled per-node core count (>= 1).
+func (c *Comm) Cores() int { return c.cores }
+
+// SetCores sets the modeled per-node core count for ChargeItemsPar.
+// Values below 1 are treated as 1, which is bit-identical to the
+// single-core model (no division is applied).
+func (c *Comm) SetCores(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.cores = n
+}
+
+// ChargeItemsPar is ChargeItems for loops that run on the per-rank
+// worker pool: the charge divides by the modeled core count, so the
+// simulated clock drops alongside the real wall-clock. Serial phases
+// (marks, sorts, bucket scans) must keep using ChargeItems — the model
+// only credits parallelism where the code actually has it.
+func (c *Comm) ChargeItemsPar(n int, unit float64) {
+	if n <= 0 {
+		return
+	}
+	d := float64(n) * unit
+	if c.cores > 1 {
+		d /= float64(c.cores)
+	}
+	c.Compute(d)
 }
 
 // Send transmits data to rank dst with the given tag. The payload slice

@@ -135,7 +135,7 @@ func (w *World) Fault() *fault.Plan { return w.fault }
 func (w *World) Run(body func(c *Comm)) ([]*Comm, error) {
 	comms := make([]*Comm, w.P)
 	for r := range comms {
-		comms[r] = &Comm{world: w, rank: r, slow: 1}
+		comms[r] = &Comm{world: w, rank: r, slow: 1, cores: 1}
 		if w.fault != nil {
 			comms[r].slow = w.fault.StragglerFactor(r)
 		}

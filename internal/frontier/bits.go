@@ -1,6 +1,9 @@
 package frontier
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Wire bitmaps are []uint32 with 32 bits per word: bit i of word j
 // represents local index 32j+i. They are the payload form the bitmap
@@ -15,6 +18,21 @@ func NewBits(n int) []uint32 { return make([]uint32, BitWords(n)) }
 
 // SetBit sets bit i.
 func SetBit(w []uint32, i uint32) { w[i>>5] |= 1 << (i & 31) }
+
+// SetBitAtomic sets bit i with a compare-and-swap loop, for writers on
+// the worker pool that own disjoint bits but share words (the 2D
+// bottom-up claim bitmaps): a plain read-OR-write would lose same-word
+// updates. The resulting bitmap is identical to serial SetBit calls.
+func SetBitAtomic(w []uint32, i uint32) {
+	p := &w[i>>5]
+	m := uint32(1) << (i & 31)
+	for {
+		old := atomic.LoadUint32(p)
+		if old&m != 0 || atomic.CompareAndSwapUint32(p, old, old|m) {
+			return
+		}
+	}
+}
 
 // TestBit reports bit i.
 func TestBit(w []uint32, i uint32) bool { return w[i>>5]&(1<<(i&31)) != 0 }

@@ -1,0 +1,243 @@
+package frontier
+
+import "sort"
+
+// Parallel hybrid codec: every ChunkSpan-id chunk encodes and decodes
+// independently, so the chunk stream can be built (and walked) by the
+// per-rank worker pool in groups of consecutive chunks, concatenated in
+// chunk order. The grouped stream is byte-identical to the serial one —
+// same chunk boundaries, same container choices, same histogram — for
+// every worker count, because group boundaries are a pure function of
+// the universe size.
+
+// Runner is the slice-parallelism contract the codec borrows from
+// internal/pool without importing it: fixed chunk boundaries from
+// (n, grain), any execution order, fn called exactly once per chunk.
+// A nil Runner (or one reporting a single worker) means serial.
+type Runner interface {
+	Workers() int
+	Run(n, grain int, fn func(chunk, lo, hi int))
+}
+
+// codecGrainChunks is the pool grain in hybrid chunks: groups of 8
+// chunks (32768 ids of universe) amortize the per-group buffer and
+// histogram merge while leaving enough groups to balance.
+const codecGrainChunks = 8
+
+// parallelWorthwhile gates the grouped paths: below ~2 groups the merge
+// bookkeeping cannot win. The decision depends only on the universe
+// size, never on the worker count, so it cannot perturb determinism
+// (both paths produce identical bytes regardless).
+func parallelWorthwhile(p Runner, n int) bool {
+	return p != nil && p.Workers() > 1 && numChunks(n) > codecGrainChunks
+}
+
+// groupSpan returns the id-offset range [olo, ohi) of the pool chunk
+// covering hybrid chunks [clo, chi) of an n-id universe.
+func groupSpan(clo, chi, n int) (olo, ohi int) {
+	olo = clo * ChunkSpan
+	ohi = chi * ChunkSpan
+	if ohi > n {
+		ohi = n
+	}
+	return olo, ohi
+}
+
+// appendSetChunksPar is appendSetChunks built by chunk groups on the
+// runner. ids must be ascending; out-of-universe ids panic exactly like
+// the serial path (they fall outside every group, detected after the
+// merge).
+func appendSetChunksPar(p Runner, buf []uint32, ids []uint32, lo uint32, n int, h *ContainerHist) []uint32 {
+	nc := numChunks(n)
+	ng := (nc + codecGrainChunks - 1) / codecGrainChunks
+	bufs := make([][]uint32, ng)
+	hists := make([]ContainerHist, ng)
+	counts := make([]int, ng)
+	p.Run(nc, codecGrainChunks, func(g, clo, chi int) {
+		olo, ohi := groupSpan(clo, chi, n)
+		base := uint64(lo) + uint64(olo)
+		s := sort.Search(len(ids), func(i int) bool { return uint64(ids[i]) >= base })
+		e := sort.Search(len(ids), func(i int) bool { return uint64(ids[i]) >= uint64(lo)+uint64(ohi) })
+		counts[g] = e - s
+		bufs[g] = appendSetChunks(nil, ids[s:e], lo+uint32(olo), ohi-olo, &hists[g])
+	})
+	total := 0
+	for g := 0; g < ng; g++ {
+		total += counts[g]
+		buf = append(buf, bufs[g]...)
+		h.Add(hists[g])
+	}
+	if total != len(ids) {
+		panic("frontier: id outside the universe in hybrid set payload")
+	}
+	return buf
+}
+
+// appendBitsChunksPar is appendBitsChunks by chunk groups: boundaries
+// align with bitmap words (ChunkSpan/32 per chunk), so each group reads
+// a disjoint word subrange.
+func appendBitsChunksPar(p Runner, buf []uint32, words []uint32, n int, h *ContainerHist) []uint32 {
+	const wordsPerChunk = ChunkSpan / 32
+	nc := numChunks(n)
+	ng := (nc + codecGrainChunks - 1) / codecGrainChunks
+	bufs := make([][]uint32, ng)
+	hists := make([]ContainerHist, ng)
+	p.Run(nc, codecGrainChunks, func(g, clo, chi int) {
+		olo, ohi := groupSpan(clo, chi, n)
+		wlo := clo * wordsPerChunk
+		whi := wlo + BitWords(ohi-olo)
+		bufs[g] = appendBitsChunks(nil, words[wlo:whi], ohi-olo, &hists[g])
+	})
+	for g := 0; g < ng; g++ {
+		buf = append(buf, bufs[g]...)
+		h.Add(hists[g])
+	}
+	return buf
+}
+
+// chunkStarts walks the stream's headers — one word per chunk, cheap
+// and strictly sequential — returning the word offset of every chunk's
+// header plus the stream end. The same truncation panics as
+// decodeChunks apply; the per-chunk payloads are not touched.
+func chunkStarts(stream []uint32, nc int) []int {
+	starts := make([]int, nc+1)
+	pos := 0
+	for c := 0; c < nc; c++ {
+		starts[c] = pos
+		if pos >= len(stream) {
+			panic("frontier: truncated hybrid chunk stream")
+		}
+		nw := int(stream[pos] & chunkWordsMask)
+		pos += 1 + nw
+		if pos > len(stream) {
+			panic("frontier: truncated hybrid chunk payload")
+		}
+	}
+	if pos != len(stream) {
+		panic("frontier: trailing words in hybrid chunk stream")
+	}
+	starts[nc] = pos
+	return starts
+}
+
+// decodeChunksPar walks a chunk stream by groups on the runner,
+// returning the ascending universe-relative offsets. Malformed payloads
+// panic with the serial messages (re-raised by the runner).
+func decodeChunksPar(p Runner, stream []uint32, n int) []uint32 {
+	nc := numChunks(n)
+	starts := chunkStarts(stream, nc)
+	ng := (nc + codecGrainChunks - 1) / codecGrainChunks
+	outs := make([][]uint32, ng)
+	p.Run(nc, codecGrainChunks, func(g, clo, chi int) {
+		olo, ohi := groupSpan(clo, chi, n)
+		sub := stream[starts[clo]:starts[chi]]
+		out := make([]uint32, 0, (ohi-olo)/8)
+		decodeChunks(sub, ohi-olo, func(off uint32) { out = append(out, uint32(olo)+off) })
+		outs[g] = out
+	})
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	merged := make([]uint32, 0, total)
+	for _, o := range outs {
+		merged = append(merged, o...)
+	}
+	return merged
+}
+
+// EncodeSetStatsPar is EncodeSetStats with the hybrid chunk stream
+// built on the runner. Output and histogram are byte-identical to the
+// serial call for every worker count.
+func EncodeSetStatsPar(p Runner, ids []uint32, lo uint32, n int, mode WireMode, h *ContainerHist) []uint32 {
+	if mode != WireHybrid || !parallelWorthwhile(p, n) || rawBeatsHybrid(n, len(ids)) {
+		return EncodeSetStats(ids, lo, n, mode, h)
+	}
+	var chunks ContainerHist
+	hyb := appendSetChunksPar(p, []uint32{hybridSentinel, lo, uint32(n)}, ids, lo, n, &chunks)
+	return pickHybridForm(hyb, chunks, len(ids), lo, n, h,
+		func() []uint32 { return rawList(ids) },
+		func() []uint32 { return IDsToBits(ids, lo, n) })
+}
+
+// EncodeFrontierStatsPar is EncodeFrontierStats with the hybrid chunk
+// stream built on the runner.
+func EncodeFrontierStatsPar(p Runner, f Frontier, mode WireMode, h *ContainerHist) []uint32 {
+	lo, n := f.Universe()
+	if mode != WireHybrid || !parallelWorthwhile(p, n) {
+		return EncodeFrontierStats(f, mode, h)
+	}
+	d, ok := Unwrap(f).(*Dense)
+	if !ok {
+		return EncodeSetStatsPar(p, f.Vertices(), lo, n, mode, h)
+	}
+	if rawBeatsHybrid(n, d.Len()) {
+		if h != nil {
+			h.RawPayloads++
+		}
+		return rawList(d.Vertices())
+	}
+	w := d.WireBits()
+	var chunks ContainerHist
+	hyb := appendBitsChunksPar(p, []uint32{hybridSentinel, lo, uint32(n)}, w, n, &chunks)
+	return pickHybridForm(hyb, chunks, d.Len(), lo, n, h,
+		func() []uint32 { return rawList(d.Vertices()) },
+		func() []uint32 { return w })
+}
+
+// EncodeBitsPar is EncodeBits with the chunk stream built on the
+// runner.
+func EncodeBitsPar(p Runner, words []uint32, n int, mode WireMode, h *ContainerHist) []uint32 {
+	if mode != WireHybrid || !parallelWorthwhile(p, n) {
+		return EncodeBits(words, n, mode, h)
+	}
+	var hist ContainerHist
+	stream := appendBitsChunksPar(p, make([]uint32, 0, numChunks(n)), words, n, &hist)
+	if len(stream) >= len(words) {
+		if h != nil {
+			h.DensePayloads++
+		}
+		return words
+	}
+	if h != nil {
+		hist.HybridPayloads++
+		h.Add(hist)
+	}
+	return stream
+}
+
+// DecodePar is Decode with hybrid chunk streams walked on the runner.
+func DecodePar(p Runner, buf []uint32) []uint32 {
+	if len(buf) >= 3 && buf[0] == hybridSentinel {
+		lo, n := buf[1], int(buf[2])
+		if parallelWorthwhile(p, n) {
+			if uint64(lo)+uint64(n) > uint64(hybridSentinel) {
+				panic("frontier: hybrid universe exceeds the id space")
+			}
+			offs := decodeChunksPar(p, buf[3:], n)
+			for i := range offs {
+				offs[i] += lo
+			}
+			return offs
+		}
+	}
+	return Decode(buf)
+}
+
+// DecodeBitsPar is DecodeBits with chunk streams walked on the runner.
+// Each chunk's members land in a disjoint word range of the output
+// bitmap, so the groups write without synchronization.
+func DecodeBitsPar(p Runner, buf []uint32, n int) []uint32 {
+	if len(buf) == BitWords(n) || !parallelWorthwhile(p, n) {
+		return DecodeBits(buf, n)
+	}
+	nc := numChunks(n)
+	starts := chunkStarts(buf, nc)
+	w := NewBits(n)
+	p.Run(nc, codecGrainChunks, func(g, clo, chi int) {
+		olo, ohi := groupSpan(clo, chi, n)
+		sub := buf[starts[clo]:starts[chi]]
+		decodeChunks(sub, ohi-olo, func(off uint32) { SetBit(w, uint32(olo)+off) })
+	})
+	return w
+}

@@ -97,6 +97,30 @@ func (m *Map) Get(key uint32) (uint32, bool) {
 	}
 }
 
+// GetCounted is Get without the shared probe counter: it returns the
+// number of slot inspections this lookup performed so that parallel
+// scans can tally probes per worker chunk and credit the map once via
+// AddProbes after the merge. Get itself mutates m.probes and is NOT
+// safe for concurrent use.
+func (m *Map) GetCounted(key uint32) (val uint32, ok bool, probes int) {
+	i := hash32(key) & m.mask
+	for {
+		probes++
+		if !m.isUsed(i) {
+			return 0, false, probes
+		}
+		if m.keys[i] == key {
+			return m.vals[i], true, probes
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// AddProbes credits n slot inspections to the cumulative probe counter,
+// pairing with GetCounted. Call it from one goroutine only, after the
+// parallel section has joined.
+func (m *Map) AddProbes(n uint64) { m.probes += n }
+
 // GetOrPut returns the existing value for key, or inserts next() and
 // returns it. Used to build compact indices while streaming edges.
 func (m *Map) GetOrPut(key uint32, next func() uint32) uint32 {

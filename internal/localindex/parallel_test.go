@@ -1,0 +1,110 @@
+package localindex
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// GetCounted must return exactly what Get returns and count exactly the
+// probes Get would have charged — the parallel scans' probe accounting
+// (GetCounted per worker + one AddProbes after the merge) must be
+// indistinguishable from serial Get.
+func TestGetCountedMatchesGet(t *testing.T) {
+	m := NewMap(1000)
+	for k := uint32(0); k < 1000; k++ {
+		m.Put(k*3, k)
+	}
+	for k := uint32(0); k < 3200; k++ {
+		before := m.Probes()
+		v1, ok1 := m.Get(k)
+		serialProbes := m.Probes() - before
+		v2, ok2, counted := m.GetCounted(k)
+		if v1 != v2 || ok1 != ok2 {
+			t.Fatalf("key %d: GetCounted (%d,%v) != Get (%d,%v)", k, v2, ok2, v1, ok1)
+		}
+		if uint64(counted) != serialProbes {
+			t.Fatalf("key %d: GetCounted counted %d probes, Get charged %d", k, counted, serialProbes)
+		}
+	}
+}
+
+// Concurrent GetCounted + per-worker tallies + one AddProbes must land
+// on the same cumulative counter as serial Gets (and pass -race, which
+// plain concurrent Get cannot: it mutates the shared counter).
+func TestGetCountedConcurrent(t *testing.T) {
+	m := NewMap(4096)
+	for k := uint32(0); k < 4096; k++ {
+		m.Put(k, k+1)
+	}
+	serial := NewMap(4096)
+	for k := uint32(0); k < 4096; k++ {
+		serial.Put(k, k+1)
+	}
+	s0 := serial.Probes()
+	for k := uint32(0); k < 8192; k++ {
+		serial.Get(k)
+	}
+	wantDelta := serial.Probes() - s0
+
+	p0 := m.Probes()
+	var wg sync.WaitGroup
+	var total atomic.Uint64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local uint64
+			for k := uint32(w); k < 8192; k += 8 {
+				v, ok, pr := m.GetCounted(k)
+				if ok != (k < 4096) || (ok && v != k+1) {
+					t.Errorf("key %d: got (%d,%v)", k, v, ok)
+				}
+				local += uint64(pr)
+			}
+			total.Add(local)
+		}(w)
+	}
+	wg.Wait()
+	m.AddProbes(total.Load())
+	if got := m.Probes() - p0; got != wantDelta {
+		t.Fatalf("concurrent probe total %d != serial %d", got, wantDelta)
+	}
+}
+
+// TestAndSetAtomic: exactly one claimant per bit wins, nothing is lost,
+// and the final bitset matches serial TestAndSet (run with -race).
+func TestTestAndSetAtomicConcurrent(t *testing.T) {
+	const n = 1 << 14
+	b := NewBitset(n)
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint32(0); i < n; i++ {
+				if i%5 == 0 {
+					continue
+				}
+				if !b.TestAndSetAtomic(i) {
+					wins.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(0)
+	for i := uint32(0); i < n; i++ {
+		set := i%5 != 0
+		if set {
+			want++
+		}
+		if b.Test(i) != set {
+			t.Fatalf("bit %d = %v, want %v", i, b.Test(i), set)
+		}
+	}
+	if wins.Load() != want {
+		t.Fatalf("%d wins across claimants, want exactly %d (one per bit)", wins.Load(), want)
+	}
+}

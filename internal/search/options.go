@@ -48,6 +48,24 @@ type Common struct {
 	// OverlapS / hidden-fraction statistics — improves. On by default;
 	// disable for the phase-synchronous baseline.
 	Async bool
+	// Cores is the modeled per-node core count for the cost model: the
+	// charges of the loops that run on the worker pool (top-down scans,
+	// bottom-up edge checks, Δ-stepping relaxations) divide by it, the
+	// way BG/L virtual-node mode (2 compute cores) halves local work
+	// versus co-processor mode (1, the default). 0 or 1 is the paper's
+	// single-core baseline, bit-identical to earlier releases. Serial
+	// phases — marks, sorts, bucket scans, collectives — stay undivided:
+	// the model only credits parallelism where the engines actually
+	// have it.
+	Cores int
+	// Workers sizes the real per-rank worker pool threaded through the
+	// same hot loops (plus the hybrid codec). It affects wall-clock
+	// only: Results, words, simulated clocks, and container histograms
+	// are bit-identical for every value — per-worker outputs merge in a
+	// fixed chunk order. 0 or 1 runs the loops inline with zero
+	// goroutine overhead. WithCores sets both knobs together so the
+	// simulated and real clocks stay coupled.
+	Workers int
 	// Trace, when non-nil, records every simulated-clock charge and
 	// every collective/engine phase of the run as spans (see
 	// internal/trace). Recording is observation only — the simulated

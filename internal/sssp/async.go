@@ -5,6 +5,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/frontier"
 	"repro/internal/graph"
+	"repro/internal/pool"
 	"repro/internal/torus"
 )
 
@@ -21,7 +22,7 @@ import (
 // min-merges (and charges) each bin the moment it is needed for
 // posting, then encodes it against its destination's owned range (the
 // self bin is min-merged too but never encoded — it stays local).
-func dedupPrep(c *comm.Comm, model torus.CostModel, me int, wire frontier.WireMode, hist *frontier.ContainerHist,
+func dedupPrep(c *comm.Comm, model torus.CostModel, pl *pool.Pool, me int, wire frontier.WireMode, hist *frontier.ContainerHist,
 	ownedRangeOf func(member int) (graph.Vertex, graph.Vertex), binV, binD [][]uint32) collective.Prep {
 	deduped := make([]bool, len(binV))
 	return func(m int) []uint32 {
@@ -35,7 +36,7 @@ func dedupPrep(c *comm.Comm, model torus.CostModel, me int, wire frontier.WireMo
 			return nil // stays local; the handler reads the bins directly
 		}
 		dlo, dhi := ownedRangeOf(m)
-		return encodeRequests(binV[m], binD[m], uint32(dlo), int(dhi-dlo), wire, hist)
+		return encodeRequests(pl, binV[m], binD[m], uint32(dlo), int(dhi-dlo), wire, hist)
 	}
 }
 
@@ -69,47 +70,22 @@ func (e *engine2D) scatterAsync(vs, ds []uint32, light bool, delta uint32, tag i
 		if m == e.colG.Me {
 			avs, ads = sendV[m], sendD[m]
 		} else {
-			avs, ads = decodeRequests(part)
+			avs, ads = decodeRequests(e.pl, part)
 		}
-		e.c.ChargeItems(len(avs), e.model.VertexCost)
-		s0, p0 := scanned, e.st.ColMap.Probes()
-		for idx, gv := range avs {
-			ci, ok := e.st.ColMap.Get(graph.Vertex(gv))
-			if !ok {
-				continue // no partial list here (possible only locally)
-			}
-			dv := ads[idx]
-			for i := e.st.Off[ci]; i < e.st.Off[ci+1]; i++ {
-				scanned++
-				w := e.weightAt(i)
-				if (w <= delta) != light {
-					continue
-				}
-				cand := dv + w
-				if cand < dv || cand == graph.MaxDist {
-					continue // saturated: stays unreachable
-				}
-				u := e.st.Rows[i]
-				j := l.ColBlockOf(u)
-				binV[j] = append(binV[j], uint32(u))
-				binD[j] = append(binD[j], cand)
-			}
-		}
-		e.c.ChargeItems(scanned-s0, e.model.EdgeCost)
-		e.c.ChargeItems(int(e.st.ColMap.Probes()-p0), e.model.HashCost)
+		scanned += e.relaxPart(avs, ads, light, delta, binV, binD)
 	}
 	prep := func(i int) []uint32 {
 		if i == e.colG.Me {
 			return nil
 		}
-		return encodeRequests(sendV[i], sendD[i], uint32(lo), n, e.opts.Wire, &e.hist)
+		return encodeRequests(e.pl, sendV[i], sendD[i], uint32(lo), n, e.opts.Wire, &e.hist)
 	}
 	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords, Async: true}
 	_, est := collective.AllToAllAsync(e.c, e.colG, o, prep, handle)
 	rec.expandWords = est.RecvWords
 	rec.edges += scanned
 
-	prepR := dedupPrep(e.c, e.model, e.rowG.Me, e.opts.Wire, &e.hist,
+	prepR := dedupPrep(e.c, e.model, e.pl, e.rowG.Me, e.opts.Wire, &e.hist,
 		func(m int) (graph.Vertex, graph.Vertex) { return l.OwnedRange(e.rowG.World(m)) },
 		binV, binD)
 	var rvs, rds []uint32
@@ -118,7 +94,7 @@ func (e *engine2D) scatterAsync(vs, ds []uint32, light bool, delta uint32, tag i
 		if j == e.rowG.Me {
 			pvs, pds = binV[j], binD[j]
 		} else {
-			pvs, pds = decodeRequests(part)
+			pvs, pds = decodeRequests(e.pl, part)
 		}
 		rvs = append(rvs, pvs...)
 		rds = append(rds, pds...)
@@ -140,33 +116,10 @@ func (e *engine2D) scatterAsync(vs, ds []uint32, light bool, delta uint32, tag i
 func (e *engine1D) scatterAsync(vs, ds []uint32, light bool, delta uint32, tag int, rec *epochRec) ([]uint32, []uint32) {
 	h0 := e.hist
 	l := e.st.Layout
-	p := e.world.Size()
-	binV := make([][]uint32, p)
-	binD := make([][]uint32, p)
-	scanned := 0
-	for idx, gv := range vs {
-		li := e.st.LocalOf(graph.Vertex(gv))
-		dv := ds[idx]
-		for i := e.st.Off[li]; i < e.st.Off[li+1]; i++ {
-			scanned++
-			w := e.weightAt(i)
-			if (w <= delta) != light {
-				continue
-			}
-			cand := dv + w
-			if cand < dv || cand == graph.MaxDist {
-				continue // saturated: stays unreachable
-			}
-			u := e.st.Adj[i]
-			q := l.OwnerRank(u)
-			binV[q] = append(binV[q], uint32(u))
-			binD[q] = append(binD[q], cand)
-		}
-	}
+	binV, binD, scanned := e.relaxScan(vs, ds, light, delta)
 	rec.edges += scanned
-	e.c.ChargeItems(scanned, e.model.EdgeCost)
 
-	prep := dedupPrep(e.c, e.model, e.world.Me, e.opts.Wire, &e.hist,
+	prep := dedupPrep(e.c, e.model, e.pl, e.world.Me, e.opts.Wire, &e.hist,
 		func(m int) (graph.Vertex, graph.Vertex) { return l.OwnedRange(m) },
 		binV, binD)
 	var rvs, rds []uint32
@@ -175,7 +128,7 @@ func (e *engine1D) scatterAsync(vs, ds []uint32, light bool, delta uint32, tag i
 		if q == e.world.Me {
 			pvs, pds = binV[q], binD[q]
 		} else {
-			pvs, pds = decodeRequests(part)
+			pvs, pds = decodeRequests(e.pl, part)
 		}
 		rvs = append(rvs, pvs...)
 		rds = append(rds, pds...)

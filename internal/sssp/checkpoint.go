@@ -33,6 +33,10 @@ func optsFingerprint(o Options) uint64 {
 		uint64(o.Source), uint64(o.Delta), bits,
 		uint64(o.Wire), uint64(o.ChunkWords),
 		math.Float64bits(o.FrontierOccupancy),
+		// Cores scales the pool-loop charges, so it is workload identity;
+		// 0 and 1 are the same single-core baseline. Workers is real
+		// wall-clock parallelism only and deliberately excluded.
+		uint64(max(1, o.Cores)),
 	)
 }
 

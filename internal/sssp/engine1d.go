@@ -6,6 +6,7 @@ import (
 	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/pool"
 	"repro/internal/torus"
 	"repro/internal/trace"
 )
@@ -25,7 +26,10 @@ type engine1D struct {
 	opts  Options
 	model torus.CostModel
 	world comm.Group
-	hist  frontier.ContainerHist
+	// pl is the per-rank worker pool the relaxation scans and the wire
+	// codec run on; see parallel.go for the determinism contract.
+	pl   *pool.Pool
+	hist frontier.ContainerHist
 }
 
 func newEngine1D(c *comm.Comm, st *partition.Store1D, opts Options) *engine1D {
@@ -33,7 +37,9 @@ func newEngine1D(c *comm.Comm, st *partition.Store1D, opts Options) *engine1D {
 	for i := range g.Ranks {
 		g.Ranks[i] = i
 	}
-	return &engine1D{c: c, st: st, opts: opts, model: c.Model(), world: g}
+	c.SetCores(opts.Cores)
+	return &engine1D{c: c, st: st, opts: opts, model: c.Model(), world: g,
+		pl: pool.New(opts.Workers)}
 }
 
 func (e *engine1D) comm() *comm.Comm { return e.c }
@@ -75,46 +81,23 @@ func (e *engine1D) scatter(vs, ds []uint32, light bool, delta uint32, tag int, r
 func (e *engine1D) scatterSync(vs, ds []uint32, light bool, delta uint32, tag int, rec *epochRec) ([]uint32, []uint32) {
 	h0 := e.hist
 	l := e.st.Layout
-	p := e.world.Size()
-	binV := make([][]uint32, p)
-	binD := make([][]uint32, p)
 	tr := e.c.Tracer()
 	tr.Begin("engine", "scan")
-	scanned := 0
-	for idx, gv := range vs {
-		li := e.st.LocalOf(graph.Vertex(gv))
-		dv := ds[idx]
-		for i := e.st.Off[li]; i < e.st.Off[li+1]; i++ {
-			scanned++
-			w := e.weightAt(i)
-			if (w <= delta) != light {
-				continue
-			}
-			cand := dv + w
-			if cand < dv || cand == graph.MaxDist {
-				continue // saturated: stays unreachable
-			}
-			u := e.st.Adj[i]
-			q := l.OwnerRank(u)
-			binV[q] = append(binV[q], uint32(u))
-			binD[q] = append(binD[q], cand)
-		}
-	}
+	binV, binD, scanned := e.relaxScan(vs, ds, light, delta)
 	rec.edges += scanned
-	e.c.ChargeItems(scanned, e.model.EdgeCost)
 	tr.End(trace.Arg{Key: "edges", Val: int64(scanned)})
 	for q := range binV {
 		var d int
 		binV[q], binD[q], d = dedupMin(binV[q], binD[q])
 		e.c.ChargeItems(len(binV[q])+d, e.model.VertexCost)
 	}
-	send := make([][]uint32, p)
+	send := make([][]uint32, e.world.Size())
 	for q := range binV {
 		if q == e.world.Me {
 			continue
 		}
 		dlo, dhi := l.OwnedRange(q)
-		send[q] = encodeRequests(binV[q], binD[q], uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
+		send[q] = encodeRequests(e.pl, binV[q], binD[q], uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
 	}
 	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords}
 	parts, fst := collective.AllToAll(e.c, e.world, o, send)
@@ -126,7 +109,7 @@ func (e *engine1D) scatterSync(vs, ds []uint32, light bool, delta uint32, tag in
 		if q == e.world.Me {
 			pvs, pds = binV[q], binD[q]
 		} else {
-			pvs, pds = decodeRequests(part)
+			pvs, pds = decodeRequests(e.pl, part)
 		}
 		rvs = append(rvs, pvs...)
 		rds = append(rds, pds...)

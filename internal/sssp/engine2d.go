@@ -6,6 +6,7 @@ import (
 	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/pool"
 	"repro/internal/torus"
 	"repro/internal/trace"
 )
@@ -25,12 +26,16 @@ type engine2D struct {
 	model torus.CostModel
 	colG  comm.Group
 	rowG  comm.Group
-	hist  frontier.ContainerHist
+	// pl is the per-rank worker pool the relaxation scans and the wire
+	// codec run on; see parallel.go for the determinism contract.
+	pl   *pool.Pool
+	hist frontier.ContainerHist
 }
 
 func newEngine2D(c *comm.Comm, st *partition.Store2D, opts Options) *engine2D {
 	l := st.Layout
 	mesh := comm.Mesh{R: l.R, C: l.C}
+	c.SetCores(opts.Cores)
 	return &engine2D{
 		c:     c,
 		st:    st,
@@ -38,6 +43,7 @@ func newEngine2D(c *comm.Comm, st *partition.Store2D, opts Options) *engine2D {
 		model: c.Model(),
 		colG:  mesh.ColGroup(c.Rank()),
 		rowG:  mesh.RowGroup(c.Rank()),
+		pl:    pool.New(opts.Workers),
 	}
 }
 
@@ -106,59 +112,30 @@ func (e *engine2D) scatterSync(vs, ds []uint32, light bool, delta uint32, tag in
 		if i == e.colG.Me {
 			continue // stays local, unencoded
 		}
-		send[i] = encodeRequests(sendV[i], sendD[i], uint32(lo), n, e.opts.Wire, &e.hist)
+		send[i] = encodeRequests(e.pl, sendV[i], sendD[i], uint32(lo), n, e.opts.Wire, &e.hist)
 	}
 	o := collective.Opts{Tag: tag, Chunk: e.opts.ChunkWords}
 	parts, est := collective.AllToAll(e.c, e.colG, o, send)
 	rec.expandWords = est.RecvWords
 
 	// Scan the partial edge lists of every received active vertex and
-	// bin the resulting relax requests by owner mesh column.
+	// bin the resulting relax requests by owner mesh column (relaxPart
+	// runs on the worker pool and charges the scan).
 	binV := make([][]uint32, l.C)
 	binD := make([][]uint32, l.C)
-	probes0 := e.st.ColMap.Probes()
 	scanned := 0
-	relaxPart := func(avs, ads []uint32) {
-		for idx, gv := range avs {
-			ci, ok := e.st.ColMap.Get(graph.Vertex(gv))
-			if !ok {
-				continue // no partial list here (possible only locally)
-			}
-			dv := ads[idx]
-			for i := e.st.Off[ci]; i < e.st.Off[ci+1]; i++ {
-				scanned++
-				w := e.weightAt(i)
-				if (w <= delta) != light {
-					continue
-				}
-				cand := dv + w
-				if cand < dv || cand == graph.MaxDist {
-					continue // saturated: stays unreachable
-				}
-				u := e.st.Rows[i]
-				j := l.ColBlockOf(u)
-				binV[j] = append(binV[j], uint32(u))
-				binD[j] = append(binD[j], cand)
-			}
-		}
-	}
 	tr := e.c.Tracer()
 	tr.Begin("engine", "scan")
-	pairCount := 0
 	for i, p := range parts {
 		var avs, ads []uint32
 		if i == e.colG.Me {
 			avs, ads = sendV[i], sendD[i]
 		} else {
-			avs, ads = decodeRequests(p)
+			avs, ads = decodeRequests(e.pl, p)
 		}
-		pairCount += len(avs)
-		relaxPart(avs, ads)
+		scanned += e.relaxPart(avs, ads, light, delta, binV, binD)
 	}
-	e.c.ChargeItems(pairCount, e.model.VertexCost)
 	rec.edges += scanned
-	e.c.ChargeItems(scanned, e.model.EdgeCost)
-	e.c.ChargeItems(int(e.st.ColMap.Probes()-probes0), e.model.HashCost)
 	tr.End(trace.Arg{Key: "edges", Val: int64(scanned)})
 
 	// Local minimum-merge per destination ("merged to form N" with a
@@ -174,7 +151,7 @@ func (e *engine2D) scatterSync(vs, ds []uint32, light bool, delta uint32, tag in
 			continue
 		}
 		dlo, dhi := l.OwnedRange(e.rowG.World(j))
-		sendR[j] = encodeRequests(binV[j], binD[j], uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
+		sendR[j] = encodeRequests(e.pl, binV[j], binD[j], uint32(dlo), int(dhi-dlo), e.opts.Wire, &e.hist)
 	}
 	o2 := collective.Opts{Tag: tag + 1<<24, Chunk: e.opts.ChunkWords}
 	rparts, fst := collective.AllToAll(e.c, e.rowG, o2, sendR)
@@ -186,7 +163,7 @@ func (e *engine2D) scatterSync(vs, ds []uint32, light bool, delta uint32, tag in
 		if j == e.rowG.Me {
 			pvs, pds = binV[j], binD[j]
 		} else {
-			pvs, pds = decodeRequests(p)
+			pvs, pds = decodeRequests(e.pl, p)
 		}
 		rvs = append(rvs, pvs...)
 		rds = append(rds, pds...)

@@ -490,8 +490,8 @@ func TestRequestCodecRoundTrip(t *testing.T) {
 	ds := []uint32{3, 9, 12, 1, 77, 2}
 	for _, mode := range []frontier.WireMode{frontier.WireSparse, frontier.WireDense, frontier.WireAuto, frontier.WireHybrid} {
 		var h frontier.ContainerHist
-		buf := encodeRequests(vs, ds, 100, 4000, mode, &h)
-		gvs, gds := decodeRequests(buf)
+		buf := encodeRequests(nil, vs, ds, 100, 4000, mode, &h)
+		gvs, gds := decodeRequests(nil, buf)
 		if len(gvs) != len(vs) {
 			t.Fatalf("mode %v: %d vertices back, want %d", mode, len(gvs), len(vs))
 		}
@@ -504,10 +504,10 @@ func TestRequestCodecRoundTrip(t *testing.T) {
 			t.Fatalf("mode %v: %d payloads tallied", mode, h.Payloads())
 		}
 	}
-	if encodeRequests(nil, nil, 0, 10, frontier.WireHybrid, nil) != nil {
+	if encodeRequests(nil, nil, nil, 0, 10, frontier.WireHybrid, nil) != nil {
 		t.Fatal("empty batch should encode to nil")
 	}
-	if vs, ds := decodeRequests(nil); len(vs) != 0 || len(ds) != 0 {
+	if vs, ds := decodeRequests(nil, nil); len(vs) != 0 || len(ds) != 0 {
 		t.Fatal("nil payload should decode empty")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/frontier"
+	"repro/internal/pool"
 )
 
 // Relax requests cross the simulated torus as a vertex set plus a
@@ -20,11 +21,11 @@ import (
 
 // encodeRequests packs a deduplicated request batch drawn from the
 // destination's owned universe [lo, lo+n).
-func encodeRequests(vs, ds []uint32, lo uint32, n int, mode frontier.WireMode, h *frontier.ContainerHist) []uint32 {
+func encodeRequests(p *pool.Pool, vs, ds []uint32, lo uint32, n int, mode frontier.WireMode, h *frontier.ContainerHist) []uint32 {
 	if len(vs) == 0 {
 		return nil
 	}
-	enc := frontier.EncodeSetStats(vs, lo, n, mode, h)
+	enc := frontier.EncodeSetStatsPar(p, vs, lo, n, mode, h)
 	out := make([]uint32, 0, 1+len(enc)+len(ds))
 	out = append(out, uint32(len(enc)))
 	out = append(out, enc...)
@@ -32,7 +33,7 @@ func encodeRequests(vs, ds []uint32, lo uint32, n int, mode frontier.WireMode, h
 }
 
 // decodeRequests inverts encodeRequests.
-func decodeRequests(buf []uint32) (vs, ds []uint32) {
+func decodeRequests(p *pool.Pool, buf []uint32) (vs, ds []uint32) {
 	if len(buf) == 0 {
 		return nil, nil
 	}
@@ -40,7 +41,7 @@ func decodeRequests(buf []uint32) (vs, ds []uint32) {
 	if 1+nw > len(buf) {
 		panic("sssp: truncated relax-request payload")
 	}
-	vs = frontier.Decode(buf[1 : 1+nw])
+	vs = frontier.DecodePar(p, buf[1:1+nw])
 	ds = buf[1+nw:]
 	if len(vs) != len(ds) {
 		panic("sssp: relax-request set/distance length mismatch")

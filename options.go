@@ -137,6 +137,32 @@ func WithAsync(on bool) Option {
 	return func(c *searchConfig) { c.bfs.Async = on; c.sssp.Async = on }
 }
 
+// WithCores models n compute cores per node and sizes the real worker
+// pool to match. The simulated clock divides the pool-run loops'
+// charges (top-down scans, bottom-up edge checks, lane sweeps,
+// Δ-stepping relaxations, hybrid codec) by n — BG/L virtual-node mode
+// (n=2) versus the co-processor default (n=1) — while serial phases
+// (marks, sorts, min/OR-merges, collectives) stay undivided. Results,
+// words, duplicate counts, and container histograms are bit-identical
+// for every n; only the simulated and real clocks change. n <= 1 is
+// the paper's single-core baseline.
+func WithCores(n int) Option {
+	return func(c *searchConfig) {
+		c.bfs.Cores, c.sssp.Cores = n, n
+		c.bfs.Workers, c.sssp.Workers = n, n
+	}
+}
+
+// WithWorkers sizes the real per-rank worker pool without touching the
+// cost model: wall-clock changes, every simulated number — clocks,
+// words, Results — is bit-identical for any n. Use it to soak the
+// deterministic-merge contract (e.g. under -race) or to decouple host
+// parallelism from the modeled BG/L core count; n <= 1 runs the hot
+// loops inline.
+func WithWorkers(n int) Option {
+	return func(c *searchConfig) { c.bfs.Workers, c.sssp.Workers = n, n }
+}
+
 // BFS-family options (ignored by SSSP runs).
 
 // WithDirection selects the traversal direction policy.
