@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet tier1 race race-pool build test bench bench-smoke bench-json bench-diff trace-smoke chaos-smoke profile fuzz deprecated-surface
+.PHONY: ci fmt-check vet tier1 race race-pool build test bench bench-smoke bench-json bench-diff trace-smoke chaos-smoke graphd-smoke profile fuzz deprecated-surface
 
 # Seconds per fuzz target in `make fuzz`.
 FUZZTIME ?= 20s
 
-ci: fmt-check vet tier1 race race-pool bench-smoke trace-smoke chaos-smoke bench-diff deprecated-surface
+ci: fmt-check vet tier1 race race-pool bench-smoke trace-smoke chaos-smoke graphd-smoke bench-diff deprecated-surface
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \
@@ -54,8 +54,12 @@ bench-smoke: bench
 # flagship >=1.3x check) and the worker-pool/cores baseline
 # (BENCH_PR8.json: flagship BFS and Δ-stepping at cores 1/2/4, gated on
 # the deterministic simulated fields; wall times are host context).
+# ... and the graphd service baseline (BENCH_PR9.json: the 64-query set
+# swept in coalesced chunks at several concurrency levels vs one at a
+# time — gated on the deterministic simulated fields — plus real
+# batched-vs-unbatched HTTP QPS as host context).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -out4 BENCH_PR4.json -out5 BENCH_PR5.json -out8 BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -out4 BENCH_PR4.json -out5 BENCH_PR5.json -out8 BENCH_PR8.json -out9 BENCH_PR9.json
 
 # Perf-regression gate: rerun the baseline batch into a scratch
 # directory and diff it against the committed BENCH_PR*.json under the
@@ -64,8 +68,8 @@ bench-json:
 # regression must make the gate fail, proving it actually bites.
 bench-diff:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) run ./cmd/benchjson -out $$tmp/BENCH_PR2.json -out4 $$tmp/BENCH_PR4.json -out5 $$tmp/BENCH_PR5.json -out8 $$tmp/BENCH_PR8.json >/dev/null; \
-	$(GO) run ./cmd/benchdiff BENCH_PR2.json=$$tmp/BENCH_PR2.json BENCH_PR4.json=$$tmp/BENCH_PR4.json BENCH_PR5.json=$$tmp/BENCH_PR5.json BENCH_PR8.json=$$tmp/BENCH_PR8.json; \
+	$(GO) run ./cmd/benchjson -out $$tmp/BENCH_PR2.json -out4 $$tmp/BENCH_PR4.json -out5 $$tmp/BENCH_PR5.json -out8 $$tmp/BENCH_PR8.json -out9 $$tmp/BENCH_PR9.json >/dev/null; \
+	$(GO) run ./cmd/benchdiff BENCH_PR2.json=$$tmp/BENCH_PR2.json BENCH_PR4.json=$$tmp/BENCH_PR4.json BENCH_PR5.json=$$tmp/BENCH_PR5.json BENCH_PR8.json=$$tmp/BENCH_PR8.json BENCH_PR9.json=$$tmp/BENCH_PR9.json; \
 	if $(GO) run ./cmd/benchdiff -inject-simexec 1.10 BENCH_PR2.json=$$tmp/BENCH_PR2.json >/dev/null 2>&1; then \
 		echo "bench-diff: injected 10% simexec regression was NOT caught"; exit 1; \
 	fi; \
@@ -99,6 +103,31 @@ chaos-smoke:
 	$(GO) run ./cmd/bfsrun -algo sssp -n 20000 -k 10 -r 4 -c 4 -wire hybrid -fault canned -checkpoint $$tmp/sssp.ckpt -kill-at 4 >/dev/null; \
 	$(GO) run ./cmd/bfsrun -algo sssp -n 20000 -k 10 -r 4 -c 4 -wire hybrid -fault canned -restore $$tmp/sssp.ckpt >/dev/null; \
 	echo "chaos-smoke: faulted differential suite and kill/restore round trips verified"
+
+# graphd smoke: the end-to-end service gate. Build the server and the
+# load generator, start graphd on a free port (port discovered through
+# -portfile), fire a seeded 120-query bfs/path/sssp mix from 16
+# concurrent workers with every answer verified against the serial
+# oracles, require the server to have actually coalesced queries
+# (-expect-batching) and to expose the graphd instruments
+# (-check-metrics), then drain it with SIGTERM and require exit 0.
+graphd-smoke:
+	@set -e; tmp=$$(mktemp -d); pid=""; \
+	trap '{ [ -n "$$pid" ] && kill $$pid; rm -rf "$$tmp"; } 2>/dev/null || true' EXIT; \
+	$(GO) build -o $$tmp/graphd ./cmd/graphd; \
+	$(GO) build -o $$tmp/graphload ./cmd/graphload; \
+	$$tmp/graphd -n 20000 -k 10 -seed 42 -weighted -r 2 -c 2 \
+		-addr 127.0.0.1:0 -portfile $$tmp/port 2>$$tmp/graphd.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/port ] && break; sleep 0.1; done; \
+	[ -s $$tmp/port ] || { echo "graphd-smoke: server never wrote its port file"; cat $$tmp/graphd.log; exit 1; }; \
+	$$tmp/graphload -addr $$(cat $$tmp/port) -queries 120 -concurrency 16 -seed 7 \
+		-mix bfs=6,path=1,sssp=1 -verify -n 20000 -k 10 -graph-seed 42 -weighted \
+		-expect-batching -check-metrics || { cat $$tmp/graphd.log; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "graphd-smoke: server exited non-zero on drain"; cat $$tmp/graphd.log; exit 1; }; \
+	pid=""; \
+	echo "graphd-smoke: 120 verified queries, batching observed, clean drain"
 
 # Host-process profiles of the flagship workload; inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.

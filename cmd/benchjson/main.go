@@ -244,6 +244,7 @@ func main() {
 		out4 = flag.String("out4", "BENCH_PR4.json", "multi-source baseline output file (empty = skip)")
 		out5 = flag.String("out5", "BENCH_PR5.json", "async-overlap baseline output file (empty = skip)")
 		out8 = flag.String("out8", "BENCH_PR8.json", "worker-pool/cores baseline output file (empty = skip)")
+		out9 = flag.String("out9", "BENCH_PR9.json", "graphd batching baseline output file (empty = skip)")
 		n    = flag.Int("n", 100000, "vertices")
 		k    = flag.Float64("k", 10, "expected average degree")
 		seed = flag.Int64("seed", 9, "graph seed")
@@ -410,9 +411,24 @@ func main() {
 	fmt.Printf("delta sweep: interior Δ=%d %.4fs vs dijkstra-like %.4fs, bellman-ford %.4fs (interior beats extremes: %v)\n",
 		ds.BestInteriorDelta, ds.BestInteriorExecS, ds.DijkstraLikeExecS, ds.BellmanFordExecS, ds.InteriorBeatsExtremes)
 
-	if *out4 != "" {
-		if err := writeMultiBaseline(*out4, w, src, *n, *k, *seed, *r, *c); err != nil {
+	// The 64 independent single-source runs are shared by the PR 4
+	// multi-source baseline and the PR 9 service baseline: both compare
+	// the same one-query-at-a-time trajectory against coalesced sweeps.
+	if *out4 != "" || *out9 != "" {
+		msrcs := multiSources(graph.BFS(w.Graph, src), bfs.MaxLanes)
+		inds, err := runIndependents(w, msrcs)
+		if err != nil {
 			fail(err)
+		}
+		if *out4 != "" {
+			if err := writeMultiBaseline(*out4, w, msrcs, inds, *n, *k, *seed, *r, *c); err != nil {
+				fail(err)
+			}
+		}
+		if *out9 != "" {
+			if err := writeServiceBaseline(*out9, w, msrcs, inds, *n, *k, *seed, *r, *c); err != nil {
+				fail(err)
+			}
 		}
 	}
 	if *out5 != "" {
@@ -601,12 +617,42 @@ func multiSources(levels []int32, b int) []graph.Vertex {
 	return srcs
 }
 
+// indepRun is one independent single-source run of the shared query
+// set: the one-at-a-time cost the batched baselines compare against,
+// plus the level oracle every batched lane must reproduce.
+type indepRun struct {
+	words   int64
+	simExec float64
+	levels  []int32
+}
+
+// runIndependents runs each source as its own single-source BFS (wire
+// auto — the same mode the batched comparisons use).
+func runIndependents(w *harness.Workload, srcs []graph.Vertex) ([]indepRun, error) {
+	inds := make([]indepRun, 0, len(srcs))
+	for _, s := range srcs {
+		opts := bfs.DefaultOptions(s)
+		opts.Wire = frontier.WireAuto
+		opts.Metrics = reg
+		res, err := bfs.Run2D(w.World, w.Stores, opts)
+		if err != nil {
+			return nil, err
+		}
+		inds = append(inds, indepRun{
+			words:   res.TotalExpandWords + res.TotalFoldWords,
+			simExec: res.SimTime,
+			levels:  res.Levels,
+		})
+	}
+	return inds, nil
+}
+
 // writeMultiBaseline runs the PR 4 acceptance comparison: one 64-lane
 // MultiBFS versus 64 independent BFS runs on the same stores, wire
 // mode auto for both.
-func writeMultiBaseline(path string, w *harness.Workload, src graph.Vertex, n int, k float64, seed int64, r, c int) error {
+func writeMultiBaseline(path string, w *harness.Workload, srcs []graph.Vertex, inds []indepRun,
+	n int, k float64, seed int64, r, c int) error {
 	doc := Baseline4{N: n, K: k, Seed: seed, Mesh: fmt.Sprintf("%dx%d", r, c)}
-	srcs := multiSources(graph.BFS(w.Graph, src), bfs.MaxLanes)
 
 	opts := bfs.DefaultOptions(0)
 	opts.Wire = frontier.WireAuto
@@ -633,18 +679,12 @@ func writeMultiBaseline(path string, w *harness.Workload, src graph.Vertex, n in
 	}
 
 	mb.LaneLevelsChecked = true
-	for lane, s := range srcs {
-		single := bfs.DefaultOptions(s)
-		single.Wire = frontier.WireAuto
-		single.Metrics = reg
-		ind, err := bfs.Run2D(w.World, w.Stores, single)
-		if err != nil {
-			return err
-		}
+	for lane := range srcs {
+		ind := inds[lane]
 		mb.IndependentRuns++
-		mb.IndependentWords += ind.TotalExpandWords + ind.TotalFoldWords
-		mb.IndependentExecS += ind.SimTime
-		for v, l := range ind.Levels {
+		mb.IndependentWords += ind.words
+		mb.IndependentExecS += ind.simExec
+		for v, l := range ind.levels {
 			if mres.LaneLevels[lane][v] != l {
 				mb.LaneLevelsChecked = false
 				return fmt.Errorf("benchjson: lane %d level[%d] = %d, independent run %d",

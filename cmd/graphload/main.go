@@ -1,0 +1,345 @@
+// Command graphload is the deterministic load generator for graphd: a
+// seeded mix of BFS / path / SSSP queries fired at a target rate from a
+// pool of concurrent workers, with per-kind latency histograms and
+// optional oracle verification of every answer (the generator rebuilds
+// the server's graph locally from the same -n/-k/-graph-seed and checks
+// each response against serial BFS / Dijkstra).
+//
+// The query stream is a pure function of -seed: the same seed, count,
+// and mix produce the same queries in the same order, so a smoke run is
+// reproducible end to end.
+//
+// Usage:
+//
+//	graphload -addr 127.0.0.1:8080 -queries 500 -concurrency 16
+//	graphload -addr $(cat /tmp/graphd.port) -queries 120 -seed 7 \
+//	    -mix bfs=6,path=1,sssp=1 -verify -n 20000 -k 10 -graph-seed 42 -weighted \
+//	    -expect-batching -check-metrics
+//
+// Exit status is non-zero on any failed query, failed verification, or
+// failed -expect-batching / -check-metrics assertion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bgl "repro"
+	"repro/internal/graphd"
+	"repro/internal/metrics"
+)
+
+// splitmix64 is the seeded generator behind the query stream — tiny,
+// deterministic, and identical across platforms.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// query is one planned request.
+type query struct {
+	kind   string // bfs | path | sssp
+	source int
+	target int
+}
+
+// oracle lazily computes and caches serial answers per source.
+type oracle struct {
+	g    *bgl.Graph
+	mu   sync.Mutex
+	bfs  map[int][]int32
+	dijk map[int][]uint32
+}
+
+func (o *oracle) levels(src int) []int32 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if l, ok := o.bfs[src]; ok {
+		return l
+	}
+	l := o.g.SerialBFS(bgl.Vertex(src))
+	o.bfs[src] = l
+	return l
+}
+
+func (o *oracle) dists(src int) []uint32 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if d, ok := o.dijk[src]; ok {
+		return d
+	}
+	d := o.g.SerialDijkstra(bgl.Vertex(src))
+	o.dijk[src] = d
+	return d
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "graphd address (host:port or full http:// URL)")
+		queries     = flag.Int("queries", 200, "total queries to send")
+		qps         = flag.Float64("qps", 0, "target release rate (0 = as fast as the workers go)")
+		concurrency = flag.Int("concurrency", 8, "concurrent workers")
+		seed        = flag.Uint64("seed", 1, "query-stream seed")
+		mixStr      = flag.String("mix", "bfs=6,path=1,sssp=1", "query mix as kind=weight pairs")
+		verify      = flag.Bool("verify", false, "verify every answer against the serial oracles (needs -n/-k/-graph-seed to match the server)")
+		n           = flag.Int("n", 100000, "server graph vertices (query range; oracle rebuild under -verify)")
+		k           = flag.Float64("k", 10, "server graph average degree (oracle rebuild)")
+		graphSeed   = flag.Int64("graph-seed", 42, "server graph seed (oracle rebuild)")
+		weighted    = flag.Bool("weighted", false, "the server graph is weighted (oracle rebuild)")
+		maxw        = flag.Uint("maxw", 0, "server graph max edge weight (oracle rebuild)")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "per-attempt HTTP timeout")
+		retries     = flag.Int("retries", 3, "retries per query on overload/transport failure")
+		checkMet    = flag.Bool("check-metrics", false, "fetch /metrics afterwards and require the graphd instruments")
+		expectBatch = flag.Bool("expect-batching", false, "require the server to have coalesced queries (mean batch size > 1)")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "graphload: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	mix, err := parseMix(*mixStr)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *queries <= 0 || *concurrency <= 0 {
+		fail("-queries and -concurrency must be positive")
+	}
+
+	var orc *oracle
+	if *verify {
+		var g *bgl.Graph
+		var err error
+		if *weighted {
+			g, err = bgl.GenerateWeighted(*n, *k, *graphSeed, bgl.WithMaxWeight(uint32(*maxw)))
+		} else {
+			g, err = bgl.Generate(*n, *k, *graphSeed)
+		}
+		if err != nil {
+			fail("rebuilding the oracle graph: %v", err)
+		}
+		orc = &oracle{g: g, bfs: map[int][]int32{}, dijk: map[int][]uint32{}}
+	}
+
+	// Plan the whole stream up front: a pure function of the seed.
+	rng := splitmix64(*seed)
+	plan := make([]query, *queries)
+	for i := range plan {
+		plan[i] = query{
+			kind:   mix[rng.next()%uint64(len(mix))],
+			source: int(rng.next() % uint64(*n)),
+			target: int(rng.next() % uint64(*n)),
+		}
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := graphd.NewClient(base, graphd.WithTimeout(*timeout), graphd.WithRetries(*retries))
+	if err := client.Healthz(); err != nil {
+		fail("server not healthy at %s: %v", base, err)
+	}
+
+	reg := metrics.NewRegistry()
+	var failures atomic.Int64
+	work := make(chan query)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range work {
+				t0 := time.Now()
+				err := runQuery(client, q, orc)
+				lat := time.Since(t0).Seconds()
+				reg.Histogram("graphload_latency_seconds", metrics.TimeBuckets).Observe(lat)
+				reg.Histogram("graphload_"+q.kind+"_latency_seconds", metrics.TimeBuckets).Observe(lat)
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "graphload: %s source=%d target=%d: %v\n", q.kind, q.source, q.target, err)
+				}
+			}
+		}()
+	}
+	var interval time.Duration
+	if *qps > 0 {
+		interval = time.Duration(float64(time.Second) / *qps)
+	}
+	next := time.Now()
+	for _, q := range plan {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		work <- q
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := reg.Histogram("graphload_latency_seconds", metrics.TimeBuckets)
+	fmt.Printf("graphload: %d queries in %v (%.1f QPS, %d workers, %d failed)\n",
+		*queries, elapsed.Round(time.Millisecond), float64(*queries)/elapsed.Seconds(), *concurrency, failures.Load())
+	for _, kind := range []string{"bfs", "path", "sssp"} {
+		h := reg.Histogram("graphload_"+kind+"_latency_seconds", metrics.TimeBuckets)
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-4s  n=%-5d mean=%8.2fms  p50<=%s  p95<=%s\n",
+			kind, h.Count(), 1e3*h.Sum()/float64(h.Count()), quantileBound(h, 0.50), quantileBound(h, 0.95))
+	}
+	fmt.Printf("  all   n=%-5d mean=%8.2fms  p50<=%s  p95<=%s\n",
+		total.Count(), 1e3*total.Sum()/float64(total.Count()), quantileBound(total, 0.50), quantileBound(total, 0.95))
+
+	st, err := client.Stats()
+	if err != nil {
+		fail("fetching /v1/stats: %v", err)
+	}
+	fmt.Printf("  server: %d bfs over %d sweeps (mean batch %.2f), %d path, %d sssp, %d rejected\n",
+		st.Queries.BFS, st.Queries.Batches, st.Queries.MeanBatchSize, st.Queries.Path, st.Queries.SSSP, st.Queries.Rejected)
+
+	if *expectBatch && st.Queries.MeanBatchSize <= 1 {
+		fail("expected batching, but the server's mean batch size is %.2f (%d queries over %d sweeps)",
+			st.Queries.MeanBatchSize, st.Queries.BatchedQueries, st.Queries.Batches)
+	}
+	if *checkMet {
+		text, err := client.Metrics()
+		if err != nil {
+			fail("fetching /metrics: %v", err)
+		}
+		for _, name := range []string{
+			"graphd_queries_total", "graphd_batches_total",
+			"graphd_batch_lanes", "graphd_latency_seconds",
+		} {
+			if !strings.Contains(text, name) {
+				fail("/metrics is missing %s", name)
+			}
+		}
+	}
+	if failures.Load() > 0 {
+		fail("%d of %d queries failed", failures.Load(), *queries)
+	}
+	if *verify {
+		fmt.Printf("  verified %d answers against the serial oracles: OK\n", *queries)
+	}
+}
+
+// parseMix expands "bfs=6,path=1,sssp=1" into a weighted pick table.
+func parseMix(s string) ([]string, error) {
+	var mix []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		kind := strings.TrimSpace(kv[0])
+		switch kind {
+		case "bfs", "path", "sssp":
+		default:
+			return nil, fmt.Errorf("unknown query kind %q in -mix", kind)
+		}
+		w := 1
+		if len(kv) == 2 {
+			var err error
+			if w, err = strconv.Atoi(strings.TrimSpace(kv[1])); err != nil || w < 0 {
+				return nil, fmt.Errorf("bad weight %q for %q in -mix", kv[1], kind)
+			}
+		}
+		for i := 0; i < w; i++ {
+			mix = append(mix, kind)
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("-mix %q selects no queries", s)
+	}
+	return mix, nil
+}
+
+// runQuery executes one planned query and, when orc is non-nil, checks
+// the answer against the serial oracle.
+func runQuery(c *graphd.Client, q query, orc *oracle) error {
+	switch q.kind {
+	case "bfs":
+		resp, err := c.BFS(graphd.BFSRequest{Source: &q.source, Target: &q.target})
+		if err != nil {
+			return err
+		}
+		if orc != nil {
+			want := orc.levels(q.source)
+			reached := 0
+			for _, l := range want {
+				if l != bgl.Unreached {
+					reached++
+				}
+			}
+			if resp.Reached != reached {
+				return fmt.Errorf("reached %d, oracle %d", resp.Reached, reached)
+			}
+			if resp.Distance == nil || *resp.Distance != want[q.target] {
+				return fmt.Errorf("distance %v, oracle %d", resp.Distance, want[q.target])
+			}
+		}
+	case "path":
+		resp, err := c.Path(graphd.PathRequest{Source: &q.source, Target: &q.target})
+		if err != nil {
+			return err
+		}
+		if orc != nil {
+			want := orc.levels(q.source)[q.target]
+			if resp.Found != (want != bgl.Unreached) {
+				return fmt.Errorf("found=%v, oracle level %d", resp.Found, want)
+			}
+			if resp.Found && resp.Distance != want {
+				return fmt.Errorf("path length %d, oracle %d", resp.Distance, want)
+			}
+		}
+	case "sssp":
+		resp, err := c.SSSP(graphd.SSSPRequest{Source: &q.source, Target: &q.target})
+		if err != nil {
+			return err
+		}
+		if orc != nil {
+			want := orc.dists(q.source)[q.target]
+			if resp.Distance == nil || *resp.Distance != want {
+				return fmt.Errorf("sssp distance %v, oracle %d", resp.Distance, want)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown query kind %q", q.kind)
+	}
+	return nil
+}
+
+// quantileBound reports the histogram bucket bound covering quantile q
+// — the resolution the fixed TimeBuckets give without storing samples.
+func quantileBound(h *metrics.Histogram, q float64) string {
+	bounds, cum := h.Buckets()
+	total := h.Count()
+	if total == 0 {
+		return "n/a"
+	}
+	rank := int64(q * float64(total))
+	i := sort.Search(len(cum), func(i int) bool { return cum[i] > rank })
+	if i >= len(bounds) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%gms", 1e3*bounds[i])
+}

@@ -1,0 +1,147 @@
+// Package graphd is the long-lived graph-query service: a server that
+// distributes a graph over the simulated machine once at startup and
+// then answers concurrent BFS / shortest-path / Δ-stepping queries over
+// HTTP/JSON, plus the well-typed client the load generator and tests
+// share.
+//
+// The core of the service is a dynamic batcher: concurrent
+// single-source BFS queries that arrive within a configurable window
+// (or up to the 64-lane MultiBFS capacity, whichever fills first)
+// coalesce into ONE multi-source sweep sequence, and each caller gets
+// its own lane's levels back — identical to an independent run, but the
+// batch moves strictly fewer wire words and far less simulated
+// execution time than one-query-at-a-time (the PR 4 acceptance result
+// the service exists to exploit). Queries that cannot share a sweep —
+// Δ-stepping SSSP and path reconstruction — go through a bounded worker
+// queue with admission control instead: when the queue is full the
+// server answers 503 with a Retry-After header rather than building an
+// unbounded backlog.
+package graphd
+
+// This file holds the JSON wire types the server and client share. All
+// request bodies are strict: unknown fields, trailing data, and
+// malformed JSON are 400s, never 500s.
+
+// BFSRequest asks for a single-source BFS. Source is required; Target
+// optionally asks for s→t reachability/distance; Levels asks for the
+// full per-vertex level array (omit it on large graphs unless needed —
+// the array has one entry per vertex).
+type BFSRequest struct {
+	Source *int `json:"source"`
+	Target *int `json:"target,omitempty"`
+	Levels bool `json:"levels,omitempty"`
+}
+
+// BFSResponse answers a BFSRequest. Distance/Found are present only
+// when the request named a target (Distance is -1 when the target is
+// unreached); Levels only when requested (Unreached vertices hold -1).
+type BFSResponse struct {
+	Source   int        `json:"source"`
+	Reached  int        `json:"reached"`
+	Found    *bool      `json:"found,omitempty"`
+	Distance *int32     `json:"distance,omitempty"`
+	Levels   []int32    `json:"levels,omitempty"`
+	Stats    QueryStats `json:"stats"`
+}
+
+// PathRequest asks for one shortest path Source→Target. Both are
+// required.
+type PathRequest struct {
+	Source *int `json:"source"`
+	Target *int `json:"target"`
+}
+
+// PathResponse answers a PathRequest. Found is false (with a nil Path)
+// when the target is unreachable — that is an answer, not an error.
+type PathResponse struct {
+	Source   int        `json:"source"`
+	Target   int        `json:"target"`
+	Found    bool       `json:"found"`
+	Distance int32      `json:"distance"`
+	Path     []int      `json:"path,omitempty"`
+	Stats    QueryStats `json:"stats"`
+}
+
+// SSSPRequest asks for Δ-stepping shortest distances from Source.
+// Delta 0 selects the max(1, maxWeight/avgDegree) heuristic; Target
+// optionally asks for one s→t distance; Dists for the full per-vertex
+// distance array.
+type SSSPRequest struct {
+	Source *int   `json:"source"`
+	Target *int   `json:"target,omitempty"`
+	Delta  uint32 `json:"delta,omitempty"`
+	Dists  bool   `json:"dists,omitempty"`
+}
+
+// SSSPResponse answers an SSSPRequest. Unreachable vertices hold
+// MaxDist (the uint32 maximum) in Dists; Distance/Found are present
+// only when the request named a target.
+type SSSPResponse struct {
+	Source   int        `json:"source"`
+	Reached  int        `json:"reached"`
+	Found    *bool      `json:"found,omitempty"`
+	Distance *uint32    `json:"distance,omitempty"`
+	Dists    []uint32   `json:"dists,omitempty"`
+	Stats    QueryStats `json:"stats"`
+}
+
+// QueryStats reports how the service executed one query: how long it
+// waited for a sweep or worker slot, how many queries and distinct
+// sources shared its sweep (both 1 for unbatched work), and the sweep's
+// simulated cost — which is AMORTIZED over the whole batch, so a query
+// that shared a 64-lane sweep reports the one sweep's words, not 64
+// runs' worth.
+type QueryStats struct {
+	QueueWaitS float64 `json:"queue_wait_s"`
+	BatchSize  int     `json:"batch_size"`
+	BatchLanes int     `json:"batch_lanes"`
+	SimExecS   float64 `json:"simexec_s"`
+	SimCommS   float64 `json:"simcomm_s"`
+	Words      int64   `json:"words"`
+	WallS      float64 `json:"wall_s"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// GraphInfo describes the graph the server distributed at startup.
+type GraphInfo struct {
+	N         int    `json:"n"`
+	Edges     int64  `json:"edges"`
+	Weighted  bool   `json:"weighted"`
+	Mesh      string `json:"mesh"`
+	Partition string `json:"partition"`
+	Wire      string `json:"wire"`
+	Replicas  int    `json:"replicas"`
+}
+
+// BatchingInfo reports the batcher and admission configuration.
+type BatchingInfo struct {
+	WindowS    float64 `json:"window_s"`
+	MaxBatch   int     `json:"max_batch"`
+	MaxWaiting int     `json:"max_waiting"`
+	QueueDepth int     `json:"queue_depth"`
+}
+
+// QueryCounts aggregates the server's lifetime traffic.
+type QueryCounts struct {
+	BFS            int64   `json:"bfs"`
+	Path           int64   `json:"path"`
+	SSSP           int64   `json:"sssp"`
+	Batches        int64   `json:"batches"`
+	BatchedQueries int64   `json:"batched_queries"`
+	MeanBatchSize  float64 `json:"mean_batch_size"`
+	Rejected       int64   `json:"rejected"`
+	Errors         int64   `json:"errors"`
+	Inflight       int64   `json:"inflight"`
+}
+
+// StatsResponse is the GET /v1/stats document.
+type StatsResponse struct {
+	UptimeS  float64      `json:"uptime_s"`
+	Graph    GraphInfo    `json:"graph"`
+	Batching BatchingInfo `json:"batching"`
+	Queries  QueryCounts  `json:"queries"`
+}

@@ -1,0 +1,216 @@
+package graphd
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bgl "repro"
+	"repro/internal/metrics"
+)
+
+// ErrDraining is returned by Submit once the batcher has begun its
+// shutdown drain; the server maps it to a 503.
+var ErrDraining = errors.New("graphd: draining")
+
+// sweepStats is the shared cost of one coalesced sweep, reported to
+// every query that rode it.
+type sweepStats struct {
+	SimExecS float64
+	SimCommS float64
+	Words    int64
+	WallS    float64
+}
+
+// sweepFunc runs one sweep over the deduplicated batch sources and
+// returns one level array per source, index-aligned. The batcher owns
+// WHEN a sweep fires and which queries share it; the server owns HOW a
+// sweep runs (borrowing an engine, choosing MultiBFS vs a plain BFS for
+// a single lane).
+type sweepFunc func(sources []bgl.Vertex) ([][]int32, sweepStats, error)
+
+// batchAnswer is what a waiting caller receives: its own lane's levels
+// plus the per-query statistics.
+type batchAnswer struct {
+	levels []int32
+	stats  QueryStats
+	err    error
+}
+
+// batchQuery is one waiting caller.
+type batchQuery struct {
+	source bgl.Vertex
+	enq    time.Time
+	done   chan batchAnswer
+}
+
+// batcher coalesces concurrent single-source BFS queries into
+// multi-source sweeps. The first query of a batch opens a window;
+// every query arriving before it expires joins the batch, duplicate
+// sources sharing one lane. The batch fires when the window expires OR
+// the distinct-source count reaches maxBatch, whichever comes first —
+// so a steady stream of concurrent queries runs at full 64-lane
+// occupancy while a lone query waits at most one window. Close drains:
+// the pending batch fires immediately and Close blocks until every
+// accepted query has its answer.
+type batcher struct {
+	window   time.Duration
+	maxBatch int
+	sweep    sweepFunc
+
+	mu      sync.Mutex
+	closed  bool
+	pending []*batchQuery
+	lanes   map[bgl.Vertex]int // distinct pending sources → lane index
+	gen     uint64             // flush generation, guards stale timers
+	timer   *time.Timer
+
+	wg sync.WaitGroup
+
+	batches        atomic.Int64
+	batchedQueries atomic.Int64
+
+	mBatches *metrics.Counter
+	mQueries *metrics.Counter
+	mLanes   *metrics.Histogram
+}
+
+// batchLaneBuckets are the upper bounds of the batch-occupancy
+// histogram (graphd_batch_lanes): powers of two up to the lane cap.
+var batchLaneBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// newBatcher builds a batcher; reg may be nil.
+func newBatcher(window time.Duration, maxBatch int, sweep sweepFunc, reg *metrics.Registry) *batcher {
+	b := &batcher{
+		window:   window,
+		maxBatch: maxBatch,
+		sweep:    sweep,
+		lanes:    map[bgl.Vertex]int{},
+	}
+	if b.maxBatch < 1 {
+		b.maxBatch = 1
+	}
+	if b.maxBatch > bgl.MaxLanes {
+		b.maxBatch = bgl.MaxLanes
+	}
+	if reg != nil {
+		b.mBatches = reg.Counter("graphd_batches_total")
+		b.mQueries = reg.Counter("graphd_batched_queries_total")
+		b.mLanes = reg.Histogram("graphd_batch_lanes", batchLaneBuckets)
+	}
+	return b
+}
+
+// submit enqueues one query and returns the channel its answer will
+// arrive on (buffered — the batch goroutine never blocks on a caller).
+func (b *batcher) submit(src bgl.Vertex) (<-chan batchAnswer, error) {
+	q := &batchQuery{source: src, enq: time.Now(), done: make(chan batchAnswer, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrDraining
+	}
+	b.pending = append(b.pending, q)
+	if _, dup := b.lanes[src]; !dup {
+		b.lanes[src] = len(b.lanes)
+	}
+	switch {
+	case len(b.lanes) >= b.maxBatch || b.window <= 0:
+		// Size cap reached (or batching disabled): fire now. A
+		// duplicate source never pushes the lane count past the cap, so
+		// overflow can only happen between batches, never inside one.
+		b.flushLocked()
+	case len(b.pending) == 1:
+		// First query of a new batch: open the window.
+		gen := b.gen
+		b.timer = time.AfterFunc(b.window, func() { b.expire(gen) })
+	}
+	b.mu.Unlock()
+	return q.done, nil
+}
+
+// expire fires the batch whose window just closed. The generation
+// guard makes a stale timer (its batch already flushed by the size
+// cap) a no-op instead of prematurely firing the next batch.
+func (b *batcher) expire(gen uint64) {
+	b.mu.Lock()
+	if gen == b.gen && len(b.pending) > 0 {
+		b.flushLocked()
+	}
+	b.mu.Unlock()
+}
+
+// flushLocked hands the pending batch to a sweep goroutine and resets
+// the collection state. Callers hold b.mu.
+func (b *batcher) flushLocked() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	batch, lanes := b.pending, b.lanes
+	b.pending, b.lanes = nil, map[bgl.Vertex]int{}
+	b.gen++
+	b.wg.Add(1)
+	go b.run(batch, lanes)
+}
+
+// run executes one batch: sweep the deduplicated sources, then
+// demultiplex each lane's levels back to its waiting caller(s).
+func (b *batcher) run(batch []*batchQuery, lanes map[bgl.Vertex]int) {
+	defer b.wg.Done()
+	start := time.Now()
+	sources := make([]bgl.Vertex, len(lanes))
+	for src, i := range lanes {
+		sources[i] = src
+	}
+	levels, st, err := b.sweep(sources)
+	b.batches.Add(1)
+	b.batchedQueries.Add(int64(len(batch)))
+	if b.mBatches != nil {
+		b.mBatches.Inc()
+		b.mQueries.Add(int64(len(batch)))
+		b.mLanes.Observe(float64(len(sources)))
+	}
+	for _, q := range batch {
+		if err != nil {
+			q.done <- batchAnswer{err: err}
+			continue
+		}
+		q.done <- batchAnswer{
+			levels: levels[lanes[q.source]],
+			stats: QueryStats{
+				QueueWaitS: start.Sub(q.enq).Seconds(),
+				BatchSize:  len(batch),
+				BatchLanes: len(sources),
+				SimExecS:   st.SimExecS,
+				SimCommS:   st.SimCommS,
+				Words:      st.Words,
+				WallS:      st.WallS,
+			},
+		}
+	}
+}
+
+// close drains the batcher: the pending batch (if any) fires
+// immediately — a query admitted before shutdown always gets its
+// answer — and close blocks until every in-flight sweep has delivered.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		if len(b.pending) > 0 {
+			b.flushLocked()
+		} else if b.timer != nil {
+			b.timer.Stop()
+			b.timer = nil
+		}
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// Batches and BatchedQueries report lifetime totals (their ratio is
+// the realized mean batch size — the service's coalescing win).
+func (b *batcher) Batches() int64        { return b.batches.Load() }
+func (b *batcher) BatchedQueries() int64 { return b.batchedQueries.Load() }

@@ -1,0 +1,237 @@
+package graphd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	bgl "repro"
+)
+
+// testGraph builds the small deterministic workload the batcher tests
+// share.
+func testGraph(t *testing.T, n int) *bgl.Graph {
+	t.Helper()
+	g, err := bgl.Generate(n, 8, 3)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return g
+}
+
+// newTestServer builds a server over a 2x2 mesh with the given
+// batching knobs and registers its drain with the test cleanup.
+func newTestServer(t *testing.T, g *bgl.Graph, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{Graph: g, R: 2, C: 2}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// recvAnswer reads one batch answer with a generous deadline so a
+// wedged batcher fails the test instead of hanging it.
+func recvAnswer(t *testing.T, ch <-chan batchAnswer) batchAnswer {
+	t.Helper()
+	select {
+	case ans := <-ch:
+		return ans
+	case <-time.After(30 * time.Second):
+		t.Fatal("no batch answer within 30s")
+		panic("unreachable")
+	}
+}
+
+// checkOracle verifies a batched answer equals an independent run.
+func checkOracle(t *testing.T, g *bgl.Graph, src bgl.Vertex, ans batchAnswer) {
+	t.Helper()
+	if ans.err != nil {
+		t.Fatalf("source %d: batch error: %v", src, ans.err)
+	}
+	want := g.SerialBFS(src)
+	if len(ans.levels) != len(want) {
+		t.Fatalf("source %d: %d levels, oracle has %d", src, len(ans.levels), len(want))
+	}
+	for v := range want {
+		if ans.levels[v] != want[v] {
+			t.Fatalf("source %d: level[%d] = %d, oracle %d", src, v, ans.levels[v], want[v])
+		}
+	}
+}
+
+func TestBatcherSingleQuery(t *testing.T) {
+	g := testGraph(t, 400)
+	s := newTestServer(t, g, func(c *Config) { c.Window = 5 * time.Millisecond })
+	ch, err := s.batcher.submit(7)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ans := recvAnswer(t, ch)
+	checkOracle(t, g, 7, ans)
+	if ans.stats.BatchSize != 1 || ans.stats.BatchLanes != 1 {
+		t.Fatalf("lone query got batch size %d lanes %d, want 1/1", ans.stats.BatchSize, ans.stats.BatchLanes)
+	}
+	if ans.stats.SimExecS <= 0 || ans.stats.Words <= 0 {
+		t.Fatalf("per-query stats not filled: %+v", ans.stats)
+	}
+}
+
+// TestBatcherSizeCapTrigger holds the window effectively open forever;
+// only the size cap can fire the batch, and it must.
+func TestBatcherSizeCapTrigger(t *testing.T) {
+	g := testGraph(t, 400)
+	s := newTestServer(t, g, func(c *Config) {
+		c.Window = time.Hour
+		c.MaxBatch = 4
+	})
+	chans := make([]<-chan batchAnswer, 4)
+	for i := range chans {
+		ch, err := s.batcher.submit(bgl.Vertex(10 * (i + 1)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		ans := recvAnswer(t, ch)
+		checkOracle(t, g, bgl.Vertex(10*(i+1)), ans)
+		if ans.stats.BatchSize != 4 || ans.stats.BatchLanes != 4 {
+			t.Fatalf("query %d: batch size %d lanes %d, want 4/4", i, ans.stats.BatchSize, ans.stats.BatchLanes)
+		}
+	}
+	if got := s.batcher.Batches(); got != 1 {
+		t.Fatalf("size-cap run produced %d batches, want 1", got)
+	}
+}
+
+// TestBatcherWindowExpiry submits fewer queries than the cap; only the
+// window can fire the batch.
+func TestBatcherWindowExpiry(t *testing.T) {
+	g := testGraph(t, 400)
+	s := newTestServer(t, g, func(c *Config) { c.Window = 30 * time.Millisecond })
+	srcs := []bgl.Vertex{3, 44, 178}
+	chans := make([]<-chan batchAnswer, len(srcs))
+	for i, src := range srcs {
+		ch, err := s.batcher.submit(src)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		ans := recvAnswer(t, ch)
+		checkOracle(t, g, srcs[i], ans)
+		if ans.stats.BatchSize != 3 || ans.stats.BatchLanes != 3 {
+			t.Fatalf("query %d: batch size %d lanes %d, want 3/3", i, ans.stats.BatchSize, ans.stats.BatchLanes)
+		}
+	}
+	if got := s.batcher.Batches(); got != 1 {
+		t.Fatalf("window-expiry run produced %d batches, want 1", got)
+	}
+}
+
+// TestBatcherDuplicateSources: two queries for the same source must
+// share one lane, and both get the full correct answer.
+func TestBatcherDuplicateSources(t *testing.T) {
+	g := testGraph(t, 400)
+	s := newTestServer(t, g, func(c *Config) { c.Window = 30 * time.Millisecond })
+	srcs := []bgl.Vertex{42, 42, 7}
+	chans := make([]<-chan batchAnswer, len(srcs))
+	for i, src := range srcs {
+		ch, err := s.batcher.submit(src)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		ans := recvAnswer(t, ch)
+		checkOracle(t, g, srcs[i], ans)
+		if ans.stats.BatchSize != 3 || ans.stats.BatchLanes != 2 {
+			t.Fatalf("query %d: batch size %d lanes %d, want 3 queries over 2 lanes",
+				i, ans.stats.BatchSize, ans.stats.BatchLanes)
+		}
+	}
+}
+
+// TestBatcherFullAndOverflow: exactly 64 distinct sources fill one
+// sweep; a 65th overflows into a second.
+func TestBatcherFullAndOverflow(t *testing.T) {
+	g := testGraph(t, 400)
+	for _, tc := range []struct {
+		queries, wantBatches int
+	}{
+		{bgl.MaxLanes, 1},
+		{bgl.MaxLanes + 1, 2},
+	} {
+		t.Run(fmt.Sprintf("queries=%d", tc.queries), func(t *testing.T) {
+			s := newTestServer(t, g, func(c *Config) { c.Window = 50 * time.Millisecond })
+			chans := make([]<-chan batchAnswer, tc.queries)
+			for i := range chans {
+				ch, err := s.batcher.submit(bgl.Vertex(i))
+				if err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+				chans[i] = ch
+			}
+			lanesSeen := map[int]bool{}
+			for i, ch := range chans {
+				ans := recvAnswer(t, ch)
+				checkOracle(t, g, bgl.Vertex(i), ans)
+				lanesSeen[ans.stats.BatchLanes] = true
+			}
+			if got := s.batcher.Batches(); got != int64(tc.wantBatches) {
+				t.Fatalf("%d queries produced %d batches, want %d", tc.queries, got, tc.wantBatches)
+			}
+			if !lanesSeen[bgl.MaxLanes] {
+				t.Fatalf("no query rode a full %d-lane sweep (lanes seen: %v)", bgl.MaxLanes, lanesSeen)
+			}
+			if tc.queries > bgl.MaxLanes && !lanesSeen[1] {
+				t.Fatalf("overflow query did not run in its own 1-lane sweep (lanes seen: %v)", lanesSeen)
+			}
+		})
+	}
+}
+
+// TestBatcherShutdownMidWindow: closing the batcher while a window is
+// open fires the pending batch immediately — admitted queries are
+// answered, not dropped — and later submits are refused.
+func TestBatcherShutdownMidWindow(t *testing.T) {
+	g := testGraph(t, 400)
+	s := newTestServer(t, g, func(c *Config) { c.Window = time.Hour })
+	srcs := []bgl.Vertex{5, 99}
+	chans := make([]<-chan batchAnswer, len(srcs))
+	for i, src := range srcs {
+		ch, err := s.batcher.submit(src)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	closed := make(chan struct{})
+	go func() {
+		s.batcher.close()
+		close(closed)
+	}()
+	for i, ch := range chans {
+		ans := recvAnswer(t, ch)
+		checkOracle(t, g, srcs[i], ans)
+		if ans.stats.BatchSize != 2 {
+			t.Fatalf("drained batch size %d, want 2", ans.stats.BatchSize)
+		}
+	}
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("batcher.close did not return after draining")
+	}
+	if _, err := s.batcher.submit(1); err != ErrDraining {
+		t.Fatalf("submit after close: err = %v, want ErrDraining", err)
+	}
+}

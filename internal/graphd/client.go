@@ -1,0 +1,239 @@
+package graphd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is the well-typed HTTP client for a graphd server — the one
+// cmd/graphload, the smoke harness, and tests all share instead of
+// each hand-rolling raw HTTP. It retries overload answers (503) and
+// transport failures with capped exponential backoff, honouring the
+// server's Retry-After header, and never retries 4xx answers (the
+// request itself is wrong) or queries that already reached the engine.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	maxWait time.Duration
+}
+
+// ClientOption adjusts a Client.
+type ClientOption func(*Client)
+
+// WithTimeout bounds each HTTP attempt (default 30s — a full traversal
+// of a large graph takes real wall time).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.hc.Timeout = d }
+}
+
+// WithRetries sets how many times an attempt is retried after an
+// overload or transport failure (default 3; 0 disables retrying).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff sets the base retry delay, doubled per attempt (default
+// 50ms). A server Retry-After below the cap overrides the computed
+// delay.
+func WithBackoff(d time.Duration) ClientOption {
+	return func(c *Client) { c.backoff = d }
+}
+
+// WithMaxBackoff caps any single retry delay, including server-directed
+// Retry-After waits (default 2s).
+func WithMaxBackoff(d time.Duration) ClientOption {
+	return func(c *Client) { c.maxWait = d }
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 3,
+		backoff: 50 * time.Millisecond,
+		maxWait: 2 * time.Second,
+	}
+	for _, fn := range opts {
+		fn(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx server answer, preserving the status code so
+// callers can distinguish their own bad request (4xx) from server
+// trouble (5xx).
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("graphd: server answered %d: %s", e.Status, e.Message)
+}
+
+// retryDelay picks the wait before attempt (1-based), preferring the
+// server's Retry-After when it is shorter than the cap.
+func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
+	d := c.backoff << (attempt - 1)
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d > c.maxWait {
+		d = c.maxWait
+	}
+	return d
+}
+
+// do runs one request with retries, decoding a 2xx answer into out.
+// Clients are safe for concurrent use.
+func (c *Client) do(method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("graphd: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		// retry, when non-nil, records that this attempt failed
+		// retryably and how long to wait before the next one.
+		retry := func(err error, retryAfter string) error {
+			lastErr = err
+			if attempt >= c.retries {
+				return fmt.Errorf("graphd: giving up after %d attempts: %w", attempt+1, lastErr)
+			}
+			time.Sleep(c.retryDelay(attempt+1, retryAfter))
+			return nil
+		}
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return fmt.Errorf("graphd: building request: %w", err)
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			// Transport failure: the server may be mid-restart; retry.
+			if gerr := retry(err, ""); gerr != nil {
+				return gerr
+			}
+			continue
+		}
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			if gerr := retry(rerr, ""); gerr != nil {
+				return gerr
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if gerr := retry(decodeAPIError(resp.StatusCode, raw), resp.Header.Get("Retry-After")); gerr != nil {
+				return gerr
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			// Anything else non-2xx is not retryable: 4xx means the
+			// request is wrong, 5xx that the query itself failed.
+			return decodeAPIError(resp.StatusCode, raw)
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("graphd: decoding response: %w", err)
+		}
+		return nil
+	}
+}
+
+// decodeAPIError turns a non-2xx body into an *APIError, falling back
+// to the raw body when it is not the ErrorResponse shape.
+func decodeAPIError(status int, raw []byte) error {
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err == nil && er.Error != "" {
+		return &APIError{Status: status, Message: er.Error}
+	}
+	return &APIError{Status: status, Message: strings.TrimSpace(string(raw))}
+}
+
+// BFS runs a single-source BFS query (batched server-side).
+func (c *Client) BFS(req BFSRequest) (*BFSResponse, error) {
+	var resp BFSResponse
+	if err := c.do(http.MethodPost, "/v1/bfs", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Path asks for one shortest path.
+func (c *Client) Path(req PathRequest) (*PathResponse, error) {
+	var resp PathResponse
+	if err := c.do(http.MethodPost, "/v1/path", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SSSP runs a Δ-stepping distance query.
+func (c *Client) SSSP(req SSSPRequest) (*SSSPResponse, error) {
+	var resp SSSPResponse
+	if err := c.do(http.MethodPost, "/v1/sssp", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the service statistics.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.do(http.MethodGet, "/v1/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the text metrics snapshot.
+func (c *Client) Metrics() (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeAPIError(resp.StatusCode, raw)
+	}
+	return string(raw), nil
+}
+
+// Healthz checks liveness (nil means the server answered 200).
+func (c *Client) Healthz() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}

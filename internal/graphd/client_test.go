@@ -1,0 +1,161 @@
+package graphd
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastClient builds a client with millisecond backoff so retry tests
+// stay quick.
+func fastClient(base string, retries int) *Client {
+	return NewClient(base,
+		WithRetries(retries),
+		WithBackoff(time.Millisecond),
+		WithMaxBackoff(5*time.Millisecond),
+		WithTimeout(5*time.Second))
+}
+
+// TestClientRetriesOverload: 503 answers are retried (honouring
+// Retry-After) until the server recovers.
+func TestClientRetriesOverload(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"batch backlog full"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"source":1,"reached":5,"stats":{"batch_size":1}}`))
+	}))
+	defer ts.Close()
+
+	resp, err := fastClient(ts.URL, 3).BFS(BFSRequest{Source: intp(1)})
+	if err != nil {
+		t.Fatalf("BFS after two overloads: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	if resp.Reached != 5 {
+		t.Fatalf("decoded reached %d, want 5", resp.Reached)
+	}
+}
+
+// TestClientNoRetryOn4xx: a bad request is the caller's fault; one
+// attempt, typed error.
+func TestClientNoRetryOn4xx(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"missing \"source\""}`))
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL, 3).BFS(BFSRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v is not an *APIError", err)
+	}
+	if apiErr.Status != http.StatusBadRequest || !strings.Contains(apiErr.Message, "missing") {
+		t.Fatalf("APIError %+v, want the server's 400 text", apiErr)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("client retried a 400: %d attempts", got)
+	}
+}
+
+// TestClientGivesUp: a persistently overloaded server exhausts the
+// retry budget with a terminal error that still carries the 503.
+func TestClientGivesUp(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"still full"}`))
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL, 2).BFS(BFSRequest{Source: intp(1)})
+	if err == nil {
+		t.Fatal("no error from a server that never recovers")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("terminal error %q does not say it gave up", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("terminal error %v does not wrap the 503", err)
+	}
+}
+
+// TestClientRetriesTransport: a dropped connection is retried.
+func TestClientRetriesTransport(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("test server is not hijackable")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatalf("hijack: %v", err)
+			}
+			conn.Close() // slam the connection: transport error client-side
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"source":1,"reached":2,"stats":{}}`))
+	}))
+	defer ts.Close()
+
+	resp, err := fastClient(ts.URL, 2).BFS(BFSRequest{Source: intp(1)})
+	if err != nil {
+		t.Fatalf("BFS after a dropped connection: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+	if resp.Reached != 2 {
+		t.Fatalf("decoded reached %d, want 2", resp.Reached)
+	}
+}
+
+// TestClientRetryDelay pins the backoff arithmetic: doubling from the
+// base, capped, with a short server Retry-After taking precedence.
+func TestClientRetryDelay(t *testing.T) {
+	c := NewClient("http://unused",
+		WithBackoff(10*time.Millisecond), WithMaxBackoff(50*time.Millisecond))
+	cases := []struct {
+		attempt    int
+		retryAfter string
+		want       time.Duration
+	}{
+		{1, "", 10 * time.Millisecond},
+		{2, "", 20 * time.Millisecond},
+		{3, "", 40 * time.Millisecond},
+		{4, "", 50 * time.Millisecond},  // capped
+		{1, "0", 0},                     // server says now
+		{1, "2", 50 * time.Millisecond}, // server says 2s; cap wins
+		{1, "junk", 10 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := c.retryDelay(tc.attempt, tc.retryAfter); got != tc.want {
+			t.Errorf("retryDelay(%d, %q) = %v, want %v", tc.attempt, tc.retryAfter, got, tc.want)
+		}
+	}
+}

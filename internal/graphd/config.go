@@ -1,0 +1,169 @@
+package graphd
+
+import (
+	"fmt"
+	"time"
+
+	bgl "repro"
+	"repro/internal/metrics"
+)
+
+// Defaults for the tunable knobs of Config. The 2ms window is long
+// enough to coalesce a burst of concurrent queries (a sweep on the
+// headline workload runs for tens of milliseconds, so arrivals during
+// one sweep pool into the next batch anyway) and short enough to be
+// invisible next to a single traversal.
+const (
+	DefaultWindow     = 2 * time.Millisecond
+	DefaultQueueDepth = 64
+	DefaultRetryAfter = time.Second
+)
+
+// Config describes a graphd server: the graph to distribute once at
+// startup, the simulated machine to distribute it over, and the
+// batching / admission knobs.
+type Config struct {
+	// Graph is the graph the server answers queries about (required).
+	// The caller loads or generates it; NewServer distributes it.
+	Graph *bgl.Graph
+
+	// R, C are the logical mesh dimensions (default 1x1); Partition
+	// selects the layout (default Part2D); Wire the payload codec
+	// (default WireHybrid).
+	R, C      int
+	Partition bgl.Partition
+	Wire      bgl.WireMode
+
+	// Cores models n compute cores per node (see bgl.WithCores);
+	// Workers sizes the real per-rank pool. Zero leaves the engine
+	// defaults (single core, inline loops).
+	Cores, Workers int
+
+	// Replicas is the number of independent engine copies (each a full
+	// Cluster + DistGraph, distributed at startup). One engine runs one
+	// sweep or query at a time, so replicas bound the service's real
+	// execution concurrency — at the price of replicating the stores.
+	// Default 1.
+	Replicas int
+
+	// Window is how long the batcher holds the first query of a batch
+	// open for companions (default DefaultWindow; 0 disables batching —
+	// every query sweeps alone). MaxBatch caps the distinct sources per
+	// sweep (default bgl.MaxLanes = 64, the MultiBFS lane capacity).
+	Window   time.Duration
+	MaxBatch int
+
+	// MaxWaiting bounds the batched BFS queries admitted but not yet
+	// answered (default 4x MaxBatch); QueueDepth bounds the worker
+	// queue for queries that cannot batch — SSSP and path (default
+	// DefaultQueueDepth). Beyond either bound the server answers 503
+	// with a Retry-After of RetryAfter (default DefaultRetryAfter).
+	MaxWaiting int
+	QueueDepth int
+	RetryAfter time.Duration
+
+	// QueryWorkers is the number of goroutines draining the non-batch
+	// queue (default Replicas — more would just contend for engines).
+	QueryWorkers int
+
+	// Metrics, when non-nil, receives the server's instruments and
+	// every run's engine statistics; it is what GET /metrics serves.
+	// Default: a fresh registry.
+	Metrics *metrics.Registry
+}
+
+// withDefaults returns cfg with every zero knob replaced by its
+// default. It does not validate; NewServer does.
+func (cfg Config) withDefaults() Config {
+	if cfg.R == 0 {
+		cfg.R = 1
+	}
+	if cfg.C == 0 {
+		cfg.C = 1
+	}
+	if cfg.Wire == 0 {
+		// WireSparse is the zero WireMode; the service default is the
+		// hybrid codec, which is never more words than sparse. Callers
+		// that really want plain lists set Wire explicitly after
+		// noting this (the CLI exposes -wire).
+		cfg.Wire = bgl.WireHybrid
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = bgl.MaxLanes
+	}
+	if cfg.MaxWaiting == 0 {
+		cfg.MaxWaiting = 4 * cfg.MaxBatch
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.QueryWorkers == 0 {
+		cfg.QueryWorkers = cfg.Replicas
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	return cfg
+}
+
+// validate rejects configurations no server can run. Distribute-style
+// errors (mesh larger than the graph, unknown partitioning) surface
+// from the engine build in NewServer with the same descriptive text the
+// library gives.
+func (cfg Config) validate() error {
+	if cfg.Graph == nil {
+		return fmt.Errorf("graphd: config needs a graph")
+	}
+	if cfg.R < 0 || cfg.C < 0 {
+		return fmt.Errorf("graphd: mesh must be positive, got %dx%d", cfg.R, cfg.C)
+	}
+	if cfg.Window < 0 {
+		return fmt.Errorf("graphd: negative batching window %v", cfg.Window)
+	}
+	if cfg.MaxBatch < 0 || cfg.MaxBatch > bgl.MaxLanes {
+		return fmt.Errorf("graphd: max batch %d outside the MultiBFS lane capacity [1, %d]",
+			cfg.MaxBatch, bgl.MaxLanes)
+	}
+	if cfg.Replicas < 0 {
+		return fmt.Errorf("graphd: negative replica count %d", cfg.Replicas)
+	}
+	if cfg.MaxWaiting < 0 || cfg.QueueDepth < 0 || cfg.QueryWorkers < 0 {
+		return fmt.Errorf("graphd: admission bounds must be non-negative")
+	}
+	return nil
+}
+
+// engine is one independent copy of the simulated machine with the
+// graph distributed over it. An engine runs one sweep or query at a
+// time (the ranks share mailboxes), so the server keeps engines in a
+// pool and callers borrow one per run.
+type engine struct {
+	cl *bgl.Cluster
+	dg *bgl.DistGraph
+}
+
+// buildEngines distributes the graph cfg.Replicas times.
+func buildEngines(cfg Config) ([]*engine, error) {
+	engines := make([]*engine, 0, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		cl, err := bgl.NewCluster(bgl.ClusterConfig{R: cfg.R, C: cfg.C})
+		if err != nil {
+			return nil, fmt.Errorf("graphd: building replica %d: %w", i, err)
+		}
+		dg, err := cl.Distribute(cfg.Graph, bgl.WithPartition(cfg.Partition))
+		if err != nil {
+			return nil, fmt.Errorf("graphd: distributing replica %d: %w", i, err)
+		}
+		engines = append(engines, &engine{cl: cl, dg: dg})
+	}
+	return engines, nil
+}

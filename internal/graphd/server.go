@@ -1,0 +1,521 @@
+package graphd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bgl "repro"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// Server is a graphd instance: the graph distributed over a pool of
+// engine replicas, the dynamic batcher in front of them, the bounded
+// worker queue for non-batchable queries, and the HTTP surface.
+//
+//	POST /v1/bfs    single-source BFS (batched into MultiBFS sweeps)
+//	POST /v1/path   shortest path s→t (worker queue)
+//	POST /v1/sssp   Δ-stepping distances (worker queue)
+//	GET  /v1/stats  service statistics
+//	GET  /metrics   the metrics registry (text; ?format=json for JSON)
+//	GET  /healthz   liveness (503 while draining)
+type Server struct {
+	cfg     Config
+	engines chan *engine
+	batcher *batcher
+	reg     *metrics.Registry
+	mux     *http.ServeMux
+	start   time.Time
+
+	mu       sync.RWMutex // guards draining + workCh sends vs Close
+	draining bool
+	workCh   chan func()
+	workerWG sync.WaitGroup
+	closed   chan struct{}
+
+	waiting  atomic.Int64 // admitted, unanswered batched BFS queries
+	inflight atomic.Int64 // all admitted, unanswered queries
+
+	nBFS, nPath, nSSSP *metrics.Counter
+	nQueries           *metrics.Counter
+	nRejected          *metrics.Counter
+	nErrors            *metrics.Counter
+	hQueueWait         *metrics.Histogram
+	hLatency           *metrics.Histogram
+}
+
+// NewServer validates cfg, distributes the graph over cfg.Replicas
+// engine copies, and returns a ready (but not yet listening) server;
+// mount Handler on any http.Server. Configuration the library cannot
+// lay out — a mesh with more ranks than the graph has vertices, an
+// unknown partitioning — returns the library's own descriptive error.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	engines, err := buildEngines(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		engines: make(chan *engine, len(engines)),
+		reg:     cfg.Metrics,
+		start:   time.Now(),
+		workCh:  make(chan func(), cfg.QueueDepth),
+		closed:  make(chan struct{}),
+	}
+	for _, e := range engines {
+		s.engines <- e
+	}
+	s.batcher = newBatcher(cfg.Window, cfg.MaxBatch, s.sweepBFS, s.reg)
+	s.nBFS = s.reg.Counter("graphd_bfs_queries_total")
+	s.nPath = s.reg.Counter("graphd_path_queries_total")
+	s.nSSSP = s.reg.Counter("graphd_sssp_queries_total")
+	s.nQueries = s.reg.Counter("graphd_queries_total")
+	s.nRejected = s.reg.Counter("graphd_rejected_total")
+	s.nErrors = s.reg.Counter("graphd_errors_total")
+	s.hQueueWait = s.reg.Histogram("graphd_queue_wait_seconds", metrics.TimeBuckets)
+	s.hLatency = s.reg.Histogram("graphd_latency_seconds", metrics.TimeBuckets)
+	for i := 0; i < cfg.QueryWorkers; i++ {
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			for job := range s.workCh {
+				job()
+			}
+		}()
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/bfs", s.handleBFS)
+	s.mux.HandleFunc("/v1/path", s.handlePath)
+	s.mux.HandleFunc("/v1/sssp", s.handleSSSP)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.Handle("/metrics", metrics.Handler(s.reg))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the server: no new queries are admitted (503), the
+// pending batch fires immediately, the worker queue runs dry, and
+// Close blocks until every admitted query has been answered. Safe to
+// call more than once. Stop the HTTP listener first (http.Server
+// Shutdown) or alongside — handlers already past admission finish
+// normally.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.closed
+		return
+	}
+	s.draining = true
+	close(s.workCh)
+	s.mu.Unlock()
+	s.batcher.close()
+	s.workerWG.Wait()
+	close(s.closed)
+}
+
+// searchOpts are the run options every sweep and query uses: the
+// server's wire codec and core model, plus the shared registry.
+func (s *Server) searchOpts(extra ...bgl.Option) []bgl.Option {
+	opts := []bgl.Option{bgl.WithWire(s.cfg.Wire), bgl.WithMetrics(s.reg)}
+	if s.cfg.Cores > 1 {
+		opts = append(opts, bgl.WithCores(s.cfg.Cores))
+	}
+	if s.cfg.Workers > 1 {
+		opts = append(opts, bgl.WithWorkers(s.cfg.Workers))
+	}
+	return append(opts, extra...)
+}
+
+// acquire borrows an engine from the pool (blocking until one is
+// idle); the returned func gives it back.
+func (s *Server) acquire() (*engine, func()) {
+	e := <-s.engines
+	return e, func() { s.engines <- e }
+}
+
+// sweepBFS executes one batch: a single distinct source runs a plain
+// BFS (no lane-mask overhead), two or more share one MultiBFS sweep
+// sequence. Either way each source's levels are identical to an
+// independent run — the MultiBFS contract.
+func (s *Server) sweepBFS(sources []bgl.Vertex) ([][]int32, sweepStats, error) {
+	e, release := s.acquire()
+	defer release()
+	if len(sources) == 1 {
+		res, err := e.cl.BFS(e.dg, sources[0], s.searchOpts()...)
+		if err != nil {
+			return nil, sweepStats{}, err
+		}
+		return [][]int32{res.Levels}, sweepStats{
+			SimExecS: res.SimTime, SimCommS: res.SimComm,
+			Words: res.TotalExpandWords + res.TotalFoldWords,
+			WallS: res.Wall.Seconds(),
+		}, nil
+	}
+	mres, err := e.cl.MultiBFS(e.dg, sources, s.searchOpts()...)
+	if err != nil {
+		return nil, sweepStats{}, err
+	}
+	return mres.LaneLevels, sweepStats{
+		SimExecS: mres.SimTime, SimCommS: mres.SimComm,
+		Words: mres.TotalExpandWords + mres.TotalFoldWords,
+		WallS: mres.Wall.Seconds(),
+	}, nil
+}
+
+// --- HTTP plumbing -------------------------------------------------
+
+// writeJSON answers with a JSON body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError answers a failure as ErrorResponse JSON.
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	if code == http.StatusServiceUnavailable {
+		secs := int(s.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.nRejected.Inc()
+	}
+	if code >= 500 {
+		s.nErrors.Inc()
+	}
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeRequest parses a strict JSON POST body into dst: wrong method,
+// malformed JSON, unknown fields, and trailing garbage are all
+// descriptive 4xx answers, never 500s.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "%s needs POST, got %s", r.URL.Path, r.Method)
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return false
+	}
+	if dec.More() {
+		s.writeError(w, http.StatusBadRequest, "malformed request body: trailing data after the JSON object")
+		return false
+	}
+	return true
+}
+
+// vertexArg validates one request vertex: present and inside [0, n).
+func (s *Server) vertexArg(w http.ResponseWriter, name string, v *int, required bool) (bgl.Vertex, bool) {
+	n := s.cfg.Graph.N()
+	if v == nil {
+		if required {
+			s.writeError(w, http.StatusBadRequest, "missing %q: give a vertex id in [0, %d)", name, n)
+			return 0, false
+		}
+		return 0, true
+	}
+	if *v < 0 || *v >= n {
+		s.writeError(w, http.StatusBadRequest, "%s %d out of range: the graph has vertices [0, %d)", name, *v, n)
+		return 0, false
+	}
+	return bgl.Vertex(*v), true
+}
+
+// admit performs the common admission steps shared by every query
+// handler; on success the caller must call the returned func when the
+// query is answered.
+func (s *Server) admit(w http.ResponseWriter, kind *metrics.Counter) (func(), bool) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil, false
+	}
+	kind.Inc()
+	s.nQueries.Inc()
+	s.inflight.Add(1)
+	return func() { s.inflight.Add(-1) }, true
+}
+
+// submitWork tries to enqueue one non-batchable query; a full queue is
+// an admission failure (503), not a wait.
+func (s *Server) submitWork(job func()) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return false
+	}
+	select {
+	case s.workCh <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- handlers ------------------------------------------------------
+
+func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var req BFSRequest
+	if !s.decodeRequest(w, r, &req) {
+		return
+	}
+	src, ok := s.vertexArg(w, "source", req.Source, true)
+	if !ok {
+		return
+	}
+	tgt, ok := s.vertexArg(w, "target", req.Target, false)
+	if !ok {
+		return
+	}
+	done, ok := s.admit(w, s.nBFS)
+	if !ok {
+		return
+	}
+	defer done()
+	if s.waiting.Load() >= int64(s.cfg.MaxWaiting) {
+		s.writeError(w, http.StatusServiceUnavailable,
+			"batch backlog full (%d queries waiting); retry shortly", s.cfg.MaxWaiting)
+		return
+	}
+	s.waiting.Add(1)
+	defer s.waiting.Add(-1)
+	ch, err := s.batcher.submit(src)
+	if err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	ans := <-ch
+	if ans.err != nil {
+		s.writeError(w, http.StatusInternalServerError, "bfs from %d failed: %v", src, ans.err)
+		return
+	}
+	resp := BFSResponse{Source: int(src), Stats: ans.stats}
+	for _, l := range ans.levels {
+		if l != bgl.Unreached {
+			resp.Reached++
+		}
+	}
+	if req.Target != nil {
+		d := ans.levels[tgt]
+		found := d != bgl.Unreached
+		resp.Found, resp.Distance = &found, &d
+	}
+	if req.Levels {
+		resp.Levels = ans.levels
+	}
+	s.hQueueWait.Observe(ans.stats.QueueWaitS)
+	s.hLatency.Observe(time.Since(t0).Seconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var req PathRequest
+	if !s.decodeRequest(w, r, &req) {
+		return
+	}
+	src, ok := s.vertexArg(w, "source", req.Source, true)
+	if !ok {
+		return
+	}
+	tgt, ok := s.vertexArg(w, "target", req.Target, true)
+	if !ok {
+		return
+	}
+	done, ok := s.admit(w, s.nPath)
+	if !ok {
+		return
+	}
+	defer done()
+	type out struct {
+		path []bgl.Vertex
+		res  *bgl.Result
+		err  error
+	}
+	enq := time.Now()
+	ch := make(chan out, 1)
+	ok = s.submitWork(func() {
+		e, release := s.acquire()
+		defer release()
+		p, res, err := e.cl.Path(e.dg, src, tgt, s.searchOpts()...)
+		ch <- out{p, res, err}
+	})
+	if !ok {
+		s.writeError(w, http.StatusServiceUnavailable,
+			"query queue full (%d deep); retry shortly", s.cfg.QueueDepth)
+		return
+	}
+	o := <-ch
+	if o.err != nil && (o.res == nil || o.res.Found) {
+		s.writeError(w, http.StatusInternalServerError, "path %d→%d failed: %v", src, tgt, o.err)
+		return
+	}
+	resp := PathResponse{Source: int(src), Target: int(tgt), Distance: -1}
+	if o.res != nil {
+		resp.Stats = QueryStats{
+			BatchSize: 1, BatchLanes: 1,
+			SimExecS: o.res.SimTime, SimCommS: o.res.SimComm,
+			Words: o.res.TotalExpandWords + o.res.TotalFoldWords,
+			WallS: o.res.Wall.Seconds(),
+		}
+		resp.Stats.QueueWaitS = time.Since(enq).Seconds() - o.res.Wall.Seconds()
+		if resp.Stats.QueueWaitS < 0 {
+			resp.Stats.QueueWaitS = 0
+		}
+	}
+	if o.err == nil {
+		resp.Found = true
+		resp.Distance = int32(len(o.path) - 1)
+		resp.Path = make([]int, len(o.path))
+		for i, v := range o.path {
+			resp.Path[i] = int(v)
+		}
+	}
+	s.hQueueWait.Observe(resp.Stats.QueueWaitS)
+	s.hLatency.Observe(time.Since(t0).Seconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var req SSSPRequest
+	if !s.decodeRequest(w, r, &req) {
+		return
+	}
+	src, ok := s.vertexArg(w, "source", req.Source, true)
+	if !ok {
+		return
+	}
+	tgt, ok := s.vertexArg(w, "target", req.Target, false)
+	if !ok {
+		return
+	}
+	done, ok := s.admit(w, s.nSSSP)
+	if !ok {
+		return
+	}
+	defer done()
+	type out struct {
+		res *bgl.SSSPResult
+		err error
+	}
+	enq := time.Now()
+	ch := make(chan out, 1)
+	ok = s.submitWork(func() {
+		e, release := s.acquire()
+		defer release()
+		res, err := e.cl.SSSP(e.dg, src, s.searchOpts(bgl.WithDelta(req.Delta))...)
+		ch <- out{res, err}
+	})
+	if !ok {
+		s.writeError(w, http.StatusServiceUnavailable,
+			"query queue full (%d deep); retry shortly", s.cfg.QueueDepth)
+		return
+	}
+	o := <-ch
+	if o.err != nil {
+		s.writeError(w, http.StatusInternalServerError, "sssp from %d failed: %v", src, o.err)
+		return
+	}
+	resp := SSSPResponse{
+		Source:  int(src),
+		Reached: o.res.Reached(),
+		Stats: QueryStats{
+			BatchSize: 1, BatchLanes: 1,
+			SimExecS: o.res.SimTime, SimCommS: o.res.SimComm,
+			Words: o.res.TotalWords(), WallS: o.res.Wall.Seconds(),
+		},
+	}
+	resp.Stats.QueueWaitS = time.Since(enq).Seconds() - o.res.Wall.Seconds()
+	if resp.Stats.QueueWaitS < 0 {
+		resp.Stats.QueueWaitS = 0
+	}
+	if req.Target != nil {
+		d := o.res.Dist[tgt]
+		found := d != graph.MaxDist
+		resp.Found, resp.Distance = &found, &d
+	}
+	if req.Dists {
+		resp.Dists = o.res.Dist
+	}
+	s.hQueueWait.Observe(resp.Stats.QueueWaitS)
+	s.hLatency.Observe(time.Since(t0).Seconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "/v1/stats needs GET, got %s", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		s.writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Stats snapshots the service statistics the /v1/stats endpoint serves.
+func (s *Server) Stats() StatsResponse {
+	g := s.cfg.Graph
+	st := StatsResponse{
+		UptimeS: time.Since(s.start).Seconds(),
+		Graph: GraphInfo{
+			N: g.N(), Edges: g.NumEdges(), Weighted: g.Weighted(),
+			Mesh:      fmt.Sprintf("%dx%d", s.cfg.R, s.cfg.C),
+			Partition: s.cfg.Partition.String(),
+			Wire:      s.cfg.Wire.String(),
+			Replicas:  s.cfg.Replicas,
+		},
+		Batching: BatchingInfo{
+			WindowS:    s.cfg.Window.Seconds(),
+			MaxBatch:   s.cfg.MaxBatch,
+			MaxWaiting: s.cfg.MaxWaiting,
+			QueueDepth: s.cfg.QueueDepth,
+		},
+		Queries: QueryCounts{
+			BFS:            s.nBFS.Value(),
+			Path:           s.nPath.Value(),
+			SSSP:           s.nSSSP.Value(),
+			Batches:        s.batcher.Batches(),
+			BatchedQueries: s.batcher.BatchedQueries(),
+			Rejected:       s.nRejected.Value(),
+			Errors:         s.nErrors.Value(),
+			Inflight:       s.inflight.Load(),
+		},
+	}
+	if st.Queries.Batches > 0 {
+		st.Queries.MeanBatchSize = float64(st.Queries.BatchedQueries) / float64(st.Queries.Batches)
+	}
+	return st
+}

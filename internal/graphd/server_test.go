@@ -1,0 +1,406 @@
+package graphd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	bgl "repro"
+	"repro/internal/graph"
+)
+
+// startHTTP mounts the server on a test listener and returns the shared
+// typed client pointed at it.
+func startHTTP(t *testing.T, s *Server) (*httptest.Server, *Client) {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, NewClient(ts.URL, WithTimeout(2*time.Minute), WithRetries(0))
+}
+
+func intp(v int) *int { return &v }
+
+// TestServerEndToEnd drives every endpoint through the shared client
+// and checks each answer against the serial oracles.
+func TestServerEndToEnd(t *testing.T) {
+	g, err := bgl.GenerateWeighted(300, 6, 5)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	s := newTestServer(t, g, func(c *Config) { c.Window = 5 * time.Millisecond })
+	_, cl := startHTTP(t, s)
+
+	if err := cl.Healthz(); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	wantLevels := g.SerialBFS(1)
+	bres, err := cl.BFS(BFSRequest{Source: intp(1), Target: intp(200), Levels: true})
+	if err != nil {
+		t.Fatalf("bfs: %v", err)
+	}
+	wantReached := 0
+	for v, l := range wantLevels {
+		if l != bgl.Unreached {
+			wantReached++
+		}
+		if bres.Levels[v] != l {
+			t.Fatalf("bfs levels[%d] = %d, oracle %d", v, bres.Levels[v], l)
+		}
+	}
+	if bres.Reached != wantReached {
+		t.Fatalf("bfs reached %d, oracle %d", bres.Reached, wantReached)
+	}
+	if bres.Found == nil || bres.Distance == nil {
+		t.Fatal("bfs with target: found/distance missing from answer")
+	}
+	if want := wantLevels[200]; *bres.Distance != want || *bres.Found != (want != bgl.Unreached) {
+		t.Fatalf("bfs target: found=%v distance=%d, oracle level %d", *bres.Found, *bres.Distance, want)
+	}
+	if bres.Stats.BatchSize < 1 || bres.Stats.Words <= 0 {
+		t.Fatalf("bfs stats not filled: %+v", bres.Stats)
+	}
+
+	pres, err := cl.Path(PathRequest{Source: intp(0), Target: intp(250)})
+	if err != nil {
+		t.Fatalf("path: %v", err)
+	}
+	hops := g.SerialBFS(0)[250]
+	if !pres.Found || pres.Distance != hops {
+		t.Fatalf("path 0→250: found=%v distance=%d, oracle hop distance %d", pres.Found, pres.Distance, hops)
+	}
+	if len(pres.Path) != int(hops)+1 || pres.Path[0] != 0 || pres.Path[len(pres.Path)-1] != 250 {
+		t.Fatalf("path endpoints/length wrong: %v (want %d hops 0→250)", pres.Path, hops)
+	}
+	for i := 0; i+1 < len(pres.Path); i++ {
+		adjacent := false
+		for _, nb := range g.Neighbors(bgl.Vertex(pres.Path[i])) {
+			if int(nb) == pres.Path[i+1] {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			t.Fatalf("path step %d→%d is not an edge", pres.Path[i], pres.Path[i+1])
+		}
+	}
+
+	wantDist := g.SerialDijkstra(2)
+	sres, err := cl.SSSP(SSSPRequest{Source: intp(2), Target: intp(123), Dists: true})
+	if err != nil {
+		t.Fatalf("sssp: %v", err)
+	}
+	for v, d := range wantDist {
+		if sres.Dists[v] != d {
+			t.Fatalf("sssp dist[%d] = %d, oracle %d", v, sres.Dists[v], d)
+		}
+	}
+	if sres.Found == nil || sres.Distance == nil || *sres.Distance != wantDist[123] {
+		t.Fatalf("sssp target answer wrong: %+v (oracle %d)", sres, wantDist[123])
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Queries.BFS != 1 || st.Queries.Path != 1 || st.Queries.SSSP != 1 {
+		t.Fatalf("query counts %+v, want 1 of each", st.Queries)
+	}
+	if st.Graph.N != 300 || !st.Graph.Weighted || st.Graph.Mesh != "2x2" {
+		t.Fatalf("graph info wrong: %+v", st.Graph)
+	}
+	if st.Queries.Inflight != 0 {
+		t.Fatalf("inflight %d after all queries answered", st.Queries.Inflight)
+	}
+
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, name := range []string{"graphd_queries_total", "graphd_batches_total", "graphd_latency_seconds"} {
+		if !strings.Contains(text, name) {
+			t.Fatalf("metrics snapshot missing %s:\n%s", name, text)
+		}
+	}
+}
+
+// TestServerUnreachable: an unreachable target is an answer (200 with
+// found=false), never an error.
+func TestServerUnreachable(t *testing.T) {
+	g, err := bgl.FromEdges(6, [][2]bgl.Vertex{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
+	if err != nil {
+		t.Fatalf("from edges: %v", err)
+	}
+	s := newTestServer(t, g, nil)
+	_, cl := startHTTP(t, s)
+
+	bres, err := cl.BFS(BFSRequest{Source: intp(0), Target: intp(5)})
+	if err != nil {
+		t.Fatalf("bfs: %v", err)
+	}
+	if bres.Found == nil || *bres.Found || *bres.Distance != bgl.Unreached {
+		t.Fatalf("bfs to other component: %+v, want found=false distance=%d", bres, bgl.Unreached)
+	}
+
+	pres, err := cl.Path(PathRequest{Source: intp(0), Target: intp(5)})
+	if err != nil {
+		t.Fatalf("path: %v", err)
+	}
+	if pres.Found || len(pres.Path) != 0 || pres.Distance != -1 {
+		t.Fatalf("path to other component: %+v, want found=false, no path", pres)
+	}
+
+	sres, err := cl.SSSP(SSSPRequest{Source: intp(0), Target: intp(5)})
+	if err != nil {
+		t.Fatalf("sssp: %v", err)
+	}
+	if sres.Found == nil || *sres.Found || *sres.Distance != graph.MaxDist {
+		t.Fatalf("sssp to other component: %+v, want found=false distance=MaxDist", sres)
+	}
+	if sres.Reached != 3 {
+		t.Fatalf("sssp reached %d vertices, component has 3", sres.Reached)
+	}
+}
+
+// TestServerValidation: bad requests get descriptive 4xx JSON answers,
+// never a 500 and never a panic.
+func TestServerValidation(t *testing.T) {
+	g := testGraph(t, 400)
+	s := newTestServer(t, g, nil)
+	ts, _ := startHTTP(t, s)
+
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+		wantSubstr               string
+	}{
+		{"malformed json", "POST", "/v1/bfs", `{`, 400, "malformed"},
+		{"unknown field", "POST", "/v1/bfs", `{"source":1,"bogus":true}`, 400, "bogus"},
+		{"missing source", "POST", "/v1/bfs", `{}`, 400, `missing "source"`},
+		{"source too large", "POST", "/v1/bfs", `{"source":100000}`, 400, "out of range"},
+		{"source negative", "POST", "/v1/bfs", `{"source":-1}`, 400, "out of range"},
+		{"target too large", "POST", "/v1/bfs", `{"source":1,"target":100000}`, 400, "out of range"},
+		{"trailing data", "POST", "/v1/bfs", `{"source":1} {"source":2}`, 400, "trailing"},
+		{"wrong type", "POST", "/v1/bfs", `{"source":"zero"}`, 400, "malformed"},
+		{"bfs needs POST", "GET", "/v1/bfs", ``, 405, "needs POST"},
+		{"path missing target", "POST", "/v1/path", `{"source":1}`, 400, `missing "target"`},
+		{"path missing source", "POST", "/v1/path", `{"target":1}`, 400, `missing "source"`},
+		{"path unknown field", "POST", "/v1/path", `{"source":1,"target":2,"levels":true}`, 400, "levels"},
+		{"sssp negative delta", "POST", "/v1/sssp", `{"source":1,"delta":-3}`, 400, "malformed"},
+		{"sssp source too large", "POST", "/v1/sssp", `{"source":12345678}`, 400, "out of range"},
+		{"stats needs GET", "POST", "/v1/stats", `{}`, 405, "needs GET"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("request: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+				t.Fatalf("error answer content-type %q, want JSON", ct)
+			}
+			apiErr, ok := decodeAPIError(resp.StatusCode, readAll(t, resp)).(*APIError)
+			if !ok || apiErr.Message == "" {
+				t.Fatalf("error body is not an ErrorResponse: %+v", apiErr)
+			}
+			if !strings.Contains(apiErr.Message, tc.wantSubstr) {
+				t.Fatalf("error %q does not mention %q", apiErr.Message, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	buf := make([]byte, 0, 512)
+	tmp := make([]byte, 512)
+	for {
+		n, err := resp.Body.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if err != nil {
+			return buf
+		}
+	}
+}
+
+// TestServerConfigErrors: impossible configurations fail NewServer with
+// a descriptive error, including the Distribute-style ones the engine
+// itself diagnoses.
+func TestServerConfigErrors(t *testing.T) {
+	small, err := bgl.FromEdges(6, [][2]bgl.Vertex{{0, 1}, {2, 3}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name       string
+		cfg        Config
+		wantSubstr string
+	}{
+		{"nil graph", Config{}, "needs a graph"},
+		{"mesh larger than graph", Config{Graph: small, R: 4, C: 4}, "more ranks"},
+		{"batch above lane cap", Config{Graph: small, MaxBatch: bgl.MaxLanes + 1}, "lane capacity"},
+		{"negative window", Config{Graph: small, Window: -time.Second}, "negative batching window"},
+		{"negative replicas", Config{Graph: small, Replicas: -2}, "negative replica"},
+		{"negative mesh", Config{Graph: small, R: -1, C: 2}, "mesh must be positive"},
+		{"negative queue", Config{Graph: small, QueueDepth: -1}, "non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewServer(tc.cfg)
+			if err == nil {
+				s.Close()
+				t.Fatal("NewServer accepted an impossible config")
+			}
+			if !strings.Contains(err.Error(), tc.wantSubstr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+// TestServerQueueFull: with the lone engine borrowed and the bounded
+// queue filled, a path query is rejected with 503 + Retry-After instead
+// of queueing without bound.
+func TestServerQueueFull(t *testing.T) {
+	g := testGraph(t, 400)
+	s := newTestServer(t, g, func(c *Config) {
+		c.QueueDepth = 1
+		c.RetryAfter = 3 * time.Second
+	})
+	ts, _ := startHTTP(t, s)
+
+	e := <-s.engines // hold the only engine: the first job wedges in acquire
+	started := make(chan struct{})
+	if !s.submitWork(func() {
+		close(started)
+		_, release := s.acquire()
+		release()
+	}) {
+		s.engines <- e
+		t.Fatal("idle server refused the first job")
+	}
+	<-started // the worker is now wedged; the queue is empty and stays fillable
+	for i := 0; ; i++ {
+		if i > 4 {
+			s.engines <- e
+			t.Fatal("queue (depth 1, one wedged worker) did not fill after 5 no-op jobs")
+		}
+		if !s.submitWork(func() {}) {
+			break
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/path", "application/json", strings.NewReader(`{"source":1,"target":2}`))
+	if err != nil {
+		s.engines <- e
+		t.Fatalf("request: %v", err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	s.engines <- e // give the engine back before cleanup drains the queue
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with a full queue, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want %q", ra, "3")
+	}
+	if !strings.Contains(string(body), "queue full") {
+		t.Fatalf("rejection %s does not mention the full queue", body)
+	}
+	if s.nRejected.Value() < 1 {
+		t.Fatal("rejected counter not bumped")
+	}
+}
+
+// TestServerBatchBacklogFull: once MaxWaiting batched queries are
+// waiting on sweeps, further BFS queries are rejected with 503.
+func TestServerBatchBacklogFull(t *testing.T) {
+	g := testGraph(t, 400)
+	s := newTestServer(t, g, func(c *Config) {
+		c.Window = time.Hour // only the size cap (2) can fire the batch
+		c.MaxBatch = 2
+		c.MaxWaiting = 1
+	})
+	ts, cl := startHTTP(t, s)
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := cl.BFS(BFSRequest{Source: intp(3)})
+		first <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.waiting.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first BFS query never reached the batcher")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/bfs", "application/json", strings.NewReader(`{"source":4}`))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with a full backlog, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without a Retry-After header")
+	}
+	if !strings.Contains(string(body), "backlog full") {
+		t.Fatalf("rejection %s does not mention the backlog", body)
+	}
+
+	// A second distinct source reaches the size cap and fires the sweep,
+	// releasing the waiting query.
+	ch, err := s.batcher.submit(9)
+	if err != nil {
+		t.Fatalf("companion submit: %v", err)
+	}
+	recvAnswer(t, ch)
+	if err := <-first; err != nil {
+		t.Fatalf("waiting BFS query failed after the sweep fired: %v", err)
+	}
+}
+
+// TestServerDrain: a draining server refuses new work but Close waits
+// for admitted queries.
+func TestServerDrain(t *testing.T) {
+	g := testGraph(t, 400)
+	s := newTestServer(t, g, nil)
+	ts, cl := startHTTP(t, s)
+
+	if _, err := cl.BFS(BFSRequest{Source: intp(1)}); err != nil {
+		t.Fatalf("warmup bfs: %v", err)
+	}
+	s.Close()
+	s.Close() // idempotent
+
+	for _, probe := range []struct{ method, path, body string }{
+		{"POST", "/v1/bfs", `{"source":1}`},
+		{"POST", "/v1/path", `{"source":1,"target":2}`},
+		{"POST", "/v1/sssp", `{"source":1}`},
+		{"GET", "/healthz", ""},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, strings.NewReader(probe.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s during drain: %v", probe.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s answered %d on a draining server, want 503", probe.path, resp.StatusCode)
+		}
+	}
+}

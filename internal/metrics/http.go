@@ -1,0 +1,30 @@
+package metrics
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Handler exposes a registry over HTTP in the snapshot formats the
+// registry already renders deterministically: the text form by default
+// (one name per line, Prometheus-ish), the JSON form when the request
+// asks for it with ?format=json or an Accept: application/json header.
+// Only GET is served; the snapshot is taken at request time.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "metrics endpoint needs GET", http.StatusMethodNotAllowed)
+			return
+		}
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(r.JSON())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(r.Text()))
+	})
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(7)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type %q, want text/plain", ct)
+	}
+	var buf [4096]byte
+	n, _ := resp.Body.Read(buf[:])
+	if body := string(buf[:n]); !strings.Contains(body, "requests_total") {
+		t.Fatalf("text snapshot missing the counter:\n%s", body)
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(7)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		name string
+		mk   func() *http.Request
+	}{
+		{"query param", func() *http.Request {
+			req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics?format=json", nil)
+			return req
+		}},
+		{"accept header", func() *http.Request {
+			req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+			req.Header.Set("Accept", "application/json")
+			return req
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.DefaultClient.Do(tc.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("content-type %q, want application/json", ct)
+			}
+			var doc map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+				t.Fatalf("JSON snapshot does not parse: %v", err)
+			}
+			if len(doc) == 0 {
+				t.Fatal("JSON snapshot is empty")
+			}
+		})
+	}
+}
+
+func TestHandlerMethodNotAllowed(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST answered %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+		t.Fatalf("Allow header %q, want GET", allow)
+	}
+}
