@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet tier1 race race-pool build test bench bench-smoke bench-json bench-diff trace-smoke chaos-smoke graphd-smoke profile fuzz deprecated-surface
+.PHONY: ci fmt-check vet tier1 race race-pool build test bench bench-smoke bench-json bench-diff trace-smoke chaos-smoke graphd-smoke graphd-chaos profile fuzz deprecated-surface
 
 # Seconds per fuzz target in `make fuzz`.
 FUZZTIME ?= 20s
 
-ci: fmt-check vet tier1 race race-pool bench-smoke trace-smoke chaos-smoke graphd-smoke bench-diff deprecated-surface
+ci: fmt-check vet tier1 race race-pool bench-smoke trace-smoke chaos-smoke graphd-smoke graphd-chaos bench-diff deprecated-surface
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \
@@ -128,6 +128,36 @@ graphd-smoke:
 	wait $$pid || { echo "graphd-smoke: server exited non-zero on drain"; cat $$tmp/graphd.log; exit 1; }; \
 	pid=""; \
 	echo "graphd-smoke: 120 verified queries, batching observed, clean drain"
+
+# graphd chaos: the serving-under-fire gate. Same shape as
+# graphd-smoke, but the server runs 2 replicas with a deterministic
+# fault plan on every sweep, a 30s wall cap, and a one-shot drill that
+# panics a replica on its 3rd BFS sweep. graphload -chaos arms the
+# resilient client (jitter, breaker, hedged BFS), verifies every
+# answer against the serial oracles anyway, fires a deadline probe
+# every 25th query that must come back 504 (never a hang, never a
+# 500), requires the server to report injected faults, and finally
+# polls /v1/stats until the quarantined replica has been rebuilt and
+# the fleet answers again. Then SIGTERM must still drain to exit 0.
+graphd-chaos:
+	@set -e; tmp=$$(mktemp -d); pid=""; \
+	trap '{ [ -n "$$pid" ] && kill $$pid; rm -rf "$$tmp"; } 2>/dev/null || true' EXIT; \
+	$(GO) build -o $$tmp/graphd ./cmd/graphd; \
+	$(GO) build -o $$tmp/graphload ./cmd/graphload; \
+	$$tmp/graphd -n 20000 -k 10 -seed 42 -weighted -r 2 -c 2 -replicas 2 \
+		-fault canned:7 -chaos-panic-sweep 3 -max-query-time 30s \
+		-addr 127.0.0.1:0 -portfile $$tmp/port 2>$$tmp/graphd.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/port ] && break; sleep 0.1; done; \
+	[ -s $$tmp/port ] || { echo "graphd-chaos: server never wrote its port file"; cat $$tmp/graphd.log; exit 1; }; \
+	$$tmp/graphload -addr $$(cat $$tmp/port) -queries 150 -concurrency 16 -seed 7 \
+		-mix bfs=6,path=1,sssp=1 -verify -n 20000 -k 10 -graph-seed 42 -weighted \
+		-chaos -deadline-every 25 -deadline-ms 1 -expect-faults -expect-batching \
+		|| { cat $$tmp/graphd.log; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "graphd-chaos: server exited non-zero on drain"; cat $$tmp/graphd.log; exit 1; }; \
+	pid=""; \
+	echo "graphd-chaos: faulted+panicked serving verified, deadlines 504d, replica rebuilt, clean drain"
 
 # Host-process profiles of the flagship workload; inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.

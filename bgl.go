@@ -558,7 +558,9 @@ func (c *Cluster) Path(dg *DistGraph, s, t Vertex, opts ...Option) ([]Vertex, *R
 	cfg.apply(opts)
 	res, err := c.runUni(dg, cfg.bfs)
 	if err != nil {
-		return nil, nil, err
+		// A canceled run hands back its partial Result next to the
+		// *Canceled error; other failures have no Result.
+		return nil, res, err
 	}
 	if !res.Found {
 		return nil, res, fmt.Errorf("bgl: vertex %d not reachable from %d", t, s)

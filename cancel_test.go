@@ -1,0 +1,144 @@
+package bgl
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The public cancellation surface: WithContext / WithDeadline /
+// WithSimBudget install a cooperative hook that every engine polls at
+// its level/sweep/epoch boundaries. These tests pin the contract at
+// the library boundary — typed *Canceled errors, partial results, and
+// a cluster that stays fully usable afterwards.
+
+func cancelFixture(t *testing.T) (*Cluster, *DistGraph, Vertex) {
+	t.Helper()
+	g, err := Generate(900, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(ClusterConfig{R: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cl.Distribute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, dg, g.LargestComponentVertex()
+}
+
+// TestWithContextCanceled: a context canceled before the run starts
+// stops the traversal at its first boundary, and the *Canceled error
+// carries the context's cause.
+func TestWithContextCanceled(t *testing.T) {
+	cl, dg, src := cancelFixture(t)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errors.New("caller walked away"))
+	res, err := cl.BFS(dg, src, WithContext(ctx))
+	var cxl *Canceled
+	if !errors.As(err, &cxl) {
+		t.Fatalf("error %v is not a *Canceled", err)
+	}
+	if cxl.Cause == nil || !strings.Contains(cxl.Cause.Error(), "walked away") {
+		t.Fatalf("canceled cause %v does not carry the context cause", cxl.Cause)
+	}
+	if res == nil {
+		t.Fatal("canceled BFS returned no partial Result")
+	}
+
+	// The cluster is not poisoned: the same query without the context
+	// completes and matches serial.
+	full, err := cl.BFS(dg, src)
+	if err != nil {
+		t.Fatalf("clean BFS after a canceled one: %v", err)
+	}
+	want := dg.Graph().SerialBFS(src)
+	for v, l := range want {
+		if full.Levels[v] != l {
+			t.Fatalf("post-cancel levels[%d] = %d, serial %d", v, full.Levels[v], l)
+		}
+	}
+}
+
+// TestWithDeadlineExpired: a wall deadline already in the past cancels
+// at the first boundary with a message naming the deadline.
+func TestWithDeadlineExpired(t *testing.T) {
+	cl, dg, src := cancelFixture(t)
+	_, err := cl.BFS(dg, src, WithDeadline(time.Now().Add(-time.Second)))
+	var cxl *Canceled
+	if !errors.As(err, &cxl) {
+		t.Fatalf("error %v is not a *Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "wall deadline exceeded") {
+		t.Fatalf("canceled error %q does not name the wall deadline", err)
+	}
+}
+
+// TestWithSimBudgetPartial: the simulated-execution ceiling cancels
+// mid-run; SSSP reports epochs, BFS reports levels.
+func TestWithSimBudgetPartial(t *testing.T) {
+	g, err := GenerateWeighted(900, 6, 5, WithMaxWeight(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(ClusterConfig{R: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := cl.Distribute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.LargestComponentVertex()
+	res, err := cl.SSSP(dg, src, WithSimBudget(1e-9))
+	var cxl *Canceled
+	if !errors.As(err, &cxl) {
+		t.Fatalf("error %v is not a *Canceled", err)
+	}
+	if cxl.Unit != "epoch" {
+		t.Fatalf("SSSP canceled unit %q, want %q", cxl.Unit, "epoch")
+	}
+	if !strings.Contains(err.Error(), "budget exceeded") {
+		t.Fatalf("canceled error %q does not name the budget", err)
+	}
+	if res == nil || len(res.Dist) != g.N() {
+		t.Fatalf("canceled SSSP returned no usable partial result")
+	}
+}
+
+// TestHostileFaultPlanKillsRank: the hostile plan corrupts every
+// attempt of every message with a tiny retry budget, so the first
+// exchange deterministically exhausts its retries and the rank panic
+// surfaces as the world's recovered error — the failure mode graphd's
+// replica supervision drills against. The world recovers: a clean
+// follow-up run completes.
+func TestHostileFaultPlanKillsRank(t *testing.T) {
+	cl, dg, src := cancelFixture(t)
+	res, err := cl.BFS(dg, src, WithFault(HostileFaultPlan(3)))
+	if err == nil {
+		t.Fatal("no error from a plan that corrupts every attempt")
+	}
+	if !strings.Contains(err.Error(), "exhausted the retry budget") {
+		t.Fatalf("hostile-plan error %q does not name the exhausted budget", err)
+	}
+	var cxl *Canceled
+	if errors.As(err, &cxl) {
+		t.Fatalf("hostile-plan failure decoded as a cooperative cancel: %v", err)
+	}
+	_ = res
+
+	full, err := cl.BFS(dg, src)
+	if err != nil {
+		t.Fatalf("clean BFS after the hostile run: %v", err)
+	}
+	want := dg.Graph().SerialBFS(src)
+	for v, l := range want {
+		if full.Levels[v] != l {
+			t.Fatalf("post-hostile levels[%d] = %d, serial %d", v, full.Levels[v], l)
+		}
+	}
+}

@@ -30,7 +30,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,6 +61,10 @@ func main() {
 		maxWait  = flag.Int("max-waiting", 0, "max batched BFS queries awaiting sweeps before 503 (0 = 4x -batch)")
 		queue    = flag.Int("queue", graphd.DefaultQueueDepth, "bounded queue depth for path/sssp queries")
 		qworkers = flag.Int("query-workers", 0, "goroutines draining the path/sssp queue (0 = -replicas)")
+		faultStr = flag.String("fault", "", "deterministic fault plan for every sweep (e.g. canned:7 or seed=1,corrupt=0.01)")
+		maxQuery = flag.Duration("max-query-time", 0, "server-side wall cap per query (0 = uncapped; timeout_ms may tighten)")
+		maxSim   = flag.Float64("max-simexec", 0, "cap on simulated execution seconds per query (0 = uncapped)")
+		chaosN   = flag.Int("chaos-panic-sweep", 0, "arm a one-shot drill: the Nth BFS sweep panics its replica (0 = off)")
 	)
 	flag.Parse()
 
@@ -81,6 +84,14 @@ func main() {
 	}[*wireStr]
 	if !ok {
 		fail(fmt.Errorf("unknown wire encoding %q", *wireStr))
+	}
+
+	var fplan *bgl.FaultPlan
+	if *faultStr != "" {
+		var perr error
+		if fplan, perr = bgl.ParseFaultPlan(*faultStr); perr != nil {
+			fail(perr)
+		}
 	}
 
 	var g *bgl.Graph
@@ -110,6 +121,8 @@ func main() {
 		Cores: *cores, Workers: *workers, Replicas: *replicas,
 		Window: *window, MaxBatch: *batch, MaxWaiting: *maxWait,
 		QueueDepth: *queue, QueryWorkers: *qworkers,
+		Fault: fplan, MaxQueryWall: *maxQuery, MaxSimExec: *maxSim,
+		ChaosPanicSweep: *chaosN,
 	})
 	if err != nil {
 		fail(err)
@@ -131,7 +144,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "graphd: serving on http://%s (window=%v batch=%d queue=%d)\n",
 		bound, *window, *batch, *queue)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// The hardened wrapper sets read-header/read/idle timeouts so a
+	// slow-loris client cannot pin connections open.
+	hs := graphd.NewHTTPServer(srv.Handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

@@ -15,14 +15,28 @@
 //	graphload -addr $(cat /tmp/graphd.port) -queries 120 -seed 7 \
 //	    -mix bfs=6,path=1,sssp=1 -verify -n 20000 -k 10 -graph-seed 42 -weighted \
 //	    -expect-batching -check-metrics
+//	graphload -addr $(cat /tmp/graphd.port) -chaos -verify \
+//	    -deadline-every 25 -deadline-ms 1 -expect-faults
+//
+// Chaos mode (-chaos) turns the generator into the chaos drill's
+// client half: the resilient client features (seeded retry jitter, a
+// circuit breaker, hedged BFS) are armed, and after the stream drains
+// the run asserts the server actually went through the wringer and
+// came back — at least one replica panic, every quarantined replica
+// rebuilt, and a final query served off the recovered fleet.
+// -deadline-every N makes every Nth query a deadline probe sent with
+// a tiny timeout_ms that must come back 504 (never a hang, never a
+// 500); -expect-faults requires the server to report injected faults.
 //
 // Exit status is non-zero on any failed query, failed verification, or
-// failed -expect-batching / -check-metrics assertion.
+// failed -expect-batching / -check-metrics / chaos assertion.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -48,11 +62,13 @@ func (s *splitmix64) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// query is one planned request.
+// query is one planned request. A deadline probe carries a tiny
+// timeout_ms and expects a 504 instead of an answer.
 type query struct {
-	kind   string // bfs | path | sssp
-	source int
-	target int
+	kind     string // bfs | path | sssp
+	source   int
+	target   int
+	deadline bool
 }
 
 // oracle lazily computes and caches serial answers per source.
@@ -103,6 +119,10 @@ func main() {
 		retries     = flag.Int("retries", 3, "retries per query on overload/transport failure")
 		checkMet    = flag.Bool("check-metrics", false, "fetch /metrics afterwards and require the graphd instruments")
 		expectBatch = flag.Bool("expect-batching", false, "require the server to have coalesced queries (mean batch size > 1)")
+		chaos       = flag.Bool("chaos", false, "chaos drill: arm the resilient client and assert panic+quarantine+rebuild recovery afterwards")
+		deadEvery   = flag.Int("deadline-every", 0, "make every Nth query a deadline probe that must answer 504 (0 = none)")
+		deadMS      = flag.Int("deadline-ms", 1, "timeout_ms carried by deadline probes")
+		expectFault = flag.Bool("expect-faults", false, "require the server to report injected communication faults")
 	)
 	flag.Parse()
 
@@ -117,6 +137,9 @@ func main() {
 	}
 	if *queries <= 0 || *concurrency <= 0 {
 		fail("-queries and -concurrency must be positive")
+	}
+	if *deadEvery < 0 || *deadMS <= 0 {
+		fail("-deadline-every must be >= 0 and -deadline-ms positive")
 	}
 
 	var orc *oracle
@@ -135,13 +158,21 @@ func main() {
 	}
 
 	// Plan the whole stream up front: a pure function of the seed.
+	// Deadline probes ride the same stream — every Nth planned query is
+	// flagged, consuming no extra randomness, so -deadline-every does
+	// not perturb the other queries.
 	rng := splitmix64(*seed)
 	plan := make([]query, *queries)
+	nProbes := 0
 	for i := range plan {
 		plan[i] = query{
 			kind:   mix[rng.next()%uint64(len(mix))],
 			source: int(rng.next() % uint64(*n)),
 			target: int(rng.next() % uint64(*n)),
+		}
+		if *deadEvery > 0 && (i+1)%*deadEvery == 0 {
+			plan[i].deadline = true
+			nProbes++
 		}
 	}
 
@@ -149,13 +180,24 @@ func main() {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	client := graphd.NewClient(base, graphd.WithTimeout(*timeout), graphd.WithRetries(*retries))
+	copts := []graphd.ClientOption{graphd.WithTimeout(*timeout), graphd.WithRetries(*retries)}
+	if *chaos {
+		// The drill's client half: jittered backoff is already on by
+		// default; add the breaker (fail fast if the server dies
+		// outright) and hedged BFS (mask a straggling replica).
+		copts = append(copts,
+			graphd.WithJitterSeed(*seed),
+			graphd.WithBreaker(5, 500*time.Millisecond),
+			graphd.WithHedge(0.95, 50*time.Millisecond),
+		)
+	}
+	client := graphd.NewClient(base, copts...)
 	if err := client.Healthz(); err != nil {
 		fail("server not healthy at %s: %v", base, err)
 	}
 
 	reg := metrics.NewRegistry()
-	var failures atomic.Int64
+	var failures, tripped atomic.Int64
 	work := make(chan query)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -165,7 +207,12 @@ func main() {
 			defer wg.Done()
 			for q := range work {
 				t0 := time.Now()
-				err := runQuery(client, q, orc)
+				var err error
+				if q.deadline {
+					err = runDeadlineProbe(client, q, *deadMS, &tripped)
+				} else {
+					err = runQuery(client, q, orc)
+				}
 				lat := time.Since(t0).Seconds()
 				reg.Histogram("graphload_latency_seconds", metrics.TimeBuckets).Observe(lat)
 				reg.Histogram("graphload_"+q.kind+"_latency_seconds", metrics.TimeBuckets).Observe(lat)
@@ -214,6 +261,10 @@ func main() {
 	}
 	fmt.Printf("  server: %d bfs over %d sweeps (mean batch %.2f), %d path, %d sssp, %d rejected\n",
 		st.Queries.BFS, st.Queries.Batches, st.Queries.MeanBatchSize, st.Queries.Path, st.Queries.SSSP, st.Queries.Rejected)
+	if nProbes > 0 {
+		fmt.Printf("  deadline probes: %d sent, %d answered 504 (server counted %d)\n",
+			nProbes, tripped.Load(), st.Queries.DeadlineExceeded)
+	}
 
 	if *expectBatch && st.Queries.MeanBatchSize <= 1 {
 		fail("expected batching, but the server's mean batch size is %.2f (%d queries over %d sweeps)",
@@ -233,12 +284,87 @@ func main() {
 			}
 		}
 	}
+	if *expectFault {
+		if st.Faults == nil || st.Faults.Injected == 0 {
+			fail("expected injected faults, but the server reports none (is -fault set on graphd?)")
+		}
+		fmt.Printf("  faults: plan %q injected %d (%d retries, %d checksum fails)\n",
+			st.Faults.Plan, st.Faults.Injected, st.Faults.Retries, st.Faults.ChecksumFails)
+	}
+	if *chaos {
+		chaosAssert(client, fail)
+	}
 	if failures.Load() > 0 {
 		fail("%d of %d queries failed", failures.Load(), *queries)
 	}
 	if *verify {
-		fmt.Printf("  verified %d answers against the serial oracles: OK\n", *queries)
+		fmt.Printf("  verified %d answers against the serial oracles: OK\n", *queries-nProbes)
 	}
+}
+
+// chaosAssert verifies the server went through the wringer and came
+// back: at least one replica panic was recorded, every quarantined
+// replica was rebuilt (polled, since the supervisor rebuilds in the
+// background), and the recovered fleet still answers.
+func chaosAssert(c *graphd.Client, fail func(string, ...any)) {
+	deadline := time.Now().Add(30 * time.Second)
+	var st *graphd.StatsResponse
+	for {
+		var err error
+		if st, err = c.Stats(); err != nil {
+			fail("chaos: fetching /v1/stats: %v", err)
+		}
+		if st.Replicas.Quarantined == 0 && st.Replicas.Live >= st.Replicas.Configured {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("chaos: %d replica(s) still quarantined (%d/%d live) after 30s; the supervisor never rebuilt them",
+				st.Replicas.Quarantined, st.Replicas.Live, st.Replicas.Configured)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if st.Replicas.Panics == 0 {
+		fail("chaos: the server recorded no replica panics; the drill never fired (is -chaos-panic-sweep armed?)")
+	}
+	if st.Replicas.Rebuilds == 0 {
+		fail("chaos: %d panic(s) but zero rebuilds; quarantined replicas were never restored", st.Replicas.Panics)
+	}
+	if err := c.Healthz(); err != nil {
+		fail("chaos: /healthz after recovery: %v", err)
+	}
+	src := 0
+	if _, err := c.BFS(graphd.BFSRequest{Source: &src}); err != nil {
+		fail("chaos: the recovered fleet failed a fresh BFS: %v", err)
+	}
+	fmt.Printf("  chaos: %d panic(s), %d rebuild(s), %d/%d replicas live: recovered OK\n",
+		st.Replicas.Panics, st.Replicas.Rebuilds, st.Replicas.Live, st.Replicas.Configured)
+}
+
+// runDeadlineProbe sends q's kind with a tiny timeout_ms and requires
+// a 504: the server must cut the query cooperatively at a boundary. A
+// normal answer means the deadline was ignored; any other status — or
+// a hang, caught by the client's own timeout — is a real failure.
+func runDeadlineProbe(c *graphd.Client, q query, ms int, tripped *atomic.Int64) error {
+	var err error
+	switch q.kind {
+	case "bfs":
+		_, err = c.BFS(graphd.BFSRequest{Source: &q.source, Target: &q.target, TimeoutMS: ms})
+	case "path":
+		_, err = c.Path(graphd.PathRequest{Source: &q.source, Target: &q.target, TimeoutMS: ms})
+	case "sssp":
+		_, err = c.SSSP(graphd.SSSPRequest{Source: &q.source, Target: &q.target, TimeoutMS: ms})
+	default:
+		return fmt.Errorf("unknown query kind %q", q.kind)
+	}
+	if err == nil {
+		return fmt.Errorf("deadline probe (timeout_ms=%d) was answered instead of cut with a 504", ms)
+	}
+	var ae *graphd.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusGatewayTimeout {
+		return fmt.Errorf("deadline probe: want a 504, got %w", err)
+	}
+	tripped.Add(1)
+	return nil
 }
 
 // parseMix expands "bfs=6,path=1,sssp=1" into a weighted pick table.

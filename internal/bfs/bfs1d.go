@@ -11,6 +11,7 @@ import (
 	"repro/internal/localindex"
 	"repro/internal/partition"
 	"repro/internal/pool"
+	"repro/internal/search"
 	"repro/internal/torus"
 )
 
@@ -217,13 +218,15 @@ func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, e
 	w.SetFault(opts.Fault)
 	defer w.SetFault(nil)
 	start := time.Now()
+	cancels := make([]*search.Canceled, w.P)
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
 		e := newEngine1D(c, st, opts)
-		recs, s, found := driveUni(c, e, opts)
+		recs, s, found, cxl := driveUni(c, e, opts)
 		perRank[c.Rank()] = recs
 		localLevels[c.Rank()] = s.L
 		probes[c.Rank()] = e.probeDelta()
+		cancels[c.Rank()] = cxl
 		if found && c.Rank() == 0 {
 			foundAt = s.level
 		}
@@ -245,6 +248,9 @@ func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, e
 		res.Distance = foundAt
 	}
 	publishMetrics(opts.Metrics, res)
+	if cxl := search.MergeCanceled(cancels); cxl != nil {
+		return res, cxl
+	}
 	return res, nil
 }
 
@@ -275,13 +281,15 @@ func RunBidirectional1D(w *comm.World, stores []*partition.Store1D, opts Options
 	w.SetFault(opts.Fault)
 	defer w.SetFault(nil)
 	start := time.Now()
+	cancels := make([]*search.Canceled, w.P)
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
 		e := newEngine1D(c, st, opts)
-		recs, ss, best := driveBidir(c, e, st, opts)
+		recs, ss, best, cxl := driveBidir(c, e, st, opts)
 		perRank[c.Rank()] = recs
 		localLevels[c.Rank()] = ss.L
 		probes[c.Rank()] = e.probeDelta()
+		cancels[c.Rank()] = cxl
 		if c.Rank() == 0 && best != bidirInf {
 			globalBest = int64(best)
 		}
@@ -303,5 +311,8 @@ func RunBidirectional1D(w *comm.World, stores []*partition.Store1D, opts Options
 		res.Distance = int32(globalBest)
 	}
 	publishMetrics(opts.Metrics, res)
+	if cxl := search.MergeCanceled(cancels); cxl != nil {
+		return res, cxl
+	}
 	return res, nil
 }

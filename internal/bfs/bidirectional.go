@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/partition"
+	"repro/internal/search"
 )
 
 // RunBidirectional2D executes the bi-directional search of §2.3 on the
@@ -51,13 +52,15 @@ func RunBidirectional2D(w *comm.World, stores []*partition.Store2D, opts Options
 	w.SetFault(opts.Fault)
 	defer w.SetFault(nil)
 	start := time.Now()
+	cancels := make([]*search.Canceled, w.P)
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
 		e := newEngine2D(c, st, opts)
-		recs, ss, best := driveBidir(c, e, st, opts)
+		recs, ss, best, cxl := driveBidir(c, e, st, opts)
 		perRank[c.Rank()] = recs
 		localLevels[c.Rank()] = ss.L
 		probes[c.Rank()] = e.probeDelta()
+		cancels[c.Rank()] = cxl
 		if c.Rank() == 0 && best != bidirInf {
 			globalBest = int64(best)
 		}
@@ -76,5 +79,8 @@ func RunBidirectional2D(w *comm.World, stores []*partition.Store2D, opts Options
 		res.Distance = int32(globalBest)
 	}
 	publishMetrics(opts.Metrics, res)
+	if cxl := search.MergeCanceled(cancels); cxl != nil {
+		return res, cxl
+	}
 	return res, nil
 }

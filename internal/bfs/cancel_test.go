@@ -1,0 +1,117 @@
+package bfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+// TestRun2DCancelPartialPrefix: a run canceled by a tiny simulated
+// budget stops at a level boundary with a *search.Canceled naming the
+// cause, and the partial Result's completed levels are a prefix of the
+// full run — levels at or below the cut line are final, deeper
+// vertices still Unreached.
+func TestRun2DCancelPartialPrefix(t *testing.T) {
+	g := testGraph(t, 600, 5, 1)
+	fx := build2D(t, g, 2, 2)
+	opts := DefaultOptions(fx.src)
+	opts.Cancel = search.SimBudgetCancel(1e-9)
+	res, err := Run2D(fx.world, fx.st2, opts)
+	if err == nil {
+		t.Fatal("no error from a run whose budget is one nanosecond")
+	}
+	var cxl *search.Canceled
+	if !errors.As(err, &cxl) {
+		t.Fatalf("error %v is not a *search.Canceled", err)
+	}
+	if cxl.Unit != "level" {
+		t.Fatalf("canceled unit %q, want %q", cxl.Unit, "level")
+	}
+	if cxl.Cause == nil || cxl.Cause.Error() == "" {
+		t.Fatalf("canceled with no cause: %+v", cxl)
+	}
+	if res == nil {
+		t.Fatal("canceled run returned no partial Result")
+	}
+	// The run stopped at the top of level Done: vertices at levels
+	// 0..Done carry their final serial labels, anything deeper is
+	// still Unreached.
+	cut := int32(cxl.Done)
+	for v, want := range fx.serial {
+		got := res.Levels[v]
+		switch {
+		case want != graph.Unreached && want <= cut:
+			if got != want {
+				t.Fatalf("level[%d] = %d inside the cut %d, serial %d", v, got, cut, want)
+			}
+		case got != graph.Unreached && got > cut:
+			t.Fatalf("level[%d] = %d past the cut %d: partial run labeled beyond its stop", v, got, cut)
+		}
+	}
+
+	// The same options without the hook finish and match serial — the
+	// cancel path must not have poisoned the world.
+	opts.Cancel = nil
+	full, err := Run2D(fx.world, fx.st2, opts)
+	if err != nil {
+		t.Fatalf("clean run after a canceled one: %v", err)
+	}
+	levelsEqual(t, full.Levels, fx.serial, "post-cancel clean run")
+}
+
+// TestMultiRun2DCancel: the multi-source sweep cancels at a sweep
+// boundary with partial per-lane levels and stays reusable.
+func TestMultiRun2DCancel(t *testing.T) {
+	g := testGraph(t, 500, 5, 2)
+	fx := build2D(t, g, 2, 2)
+	sources := []graph.Vertex{fx.src, fx.src + 1, fx.src + 2}
+	opts := DefaultOptions(sources[0])
+	opts.Cancel = search.SimBudgetCancel(1e-9)
+	res, err := MultiRun2D(fx.world, fx.st2, sources, opts)
+	var cxl *search.Canceled
+	if !errors.As(err, &cxl) {
+		t.Fatalf("error %v is not a *search.Canceled", err)
+	}
+	if cxl.Unit != "sweep" {
+		t.Fatalf("canceled unit %q, want %q", cxl.Unit, "sweep")
+	}
+	if res == nil || len(res.LaneLevels) != len(sources) {
+		t.Fatalf("partial multi result missing lanes: %+v", res)
+	}
+
+	opts.Cancel = nil
+	full, err := MultiRun2D(fx.world, fx.st2, sources, opts)
+	if err != nil {
+		t.Fatalf("clean sweep after a canceled one: %v", err)
+	}
+	for lane, src := range sources {
+		levelsEqual(t, full.LaneLevels[lane], graph.BFS(g, src), "post-cancel lane")
+	}
+}
+
+// TestCancelNeverFires: a cancel hook that never fires must leave the
+// run identical to one with no hook at all (the or-reduction is extra
+// traffic only when a hook is set, but the ANSWER may never change).
+func TestCancelNeverFires(t *testing.T) {
+	g := testGraph(t, 400, 5, 3)
+	fx := build2D(t, g, 2, 2)
+	opts := DefaultOptions(fx.src)
+	opts.Cancel = func(float64) error { return nil }
+	res, err := Run2D(fx.world, fx.st2, opts)
+	if err != nil {
+		t.Fatalf("run with a never-firing hook: %v", err)
+	}
+	levelsEqual(t, res.Levels, fx.serial, "never-firing hook")
+
+	opts.Cancel = nil
+	base, err := Run2D(fx.world, fx.st2, opts)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if res.TotalExpandWords != base.TotalExpandWords || res.TotalFoldWords != base.TotalFoldWords {
+		t.Fatalf("hooked run moved %d/%d words, baseline %d/%d — the hook changed the payload traffic",
+			res.TotalExpandWords, res.TotalFoldWords, base.TotalExpandWords, base.TotalFoldWords)
+	}
+}

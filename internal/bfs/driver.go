@@ -8,6 +8,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/comm"
 	"repro/internal/graph"
+	"repro/internal/search"
 )
 
 // reducer performs the per-level global reductions (frontier count,
@@ -127,11 +128,26 @@ func stepDir(e stepper, s *sideState, dir Direction, tagBase int) (rankLevel, bo
 	return e.step(s, tagBase)
 }
 
+// checkCancel polls the cooperative cancellation hook at a boundary
+// and reduces the verdict so every rank agrees. unit/done describe the
+// boundary for the Canceled error. A nil hook costs nothing.
+func checkCancel(opts Options, red *reducer, clock float64, unit string, done int) *search.Canceled {
+	if opts.Cancel == nil {
+		return nil
+	}
+	cause := opts.Cancel(clock)
+	if !red.or(cause != nil) {
+		return nil
+	}
+	return &search.Canceled{Unit: unit, Done: done, Cause: cause}
+}
+
 // driveUni runs a uni-directional level-synchronized search to
-// completion (empty global frontier), target discovery, or the
-// MaxLevels bound. It returns the per-level records, the search state,
-// and whether the target was found (globally agreed).
-func driveUni(c *comm.Comm, e stepper, opts Options) ([]rankLevel, *sideState, bool) {
+// completion (empty global frontier), target discovery, the MaxLevels
+// bound, or a cooperative cancellation (non-nil *search.Canceled — the
+// state holds the partial labeling). It returns the per-level records,
+// the search state, and whether the target was found (globally agreed).
+func driveUni(c *comm.Comm, e stepper, opts Options) ([]rankLevel, *sideState, bool, *search.Canceled) {
 	red := newReducer(c, opts)
 	dirop := opts.Direction == DirectionOptimizing
 	var s *sideState
@@ -164,11 +180,14 @@ func driveUni(c *comm.Comm, e stepper, opts Options) ([]rankLevel, *sideState, b
 			opts.Checkpoint.Put("bfs", opts.Checkpoint.At, c.Size(), c.Rank(),
 				runFingerprint(e, opts, c.Size()),
 				saveUniBlob(c, e, s, recs, unlabeledDeg, red.tag))
-			return recs, s, false
+			return recs, s, false, nil
+		}
+		if cxl := checkCancel(opts, red, c.Clock(), "level", int(s.level)); cxl != nil {
+			return recs, s, false, cxl
 		}
 		gf := red.sum(uint64(s.F.Len()))
 		if gf == 0 {
-			return recs, s, false
+			return recs, s, false, nil
 		}
 		var frontierDeg uint64
 		if dirop {
@@ -176,13 +195,13 @@ func driveUni(c *comm.Comm, e stepper, opts Options) ([]rankLevel, *sideState, b
 			unlabeledDeg -= frontierDeg
 		}
 		if opts.MaxLevels > 0 && int(s.level) >= opts.MaxLevels {
-			return recs, s, false
+			return recs, s, false, nil
 		}
 		dir := chooseDirection(opts, frontierDeg, unlabeledDeg)
 		rec, foundLocal := stepDir(e, s, dir, int(s.level)*64)
 		recs = append(recs, rec)
 		if opts.HasTarget && red.or(foundLocal) {
-			return recs, s, true
+			return recs, s, true, nil
 		}
 	}
 }
@@ -196,11 +215,12 @@ const bidirInf = uint64(math.MaxUint32)
 // are detected when a side labels a vertex the other side already
 // labeled, and the search stops once the best meeting distance is
 // provably optimal (any undiscovered path must exceed the sum of the
-// completed levels) or either side exhausts. It returns the records,
-// the forward side's state, and the best distance (bidirInf if none).
+// completed levels), either side exhausts, or a cooperative
+// cancellation fires. It returns the records, the forward side's
+// state, and the best distance (bidirInf if none).
 func driveBidir(c *comm.Comm, e stepper, st interface {
 	LocalOf(v graph.Vertex) uint32
-}, opts Options) ([]rankLevel, *sideState, uint64) {
+}, opts Options) ([]rankLevel, *sideState, uint64, *search.Canceled) {
 	ss := e.newSide(opts.Source)
 	ts := e.newSide(opts.Target)
 	red := newReducer(c, opts)
@@ -220,6 +240,9 @@ func driveBidir(c *comm.Comm, e stepper, st interface {
 	}
 	newS, newT := true, true
 	for {
+		if cxl := checkCancel(opts, red, c.Clock(), "level", len(recs)); cxl != nil {
+			return recs, ss, best, cxl
+		}
 		gfs := red.sum(uint64(ss.F.Len()))
 		gft := red.sum(uint64(ts.F.Len()))
 		if dirop && newS {
@@ -234,10 +257,10 @@ func driveBidir(c *comm.Comm, e stepper, st interface {
 		exhausted := gfs == 0 || gft == 0
 		proven := best != bidirInf && best <= uint64(ss.level)+uint64(ts.level)
 		if exhausted || proven {
-			return recs, ss, best
+			return recs, ss, best, nil
 		}
 		if opts.MaxLevels > 0 && int(ss.level+ts.level) >= opts.MaxLevels {
-			return recs, ss, best
+			return recs, ss, best, nil
 		}
 		side, mf, mu := ss, degS, unS
 		if gft < gfs {

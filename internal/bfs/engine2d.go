@@ -11,6 +11,7 @@ import (
 	"repro/internal/localindex"
 	"repro/internal/partition"
 	"repro/internal/pool"
+	"repro/internal/search"
 	"repro/internal/torus"
 	"repro/internal/trace"
 )
@@ -525,13 +526,15 @@ func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, e
 	w.SetFault(opts.Fault)
 	defer w.SetFault(nil)
 	start := time.Now()
+	cancels := make([]*search.Canceled, w.P)
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
 		e := newEngine2D(c, st, opts)
-		recs, s, found := driveUni(c, e, opts)
+		recs, s, found, cxl := driveUni(c, e, opts)
 		perRank[c.Rank()] = recs
 		localLevels[c.Rank()] = s.L
 		probes[c.Rank()] = e.probeDelta()
+		cancels[c.Rank()] = cxl
 		if found && c.Rank() == 0 {
 			foundAt = s.level // target labeled at the last completed level
 		}
@@ -550,6 +553,9 @@ func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, e
 		res.Distance = foundAt
 	}
 	publishMetrics(opts.Metrics, res)
+	if cxl := search.MergeCanceled(cancels); cxl != nil {
+		return res, cxl
+	}
 	return res, nil
 }
 

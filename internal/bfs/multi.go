@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/pool"
+	"repro/internal/search"
 	"repro/internal/torus"
 )
 
@@ -287,17 +288,20 @@ type multiStepper interface {
 }
 
 // multiDrive runs lane-parallel sweeps until the global lane-OR
-// frontier empties (or MaxLevels).
-func multiDrive(c *comm.Comm, e multiStepper, opts Options, sources []graph.Vertex) ([]rankLevel, *multiState) {
+// frontier empties (or MaxLevels, or a cooperative cancellation).
+func multiDrive(c *comm.Comm, e multiStepper, opts Options, sources []graph.Vertex) ([]rankLevel, *multiState, *search.Canceled) {
 	s := e.newMulti(sources)
 	red := newReducer(c, opts)
 	var recs []rankLevel
 	for {
+		if cxl := checkCancel(opts, red, c.Clock(), "sweep", int(s.sweep)); cxl != nil {
+			return recs, s, cxl
+		}
 		if red.sum(uint64(s.F.Len())) == 0 {
-			return recs, s
+			return recs, s, nil
 		}
 		if opts.MaxLevels > 0 && int(s.sweep) >= opts.MaxLevels {
-			return recs, s
+			return recs, s, nil
 		}
 		recs = append(recs, e.sweep(s, int(s.sweep)*64))
 	}
@@ -589,14 +593,16 @@ func MultiRun2D(w *comm.World, stores []*partition.Store2D, sources []graph.Vert
 	w.SetFault(opts.Fault)
 	defer w.SetFault(nil)
 	start := time.Now()
+	cancels := make([]*search.Canceled, w.P)
 	comms, err := w.Run(func(c *comm.Comm) {
 		st := stores[c.Rank()]
 		e := newMultiEngine2D(c, st, opts)
 		probes0 := st.ColMap.Probes() + st.RowMap.Probes()
-		recs, s := multiDrive(c, e, opts, sources)
+		recs, s, cxl := multiDrive(c, e, opts, sources)
 		perRank[c.Rank()] = recs
 		laneLevels[c.Rank()] = s.levels
 		probes[c.Rank()] = st.ColMap.Probes() + st.RowMap.Probes() - probes0
+		cancels[c.Rank()] = cxl
 	})
 	if err != nil {
 		return nil, err
@@ -610,6 +616,9 @@ func MultiRun2D(w *comm.World, stores []*partition.Store2D, sources []graph.Vert
 		return l.OwnedRange(rank)
 	}, laneLevels)
 	publishMetrics(opts.Metrics, &res.Result)
+	if cxl := search.MergeCanceled(cancels); cxl != nil {
+		return res, cxl
+	}
 	return res, nil
 }
 
@@ -639,11 +648,13 @@ func MultiRun1D(w *comm.World, stores []*partition.Store1D, sources []graph.Vert
 	w.SetFault(opts.Fault)
 	defer w.SetFault(nil)
 	start := time.Now()
+	cancels := make([]*search.Canceled, w.P)
 	comms, err := w.Run(func(c *comm.Comm) {
 		e := newMultiEngine1D(c, stores[c.Rank()], opts)
-		recs, s := multiDrive(c, e, opts, sources)
+		recs, s, cxl := multiDrive(c, e, opts, sources)
 		perRank[c.Rank()] = recs
 		laneLevels[c.Rank()] = s.levels
+		cancels[c.Rank()] = cxl
 	})
 	if err != nil {
 		return nil, err
@@ -654,5 +665,8 @@ func MultiRun1D(w *comm.World, stores []*partition.Store1D, sources []graph.Vert
 		return l.OwnedRange(rank)
 	}, laneLevels)
 	publishMetrics(opts.Metrics, &res.Result)
+	if cxl := search.MergeCanceled(cancels); cxl != nil {
+		return res, cxl
+	}
 	return res, nil
 }

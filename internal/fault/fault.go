@@ -293,6 +293,16 @@ func Canned(seed uint64) *Plan {
 	}
 }
 
+// Hostile returns a plan built to defeat the recovery protocol: every
+// copy corrupt, the forced-clean bound disabled, and a small attempt
+// budget, so the first message exhausts its retries and the receiving
+// rank panics. No realistic fault schedule looks like this — it exists
+// for the supervision drills (graphd's forced replica panic, the
+// budget-exhaustion tests) that need a deterministic engine death.
+func Hostile(seed uint64) *Plan {
+	return &Plan{Seed: seed, PCorrupt: 1, CleanAttempt: -1, MaxAttempts: 4}
+}
+
 // Parse builds a plan from a comma-separated key=value spec, the
 // format of bfsrun's -fault flag, e.g.
 //
@@ -300,7 +310,8 @@ func Canned(seed uint64) *Plan {
 //	straggler=1:1.5,outage=*>0@100us-300us
 //
 // Durations accept s/ms/us/ns suffixes (plain numbers are seconds).
-// The spec "canned" (optionally "canned:SEED") selects Canned.
+// The spec "canned" (optionally "canned:SEED") selects Canned; the
+// spec "hostile" (optionally "hostile:SEED") selects Hostile.
 func Parse(spec string) (*Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -315,6 +326,16 @@ func Parse(spec string) (*Plan, error) {
 			return nil, fmt.Errorf("fault: bad canned seed %q: %v", rest, err)
 		}
 		return Canned(seed), nil
+	}
+	if spec == "hostile" {
+		return Hostile(1), nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "hostile:"); ok {
+		seed, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad hostile seed %q: %v", rest, err)
+		}
+		return Hostile(seed), nil
 	}
 	p := &Plan{}
 	for _, kv := range strings.Split(spec, ",") {

@@ -25,11 +25,15 @@ package graphd
 // BFSRequest asks for a single-source BFS. Source is required; Target
 // optionally asks for s→t reachability/distance; Levels asks for the
 // full per-vertex level array (omit it on large graphs unless needed —
-// the array has one entry per vertex).
+// the array has one entry per vertex). TimeoutMS > 0 bounds the
+// query's wall-clock budget: past it the server answers 504 with
+// partial statistics instead of finishing the traversal (the
+// server-side cap, when configured, still applies if tighter).
 type BFSRequest struct {
-	Source *int `json:"source"`
-	Target *int `json:"target,omitempty"`
-	Levels bool `json:"levels,omitempty"`
+	Source    *int `json:"source"`
+	Target    *int `json:"target,omitempty"`
+	Levels    bool `json:"levels,omitempty"`
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
 }
 
 // BFSResponse answers a BFSRequest. Distance/Found are present only
@@ -45,10 +49,11 @@ type BFSResponse struct {
 }
 
 // PathRequest asks for one shortest path Source→Target. Both are
-// required.
+// required. TimeoutMS works as in BFSRequest.
 type PathRequest struct {
-	Source *int `json:"source"`
-	Target *int `json:"target"`
+	Source    *int `json:"source"`
+	Target    *int `json:"target"`
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
 }
 
 // PathResponse answers a PathRequest. Found is false (with a nil Path)
@@ -67,10 +72,11 @@ type PathResponse struct {
 // optionally asks for one s→t distance; Dists for the full per-vertex
 // distance array.
 type SSSPRequest struct {
-	Source *int   `json:"source"`
-	Target *int   `json:"target,omitempty"`
-	Delta  uint32 `json:"delta,omitempty"`
-	Dists  bool   `json:"dists,omitempty"`
+	Source    *int   `json:"source"`
+	Target    *int   `json:"target,omitempty"`
+	Delta     uint32 `json:"delta,omitempty"`
+	Dists     bool   `json:"dists,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
 }
 
 // SSSPResponse answers an SSSPRequest. Unreachable vertices hold
@@ -101,9 +107,32 @@ type QueryStats struct {
 	WallS      float64 `json:"wall_s"`
 }
 
-// ErrorResponse is the body of every non-2xx answer.
+// ErrorResponse is the body of every non-2xx answer. A 504
+// (deadline-exceeded) answer sets DeadlineExceeded and, when the
+// engines canceled cooperatively, Partial — how far the traversal got
+// before the budget ran out.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error            string        `json:"error"`
+	DeadlineExceeded bool          `json:"deadline_exceeded,omitempty"`
+	Partial          *PartialStats `json:"partial,omitempty"`
+}
+
+// PartialStats reports the progress of a cooperatively canceled run:
+// Done whole units (Unit "level", "sweep", or "epoch") completed, and
+// the simulated / wall cost spent before the stop.
+type PartialStats struct {
+	Unit     string  `json:"unit"`
+	Done     int     `json:"done"`
+	SimExecS float64 `json:"simexec_s"`
+	WallS    float64 `json:"wall_s"`
+}
+
+// HealthzResponse is the GET /healthz document: "ok" (200, every
+// replica live), "degraded" (200, quarantined replicas being rebuilt),
+// "down" (503, no live replica), or "draining" (503, shutdown begun).
+type HealthzResponse struct {
+	Status      string `json:"status"`
+	Quarantined int    `json:"quarantined,omitempty"`
 }
 
 // GraphInfo describes the graph the server distributed at startup.
@@ -127,15 +156,39 @@ type BatchingInfo struct {
 
 // QueryCounts aggregates the server's lifetime traffic.
 type QueryCounts struct {
-	BFS            int64   `json:"bfs"`
-	Path           int64   `json:"path"`
-	SSSP           int64   `json:"sssp"`
-	Batches        int64   `json:"batches"`
-	BatchedQueries int64   `json:"batched_queries"`
-	MeanBatchSize  float64 `json:"mean_batch_size"`
-	Rejected       int64   `json:"rejected"`
-	Errors         int64   `json:"errors"`
-	Inflight       int64   `json:"inflight"`
+	BFS              int64   `json:"bfs"`
+	Path             int64   `json:"path"`
+	SSSP             int64   `json:"sssp"`
+	Batches          int64   `json:"batches"`
+	BatchedQueries   int64   `json:"batched_queries"`
+	MeanBatchSize    float64 `json:"mean_batch_size"`
+	Rejected         int64   `json:"rejected"`
+	Errors           int64   `json:"errors"`
+	DeadlineExceeded int64   `json:"deadline_exceeded"`
+	Inflight         int64   `json:"inflight"`
+}
+
+// ReplicaInfo reports the engine pool's supervision state: how many
+// replicas were configured, how many are live right now, how many are
+// quarantined awaiting rebuild, and the lifetime panic/rebuild counts.
+type ReplicaInfo struct {
+	Configured  int   `json:"configured"`
+	Live        int   `json:"live"`
+	Quarantined int   `json:"quarantined"`
+	Panics      int64 `json:"panics"`
+	Rebuilds    int64 `json:"rebuilds"`
+}
+
+// FaultInfo aggregates the transport-fault counters of every sweep and
+// query served so far, present when the server runs with a fault plan
+// (or any run recorded fault activity).
+type FaultInfo struct {
+	Plan          string  `json:"plan,omitempty"`
+	Injected      uint64  `json:"injected"`
+	Retries       uint64  `json:"retries"`
+	ChecksumFails uint64  `json:"checksum_fails"`
+	DupsDiscarded uint64  `json:"dups_discarded"`
+	RetrySeconds  float64 `json:"retry_seconds"`
 }
 
 // StatsResponse is the GET /v1/stats document.
@@ -144,4 +197,6 @@ type StatsResponse struct {
 	Graph    GraphInfo    `json:"graph"`
 	Batching BatchingInfo `json:"batching"`
 	Queries  QueryCounts  `json:"queries"`
+	Replicas ReplicaInfo  `json:"replicas"`
+	Faults   *FaultInfo   `json:"faults,omitempty"`
 }

@@ -2,6 +2,7 @@ package graphd
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,8 +28,11 @@ type sweepStats struct {
 // returns one level array per source, index-aligned. The batcher owns
 // WHEN a sweep fires and which queries share it; the server owns HOW a
 // sweep runs (borrowing an engine, choosing MultiBFS vs a plain BFS for
-// a single lane).
-type sweepFunc func(sources []bgl.Vertex) ([][]int32, sweepStats, error)
+// a single lane). deadline is the batch's wall budget — the LOOSEST
+// member deadline, zero when any member is unbounded, because one
+// shared sweep cannot stop early for its most impatient rider without
+// robbing the patient ones.
+type sweepFunc func(sources []bgl.Vertex, deadline time.Time) ([][]int32, sweepStats, error)
 
 // batchAnswer is what a waiting caller receives: its own lane's levels
 // plus the per-query statistics.
@@ -38,11 +42,14 @@ type batchAnswer struct {
 	err    error
 }
 
-// batchQuery is one waiting caller.
+// batchQuery is one waiting caller. deadline is the query's own wall
+// budget (zero = unbounded); the batch sweeps under the loosest member
+// deadline and each HANDLER still enforces its own tighter one.
 type batchQuery struct {
-	source bgl.Vertex
-	enq    time.Time
-	done   chan batchAnswer
+	source   bgl.Vertex
+	enq      time.Time
+	deadline time.Time
+	done     chan batchAnswer
 }
 
 // batcher coalesces concurrent single-source BFS queries into
@@ -104,8 +111,8 @@ func newBatcher(window time.Duration, maxBatch int, sweep sweepFunc, reg *metric
 
 // submit enqueues one query and returns the channel its answer will
 // arrive on (buffered — the batch goroutine never blocks on a caller).
-func (b *batcher) submit(src bgl.Vertex) (<-chan batchAnswer, error) {
-	q := &batchQuery{source: src, enq: time.Now(), done: make(chan batchAnswer, 1)}
+func (b *batcher) submit(src bgl.Vertex, deadline time.Time) (<-chan batchAnswer, error) {
+	q := &batchQuery{source: src, enq: time.Now(), deadline: deadline, done: make(chan batchAnswer, 1)}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -155,16 +162,49 @@ func (b *batcher) flushLocked() {
 	go b.run(batch, lanes)
 }
 
+// batchDeadline is the wall budget one shared sweep runs under: the
+// LOOSEST member deadline, or zero (unbounded) when any member is
+// unbounded. Tighter individual deadlines stay with their handlers —
+// an impatient rider 504s on its own timer while the sweep finishes
+// for the patient ones.
+func batchDeadline(batch []*batchQuery) time.Time {
+	var dl time.Time
+	for _, q := range batch {
+		if q.deadline.IsZero() {
+			return time.Time{}
+		}
+		if q.deadline.After(dl) {
+			dl = q.deadline
+		}
+	}
+	return dl
+}
+
 // run executes one batch: sweep the deduplicated sources, then
-// demultiplex each lane's levels back to its waiting caller(s).
+// demultiplex each lane's levels back to its waiting caller(s). The
+// demux loop runs under a recover of its own: a panic while answering
+// one query (a short levels array, a corrupted lane map) must not
+// strand the other riders of the sweep without an answer — they get a
+// descriptive error instead.
 func (b *batcher) run(batch []*batchQuery, lanes map[bgl.Vertex]int) {
 	defer b.wg.Done()
+	answered := make([]bool, len(batch))
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("graphd: batch demux panicked: %v", r)
+			for i, q := range batch {
+				if !answered[i] {
+					q.done <- batchAnswer{err: err}
+				}
+			}
+		}
+	}()
 	start := time.Now()
 	sources := make([]bgl.Vertex, len(lanes))
 	for src, i := range lanes {
 		sources[i] = src
 	}
-	levels, st, err := b.sweep(sources)
+	levels, st, err := b.sweep(sources, batchDeadline(batch))
 	b.batches.Add(1)
 	b.batchedQueries.Add(int64(len(batch)))
 	if b.mBatches != nil {
@@ -172,9 +212,10 @@ func (b *batcher) run(batch []*batchQuery, lanes map[bgl.Vertex]int) {
 		b.mQueries.Add(int64(len(batch)))
 		b.mLanes.Observe(float64(len(sources)))
 	}
-	for _, q := range batch {
+	for i, q := range batch {
 		if err != nil {
 			q.done <- batchAnswer{err: err}
+			answered[i] = true
 			continue
 		}
 		q.done <- batchAnswer{
@@ -189,6 +230,7 @@ func (b *batcher) run(batch []*batchQuery, lanes map[bgl.Vertex]int) {
 				WallS:      st.WallS,
 			},
 		}
+		answered[i] = true
 	}
 }
 

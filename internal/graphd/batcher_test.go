@@ -2,6 +2,8 @@ package graphd
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -68,7 +70,7 @@ func checkOracle(t *testing.T, g *bgl.Graph, src bgl.Vertex, ans batchAnswer) {
 func TestBatcherSingleQuery(t *testing.T) {
 	g := testGraph(t, 400)
 	s := newTestServer(t, g, func(c *Config) { c.Window = 5 * time.Millisecond })
-	ch, err := s.batcher.submit(7)
+	ch, err := s.batcher.submit(7, time.Time{})
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -92,7 +94,7 @@ func TestBatcherSizeCapTrigger(t *testing.T) {
 	})
 	chans := make([]<-chan batchAnswer, 4)
 	for i := range chans {
-		ch, err := s.batcher.submit(bgl.Vertex(10 * (i + 1)))
+		ch, err := s.batcher.submit(bgl.Vertex(10*(i+1)), time.Time{})
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -118,7 +120,7 @@ func TestBatcherWindowExpiry(t *testing.T) {
 	srcs := []bgl.Vertex{3, 44, 178}
 	chans := make([]<-chan batchAnswer, len(srcs))
 	for i, src := range srcs {
-		ch, err := s.batcher.submit(src)
+		ch, err := s.batcher.submit(src, time.Time{})
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -144,7 +146,7 @@ func TestBatcherDuplicateSources(t *testing.T) {
 	srcs := []bgl.Vertex{42, 42, 7}
 	chans := make([]<-chan batchAnswer, len(srcs))
 	for i, src := range srcs {
-		ch, err := s.batcher.submit(src)
+		ch, err := s.batcher.submit(src, time.Time{})
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -174,7 +176,7 @@ func TestBatcherFullAndOverflow(t *testing.T) {
 			s := newTestServer(t, g, func(c *Config) { c.Window = 50 * time.Millisecond })
 			chans := make([]<-chan batchAnswer, tc.queries)
 			for i := range chans {
-				ch, err := s.batcher.submit(bgl.Vertex(i))
+				ch, err := s.batcher.submit(bgl.Vertex(i), time.Time{})
 				if err != nil {
 					t.Fatalf("submit %d: %v", i, err)
 				}
@@ -208,7 +210,7 @@ func TestBatcherShutdownMidWindow(t *testing.T) {
 	srcs := []bgl.Vertex{5, 99}
 	chans := make([]<-chan batchAnswer, len(srcs))
 	for i, src := range srcs {
-		ch, err := s.batcher.submit(src)
+		ch, err := s.batcher.submit(src, time.Time{})
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -231,7 +233,85 @@ func TestBatcherShutdownMidWindow(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("batcher.close did not return after draining")
 	}
-	if _, err := s.batcher.submit(1); err != ErrDraining {
+	if _, err := s.batcher.submit(1, time.Time{}); err != ErrDraining {
 		t.Fatalf("submit after close: err = %v, want ErrDraining", err)
+	}
+}
+
+// TestBatcherDemuxPanicIsolated: a panic while demultiplexing one
+// lane's answer (here: the sweep returned fewer level arrays than
+// lanes) must not strand the other riders — they get a descriptive
+// error instead of waiting forever.
+func TestBatcherDemuxPanicIsolated(t *testing.T) {
+	short := func(sources []bgl.Vertex, _ time.Time) ([][]int32, sweepStats, error) {
+		// One array short: the highest lane's demux indexes past the end.
+		return make([][]int32, len(sources)-1), sweepStats{}, nil
+	}
+	b := newBatcher(time.Hour, 2, short, nil) // window never expires; size cap fires
+	ch1, err := b.submit(1, time.Time{})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	ch2, err := b.submit(2, time.Time{}) // second distinct source: batch fires
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	a1, a2 := recvAnswer(t, ch1), recvAnswer(t, ch2)
+	if a1.err != nil {
+		t.Fatalf("lane 0 (inside the short answer) got error %v, want its levels", a1.err)
+	}
+	if a2.err == nil {
+		t.Fatal("lane 1 (past the short answer) got no error")
+	}
+	if !strings.Contains(a2.err.Error(), "demux panicked") {
+		t.Fatalf("lane 1 error %q does not name the demux panic", a2.err)
+	}
+	done := make(chan struct{})
+	go func() { b.close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batcher close hung after a demux panic (wg leak)")
+	}
+}
+
+// TestBatcherCloseRace hammers close against concurrent submitters and
+// expiring window timers (run under -race): every accepted query gets
+// exactly one answer, every refused submit reports ErrDraining, and
+// close returns.
+func TestBatcherCloseRace(t *testing.T) {
+	g := testGraph(t, 200)
+	for round := 0; round < 5; round++ {
+		s := newTestServer(t, g, func(c *Config) {
+			c.Window = 200 * time.Microsecond // fast timers racing the close
+		})
+		var wg sync.WaitGroup
+		answers := make(chan error, 64)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					ch, err := s.batcher.submit(bgl.Vertex(w*8+i), time.Time{})
+					if err != nil {
+						if err != ErrDraining {
+							answers <- fmt.Errorf("submit: %v", err)
+						}
+						return // draining: later submits only get more of the same
+					}
+					ans := recvAnswer(t, ch)
+					answers <- ans.err
+				}
+			}(w)
+		}
+		time.Sleep(time.Duration(round) * 300 * time.Microsecond)
+		s.batcher.close()
+		wg.Wait()
+		close(answers)
+		for err := range answers {
+			if err != nil {
+				t.Fatalf("round %d: accepted query answered with %v", round, err)
+			}
+		}
 	}
 }

@@ -1,0 +1,226 @@
+package graphd
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	bgl "repro"
+)
+
+// postJSON sends one raw POST and decodes the answer envelope, keeping
+// status and body visible to assertions (the typed client hides 504
+// bodies behind errors).
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	raw := readAll(t, resp)
+	resp.Body.Close()
+	return resp.StatusCode, raw
+}
+
+// TestQueryDeadlineSimBudget: with the server's simulated-execution
+// ceiling set absurdly low, every query answers 504 with a descriptive
+// deadline body and partial progress — never a hang, never a 500.
+func TestQueryDeadlineSimBudget(t *testing.T) {
+	g := testGraph(t, 500)
+	s := newTestServer(t, g, func(c *Config) {
+		c.MaxSimExec = 1e-9 // the first level boundary already exceeds this
+	})
+	ts, _ := startHTTP(t, s)
+
+	for path, body := range map[string]string{
+		"/v1/bfs":  `{"source":1}`,
+		"/v1/sssp": `{"source":1}`,
+	} {
+		code, raw := postJSON(t, ts.URL+path, body)
+		if code != http.StatusGatewayTimeout {
+			t.Fatalf("%s under a tiny sim budget: status %d (body %s), want 504", path, code, raw)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(raw, &er); err != nil {
+			t.Fatalf("%s 504 body is not JSON: %v (%s)", path, err, raw)
+		}
+		if !er.DeadlineExceeded || !strings.Contains(er.Error, "budget exceeded") {
+			t.Fatalf("%s 504 body %+v does not mark the exceeded budget", path, er)
+		}
+		if er.Partial == nil || er.Partial.Unit == "" {
+			t.Fatalf("%s 504 body %+v carries no partial progress", path, er)
+		}
+	}
+	if st := s.Stats(); st.Queries.DeadlineExceeded != 2 {
+		t.Fatalf("stats count %d deadline-exceeded queries, want 2", st.Queries.DeadlineExceeded)
+	}
+	if v := s.reg.Counter("graphd_deadline_exceeded_total").Value(); v != 2 {
+		t.Fatalf("metrics count %d deadline-exceeded queries, want 2", v)
+	}
+}
+
+// TestQueryDeadlineTimeoutMS: a request-level timeout_ms shorter than
+// the batching window guarantees the deadline has passed by the first
+// level boundary — the engines cancel cooperatively and the rider gets
+// a 504 with the partial stats.
+func TestQueryDeadlineTimeoutMS(t *testing.T) {
+	g := testGraph(t, 500)
+	s := newTestServer(t, g, func(c *Config) {
+		c.Window = 20 * time.Millisecond // deadline long gone when the sweep starts
+	})
+	ts, _ := startHTTP(t, s)
+
+	code, raw := postJSON(t, ts.URL+"/v1/bfs", `{"source":2,"timeout_ms":1}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("bfs with timeout_ms=1: status %d (body %s), want 504", code, raw)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil || !er.DeadlineExceeded {
+		t.Fatalf("504 body %s does not mark the deadline (err %v)", raw, err)
+	}
+	if !strings.Contains(er.Error, "deadline exceeded") {
+		t.Fatalf("504 error %q does not say the deadline was exceeded", er.Error)
+	}
+
+	// Negative timeouts are the caller's bug: 400, not 504.
+	code, raw = postJSON(t, ts.URL+"/v1/bfs", `{"source":2,"timeout_ms":-5}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(raw), "timeout_ms") {
+		t.Fatalf("negative timeout_ms: status %d body %s, want a 400 naming timeout_ms", code, raw)
+	}
+
+	// A generous timeout changes nothing about the answer.
+	res, err := NewClient(ts.URL).BFS(BFSRequest{Source: intp(2), Levels: true, TimeoutMS: 60_000})
+	if err != nil {
+		t.Fatalf("bfs with a generous timeout: %v", err)
+	}
+	for v, want := range g.SerialBFS(2) {
+		if res.Levels[v] != want {
+			t.Fatalf("levels[%d] = %d under a generous timeout, oracle %d", v, res.Levels[v], want)
+		}
+	}
+}
+
+// TestChaosPanicQuarantineRebuild is the supervision drill end to end:
+// the armed sweep kills its replica, the query transparently retries on
+// the healthy one and still matches the oracle, /v1/stats shows the
+// panic and quarantine, /healthz degrades while the rebuild runs and
+// recovers once the supervisor restores the pool.
+func TestChaosPanicQuarantineRebuild(t *testing.T) {
+	g := testGraph(t, 400)
+	s := newTestServer(t, g, func(c *Config) {
+		c.Replicas = 2
+		c.ChaosPanicSweep = 1
+		c.RebuildBackoff = 800 * time.Millisecond // hold the degraded window open
+	})
+	ts, cl := startHTTP(t, s)
+
+	res, err := cl.BFS(BFSRequest{Source: intp(3), Levels: true})
+	if err != nil {
+		t.Fatalf("bfs riding the chaos sweep: %v", err)
+	}
+	for v, want := range g.SerialBFS(3) {
+		if res.Levels[v] != want {
+			t.Fatalf("levels[%d] = %d after the replica panic, oracle %d", v, res.Levels[v], want)
+		}
+	}
+
+	st := s.Stats()
+	if st.Replicas.Panics < 1 {
+		t.Fatalf("stats count %d panics after the armed sweep, want >= 1", st.Replicas.Panics)
+	}
+	if st.Replicas.Quarantined != 1 || st.Replicas.Live != 1 {
+		t.Fatalf("replica state %+v right after the panic, want 1 live / 1 quarantined", st.Replicas)
+	}
+
+	// The degraded window: 200 with status "degraded" and the count.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz during rebuild: %v", err)
+	}
+	raw := readAll(t, resp)
+	resp.Body.Close()
+	var hz HealthzResponse
+	if err := json.Unmarshal(raw, &hz); err != nil {
+		t.Fatalf("healthz body %s: %v", raw, err)
+	}
+	if resp.StatusCode != http.StatusOK || hz.Status != "degraded" || hz.Quarantined != 1 {
+		t.Fatalf("healthz during rebuild = %d %+v, want 200 degraded quarantined=1", resp.StatusCode, hz)
+	}
+
+	// The supervisor restores the pool; poll until healthy again.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st = s.Stats()
+		if st.Replicas.Quarantined == 0 && st.Replicas.Live == 2 && st.Replicas.Rebuilds >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never rebuilt: %+v", st.Replicas)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cl.Healthz(); err != nil {
+		t.Fatalf("healthz after the rebuild: %v", err)
+	}
+
+	// The rebuilt replica serves: drain enough queries that both pool
+	// slots must participate.
+	for i := 0; i < 4; i++ {
+		if _, err := cl.BFS(BFSRequest{Source: intp(i)}); err != nil {
+			t.Fatalf("bfs %d after the rebuild: %v", i, err)
+		}
+	}
+	if v := s.reg.Counter("graphd_replica_rebuilds_total").Value(); v < 1 {
+		t.Fatalf("metrics count %d rebuilds, want >= 1", v)
+	}
+}
+
+// TestFaultInjectedServing: under the canned fault plan every answer
+// still matches the serial oracle (the transport recovery protocol
+// absorbs the faults) and the injected-fault counters surface in
+// /v1/stats.
+func TestFaultInjectedServing(t *testing.T) {
+	g, err := bgl.GenerateWeighted(300, 6, 5)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	s := newTestServer(t, g, func(c *Config) {
+		c.Fault = bgl.CannedFaultPlan(7)
+	})
+	_, cl := startHTTP(t, s)
+
+	res, err := cl.BFS(BFSRequest{Source: intp(1), Levels: true})
+	if err != nil {
+		t.Fatalf("bfs under faults: %v", err)
+	}
+	for v, want := range g.SerialBFS(1) {
+		if res.Levels[v] != want {
+			t.Fatalf("levels[%d] = %d under faults, oracle %d", v, res.Levels[v], want)
+		}
+	}
+	sres, err := cl.SSSP(SSSPRequest{Source: intp(1), Dists: true})
+	if err != nil {
+		t.Fatalf("sssp under faults: %v", err)
+	}
+	for v, want := range g.SerialDijkstra(1) {
+		if sres.Dists[v] != want {
+			t.Fatalf("dists[%d] = %d under faults, oracle %d", v, sres.Dists[v], want)
+		}
+	}
+
+	st := s.Stats()
+	if st.Faults == nil {
+		t.Fatal("stats carry no fault section under a fault plan")
+	}
+	if st.Faults.Injected == 0 {
+		t.Fatal("canned plan injected zero faults across a BFS and an SSSP")
+	}
+	if st.Faults.Plan == "" {
+		t.Fatal("fault section does not name the plan")
+	}
+	if st.Replicas.Panics != 0 {
+		t.Fatalf("below-budget plan panicked %d replicas", st.Replicas.Panics)
+	}
+}

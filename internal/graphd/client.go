@@ -14,15 +14,21 @@ import (
 // Client is the well-typed HTTP client for a graphd server — the one
 // cmd/graphload, the smoke harness, and tests all share instead of
 // each hand-rolling raw HTTP. It retries overload answers (503) and
-// transport failures with capped exponential backoff, honouring the
-// server's Retry-After header, and never retries 4xx answers (the
-// request itself is wrong) or queries that already reached the engine.
+// transport failures with capped exponential backoff plus seeded
+// deterministic jitter, honouring the server's Retry-After header, and
+// never retries 4xx answers (the request itself is wrong) or queries
+// that already reached the engine. An optional circuit breaker fails
+// fast when the host stops answering at all, and optional hedging
+// races a duplicate BFS against one stuck past the usual latency.
 type Client struct {
 	base    string
 	hc      *http.Client
 	retries int
 	backoff time.Duration
 	maxWait time.Duration
+	rng     *jitterRNG
+	br      *breaker
+	hedge   *hedger
 }
 
 // ClientOption adjusts a Client.
@@ -53,6 +59,48 @@ func WithMaxBackoff(d time.Duration) ClientOption {
 	return func(c *Client) { c.maxWait = d }
 }
 
+// WithJitterSeed reseeds the deterministic retry jitter (default seed
+// 1). Seed 0 disables jitter entirely — every delay is then exactly
+// the doubled base, which is what the pre-jitter releases did and what
+// a test that wants exact delays asks for.
+func WithJitterSeed(seed uint64) ClientOption {
+	return func(c *Client) {
+		if seed == 0 {
+			c.rng = nil
+			return
+		}
+		c.rng = newJitterRNG(seed)
+	}
+}
+
+// WithBreaker arms the per-host circuit breaker: after threshold
+// CONSECUTIVE transport failures (no HTTP answer at all — any status
+// code counts as alive) the client fails fast for cooldown, then lets
+// one half-open probe rediscover the host. Threshold 0 disables
+// (the default).
+func WithBreaker(threshold int, cooldown time.Duration) ClientOption {
+	return func(c *Client) {
+		if threshold <= 0 {
+			c.br = nil
+			return
+		}
+		c.br = newBreaker(threshold, cooldown)
+	}
+}
+
+// WithHedge arms BFS request hedging: a query still unanswered past
+// the given quantile of recently observed latencies (never below
+// floor) fires one racing duplicate, and the first success wins. Safe
+// because every graphd query is an idempotent read. Off by default.
+func WithHedge(quantile float64, floor time.Duration) ClientOption {
+	return func(c *Client) {
+		if quantile <= 0 || quantile >= 1 {
+			quantile = 0.95
+		}
+		c.hedge = newHedger(quantile, floor)
+	}
+}
+
 // NewClient returns a client for the server at base (e.g.
 // "http://127.0.0.1:8080").
 func NewClient(base string, opts ...ClientOption) *Client {
@@ -62,6 +110,7 @@ func NewClient(base string, opts ...ClientOption) *Client {
 		retries: 3,
 		backoff: 50 * time.Millisecond,
 		maxWait: 2 * time.Second,
+		rng:     newJitterRNG(1),
 	}
 	for _, fn := range opts {
 		fn(c)
@@ -82,16 +131,29 @@ func (e *APIError) Error() string {
 }
 
 // retryDelay picks the wait before attempt (1-based), preferring the
-// server's Retry-After when it is shorter than the cap.
+// server's Retry-After when it is shorter than the cap. Jitter (when
+// seeded) spreads a computed backoff over [d/2, d) so a fleet of
+// clients that failed together does not retry in lockstep; a
+// server-directed Retry-After is never shortened — it gains up to d/4
+// instead, decorrelating the reconnect herd the 503 itself created.
 func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
 	d := c.backoff << (attempt - 1)
+	fromServer := false
 	if retryAfter != "" {
 		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
 			d = time.Duration(secs) * time.Second
+			fromServer = true
 		}
 	}
 	if d > c.maxWait {
 		d = c.maxWait
+	}
+	if c.rng != nil && d > 0 {
+		if fromServer {
+			d += c.rng.durationN(d / 4)
+		} else {
+			d = d/2 + c.rng.durationN(d/2)
+		}
 	}
 	return d
 }
@@ -118,6 +180,14 @@ func (c *Client) do(method, path string, body, out any) error {
 			time.Sleep(c.retryDelay(attempt+1, retryAfter))
 			return nil
 		}
+		if c.br != nil && !c.br.allow() {
+			// Fail fast without touching the network; the retry sleep
+			// doubles as the cooldown wait before the half-open probe.
+			if gerr := retry(errBreakerOpen, ""); gerr != nil {
+				return gerr
+			}
+			continue
+		}
 		var rd io.Reader
 		if payload != nil {
 			rd = bytes.NewReader(payload)
@@ -132,10 +202,17 @@ func (c *Client) do(method, path string, body, out any) error {
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			// Transport failure: the server may be mid-restart; retry.
+			if c.br != nil {
+				c.br.failure()
+			}
 			if gerr := retry(err, ""); gerr != nil {
 				return gerr
 			}
 			continue
+		}
+		if c.br != nil {
+			// Any HTTP answer proves the host is alive — even a 503.
+			c.br.success()
 		}
 		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 		resp.Body.Close()
@@ -176,13 +253,74 @@ func decodeAPIError(status int, raw []byte) error {
 	return &APIError{Status: status, Message: strings.TrimSpace(string(raw))}
 }
 
-// BFS runs a single-source BFS query (batched server-side).
+// BFS runs a single-source BFS query (batched server-side). With
+// hedging armed (WithHedge), a query still unanswered past the usual
+// latency races one duplicate and the first success wins.
 func (c *Client) BFS(req BFSRequest) (*BFSResponse, error) {
-	var resp BFSResponse
-	if err := c.do(http.MethodPost, "/v1/bfs", req, &resp); err != nil {
-		return nil, err
+	if c.hedge == nil {
+		var resp BFSResponse
+		if err := c.do(http.MethodPost, "/v1/bfs", req, &resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
 	}
-	return &resp, nil
+	return c.hedgedBFS(req)
+}
+
+// Hedged reports how many duplicate hedge requests this client has
+// fired (0 when hedging is off).
+func (c *Client) Hedged() int64 {
+	if c.hedge == nil {
+		return 0
+	}
+	return c.hedge.Hedged()
+}
+
+// hedgedBFS races up to two identical BFS requests. BFS is an
+// idempotent read, so the duplicate is safe; the loser's answer is
+// discarded. Both attempts still get the full retry treatment of do.
+func (c *Client) hedgedBFS(req BFSRequest) (*BFSResponse, error) {
+	type out struct {
+		resp *BFSResponse
+		err  error
+	}
+	t0 := time.Now()
+	ch := make(chan out, 2)
+	run := func() {
+		var resp BFSResponse
+		if err := c.do(http.MethodPost, "/v1/bfs", req, &resp); err != nil {
+			ch <- out{nil, err}
+			return
+		}
+		ch <- out{&resp, nil}
+	}
+	go run()
+	timer := time.NewTimer(c.hedge.delay())
+	defer timer.Stop()
+	launched, answered := 1, 0
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			answered++
+			if o.err == nil {
+				c.hedge.observe(time.Since(t0))
+				return o.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if answered == launched {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if launched == 1 {
+				launched = 2
+				c.hedge.hedged.Add(1)
+				go run()
+			}
+		}
+	}
 }
 
 // Path asks for one shortest path.

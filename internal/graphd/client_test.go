@@ -135,10 +135,11 @@ func TestClientRetriesTransport(t *testing.T) {
 	}
 }
 
-// TestClientRetryDelay pins the backoff arithmetic: doubling from the
-// base, capped, with a short server Retry-After taking precedence.
+// TestClientRetryDelay pins the backoff arithmetic with jitter off:
+// doubling from the base, capped, with a short server Retry-After
+// taking precedence.
 func TestClientRetryDelay(t *testing.T) {
-	c := NewClient("http://unused",
+	c := NewClient("http://unused", WithJitterSeed(0),
 		WithBackoff(10*time.Millisecond), WithMaxBackoff(50*time.Millisecond))
 	cases := []struct {
 		attempt    int
@@ -157,5 +158,154 @@ func TestClientRetryDelay(t *testing.T) {
 		if got := c.retryDelay(tc.attempt, tc.retryAfter); got != tc.want {
 			t.Errorf("retryDelay(%d, %q) = %v, want %v", tc.attempt, tc.retryAfter, got, tc.want)
 		}
+	}
+}
+
+// TestClientRetryJitter pins the jittered backoff contract: a computed
+// delay lands in [d/2, d) so lockstep retry storms decorrelate, a
+// server-directed Retry-After is never shortened (it gains at most an
+// extra quarter), and the same seed reproduces the same schedule
+// exactly — the determinism the chaos harness relies on.
+func TestClientRetryJitter(t *testing.T) {
+	mk := func(seed uint64) *Client {
+		return NewClient("http://unused", WithJitterSeed(seed),
+			WithBackoff(10*time.Millisecond), WithMaxBackoff(80*time.Millisecond))
+	}
+	c := mk(42)
+	for attempt := 1; attempt <= 3; attempt++ {
+		base := 10 * time.Millisecond << (attempt - 1)
+		got := c.retryDelay(attempt, "")
+		if got < base/2 || got >= base {
+			t.Errorf("jittered delay %v for attempt %d outside [%v, %v)", got, attempt, base/2, base)
+		}
+	}
+	// Server-directed waits only grow, and only by up to a quarter.
+	// The 80ms cap applies before jitter, so the spread tops the cap.
+	for i := 0; i < 8; i++ {
+		got := c.retryDelay(1, "1")
+		lo, hi := 80*time.Millisecond, 100*time.Millisecond
+		if got < lo || got >= hi {
+			t.Errorf("jittered Retry-After delay %v outside [%v, %v)", got, lo, hi)
+		}
+	}
+	// Same seed, same schedule — bit-for-bit.
+	a, b := mk(7), mk(7)
+	for attempt := 1; attempt <= 6; attempt++ {
+		da, db := a.retryDelay(attempt, ""), b.retryDelay(attempt, "")
+		if da != db {
+			t.Fatalf("same-seed clients diverged at attempt %d: %v vs %v", attempt, da, db)
+		}
+	}
+	// Different seeds should disagree somewhere in a handful of draws.
+	a, b = mk(1), mk(2)
+	same := true
+	for attempt := 1; attempt <= 6; attempt++ {
+		if a.retryDelay(attempt, "") != b.retryDelay(attempt, "") {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical six-delay schedules")
+	}
+}
+
+// TestClientBreakerStates pins the breaker state machine: closed until
+// threshold consecutive transport failures, fail-fast while open, one
+// half-open probe after cooldown, closing again on success.
+func TestClientBreakerStates(t *testing.T) {
+	b := newBreaker(3, 50*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.failure()
+	}
+	if b.allow() {
+		t.Fatal("breaker still allows after reaching the failure threshold")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker did not half-open after the cooldown")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker let a second probe through")
+	}
+	b.failure() // probe failed: re-open
+	if b.allow() {
+		t.Fatal("breaker closed again after a failed probe")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker did not half-open a second time")
+	}
+	b.success() // probe succeeded: closed
+	for i := 0; i < 5; i++ {
+		if !b.allow() {
+			t.Fatalf("closed-again breaker refused attempt %d", i)
+		}
+	}
+}
+
+// TestClientBreakerFailsFast: with the breaker open against a dead
+// listener, retries stop touching the network and the terminal error
+// names the breaker.
+func TestClientBreakerFailsFast(t *testing.T) {
+	// A listener that is already closed: every dial fails instantly.
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	dead := ts.URL
+	ts.Close()
+
+	c := NewClient(dead,
+		WithRetries(5),
+		WithBackoff(time.Millisecond),
+		WithMaxBackoff(2*time.Millisecond),
+		WithBreaker(2, time.Minute), // open after 2 failures, long cooldown
+		WithTimeout(time.Second))
+	_, err := c.BFS(BFSRequest{Source: intp(1)})
+	if err == nil {
+		t.Fatal("BFS against a dead listener succeeded")
+	}
+	if !strings.Contains(err.Error(), "circuit breaker open") {
+		t.Fatalf("terminal error %q does not name the open breaker", err)
+	}
+}
+
+// TestClientHedgedBFS: with hedging armed and a server whose FIRST
+// answer stalls, the duplicate request wins and the client returns
+// long before the stalled attempt would have.
+func TestClientHedgedBFS(t *testing.T) {
+	var n atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			<-release // first attempt wedges until the test ends
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"source":3,"reached":9,"stats":{}}`))
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	c := NewClient(ts.URL,
+		WithRetries(0),
+		WithTimeout(10*time.Second),
+		WithHedge(0.5, 20*time.Millisecond))
+	done := make(chan struct{})
+	var resp *BFSResponse
+	var err error
+	go func() { resp, err = c.BFS(BFSRequest{Source: intp(3)}); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hedged BFS did not return while the first attempt was wedged")
+	}
+	if err != nil {
+		t.Fatalf("hedged BFS: %v", err)
+	}
+	if resp.Reached != 9 {
+		t.Fatalf("decoded reached %d, want 9", resp.Reached)
+	}
+	if c.Hedged() != 1 {
+		t.Fatalf("client fired %d hedges, want exactly 1", c.Hedged())
 	}
 }

@@ -17,6 +17,12 @@ const (
 	DefaultWindow     = 2 * time.Millisecond
 	DefaultQueueDepth = 64
 	DefaultRetryAfter = time.Second
+
+	// Rebuild backoff bounds for the replica supervisor: the first
+	// rebuild of a quarantined replica waits DefaultRebuildBackoff,
+	// doubling per failure up to DefaultRebuildBackoffMax.
+	DefaultRebuildBackoff    = 50 * time.Millisecond
+	DefaultRebuildBackoffMax = 2 * time.Second
 )
 
 // Config describes a graphd server: the graph to distribute once at
@@ -66,6 +72,36 @@ type Config struct {
 	// queue (default Replicas — more would just contend for engines).
 	QueryWorkers int
 
+	// Fault, when non-nil, injects the plan's deterministic transport
+	// faults into every sweep and query the server runs. The engines'
+	// recovery protocol absorbs any plan below the retry budget, so
+	// answers stay identical to fault-free serving; the per-run fault
+	// counters aggregate into /v1/stats and /metrics.
+	Fault *bgl.FaultPlan
+
+	// MaxQueryWall caps every query's wall-clock budget server-side
+	// (0 = uncapped). A request's timeout_ms tightens but never loosens
+	// it. MaxSimExec caps the SIMULATED execution seconds a single run
+	// may burn (0 = uncapped) — the defense against a pathological
+	// query on a fault plan whose retries balloon simulated time.
+	MaxQueryWall time.Duration
+	MaxSimExec   float64
+
+	// ChaosPanicSweep, when > 0, arms a one-shot chaos drill: the Nth
+	// BFS sweep the server runs gets a hostile fault overlay that
+	// deterministically exhausts the retry budget and panics a rank.
+	// The serving path quarantines that replica, retries the sweep on a
+	// healthy one, and the supervisor rebuilds the casualty — so the
+	// query still succeeds and the drill is observable only in
+	// /v1/stats. Test/chaos-harness knob; 0 (the default) disables it.
+	ChaosPanicSweep int
+
+	// RebuildBackoff / RebuildBackoffMax bound the supervisor's retry
+	// cadence when rebuilding a quarantined replica (defaults
+	// DefaultRebuildBackoff / DefaultRebuildBackoffMax).
+	RebuildBackoff    time.Duration
+	RebuildBackoffMax time.Duration
+
 	// Metrics, when non-nil, receives the server's instruments and
 	// every run's engine statistics; it is what GET /metrics serves.
 	// Default: a fresh registry.
@@ -109,6 +145,12 @@ func (cfg Config) withDefaults() Config {
 	if cfg.QueryWorkers == 0 {
 		cfg.QueryWorkers = cfg.Replicas
 	}
+	if cfg.RebuildBackoff == 0 {
+		cfg.RebuildBackoff = DefaultRebuildBackoff
+	}
+	if cfg.RebuildBackoffMax == 0 {
+		cfg.RebuildBackoffMax = DefaultRebuildBackoffMax
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
@@ -139,31 +181,52 @@ func (cfg Config) validate() error {
 	if cfg.MaxWaiting < 0 || cfg.QueueDepth < 0 || cfg.QueryWorkers < 0 {
 		return fmt.Errorf("graphd: admission bounds must be non-negative")
 	}
+	if cfg.MaxQueryWall < 0 {
+		return fmt.Errorf("graphd: negative query wall cap %v", cfg.MaxQueryWall)
+	}
+	if cfg.MaxSimExec < 0 {
+		return fmt.Errorf("graphd: negative simulated-execution cap %g", cfg.MaxSimExec)
+	}
+	if cfg.ChaosPanicSweep < 0 {
+		return fmt.Errorf("graphd: negative chaos panic sweep %d", cfg.ChaosPanicSweep)
+	}
 	return nil
 }
 
 // engine is one independent copy of the simulated machine with the
 // graph distributed over it. An engine runs one sweep or query at a
 // time (the ranks share mailboxes), so the server keeps engines in a
-// pool and callers borrow one per run.
+// pool and callers borrow one per run. idx names the replica slot for
+// quarantine accounting and rebuild logs.
 type engine struct {
-	cl *bgl.Cluster
-	dg *bgl.DistGraph
+	idx int
+	cl  *bgl.Cluster
+	dg  *bgl.DistGraph
+}
+
+// buildEngine distributes the graph for replica slot i. The supervisor
+// calls it again when rebuilding a quarantined replica.
+func buildEngine(cfg Config, i int) (*engine, error) {
+	cl, err := bgl.NewCluster(bgl.ClusterConfig{R: cfg.R, C: cfg.C})
+	if err != nil {
+		return nil, fmt.Errorf("graphd: building replica %d: %w", i, err)
+	}
+	dg, err := cl.Distribute(cfg.Graph, bgl.WithPartition(cfg.Partition))
+	if err != nil {
+		return nil, fmt.Errorf("graphd: distributing replica %d: %w", i, err)
+	}
+	return &engine{idx: i, cl: cl, dg: dg}, nil
 }
 
 // buildEngines distributes the graph cfg.Replicas times.
 func buildEngines(cfg Config) ([]*engine, error) {
 	engines := make([]*engine, 0, cfg.Replicas)
 	for i := 0; i < cfg.Replicas; i++ {
-		cl, err := bgl.NewCluster(bgl.ClusterConfig{R: cfg.R, C: cfg.C})
+		e, err := buildEngine(cfg, i)
 		if err != nil {
-			return nil, fmt.Errorf("graphd: building replica %d: %w", i, err)
+			return nil, err
 		}
-		dg, err := cl.Distribute(cfg.Graph, bgl.WithPartition(cfg.Partition))
-		if err != nil {
-			return nil, fmt.Errorf("graphd: distributing replica %d: %w", i, err)
-		}
-		engines = append(engines, &engine{cl: cl, dg: dg})
+		engines = append(engines, e)
 	}
 	return engines, nil
 }

@@ -1,0 +1,30 @@
+package graphd
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTP server hardening defaults. A graph query can legitimately run
+// for a while, so there is deliberately NO WriteTimeout — a slow sweep
+// must not have its response connection cut mid-body. The header and
+// body read timeouts are what defend the accept loop against
+// slow-loris clients that dribble bytes to pin a connection open.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = time.Minute
+	DefaultIdleTimeout       = time.Minute
+)
+
+// NewHTTPServer wraps a handler (normally Server.Handler) in an
+// http.Server with the service's hardening defaults set. Callers that
+// need different limits can adjust the returned server before
+// listening.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}

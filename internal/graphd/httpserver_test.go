@@ -1,0 +1,95 @@
+package graphd
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPServerSlowLoris: a client that sends a partial request line
+// and then stalls is cut off by ReadHeaderTimeout instead of pinning a
+// connection open indefinitely.
+func TestHTTPServerSlowLoris(t *testing.T) {
+	hs := NewHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	hs.ReadHeaderTimeout = 150 * time.Millisecond // keep the test quick
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = hs.Serve(ln) }()
+	t.Cleanup(func() { _ = hs.Close() })
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// Dribble a partial header and go silent.
+	start := time.Now()
+	if _, err := conn.Write([]byte("POST /v1/bfs HTTP/1.1\r\nHost: x\r\nContent-")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// The server must terminate the connection (Go answers 408 and
+	// closes) once ReadHeaderTimeout fires; reaching our own 5s read
+	// deadline instead would mean the loris held its slot.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	raw, err := io.ReadAll(conn)
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("connection still open 5s after the header stalled; ReadHeaderTimeout did not fire")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("connection lived %v on a stalled header, want ~ReadHeaderTimeout", elapsed)
+	}
+	if len(raw) > 0 && !strings.Contains(string(raw), "HTTP/1.1 4") {
+		// Go sends a parting 4xx (408, or 400 for the half header)
+		// before closing; any 2xx would mean the request was served.
+		t.Fatalf("server's parting answer %q is not a 4xx cutoff", raw)
+	}
+}
+
+// TestHTTPServerStillServes: the hardened wrapper serves a normal
+// request exactly like a bare http.Server.
+func TestHTTPServerStillServes(t *testing.T) {
+	hs := NewHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "pong")
+	}))
+	if hs.ReadHeaderTimeout != DefaultReadHeaderTimeout || hs.ReadTimeout != DefaultReadTimeout ||
+		hs.IdleTimeout != DefaultIdleTimeout {
+		t.Fatalf("wrapper timeouts %v/%v/%v differ from the defaults",
+			hs.ReadHeaderTimeout, hs.ReadTimeout, hs.IdleTimeout)
+	}
+	if hs.WriteTimeout != 0 {
+		t.Fatal("wrapper sets a WriteTimeout; a slow sweep's response would be cut mid-body")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = hs.Serve(ln) }()
+	t.Cleanup(func() { _ = hs.Close() })
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /ping HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "pong") {
+		t.Fatalf("wrapped server answered %d %q, want 200 pong", resp.StatusCode, body)
+	}
+}

@@ -2,6 +2,7 @@ package graphd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -41,10 +42,29 @@ type Server struct {
 	waiting  atomic.Int64 // admitted, unanswered batched BFS queries
 	inflight atomic.Int64 // all admitted, unanswered queries
 
+	// Replica supervision. stopCh wakes sleeping rebuild loops when the
+	// server drains; supervisorWG tracks them so Close can join. live /
+	// quarantined count replica states; sweepSeq numbers BFS sweeps for
+	// the one-shot chaos drill.
+	stopCh       chan struct{}
+	supervisorWG sync.WaitGroup
+	live         atomic.Int64
+	quarantined  atomic.Int64
+	sweepSeq     atomic.Int64
+
+	faultMu     sync.Mutex
+	faultTotals bgl.FaultStats
+
 	nBFS, nPath, nSSSP *metrics.Counter
 	nQueries           *metrics.Counter
 	nRejected          *metrics.Counter
 	nErrors            *metrics.Counter
+	nDeadline          *metrics.Counter
+	nPanics            *metrics.Counter
+	nRebuilds          *metrics.Counter
+	nFaultInjected     *metrics.Counter
+	nFaultRetries      *metrics.Counter
+	gQuarantined       *metrics.Gauge
 	hQueueWait         *metrics.Histogram
 	hLatency           *metrics.Histogram
 }
@@ -70,10 +90,12 @@ func NewServer(cfg Config) (*Server, error) {
 		start:   time.Now(),
 		workCh:  make(chan func(), cfg.QueueDepth),
 		closed:  make(chan struct{}),
+		stopCh:  make(chan struct{}),
 	}
 	for _, e := range engines {
 		s.engines <- e
 	}
+	s.live.Store(int64(len(engines)))
 	s.batcher = newBatcher(cfg.Window, cfg.MaxBatch, s.sweepBFS, s.reg)
 	s.nBFS = s.reg.Counter("graphd_bfs_queries_total")
 	s.nPath = s.reg.Counter("graphd_path_queries_total")
@@ -81,6 +103,12 @@ func NewServer(cfg Config) (*Server, error) {
 	s.nQueries = s.reg.Counter("graphd_queries_total")
 	s.nRejected = s.reg.Counter("graphd_rejected_total")
 	s.nErrors = s.reg.Counter("graphd_errors_total")
+	s.nDeadline = s.reg.Counter("graphd_deadline_exceeded_total")
+	s.nPanics = s.reg.Counter("graphd_engine_panics_total")
+	s.nRebuilds = s.reg.Counter("graphd_replica_rebuilds_total")
+	s.nFaultInjected = s.reg.Counter("graphd_faults_injected_total")
+	s.nFaultRetries = s.reg.Counter("graphd_fault_retries_total")
+	s.gQuarantined = s.reg.Gauge("graphd_replicas_quarantined")
 	s.hQueueWait = s.reg.Histogram("graphd_queue_wait_seconds", metrics.TimeBuckets)
 	s.hLatency = s.reg.Histogram("graphd_latency_seconds", metrics.TimeBuckets)
 	for i := 0; i < cfg.QueryWorkers; i++ {
@@ -121,13 +149,18 @@ func (s *Server) Close() {
 	s.draining = true
 	close(s.workCh)
 	s.mu.Unlock()
+	// Wake sleeping rebuild loops first: an in-flight query blocked on
+	// the engine pool may be waiting for the supervisor's replacement.
+	close(s.stopCh)
 	s.batcher.close()
 	s.workerWG.Wait()
+	s.supervisorWG.Wait()
 	close(s.closed)
 }
 
 // searchOpts are the run options every sweep and query uses: the
-// server's wire codec and core model, plus the shared registry.
+// server's wire codec and core model, the shared registry, and (when
+// configured) the deterministic fault plan.
 func (s *Server) searchOpts(extra ...bgl.Option) []bgl.Option {
 	opts := []bgl.Option{bgl.WithWire(s.cfg.Wire), bgl.WithMetrics(s.reg)}
 	if s.cfg.Cores > 1 {
@@ -136,43 +169,253 @@ func (s *Server) searchOpts(extra ...bgl.Option) []bgl.Option {
 	if s.cfg.Workers > 1 {
 		opts = append(opts, bgl.WithWorkers(s.cfg.Workers))
 	}
+	if s.cfg.Fault != nil {
+		opts = append(opts, bgl.WithFault(s.cfg.Fault))
+	}
 	return append(opts, extra...)
 }
 
-// acquire borrows an engine from the pool (blocking until one is
-// idle); the returned func gives it back.
-func (s *Server) acquire() (*engine, func()) {
-	e := <-s.engines
-	return e, func() { s.engines <- e }
+// --- deadlines -----------------------------------------------------
+
+// deadlineGrace is how much past its own wall deadline a handler waits
+// for the engine's cooperative cancel to deliver partial statistics
+// before answering 504 on its own timer. The cancel fires at the next
+// level/epoch boundary, so the grace only needs to cover one boundary.
+const deadlineGrace = 200 * time.Millisecond
+
+// errDeadline marks a run stopped by its deadline or simulated-exec
+// budget, carrying the partial progress for the 504 body. It unwraps
+// to the engine's *bgl.Canceled so engineFailed never mistakes a
+// deadline for a crashed replica.
+type errDeadline struct {
+	cxl   *bgl.Canceled
+	stats PartialStats
 }
+
+func (e *errDeadline) Error() string { return e.cxl.Error() }
+func (e *errDeadline) Unwrap() error { return e.cxl }
+
+// queryDeadline maps a request's timeout_ms and the server-side cap to
+// one wall deadline (zero = unbounded). A request may tighten the
+// server cap but never loosen it. Negative timeouts are a 400 (already
+// written when ok is false).
+func (s *Server) queryDeadline(w http.ResponseWriter, timeoutMS int) (time.Time, bool) {
+	if timeoutMS < 0 {
+		s.writeError(w, http.StatusBadRequest, "timeout_ms must be non-negative, got %d", timeoutMS)
+		return time.Time{}, false
+	}
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if s.cfg.MaxQueryWall > 0 && (d == 0 || d > s.cfg.MaxQueryWall) {
+		d = s.cfg.MaxQueryWall
+	}
+	if d == 0 {
+		return time.Time{}, true
+	}
+	return time.Now().Add(d), true
+}
+
+// deadlineOpts converts a wall deadline plus the server's simulated
+// budget into engine run options; empty when both are off, so
+// unbounded serving stays byte-identical to earlier releases.
+func (s *Server) deadlineOpts(deadline time.Time) []bgl.Option {
+	var opts []bgl.Option
+	if !deadline.IsZero() {
+		opts = append(opts, bgl.WithDeadline(deadline))
+	}
+	if s.cfg.MaxSimExec > 0 {
+		opts = append(opts, bgl.WithSimBudget(s.cfg.MaxSimExec))
+	}
+	return opts
+}
+
+// wrapDeadline converts a cooperative-cancel error into an errDeadline
+// carrying the run's partial progress; every other error (including
+// nil) passes through untouched.
+func wrapDeadline(err error, sim, wall float64) error {
+	var cxl *bgl.Canceled
+	if err == nil || !errors.As(err, &cxl) {
+		return err
+	}
+	return &errDeadline{cxl: cxl, stats: PartialStats{
+		Unit: cxl.Unit, Done: cxl.Done, SimExecS: sim, WallS: wall,
+	}}
+}
+
+// writeDeadline answers a deadline-exceeded query: 504 with a
+// descriptive body and, when the engines canceled cooperatively, the
+// partial progress. Deliberately NOT an nErrors increment — running
+// out of budget is a client outcome, not a server failure.
+func (s *Server) writeDeadline(w http.ResponseWriter, msg string, partial *PartialStats) {
+	s.nDeadline.Inc()
+	writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
+		Error:            msg,
+		DeadlineExceeded: true,
+		Partial:          partial,
+	})
+}
+
+// --- engine pool and replica supervision ---------------------------
+
+// engineFailed reports whether a run's error means the replica itself
+// is suspect (a rank panic, an exhausted retry budget) as opposed to a
+// clean outcome: nil, or a cooperative deadline cancel.
+func engineFailed(err error) bool {
+	if err == nil {
+		return false
+	}
+	var cxl *bgl.Canceled
+	return !errors.As(err, &cxl)
+}
+
+// runEngine borrows an engine, runs fn on it under panic isolation,
+// and decides the engine's fate: a clean run (or a cooperative cancel)
+// returns it to the pool; a panic or engine failure quarantines it and
+// hands the slot to the supervisor for an asynchronous rebuild.
+func (s *Server) runEngine(fn func(e *engine) error) error {
+	e := <-s.engines
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("graphd: engine %d panicked: %v", e.idx, r)
+			}
+		}()
+		return fn(e)
+	}()
+	if engineFailed(err) {
+		s.quarantineEngine(e)
+	} else {
+		s.engines <- e
+	}
+	return err
+}
+
+// quarantineEngine takes a failed replica out of the pool and spawns
+// its rebuild goroutine.
+func (s *Server) quarantineEngine(e *engine) {
+	s.nPanics.Inc()
+	s.live.Add(-1)
+	s.gQuarantined.Set(float64(s.quarantined.Add(1)))
+	s.supervisorWG.Add(1)
+	go s.rebuildReplica(e.idx)
+}
+
+// rebuildReplica is the supervisor loop for one quarantined slot: wait
+// a backoff, rebuild the engine from the config, return it to the
+// pool. Build failures double the backoff up to RebuildBackoffMax.
+// When the server begins draining mid-backoff the loop makes one final
+// immediate attempt — an in-flight query blocked on the pool may need
+// the replacement to finish — then gives up.
+func (s *Server) rebuildReplica(idx int) {
+	defer s.supervisorWG.Done()
+	backoff := s.cfg.RebuildBackoff
+	for {
+		select {
+		case <-time.After(backoff):
+		case <-s.stopCh:
+			if e, err := buildEngine(s.cfg, idx); err == nil {
+				s.restoreEngine(e)
+			}
+			return
+		}
+		e, err := buildEngine(s.cfg, idx)
+		if err == nil {
+			s.restoreEngine(e)
+			return
+		}
+		backoff *= 2
+		if backoff > s.cfg.RebuildBackoffMax {
+			backoff = s.cfg.RebuildBackoffMax
+		}
+	}
+}
+
+// restoreEngine returns a freshly rebuilt replica to the pool.
+func (s *Server) restoreEngine(e *engine) {
+	s.engines <- e
+	s.live.Add(1)
+	s.gQuarantined.Set(float64(s.quarantined.Add(-1)))
+	s.nRebuilds.Inc()
+}
+
+// recordFaults folds one run's fault/recovery counters into the
+// server-lifetime totals /v1/stats and /metrics serve.
+func (s *Server) recordFaults(fs bgl.FaultStats) {
+	if fs.Zero() {
+		return
+	}
+	s.faultMu.Lock()
+	s.faultTotals.Add(fs)
+	s.faultMu.Unlock()
+	s.nFaultInjected.Add(int64(fs.Injected()))
+	s.nFaultRetries.Add(int64(fs.Retries))
+}
+
+// --- sweeps --------------------------------------------------------
 
 // sweepBFS executes one batch: a single distinct source runs a plain
 // BFS (no lane-mask overhead), two or more share one MultiBFS sweep
 // sequence. Either way each source's levels are identical to an
-// independent run — the MultiBFS contract.
-func (s *Server) sweepBFS(sources []bgl.Vertex) ([][]int32, sweepStats, error) {
-	e, release := s.acquire()
-	defer release()
-	if len(sources) == 1 {
-		res, err := e.cl.BFS(e.dg, sources[0], s.searchOpts()...)
-		if err != nil {
-			return nil, sweepStats{}, err
-		}
-		return [][]int32{res.Levels}, sweepStats{
-			SimExecS: res.SimTime, SimCommS: res.SimComm,
-			Words: res.TotalExpandWords + res.TotalFoldWords,
-			WallS: res.Wall.Seconds(),
-		}, nil
+// independent run — the MultiBFS contract. A sweep whose replica dies
+// under it (the one-shot chaos drill, or a fault plan beyond the retry
+// budget) is retried once on a healthy engine, so the riders never see
+// the casualty.
+func (s *Server) sweepBFS(sources []bgl.Vertex, deadline time.Time) ([][]int32, sweepStats, error) {
+	seq := s.sweepSeq.Add(1)
+	hostile := s.cfg.ChaosPanicSweep > 0 && seq == int64(s.cfg.ChaosPanicSweep)
+	levels, st, err := s.trySweep(sources, deadline, hostile)
+	if engineFailed(err) && !s.isDraining() {
+		levels, st, err = s.trySweep(sources, deadline, false)
 	}
-	mres, err := e.cl.MultiBFS(e.dg, sources, s.searchOpts()...)
+	return levels, st, err
+}
+
+// trySweep runs the batch once on one borrowed engine.
+func (s *Server) trySweep(sources []bgl.Vertex, deadline time.Time, hostile bool) ([][]int32, sweepStats, error) {
+	var levels [][]int32
+	var st sweepStats
+	err := s.runEngine(func(e *engine) error {
+		opts := s.searchOpts(s.deadlineOpts(deadline)...)
+		if hostile {
+			opts = append(opts, bgl.WithFault(bgl.HostileFaultPlan(uint64(e.idx)+1)))
+		}
+		if len(sources) == 1 {
+			res, err := e.cl.BFS(e.dg, sources[0], opts...)
+			if res != nil {
+				s.recordFaults(res.Faults)
+				levels = [][]int32{res.Levels}
+				st = sweepStats{
+					SimExecS: res.SimTime, SimCommS: res.SimComm,
+					Words: res.TotalExpandWords + res.TotalFoldWords,
+					WallS: res.Wall.Seconds(),
+				}
+				return wrapDeadline(err, res.SimTime, res.Wall.Seconds())
+			}
+			return err
+		}
+		mres, err := e.cl.MultiBFS(e.dg, sources, opts...)
+		if mres != nil {
+			s.recordFaults(mres.Faults)
+			levels = mres.LaneLevels
+			st = sweepStats{
+				SimExecS: mres.SimTime, SimCommS: mres.SimComm,
+				Words: mres.TotalExpandWords + mres.TotalFoldWords,
+				WallS: mres.Wall.Seconds(),
+			}
+			return wrapDeadline(err, mres.SimTime, mres.Wall.Seconds())
+		}
+		return err
+	})
 	if err != nil {
 		return nil, sweepStats{}, err
 	}
-	return mres.LaneLevels, sweepStats{
-		SimExecS: mres.SimTime, SimCommS: mres.SimComm,
-		Words: mres.TotalExpandWords + mres.TotalFoldWords,
-		WallS: mres.Wall.Seconds(),
-	}, nil
+	return levels, st, nil
+}
+
+// isDraining reports whether Close has begun.
+func (s *Server) isDraining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
 }
 
 // --- HTTP plumbing -------------------------------------------------
@@ -289,6 +532,10 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	deadline, ok := s.queryDeadline(w, req.TimeoutMS)
+	if !ok {
+		return
+	}
 	done, ok := s.admit(w, s.nBFS)
 	if !ok {
 		return
@@ -301,13 +548,35 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	}
 	s.waiting.Add(1)
 	defer s.waiting.Add(-1)
-	ch, err := s.batcher.submit(src)
+	ch, err := s.batcher.submit(src, deadline)
 	if err != nil {
 		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	ans := <-ch
+	var ans batchAnswer
+	if deadline.IsZero() {
+		ans = <-ch
+	} else {
+		timer := time.NewTimer(time.Until(deadline) + deadlineGrace)
+		select {
+		case ans = <-ch:
+			timer.Stop()
+		case <-timer.C:
+			// The shared sweep is still running for patient riders; this
+			// query's own budget is spent. The buffered answer channel
+			// means the batcher never blocks on us.
+			s.writeDeadline(w, fmt.Sprintf(
+				"bfs from %d: query deadline exceeded (timeout %dms)", src, req.TimeoutMS), nil)
+			return
+		}
+	}
 	if ans.err != nil {
+		var edl *errDeadline
+		if errors.As(ans.err, &edl) {
+			s.writeDeadline(w, fmt.Sprintf(
+				"bfs from %d: query deadline exceeded: %v", src, edl), &edl.stats)
+			return
+		}
 		s.writeError(w, http.StatusInternalServerError, "bfs from %d failed: %v", src, ans.err)
 		return
 	}
@@ -344,6 +613,10 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	deadline, ok := s.queryDeadline(w, req.TimeoutMS)
+	if !ok {
+		return
+	}
 	done, ok := s.admit(w, s.nPath)
 	if !ok {
 		return
@@ -357,20 +630,57 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	enq := time.Now()
 	ch := make(chan out, 1)
 	ok = s.submitWork(func() {
-		e, release := s.acquire()
-		defer release()
-		p, res, err := e.cl.Path(e.dg, src, tgt, s.searchOpts()...)
-		ch <- out{p, res, err}
+		var o out
+		s.runEngine(func(e *engine) error {
+			p, res, err := e.cl.Path(e.dg, src, tgt, s.searchOpts(s.deadlineOpts(deadline)...)...)
+			if res == nil {
+				// No result at all: the run itself died (rank panic,
+				// exhausted retry budget) — let runEngine quarantine.
+				o = out{err: err}
+				return err
+			}
+			s.recordFaults(res.Faults)
+			// A canceled run hands back partial levels; not-reachable
+			// and reconstruction errors are answers, not failures.
+			o = out{path: p, res: res, err: wrapDeadline(err, res.SimTime, res.Wall.Seconds())}
+			var edl *errDeadline
+			if errors.As(o.err, &edl) {
+				return edl
+			}
+			return nil
+		})
+		ch <- o
 	})
 	if !ok {
 		s.writeError(w, http.StatusServiceUnavailable,
 			"query queue full (%d deep); retry shortly", s.cfg.QueueDepth)
 		return
 	}
-	o := <-ch
-	if o.err != nil && (o.res == nil || o.res.Found) {
-		s.writeError(w, http.StatusInternalServerError, "path %d→%d failed: %v", src, tgt, o.err)
-		return
+	var o out
+	if deadline.IsZero() {
+		o = <-ch
+	} else {
+		timer := time.NewTimer(time.Until(deadline) + deadlineGrace)
+		select {
+		case o = <-ch:
+			timer.Stop()
+		case <-timer.C:
+			s.writeDeadline(w, fmt.Sprintf(
+				"path %d→%d: query deadline exceeded (timeout %dms)", src, tgt, req.TimeoutMS), nil)
+			return
+		}
+	}
+	if o.err != nil {
+		var edl *errDeadline
+		if errors.As(o.err, &edl) {
+			s.writeDeadline(w, fmt.Sprintf(
+				"path %d→%d: query deadline exceeded: %v", src, tgt, edl), &edl.stats)
+			return
+		}
+		if o.res == nil || o.res.Found {
+			s.writeError(w, http.StatusInternalServerError, "path %d→%d failed: %v", src, tgt, o.err)
+			return
+		}
 	}
 	resp := PathResponse{Source: int(src), Target: int(tgt), Distance: -1}
 	if o.res != nil {
@@ -412,6 +722,10 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	deadline, ok := s.queryDeadline(w, req.TimeoutMS)
+	if !ok {
+		return
+	}
 	done, ok := s.admit(w, s.nSSSP)
 	if !ok {
 		return
@@ -424,18 +738,49 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	enq := time.Now()
 	ch := make(chan out, 1)
 	ok = s.submitWork(func() {
-		e, release := s.acquire()
-		defer release()
-		res, err := e.cl.SSSP(e.dg, src, s.searchOpts(bgl.WithDelta(req.Delta))...)
-		ch <- out{res, err}
+		var o out
+		s.runEngine(func(e *engine) error {
+			res, err := e.cl.SSSP(e.dg, src, s.searchOpts(append(s.deadlineOpts(deadline), bgl.WithDelta(req.Delta))...)...)
+			if res == nil {
+				o = out{err: err}
+				return err
+			}
+			s.recordFaults(res.Faults)
+			o = out{res: res, err: wrapDeadline(err, res.SimTime, res.Wall.Seconds())}
+			var edl *errDeadline
+			if errors.As(o.err, &edl) {
+				return edl
+			}
+			return o.err
+		})
+		ch <- o
 	})
 	if !ok {
 		s.writeError(w, http.StatusServiceUnavailable,
 			"query queue full (%d deep); retry shortly", s.cfg.QueueDepth)
 		return
 	}
-	o := <-ch
+	var o out
+	if deadline.IsZero() {
+		o = <-ch
+	} else {
+		timer := time.NewTimer(time.Until(deadline) + deadlineGrace)
+		select {
+		case o = <-ch:
+			timer.Stop()
+		case <-timer.C:
+			s.writeDeadline(w, fmt.Sprintf(
+				"sssp from %d: query deadline exceeded (timeout %dms)", src, req.TimeoutMS), nil)
+			return
+		}
+	}
 	if o.err != nil {
+		var edl *errDeadline
+		if errors.As(o.err, &edl) {
+			s.writeDeadline(w, fmt.Sprintf(
+				"sssp from %d: query deadline exceeded: %v", src, edl), &edl.stats)
+			return
+		}
 		s.writeError(w, http.StatusInternalServerError, "sssp from %d failed: %v", src, o.err)
 		return
 	}
@@ -474,15 +819,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealthz is the three-state liveness probe: "ok" (200) with a
+// full replica pool, "degraded" (200 — still serving, a load balancer
+// should not evict) while quarantined replicas rebuild, "down"/
+// "draining" (503) when no replica is live or shutdown began. The 503s
+// are plain health documents, not ErrorResponses — probes are not
+// query traffic and must not skew the rejected/error counters.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	draining := s.draining
-	s.mu.RUnlock()
-	if draining {
-		s.writeError(w, http.StatusServiceUnavailable, "draining")
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthzResponse{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	q := int(s.quarantined.Load())
+	if s.live.Load() <= 0 {
+		writeJSON(w, http.StatusServiceUnavailable, HealthzResponse{Status: "down", Quarantined: q})
+		return
+	}
+	if q > 0 {
+		writeJSON(w, http.StatusOK, HealthzResponse{Status: "degraded", Quarantined: q})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok"})
 }
 
 // Stats snapshots the service statistics the /v1/stats endpoint serves.
@@ -504,18 +861,42 @@ func (s *Server) Stats() StatsResponse {
 			QueueDepth: s.cfg.QueueDepth,
 		},
 		Queries: QueryCounts{
-			BFS:            s.nBFS.Value(),
-			Path:           s.nPath.Value(),
-			SSSP:           s.nSSSP.Value(),
-			Batches:        s.batcher.Batches(),
-			BatchedQueries: s.batcher.BatchedQueries(),
-			Rejected:       s.nRejected.Value(),
-			Errors:         s.nErrors.Value(),
-			Inflight:       s.inflight.Load(),
+			BFS:              s.nBFS.Value(),
+			Path:             s.nPath.Value(),
+			SSSP:             s.nSSSP.Value(),
+			Batches:          s.batcher.Batches(),
+			BatchedQueries:   s.batcher.BatchedQueries(),
+			Rejected:         s.nRejected.Value(),
+			Errors:           s.nErrors.Value(),
+			DeadlineExceeded: s.nDeadline.Value(),
+			Inflight:         s.inflight.Load(),
+		},
+		Replicas: ReplicaInfo{
+			Configured:  s.cfg.Replicas,
+			Live:        int(s.live.Load()),
+			Quarantined: int(s.quarantined.Load()),
+			Panics:      s.nPanics.Value(),
+			Rebuilds:    s.nRebuilds.Value(),
 		},
 	}
 	if st.Queries.Batches > 0 {
 		st.Queries.MeanBatchSize = float64(st.Queries.BatchedQueries) / float64(st.Queries.Batches)
+	}
+	s.faultMu.Lock()
+	faults := s.faultTotals
+	s.faultMu.Unlock()
+	if s.cfg.Fault != nil || !faults.Zero() {
+		fi := &FaultInfo{
+			Injected:      faults.Injected(),
+			Retries:       faults.Retries,
+			ChecksumFails: faults.ChecksumFails,
+			DupsDiscarded: faults.DupsDiscarded,
+			RetrySeconds:  faults.RetrySeconds,
+		}
+		if s.cfg.Fault != nil {
+			fi.Plan = s.cfg.Fault.String()
+		}
+		st.Faults = fi
 	}
 	return st
 }

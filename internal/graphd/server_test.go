@@ -284,8 +284,7 @@ func TestServerQueueFull(t *testing.T) {
 	started := make(chan struct{})
 	if !s.submitWork(func() {
 		close(started)
-		_, release := s.acquire()
-		release()
+		s.runEngine(func(*engine) error { return nil })
 	}) {
 		s.engines <- e
 		t.Fatal("idle server refused the first job")
@@ -364,7 +363,7 @@ func TestServerBatchBacklogFull(t *testing.T) {
 
 	// A second distinct source reaches the size cap and fires the sweep,
 	// releasing the waiting query.
-	ch, err := s.batcher.submit(9)
+	ch, err := s.batcher.submit(9, time.Time{})
 	if err != nil {
 		t.Fatalf("companion submit: %v", err)
 	}

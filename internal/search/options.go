@@ -96,6 +96,16 @@ type Common struct {
 	// run. The workload (graph, source, options) must match the
 	// snapshot's fingerprint.
 	Restore *checkpoint.Snapshot
+	// Cancel, when non-nil, is polled with the rank's simulated clock
+	// at every level / sweep / epoch boundary. A non-nil return stops
+	// the run cooperatively: the decision is taken collectively (one
+	// extra or-reduction per boundary, charged like any other
+	// termination check), so every rank stops at the same boundary and
+	// the Run wrappers return the partial Result alongside a *Canceled
+	// error. The hook must be safe for concurrent use — every rank
+	// polls it. Nil (the default) adds no reductions, leaving
+	// un-canceled runs byte-identical to earlier releases.
+	Cancel func(simSeconds float64) error
 }
 
 // Defaults returns the shared production configuration: legacy sparse

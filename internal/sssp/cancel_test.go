@@ -1,0 +1,48 @@
+package sssp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/search"
+)
+
+// TestRun2DCancelEpochBoundary: a Δ-stepping run canceled by a tiny
+// simulated budget stops collectively at an epoch boundary with a
+// partial result, and the same stores/world finish cleanly afterwards.
+func TestRun2DCancelEpochBoundary(t *testing.T) {
+	g := poisson(t, 800, 6, 9, graph.WeightUniform, 60)
+	fx := build2D(t, g, 2, 2)
+	opts := DefaultOptions(fx.src)
+	opts.Cancel = search.SimBudgetCancel(1e-9)
+	res, err := Run2D(fx.world, fx.stores, opts)
+	if err == nil {
+		t.Fatal("no error from a run whose budget is one nanosecond")
+	}
+	var cxl *search.Canceled
+	if !errors.As(err, &cxl) {
+		t.Fatalf("error %v is not a *search.Canceled", err)
+	}
+	if cxl.Unit != "epoch" {
+		t.Fatalf("canceled unit %q, want %q", cxl.Unit, "epoch")
+	}
+	if res == nil || len(res.Dist) != g.N {
+		t.Fatalf("canceled run returned no usable partial result: %+v", res)
+	}
+	// A partial Δ-stepping labeling never UNDERSHOOTS the true
+	// distance: every settled value is a real path length.
+	want := graph.Dijkstra(g, fx.src)
+	for v, d := range res.Dist {
+		if d != graph.MaxDist && d < want[v] {
+			t.Fatalf("partial dist[%d] = %d undershoots Dijkstra %d", v, d, want[v])
+		}
+	}
+
+	opts.Cancel = nil
+	full, err := Run2D(fx.world, fx.stores, opts)
+	if err != nil {
+		t.Fatalf("clean run after a canceled one: %v", err)
+	}
+	checkDist(t, "post-cancel clean run", full.Dist, want)
+}

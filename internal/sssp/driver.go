@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/localindex"
 	"repro/internal/partition"
+	"repro/internal/search"
 )
 
 // engine abstracts one rank's partitioned storage for relaxation
@@ -160,10 +161,26 @@ func (s *rankState) apply(rvs, rds []uint32, k uint32, rec *epochRec) []uint32 {
 	return again
 }
 
+// checkCancel polls the cooperative cancellation hook at an epoch
+// boundary and reduces the verdict so every rank agrees. A nil hook
+// costs nothing.
+func checkCancel(opts Options, c *comm.Comm, done int) *search.Canceled {
+	if opts.Cancel == nil {
+		return nil
+	}
+	cause := opts.Cancel(c.Clock())
+	if !c.AllReduceOr(cause != nil) {
+		return nil
+	}
+	return &search.Canceled{Unit: "epoch", Done: done, Cause: cause}
+}
+
 // runRank executes the Δ-stepping schedule on one rank. All control
-// decisions (bucket choice, loop exits, Δ) are globally reduced, so
-// every rank runs the same epoch sequence.
-func runRank(e engine, opts Options) ([]epochRec, *rankState) {
+// decisions (bucket choice, loop exits, Δ, cancellation) are globally
+// reduced, so every rank runs the same epoch sequence. A non-nil
+// *search.Canceled return means the run stopped cooperatively with the
+// state holding partial tentative distances.
+func runRank(e engine, opts Options) ([]epochRec, *rankState, *search.Canceled) {
 	c := e.comm()
 	model := c.Model()
 	lo, n := e.ownedRange()
@@ -223,19 +240,25 @@ func runRank(e engine, opts Options) ([]epochRec, *rankState) {
 			opts.Checkpoint.Put("sssp", opts.Checkpoint.At, c.Size(), c.Rank(),
 				runFingerprint(e, opts, c.Size()),
 				saveEpochBlob(c, st, recs, allLight, tagSeq))
-			return recs, st
+			return recs, st, nil
+		}
+		if cxl := checkCancel(opts, c, len(recs)); cxl != nil {
+			return recs, st, cxl
 		}
 		min, scanned := st.localMinBucket()
 		c.ChargeItems(scanned, model.VertexCost)
 		k64 := c.AllReduceMin(min)
 		if k64 == noBucket {
-			return recs, st
+			return recs, st, nil
 		}
 		k := uint32(k64)
 		active := st.drain(k)
 		st.settled = localindex.NewBitset(n)
 		st.removed = st.removed[:0]
 		for {
+			if cxl := checkCancel(opts, c, len(recs)); cxl != nil {
+				return recs, st, cxl
+			}
 			if c.AllReduceSum(uint64(len(active))) == 0 {
 				break
 			}
@@ -316,12 +339,14 @@ func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, e
 	w.SetFault(opts.Fault)
 	defer w.SetFault(nil)
 	start := time.Now()
+	cancels := make([]*search.Canceled, w.P)
 	comms, err := w.Run(func(c *comm.Comm) {
 		e := newEngine2D(c, stores[c.Rank()], opts)
-		recs, st := runRank(e, opts)
+		recs, st, cxl := runRank(e, opts)
 		perRank[c.Rank()] = recs
 		dists[c.Rank()] = st.D
 		deltas[c.Rank()] = st.delta
+		cancels[c.Rank()] = cxl
 	})
 	if err != nil {
 		return nil, err
@@ -335,6 +360,9 @@ func Run2D(w *comm.World, stores []*partition.Store2D, opts Options) (*Result, e
 		copy(res.Dist[int(st.Lo):int(st.Lo)+st.OwnedCount()], dists[r])
 	}
 	publishMetrics(opts.Metrics, res)
+	if cxl := search.MergeCanceled(cancels); cxl != nil {
+		return res, cxl
+	}
 	return res, nil
 }
 
@@ -362,12 +390,14 @@ func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, e
 	w.SetFault(opts.Fault)
 	defer w.SetFault(nil)
 	start := time.Now()
+	cancels := make([]*search.Canceled, w.P)
 	comms, err := w.Run(func(c *comm.Comm) {
 		e := newEngine1D(c, stores[c.Rank()], opts)
-		recs, st := runRank(e, opts)
+		recs, st, cxl := runRank(e, opts)
 		perRank[c.Rank()] = recs
 		dists[c.Rank()] = st.D
 		deltas[c.Rank()] = st.delta
+		cancels[c.Rank()] = cxl
 	})
 	if err != nil {
 		return nil, err
@@ -381,5 +411,8 @@ func Run1D(w *comm.World, stores []*partition.Store1D, opts Options) (*Result, e
 		copy(res.Dist[int(st.Lo):int(st.Lo)+st.OwnedCount()], dists[r])
 	}
 	publishMetrics(opts.Metrics, res)
+	if cxl := search.MergeCanceled(cancels); cxl != nil {
+		return res, cxl
+	}
 	return res, nil
 }

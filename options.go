@@ -1,12 +1,16 @@
 package bgl
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/analytic"
 	"repro/internal/bfs"
 	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/fault"
 	"repro/internal/frontier"
+	"repro/internal/search"
 	"repro/internal/sssp"
 )
 
@@ -227,6 +231,13 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.Parse(spec) 
 // the retry budget, one straggler, and one early transient outage.
 func CannedFaultPlan(seed uint64) *FaultPlan { return fault.Canned(seed) }
 
+// HostileFaultPlan returns a plan no retry protocol survives: every
+// message corrupted on every attempt with a deliberately small budget,
+// so the first exchange deterministically exhausts its retries and the
+// rank panics. It exists to drill supervision paths (graphd's replica
+// quarantine, the chaos harness), not to model any real network.
+func HostileFaultPlan(seed uint64) *FaultPlan { return fault.Hostile(seed) }
+
 // WithFault injects the plan's faults into every message of the run.
 // Any plan below the retry budget leaves Levels/Dist and every word
 // and duplicate count identical to the fault-free run; only the
@@ -234,6 +245,44 @@ func CannedFaultPlan(seed uint64) *FaultPlan { return fault.Canned(seed) }
 func WithFault(p *FaultPlan) Option {
 	return func(c *searchConfig) { c.bfs.Fault = p; c.sssp.Fault = p }
 }
+
+// Cancellation: cooperative per-query deadlines. A run with a cancel
+// hook installed polls it at every level / sweep / epoch boundary and,
+// when it fires, stops collectively (every rank agrees at the same
+// boundary) and returns the partial Result ALONGSIDE a *Canceled
+// error — callers that want the partial labeling check for it with
+// errors.As. Runs without a hook pay nothing and stay byte-identical
+// to earlier releases.
+
+// Canceled re-exports the cooperative-cancellation error: the run
+// completed Done whole units (Unit "level", "sweep", or "epoch")
+// before stopping, with the hook's reason in Cause.
+type Canceled = search.Canceled
+
+// WithCancel installs a cooperative cancellation hook, polled with the
+// rank's simulated clock (in seconds) at every level / sweep / epoch
+// boundary. A non-nil return cancels the run. The hook must be safe
+// for concurrent use — every rank polls it. Multiple cancel options
+// compose: the run stops when any hook fires.
+func WithCancel(fn func(simSeconds float64) error) Option {
+	return func(c *searchConfig) {
+		c.bfs.Cancel = search.ChainCancel(c.bfs.Cancel, fn)
+		c.sssp.Cancel = search.ChainCancel(c.sssp.Cancel, fn)
+	}
+}
+
+// WithContext cancels the run at the first boundary after ctx is done,
+// with the context's cause as the Canceled reason.
+func WithContext(ctx context.Context) Option { return WithCancel(search.ContextCancel(ctx)) }
+
+// WithDeadline cancels the run at the first boundary after the wall
+// clock passes t.
+func WithDeadline(t time.Time) Option { return WithCancel(search.DeadlineCancel(t)) }
+
+// WithSimBudget cancels the run once a rank's simulated clock exceeds
+// the budget — a deterministic ceiling on the modeled execution one
+// run may consume, independent of host speed.
+func WithSimBudget(seconds float64) Option { return WithCancel(search.SimBudgetCancel(seconds)) }
 
 // CheckpointPlan re-exports the checkpoint collection plan: where to
 // halt (a BFS level / Δ-stepping epoch ordinal) and the per-rank state
